@@ -1,0 +1,97 @@
+package lgvoffload
+
+// Integration tests of the public API surface: everything a downstream
+// user touches must work without reaching into internal packages.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPINavigation(t *testing.T) {
+	res, err := Run(MissionConfig{
+		Workload:   NavigationWithMap,
+		Map:        EmptyRoomMap(6, 4, 0.05),
+		Start:      Pose(0.8, 2, 0),
+		Goal:       Point(5.2, 2),
+		WAP:        Point(3, 2),
+		Deployment: DeployAdaptive(HostEdge, 8, GoalMCT),
+		Seed:       1,
+		MaxSimTime: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("mission failed: %s", res.Reason)
+	}
+	// Per-component energy is exposed in presentation order.
+	var total float64
+	for _, c := range EnergyComponents {
+		total += res.Energy[c]
+	}
+	if diff := total - res.TotalEnergy; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("EnergyComponents incomplete: %v != %v", total, res.TotalEnergy)
+	}
+}
+
+func TestPublicAPIParseMap(t *testing.T) {
+	m, err := ParseMap("####\n#..#\n####", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width != 4 || m.Height != 3 {
+		t.Errorf("dims %dx%d", m.Width, m.Height)
+	}
+	if _, err := ParseMap("#x", 0.1); err == nil {
+		t.Error("bad map should error")
+	}
+}
+
+func TestPublicAPIWorlds(t *testing.T) {
+	if m := LabMap(); m.Width == 0 {
+		t.Error("LabMap empty")
+	}
+	if m := ObstacleCourseMap(); m.Width == 0 {
+		t.Error("ObstacleCourseMap empty")
+	}
+	if m := EmptyRoomMap(4, 4, 0.1); m.Width != 40 {
+		t.Error("EmptyRoomMap dims")
+	}
+}
+
+func TestPublicAPIDeployments(t *testing.T) {
+	cases := []struct {
+		d    Deployment
+		name string
+	}{
+		{DeployLocal(), "local"},
+		{DeployEdge(1), "edge"},
+		{DeployEdge(8), "edge+8T"},
+		{DeployCloud(12), "cloud+12T"},
+		{DeployAdaptive(HostCloud, 12, GoalEC), "adaptive-EC(cloud)"},
+	}
+	for _, c := range cases {
+		if c.d.Name != c.name {
+			t.Errorf("deployment name %q, want %q", c.d.Name, c.name)
+		}
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", &buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Turtlebot3") {
+		t.Error("table1 output malformed")
+	}
+	if err := RunExperiment("nonsense", &buf, true); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

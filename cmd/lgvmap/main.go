@@ -1,0 +1,103 @@
+// Command lgvmap renders the built-in worlds — and optionally a driven
+// mission's trajectory — as SVG files or ASCII in the terminal.
+//
+//	lgvmap -world lab                        # ASCII view
+//	lgvmap -world maze -svg maze.svg         # SVG file
+//	lgvmap -world office -mission -svg m.svg # mission path overlay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lgvoffload"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/viz"
+	"lgvoffload/internal/world"
+)
+
+func main() {
+	worldName := flag.String("world", "lab", "world: lab | course | maze | office | clutter")
+	svgPath := flag.String("svg", "", "write SVG here instead of ASCII to stdout")
+	mission := flag.Bool("mission", false, "drive a mission and overlay its path")
+	seed := flag.Int64("seed", 7, "world/mission seed")
+	cols := flag.Int("cols", 120, "ASCII width")
+	flag.Parse()
+
+	m, start, goal := buildWorld(*worldName, *seed)
+
+	var path []geom.Vec2
+	robot := start.Pos
+	if *mission {
+		res, err := lgvoffload.Run(lgvoffload.MissionConfig{
+			Workload:    lgvoffload.NavigationWithMap,
+			Map:         m,
+			Start:       start,
+			Goal:        goal,
+			Deployment:  lgvoffload.DeployEdge(8),
+			Seed:        *seed,
+			MaxSimTime:  900,
+			RecordTrace: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, tp := range res.Trace {
+			path = append(path, geom.V(tp.X, tp.Y))
+		}
+		if len(path) > 0 {
+			robot = path[len(path)-1]
+		}
+		fmt.Fprintf(os.Stderr, "mission: success=%v (%s) in %.1f s\n",
+			res.Success, res.Reason, res.TotalTime)
+	}
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := viz.MapSVG(f, m, path); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+		return
+	}
+	if err := viz.MapASCII(os.Stdout, m, robot, path, *cols); err != nil {
+		fatal(err)
+	}
+}
+
+func buildWorld(name string, seed int64) (*grid.Map, geom.Pose, geom.Vec2) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "lab":
+		return world.LabMap(), geom.P(0.6, 0.6, 0), geom.V(11, 5)
+	case "course":
+		return world.ObstacleCourseMap(), geom.P(0.6, 3, 0), geom.V(13.5, 0.8)
+	case "maze":
+		m := world.MazeMap(6, 4, 0.9, 0.2, 0.05, rng)
+		start := world.MazeCellCenter(0, 0, 0.9, 0.2)
+		goal := world.MazeCellCenter(5, 3, 0.9, 0.2)
+		return m, geom.P(start.X, start.Y, 0), goal
+	case "office":
+		m := world.OfficeMap(4, 2.0, 1.8, 1.2, 0.05, rng)
+		y := world.OfficeCorridorY(1.8, 1.2)
+		return m, geom.P(0.6, y, 0), world.OfficeRoomCenter(3, 1, 2.0, 1.8, 1.2)
+	case "clutter":
+		m := world.RandomClutterMap(8, 6, 0.05, 8, rng)
+		return m, geom.P(0.7, 0.7, 0), geom.V(7.3, 5.3)
+	default:
+		fatal(fmt.Errorf("unknown world %q", name))
+		return nil, geom.Pose{}, geom.Vec2{}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lgvmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command lgvsim runs a single configurable end-to-end mission on the
+// simulated testbed and prints the paper's metrics: mission time split
+// (Eq. 2a), per-component energy (Eq. 1a), the Table II cycle breakdown,
+// network statistics and adaptation events.
+//
+// Usage examples:
+//
+//	lgvsim                                   # adaptive navigation in the lab
+//	lgvsim -workload explore -deploy cloud -threads 12
+//	lgvsim -deploy local -seed 7
+//	lgvsim -deploy adaptive -goal ec -trace  # with a velocity trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lgvoffload"
+)
+
+func main() {
+	workload := flag.String("workload", "nav", "workload: nav | explore | coverage")
+	deploy := flag.String("deploy", "adaptive", "deployment: local | edge | cloud | adaptive")
+	threads := flag.Int("threads", 8, "acceleration threads on the server")
+	goal := flag.String("goal", "mct", "Algorithm 1 goal for adaptive mode: ec | mct")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	maxTime := flag.Float64("maxtime", 1800, "simulated-time budget (s)")
+	trace := flag.Bool("trace", false, "print the velocity/bandwidth trace")
+	flag.Parse()
+
+	var d lgvoffload.Deployment
+	g := lgvoffload.GoalMCT
+	if *goal == "ec" {
+		g = lgvoffload.GoalEC
+	}
+	switch *deploy {
+	case "local":
+		d = lgvoffload.DeployLocal()
+	case "edge":
+		d = lgvoffload.DeployEdge(*threads)
+	case "cloud":
+		d = lgvoffload.DeployCloud(*threads)
+	case "adaptive":
+		d = lgvoffload.DeployAdaptive(lgvoffload.HostEdge, *threads, g)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown deployment %q\n", *deploy)
+		os.Exit(2)
+	}
+
+	cfg := lgvoffload.MissionConfig{
+		Map:         lgvoffload.LabMap(),
+		Start:       lgvoffload.Pose(0.6, 0.6, 0),
+		Goal:        lgvoffload.Point(11, 5),
+		WAP:         lgvoffload.Point(6, 3),
+		Deployment:  d,
+		Seed:        *seed,
+		MaxSimTime:  *maxTime,
+		RecordTrace: *trace,
+	}
+	switch *workload {
+	case "explore":
+		cfg.Workload = lgvoffload.ExplorationNoMap
+	case "coverage":
+		cfg.Workload = lgvoffload.CoverageWithMap
+	}
+
+	res, err := lgvoffload.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mission error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mission:   %s on %s (seed %d)\n", cfg.Workload, d.Name, *seed)
+	fmt.Printf("outcome:   success=%v (%s)\n", res.Success, res.Reason)
+	fmt.Printf("time:      total %.1f s = moving %.1f s + standby %.1f s (Eq. 2a)\n",
+		res.TotalTime, res.MovingTime, res.StandbyTime)
+	fmt.Printf("motion:    %.2f m traveled, avg velocity cap %.3f m/s\n", res.Distance, res.AvgMaxVel)
+	if cfg.Workload == lgvoffload.ExplorationNoMap {
+		fmt.Printf("explored:  %.0f%% of free space\n", res.Explored*100)
+	}
+	if cfg.Workload == lgvoffload.CoverageWithMap {
+		fmt.Printf("covered:   %.0f%% of the floor\n", res.Covered*100)
+	}
+	fmt.Println("\nenergy (Eq. 1a):")
+	for _, comp := range lgvoffload.EnergyComponents {
+		fmt.Printf("  %-18s %8.1f J\n", comp, res.Energy[comp])
+	}
+	fmt.Printf("  %-18s %8.1f J\n", "TOTAL", res.TotalEnergy)
+	fmt.Println("\nworkload cycles (Table II):")
+	for _, row := range res.Cycles.Breakdown() {
+		fmt.Printf("  %s\n", row)
+	}
+	fmt.Printf("\nnetwork:   %d msgs sent, %d dropped, %.1f KB uplinked, %d placement switches\n",
+		res.MsgsSent, res.MsgsDropped, res.BytesUplinked/1024, res.Switches)
+
+	if *trace {
+		fmt.Println("\ntrace (t, vmax, vreal, bw, remote):")
+		step := len(res.Trace) / 40
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(res.Trace); i += step {
+			tp := res.Trace[i]
+			fmt.Printf("  %6.1f  %.3f  %.3f  %5.1f  %v\n",
+				tp.T, tp.MaxVel, tp.RealVel, tp.Bandwidth, tp.RemoteOn)
+		}
+	}
+}

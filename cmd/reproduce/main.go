@@ -1,0 +1,67 @@
+// Command reproduce regenerates the tables and figures of the paper's
+// evaluation section (§VIII). Each experiment prints a human-readable
+// report comparing measured shapes against the published numbers.
+//
+// Usage:
+//
+//	reproduce -exp all            # every table and figure (minutes)
+//	reproduce -exp fig9           # one experiment
+//	reproduce -exp fig13 -quick   # shrunken workload (seconds)
+//	reproduce -list               # list experiment IDs
+//	reproduce -exp all -figdir out/   # also write SVG figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lgvoffload/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID or 'all'")
+	quick := flag.Bool("quick", false, "shrink workloads (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	figdir := flag.String("figdir", "", "also render SVG figures into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.All()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", *exp, bench.IDs())
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	if *figdir != "" {
+		start := time.Now()
+		if err := bench.WriteFigures(*figdir, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "figures failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[figures written to %s in %.1fs]\n", *figdir, time.Since(start).Seconds())
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("\n################ %s — %s\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s done in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,63 @@
+package lgvoffload_test
+
+import (
+	"fmt"
+
+	"lgvoffload"
+)
+
+// ExampleRun runs the smallest complete mission: navigate a small room
+// with the ECNs offloaded to the edge gateway.
+func ExampleRun() {
+	res, err := lgvoffload.Run(lgvoffload.MissionConfig{
+		Workload:   lgvoffload.NavigationWithMap,
+		Map:        lgvoffload.EmptyRoomMap(6, 4, 0.05),
+		Start:      lgvoffload.Pose(0.8, 2, 0),
+		Goal:       lgvoffload.Point(5.2, 2),
+		WAP:        lgvoffload.Point(3, 2),
+		Deployment: lgvoffload.DeployEdge(8),
+		Seed:       3,
+		MaxSimTime: 300,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("success:", res.Success)
+	fmt.Println("reason:", res.Reason)
+	// Output:
+	// success: true
+	// reason: goal reached
+}
+
+// ExampleParseMap builds a world from ASCII art.
+func ExampleParseMap() {
+	m, err := lgvoffload.ParseMap("#####\n#...#\n#####", 0.1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d x %d cells\n", m.Width, m.Height)
+	// Output:
+	// 5 x 3 cells
+}
+
+// ExampleExperiments lists the regenerable paper artifacts.
+func ExampleExperiments() {
+	for _, e := range lgvoffload.Experiments()[:3] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// table1
+	// table2
+	// fig3
+}
+
+// ExampleDeployAdaptive shows the adaptive deployment the paper's
+// end-to-end system uses: Algorithms 1 and 2 at runtime.
+func ExampleDeployAdaptive() {
+	d := lgvoffload.DeployAdaptive(lgvoffload.HostCloud, 12, lgvoffload.GoalEC)
+	fmt.Println(d.Name)
+	// Output:
+	// adaptive-EC(cloud)
+}

@@ -1,0 +1,52 @@
+// Exploration example: a search-and-rescue scenario. The LGV maps an
+// unknown cluttered site with SLAM + frontier exploration, comparing the
+// on-board baseline against cloud-accelerated SLAM (the paper's Fig. 6
+// parallel gmapping), and reports mapping progress over time.
+//
+//	go run ./examples/exploration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lgvoffload"
+	"lgvoffload/internal/world"
+)
+
+func main() {
+	// An unknown disaster site: a walled area with random debris. The
+	// robot has no prior map — SLAM builds it while frontiers guide the
+	// search.
+	site := world.RandomClutterMap(7, 5, 0.05, 6, rand.New(rand.NewSource(99)))
+
+	for _, d := range []lgvoffload.Deployment{
+		lgvoffload.DeployCloud(12),
+		lgvoffload.DeployLocal(),
+	} {
+		res, err := lgvoffload.Run(lgvoffload.MissionConfig{
+			Workload:   lgvoffload.ExplorationNoMap,
+			Map:        site,
+			Start:      lgvoffload.Pose(0.8, 0.8, 0),
+			WAP:        lgvoffload.Point(3.5, 2.5),
+			Deployment: d,
+			Seed:       7,
+			MaxSimTime: 1200,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search-and-rescue mapping on %s:\n", d.Name)
+		fmt.Printf("  outcome:   %v (%s)\n", res.Success, res.Reason)
+		fmt.Printf("  mapped:    %.0f%% of the site's free space\n", res.Explored*100)
+		fmt.Printf("  duration:  %.1f s, %.1f m driven\n", res.TotalTime, res.Distance)
+		fmt.Printf("  energy:    %.0f J total\n", res.TotalEnergy)
+		fmt.Printf("  slam load: %.1f Gcycles (%.0f%% of the workload)\n",
+			res.Cycles.Node("slam").Total()/1e9,
+			100*res.Cycles.Node("slam").Total()/res.Cycles.Total().Total())
+		fmt.Println()
+	}
+	fmt.Println("SLAM dominates the unknown-map workload (Table II), so accelerating its")
+	fmt.Println("scanMatch in the cloud is what keeps the pose fresh and the mission short.")
+}

@@ -1,0 +1,91 @@
+// Navigation example: a package-delivery scenario. The LGV crosses the
+// lab to a drop-off point under every offloading deployment, reproducing
+// the paper's core comparison — local vs edge vs cloud, with and without
+// the Fig. 5 parallel acceleration — on one custom floor plan.
+//
+//	go run ./examples/navigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lgvoffload"
+)
+
+// The warehouse aisle where the delivery happens: two shelf rows with a
+// crossing gaps. Drawn at 10 cm resolution (each char = 0.1 m): an
+// 8 m × 2.6 m floor with 0.8 m aisles.
+const warehouse = `
+################################################################################
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#.....##################......##################......################.........#
+#.....##################......##################......################.........#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#.....##################......##################......################.........#
+#.....##################......##################......################.........#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+#..............................................................................#
+################################################################################
+`
+
+func main() {
+	m, err := lgvoffload.ParseMap(warehouse, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deployments := []lgvoffload.Deployment{
+		lgvoffload.DeployLocal(),
+		lgvoffload.DeployEdge(1),
+		lgvoffload.DeployEdge(8),
+		lgvoffload.DeployCloud(1),
+		lgvoffload.DeployCloud(12),
+	}
+
+	fmt.Println("package delivery across the warehouse (start → far corner)")
+	fmt.Printf("%-10s %8s %9s %9s %10s %10s\n",
+		"deploy", "success", "time(s)", "E(J)", "vmax(m/s)", "drops")
+
+	var localTime, localEnergy float64
+	for _, d := range deployments {
+		res, err := lgvoffload.Run(lgvoffload.MissionConfig{
+			Workload:   lgvoffload.NavigationWithMap,
+			Map:        m,
+			Start:      lgvoffload.Pose(0.5, 1.3, 0),
+			Goal:       lgvoffload.Point(7.5, 0.5),
+			WAP:        lgvoffload.Point(4, 1.3),
+			Deployment: d,
+			Seed:       11,
+			MaxSimTime: 900,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8v %9.1f %9.0f %10.3f %6d/%d\n",
+			d.Name, res.Success, res.TotalTime, res.TotalEnergy,
+			res.AvgMaxVel, res.MsgsDropped, res.MsgsSent)
+		if d.Name == "local" {
+			localTime, localEnergy = res.TotalTime, res.TotalEnergy
+		} else if d.Name == "edge+8T" {
+			fmt.Printf("           → vs local: %.1fx faster, %.1fx less energy\n",
+				localTime/res.TotalTime, localEnergy/res.TotalEnergy)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Patrol example: a mail-delivery round through an office floor. The
+// LGV visits a sequence of rooms off a central corridor — long straight
+// segments where the velocity cap pays off, doorway turns where it
+// cannot — comparing the local baseline against adaptive offloading.
+//
+//	go run ./examples/patrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lgvoffload"
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/world"
+)
+
+func main() {
+	const rooms, roomW, roomD, corridorW = 4, 2.0, 1.8, 1.2
+	office := world.OfficeMap(rooms, roomW, roomD, corridorW, 0.05, rand.New(rand.NewSource(8)))
+	corridorY := world.OfficeCorridorY(roomD, corridorW)
+
+	// Deliver to three rooms, then return to the mail station.
+	stops := []geom.Vec2{
+		world.OfficeRoomCenter(1, 0, roomW, roomD, corridorW),
+		world.OfficeRoomCenter(2, 1, roomW, roomD, corridorW),
+		world.OfficeRoomCenter(3, 0, roomW, roomD, corridorW),
+	}
+	station := geom.V(0.6, corridorY)
+
+	fmt.Println("mail round: 3 rooms + return, office floor with doorway turns")
+	fmt.Printf("%-22s %8s %9s %9s %10s\n", "deploy", "success", "time(s)", "E(J)", "stops")
+	for _, d := range []lgvoffload.Deployment{
+		lgvoffload.DeployLocal(),
+		lgvoffload.DeployAdaptive(lgvoffload.HostEdge, 8, lgvoffload.GoalMCT),
+	} {
+		res, err := lgvoffload.Run(core.MissionConfig{
+			Workload:   lgvoffload.NavigationWithMap,
+			Map:        office,
+			Start:      geom.P(station.X, station.Y, 0),
+			Waypoints:  stops,
+			Goal:       station,
+			WAP:        geom.V(4.2, corridorY),
+			Deployment: d,
+			Seed:       17,
+			MaxSimTime: 1800,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8v %9.1f %9.0f %10s\n",
+			d.Name, res.Success, res.TotalTime, res.TotalEnergy, res.Reason)
+	}
+}

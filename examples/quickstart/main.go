@@ -1,0 +1,37 @@
+// Quickstart: the smallest useful program — run one navigation mission
+// with adaptive offloading and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lgvoffload"
+)
+
+func main() {
+	cfg := lgvoffload.MissionConfig{
+		Workload:   lgvoffload.NavigationWithMap,
+		Map:        lgvoffload.LabMap(),
+		Start:      lgvoffload.Pose(0.6, 0.6, 0),
+		Goal:       lgvoffload.Point(11, 5),
+		WAP:        lgvoffload.Point(6, 3),
+		Deployment: lgvoffload.DeployAdaptive(lgvoffload.HostEdge, 8, lgvoffload.GoalMCT),
+		Seed:       1,
+	}
+
+	res, err := lgvoffload.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mission success: %v (%s)\n", res.Success, res.Reason)
+	fmt.Printf("completion time: %.1f s (moving %.1f s, standby %.1f s)\n",
+		res.TotalTime, res.MovingTime, res.StandbyTime)
+	fmt.Printf("total energy:    %.0f J\n", res.TotalEnergy)
+	fmt.Printf("velocity cap:    %.2f m/s on average\n", res.AvgMaxVel)
+	fmt.Printf("adaptation:      %d placement switches, %d/%d messages dropped\n",
+		res.Switches, res.MsgsDropped, res.MsgsSent)
+}

@@ -1,0 +1,3 @@
+module lgvoffload
+
+go 1.22

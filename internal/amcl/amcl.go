@@ -1,0 +1,300 @@
+// Package amcl implements the Localization(Laser) node for the known-map
+// workload: Adaptive Monte Carlo Localization (Fox's KLD-sampling
+// particle filter), the algorithm the paper uses when a map is available.
+// The measurement model is a likelihood field precomputed from the static
+// map's distance transform; the particle count adapts between bounds
+// using the KLD criterion over a coarse pose histogram.
+package amcl
+
+import (
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/sensor"
+)
+
+// Config parameterizes the filter.
+type Config struct {
+	MinParticles, MaxParticles int
+
+	// Motion model noise per meter / radian of motion.
+	TransNoise float64
+	RotNoise   float64
+
+	// Likelihood field measurement model.
+	BeamSkip int
+	ZHit     float64 // weight of the hit Gaussian
+	ZRand    float64 // weight of the uniform floor
+	SigmaHit float64 // hit Gaussian stddev, m
+
+	// Resampling and KLD adaptation.
+	ResampleNeff float64 // resample when Neff/N below this
+	KLDErr       float64 // ε
+	KLDZ         float64 // upper quantile (2.33 ≈ 99%)
+	BinXY        float64 // histogram bin size, m
+	BinTheta     float64 // histogram bin size, rad
+}
+
+// DefaultConfig mirrors the ROS amcl defaults, scaled to small maps.
+func DefaultConfig() Config {
+	return Config{
+		MinParticles: 100, MaxParticles: 2000,
+		TransNoise: 0.1, RotNoise: 0.15,
+		BeamSkip: 6, ZHit: 0.95, ZRand: 0.05, SigmaHit: 0.1,
+		ResampleNeff: 0.5,
+		KLDErr:       0.05, KLDZ: 2.33,
+		BinXY: 0.25, BinTheta: math.Pi / 8,
+	}
+}
+
+type particle struct {
+	pose geom.Pose
+	w    float64 // normalized weight
+}
+
+// UpdateStats reports the work of one update.
+type UpdateStats struct {
+	BeamOps   int // likelihood-field probes (dominant cost)
+	Particles int // particles after adaptation
+	Resampled bool
+}
+
+// AMCL is the filter. Not safe for concurrent use.
+type AMCL struct {
+	cfg Config
+	m   *grid.Map
+	rng *rand.Rand
+
+	dist      []float64 // distance transform of the static map
+	particles []particle
+	maxRange  float64
+}
+
+// New builds the filter over a known static map.
+func New(m *grid.Map, cfg Config, rng *rand.Rand) *AMCL {
+	if cfg.BeamSkip < 1 {
+		cfg.BeamSkip = 1
+	}
+	if cfg.MinParticles < 2 {
+		cfg.MinParticles = 2
+	}
+	if cfg.MaxParticles < cfg.MinParticles {
+		cfg.MaxParticles = cfg.MinParticles
+	}
+	return &AMCL{cfg: cfg, m: m, rng: rng, dist: grid.DistanceTransform(m)}
+}
+
+// Init spreads MaxParticles around the given pose with Gaussian noise.
+func (a *AMCL) Init(pose geom.Pose, posStd, thetaStd float64) {
+	n := a.cfg.MaxParticles
+	a.particles = make([]particle, n)
+	for i := range a.particles {
+		a.particles[i] = particle{
+			pose: geom.P(
+				pose.Pos.X+a.rng.NormFloat64()*posStd,
+				pose.Pos.Y+a.rng.NormFloat64()*posStd,
+				pose.Theta+a.rng.NormFloat64()*thetaStd,
+			),
+			w: 1 / float64(n),
+		}
+	}
+}
+
+// InitGlobal scatters particles uniformly over the map's free space for
+// the kidnapped-robot case.
+func (a *AMCL) InitGlobal() {
+	n := a.cfg.MaxParticles
+	a.particles = make([]particle, 0, n)
+	w := float64(a.m.Width) * a.m.Resolution
+	h := float64(a.m.Height) * a.m.Resolution
+	for len(a.particles) < n {
+		p := geom.V(a.m.Origin.X+a.rng.Float64()*w, a.m.Origin.Y+a.rng.Float64()*h)
+		if a.m.At(a.m.WorldToCell(p)) != grid.Free {
+			continue
+		}
+		a.particles = append(a.particles, particle{
+			pose: geom.P(p.X, p.Y, a.rng.Float64()*2*math.Pi-math.Pi),
+			w:    1 / float64(n),
+		})
+	}
+}
+
+// NumParticles returns the current particle count.
+func (a *AMCL) NumParticles() int { return len(a.particles) }
+
+// Update runs one motion + measurement + resample step.
+func (a *AMCL) Update(odomDelta geom.Pose, scan *sensor.Scan) UpdateStats {
+	var st UpdateStats
+	if len(a.particles) == 0 {
+		return st
+	}
+	a.maxRange = scan.MaxRange
+
+	// Motion update.
+	trans := odomDelta.Pos.Norm()
+	rot := math.Abs(odomDelta.Theta)
+	for i := range a.particles {
+		noisy := odomDelta
+		noisy.Pos.X += a.rng.NormFloat64() * (a.cfg.TransNoise*trans + 1e-4)
+		noisy.Pos.Y += a.rng.NormFloat64() * (a.cfg.TransNoise*trans + 1e-4)
+		noisy.Theta = geom.NormalizeAngle(noisy.Theta +
+			a.rng.NormFloat64()*(a.cfg.RotNoise*rot+1e-4))
+		a.particles[i].pose = a.particles[i].pose.Compose(noisy)
+	}
+
+	// Measurement update via the likelihood field.
+	logws := make([]float64, len(a.particles))
+	for i := range a.particles {
+		lw, ops := a.beamLikelihood(a.particles[i].pose, scan)
+		logws[i] = lw
+		st.BeamOps += ops
+	}
+	// Normalize.
+	maxLW := math.Inf(-1)
+	for _, lw := range logws {
+		if lw > maxLW {
+			maxLW = lw
+		}
+	}
+	sum := 0.0
+	for i := range a.particles {
+		a.particles[i].w *= math.Exp(logws[i] - maxLW)
+		sum += a.particles[i].w
+	}
+	if sum <= 0 {
+		// Total weight collapse: reset to uniform.
+		for i := range a.particles {
+			a.particles[i].w = 1 / float64(len(a.particles))
+		}
+	} else {
+		for i := range a.particles {
+			a.particles[i].w /= sum
+		}
+	}
+
+	// Resample with KLD-adapted size when Neff collapses.
+	neffDen := 0.0
+	for i := range a.particles {
+		neffDen += a.particles[i].w * a.particles[i].w
+	}
+	neff := 1 / math.Max(neffDen, 1e-300)
+	if neff < a.cfg.ResampleNeff*float64(len(a.particles)) {
+		a.resampleKLD()
+		st.Resampled = true
+	}
+	st.Particles = len(a.particles)
+	return st
+}
+
+// beamLikelihood scores a pose: Σ log(z_hit·N(d;0,σ) + z_rand/z_max) over
+// subsampled hit beams, where d is the likelihood-field distance at the
+// beam endpoint.
+func (a *AMCL) beamLikelihood(pose geom.Pose, scan *sensor.Scan) (float64, int) {
+	lw := 0.0
+	ops := 0
+	norm := 1 / (a.cfg.SigmaHit * math.Sqrt(2*math.Pi))
+	floor := a.cfg.ZRand / math.Max(scan.MaxRange, 0.1)
+	for i := 0; i < scan.NumBeams(); i += a.cfg.BeamSkip {
+		if !scan.IsHit(i) {
+			continue
+		}
+		end := scan.Endpoint(pose, i)
+		cell := a.m.WorldToCell(end)
+		ops++
+		var d float64
+		if a.m.InBounds(cell) {
+			d = a.dist[cell.Y*a.m.Width+cell.X]
+		} else {
+			d = 2 * a.cfg.SigmaHit * 5 // far outside: strongly unlikely
+		}
+		p := a.cfg.ZHit*norm*math.Exp(-d*d/(2*a.cfg.SigmaHit*a.cfg.SigmaHit)) + floor
+		lw += math.Log(p)
+	}
+	return lw, ops
+}
+
+// resampleKLD performs systematic resampling and adapts the particle
+// count with the KLD criterion: the new size is the KLD bound computed
+// from the number of occupied pose-histogram bins, clamped to
+// [MinParticles, MaxParticles].
+func (a *AMCL) resampleKLD() {
+	// Count occupied histogram bins of the current (pre-resample) set.
+	type bin struct{ x, y, t int }
+	bins := make(map[bin]bool)
+	for _, p := range a.particles {
+		bins[bin{
+			x: int(math.Floor(p.pose.Pos.X / a.cfg.BinXY)),
+			y: int(math.Floor(p.pose.Pos.Y / a.cfg.BinXY)),
+			t: int(math.Floor(p.pose.Theta / a.cfg.BinTheta)),
+		}] = true
+	}
+	k := len(bins)
+	n := a.kldBound(k)
+
+	// Systematic resampling into n particles.
+	out := make([]particle, 0, n)
+	u := a.rng.Float64() / float64(n)
+	cum := 0.0
+	idx := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)/float64(n)
+		for cum+a.particles[idx].w < target && idx < len(a.particles)-1 {
+			cum += a.particles[idx].w
+			idx++
+		}
+		out = append(out, particle{pose: a.particles[idx].pose, w: 1 / float64(n)})
+	}
+	a.particles = out
+}
+
+// kldBound returns the KLD-sampling particle count for k occupied bins:
+// n = (k-1)/(2ε) · (1 - 2/(9(k-1)) + √(2/(9(k-1)))·z)³.
+func (a *AMCL) kldBound(k int) int {
+	if k <= 1 {
+		return a.cfg.MinParticles
+	}
+	kf := float64(k - 1)
+	b := 2 / (9 * kf)
+	n := kf / (2 * a.cfg.KLDErr) * math.Pow(1-b+math.Sqrt(b)*a.cfg.KLDZ, 3)
+	ni := int(math.Ceil(n))
+	if ni < a.cfg.MinParticles {
+		ni = a.cfg.MinParticles
+	}
+	if ni > a.cfg.MaxParticles {
+		ni = a.cfg.MaxParticles
+	}
+	return ni
+}
+
+// Estimate returns the weighted mean pose.
+func (a *AMCL) Estimate() geom.Pose {
+	var x, y, s, c, wsum float64
+	for _, p := range a.particles {
+		x += p.w * p.pose.Pos.X
+		y += p.w * p.pose.Pos.Y
+		s += p.w * math.Sin(p.pose.Theta)
+		c += p.w * math.Cos(p.pose.Theta)
+		wsum += p.w
+	}
+	if wsum == 0 {
+		return geom.Pose{}
+	}
+	return geom.P(x/wsum, y/wsum, math.Atan2(s, c))
+}
+
+// Spread returns the RMS positional spread of the particle cloud around
+// the estimate — a convergence indicator.
+func (a *AMCL) Spread() float64 {
+	est := a.Estimate()
+	var sum, wsum float64
+	for _, p := range a.particles {
+		sum += p.w * p.pose.Pos.DistSq(est.Pos)
+		wsum += p.w
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / wsum)
+}

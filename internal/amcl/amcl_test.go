@@ -1,0 +1,236 @@
+package amcl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/sensor"
+	"lgvoffload/internal/world"
+)
+
+// track drives the robot and feeds the filter, returning the filter and
+// the final true pose.
+func track(t testing.TB, cfg Config, seed int64) (*AMCL, geom.Pose) {
+	t.Helper()
+	m := world.LabMap()
+	w := world.New(m, world.Turtlebot3(), geom.P(1, 1, 0))
+	laser := sensor.NewLaser(90, 3.5, 0.02, rand.New(rand.NewSource(seed)))
+	odo := sensor.NewOdometer(rand.New(rand.NewSource(seed + 1)))
+	a := New(m, cfg, rand.New(rand.NewSource(seed+2)))
+	a.Init(w.Robot.Pose, 0.1, 0.05)
+
+	prev := odo.Update(w.Robot.Pose)
+	script := []struct {
+		v, wv float64
+		steps int
+	}{
+		{0.2, 0, 30},
+		{0.1, 0.6, 15},
+		{0.2, 0, 30},
+	}
+	for _, leg := range script {
+		w.SetCommand(geom.Twist{V: leg.v, W: leg.wv})
+		for i := 0; i < leg.steps; i++ {
+			w.Step(0.1)
+			est := odo.Update(w.Robot.Pose)
+			delta := prev.Delta(est)
+			prev = est
+			a.Update(delta, laser.Sense(m, w.Robot.Pose, w.Time))
+		}
+	}
+	return a, w.Robot.Pose
+}
+
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.MinParticles = 50
+	cfg.MaxParticles = 300
+	return cfg
+}
+
+func TestAMCLTracksPose(t *testing.T) {
+	a, truth := track(t, fastCfg(), 3)
+	est := a.Estimate()
+	if err := est.Pos.Dist(truth.Pos); err > 0.3 {
+		t.Errorf("pose error %.3f m (est %v truth %v)", err, est, truth)
+	}
+	if d := math.Abs(geom.AngleDiff(est.Theta, truth.Theta)); d > 0.25 {
+		t.Errorf("heading error %.3f rad", d)
+	}
+}
+
+func TestAMCLConverges(t *testing.T) {
+	a, _ := track(t, fastCfg(), 5)
+	if s := a.Spread(); s > 0.3 {
+		t.Errorf("particle spread %.3f m — filter did not converge", s)
+	}
+}
+
+func TestKLDAdaptsParticleCount(t *testing.T) {
+	a, _ := track(t, fastCfg(), 7)
+	// After convergence the cloud occupies few bins, so the KLD bound
+	// should have pulled the count well below the maximum.
+	if n := a.NumParticles(); n >= 300 {
+		t.Errorf("KLD did not shrink the particle set: %d", n)
+	}
+	if n := a.NumParticles(); n < 50 {
+		t.Errorf("particle count below minimum: %d", n)
+	}
+}
+
+func TestGlobalInitPlacesParticlesInFreeSpace(t *testing.T) {
+	m := world.LabMap()
+	a := New(m, fastCfg(), rand.New(rand.NewSource(1)))
+	a.InitGlobal()
+	if a.NumParticles() != 300 {
+		t.Fatalf("particles = %d", a.NumParticles())
+	}
+	for _, p := range a.particles {
+		if m.OccupiedAtWorld(p.pose.Pos) {
+			t.Fatalf("particle in obstacle at %v", p.pose.Pos)
+		}
+	}
+}
+
+func TestUpdateStatsAndBeamSkip(t *testing.T) {
+	m := world.LabMap()
+	laser := sensor.NewLaser(360, 3.5, 0, rand.New(rand.NewSource(1)))
+	scan := laser.Sense(m, geom.P(1, 1, 0), 0)
+
+	run := func(skip int) int {
+		cfg := fastCfg()
+		cfg.BeamSkip = skip
+		a := New(m, cfg, rand.New(rand.NewSource(2)))
+		a.Init(geom.P(1, 1, 0), 0.05, 0.05)
+		st := a.Update(geom.Pose{}, scan)
+		return st.BeamOps
+	}
+	full, skipped := run(1), run(6)
+	if skipped >= full {
+		t.Errorf("beam skip did not reduce work: %d vs %d", skipped, full)
+	}
+	if full == 0 {
+		t.Error("no beam ops accounted")
+	}
+}
+
+func TestEmptyFilterUpdateIsSafe(t *testing.T) {
+	m := world.LabMap()
+	a := New(m, fastCfg(), rand.New(rand.NewSource(1)))
+	laser := sensor.NewLaser(10, 3.5, 0, rand.New(rand.NewSource(1)))
+	st := a.Update(geom.Pose{}, laser.Sense(m, geom.P(1, 1, 0), 0))
+	if st.Particles != 0 || st.BeamOps != 0 {
+		t.Errorf("uninitialized update should no-op: %+v", st)
+	}
+}
+
+func TestKLDBound(t *testing.T) {
+	a := New(world.LabMap(), fastCfg(), rand.New(rand.NewSource(1)))
+	if got := a.kldBound(1); got != 50 {
+		t.Errorf("k=1 should clamp to min: %d", got)
+	}
+	if got := a.kldBound(10000); got != 300 {
+		t.Errorf("huge k should clamp to max: %d", got)
+	}
+	// Monotone in k within range.
+	prev := 0
+	for _, k := range []int{5, 10, 20, 40} {
+		n := a.kldBound(k)
+		if n < prev {
+			t.Errorf("kldBound not monotone at k=%d: %d < %d", k, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestDegenerateConfigClamps(t *testing.T) {
+	cfg := Config{MinParticles: 0, MaxParticles: 0, BeamSkip: 0,
+		ZHit: 0.95, ZRand: 0.05, SigmaHit: 0.1, ResampleNeff: 0.5,
+		KLDErr: 0.05, KLDZ: 2.33, BinXY: 0.25, BinTheta: 0.4}
+	a := New(world.LabMap(), cfg, rand.New(rand.NewSource(1)))
+	if a.cfg.MinParticles < 2 || a.cfg.MaxParticles < a.cfg.MinParticles || a.cfg.BeamSkip != 1 {
+		t.Errorf("config not clamped: %+v", a.cfg)
+	}
+}
+
+func BenchmarkAMCLUpdate(b *testing.B) {
+	m := world.LabMap()
+	laser := sensor.NewLaser(360, 3.5, 0.01, rand.New(rand.NewSource(1)))
+	scan := laser.Sense(m, geom.P(1, 1, 0), 0)
+	cfg := DefaultConfig()
+	a := New(m, cfg, rand.New(rand.NewSource(2)))
+	a.Init(geom.P(1, 1, 0), 0.1, 0.1)
+	delta := geom.P(0.01, 0, 0.001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(delta, scan)
+	}
+}
+
+// TestAMCLSurvivesSensorFaults: localization must stay usable under 20%
+// beam dropout and 5% outliers — the likelihood-field model is robust to
+// missing and spurious returns.
+func TestAMCLSurvivesSensorFaults(t *testing.T) {
+	m := world.LabMap()
+	w := world.New(m, world.Turtlebot3(), geom.P(1, 1, 0))
+	laser := sensor.NewLaser(90, 3.5, 0.02, rand.New(rand.NewSource(31)))
+	laser.DropoutProb = 0.2
+	laser.OutlierProb = 0.05
+	odo := sensor.NewOdometer(rand.New(rand.NewSource(32)))
+	a := New(m, fastCfg(), rand.New(rand.NewSource(33)))
+	a.Init(w.Robot.Pose, 0.1, 0.05)
+
+	prev := odo.Update(w.Robot.Pose)
+	w.SetCommand(geom.Twist{V: 0.2, W: 0.1})
+	for i := 0; i < 60; i++ {
+		w.Step(0.1)
+		est := odo.Update(w.Robot.Pose)
+		delta := prev.Delta(est)
+		prev = est
+		a.Update(delta, laser.Sense(m, w.Robot.Pose, w.Time))
+	}
+	if err := a.Estimate().Pos.Dist(w.Robot.Pose.Pos); err > 0.4 {
+		t.Errorf("pose error %.3f m under sensor faults", err)
+	}
+}
+
+// TestGlobalLocalizationConverges is the kidnapped-robot case: particles
+// start scattered over all free space; after driving through the lab's
+// distinctive geometry the filter must collapse near the true pose.
+func TestGlobalLocalizationConverges(t *testing.T) {
+	m := world.LabMap()
+	w := world.New(m, world.Turtlebot3(), geom.P(1, 1, 0))
+	laser := sensor.NewLaser(180, 3.5, 0.02, rand.New(rand.NewSource(41)))
+	odo := sensor.NewOdometer(rand.New(rand.NewSource(42)))
+	cfg := DefaultConfig()
+	cfg.MinParticles = 150
+	cfg.MaxParticles = 2500
+	a := New(m, cfg, rand.New(rand.NewSource(43)))
+	a.InitGlobal()
+
+	prev := odo.Update(w.Robot.Pose)
+	script := []struct {
+		v, wv float64
+		steps int
+	}{
+		{0.2, 0, 40}, {0.1, 0.7, 15}, {0.2, 0, 40}, {0.1, -0.7, 15}, {0.2, 0, 40},
+	}
+	for _, leg := range script {
+		w.SetCommand(geom.Twist{V: leg.v, W: leg.wv})
+		for i := 0; i < leg.steps; i++ {
+			w.Step(0.1)
+			est := odo.Update(w.Robot.Pose)
+			delta := prev.Delta(est)
+			prev = est
+			a.Update(delta, laser.Sense(m, w.Robot.Pose, w.Time))
+		}
+	}
+	err := a.Estimate().Pos.Dist(w.Robot.Pose.Pos)
+	if err > 0.6 {
+		t.Errorf("global localization error %.2f m (spread %.2f, %d particles)",
+			err, a.Spread(), a.NumParticles())
+	}
+}

@@ -1,0 +1,187 @@
+// Package bag implements a rosbag-style record/replay log: a stream of
+// (timestamp, topic, message) records in the wire encoding, written
+// through any io.Writer. Bags let experiments capture a sensor stream
+// once and replay it deterministically — the same role the paper's
+// Intel Research Lab logs play for its cloud-acceleration benchmarks.
+//
+// Format: the magic line "LGVBAG1\n", then length-prefixed records,
+// each encoding {stamp float64, topic string, frame bytes} where frame
+// is a wire.EncodeFrame of the message.
+package bag
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"lgvoffload/internal/wire"
+)
+
+// Magic identifies a bag stream.
+const Magic = "LGVBAG1\n"
+
+// ErrBadMagic means the stream is not a bag.
+var ErrBadMagic = errors.New("bag: bad magic")
+
+// Writer appends records to a stream.
+type Writer struct {
+	bw    *bufio.Writer
+	count int
+	err   error
+}
+
+// NewWriter writes the header and returns a writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(stamp float64, topic string, m wire.Message) error {
+	if w.err != nil {
+		return w.err
+	}
+	enc := wire.NewEncoder(64)
+	enc.Float64(stamp)
+	enc.String(topic)
+	enc.BytesField(wire.EncodeFrame(m))
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(enc.Len()))
+	if _, err := w.bw.Write(lenBuf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(enc.Bytes()); err != nil {
+		w.err = err
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() int { return w.count }
+
+// Flush commits buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Record is one replayed entry.
+type Record struct {
+	Stamp float64
+	Topic string
+	Msg   wire.Message
+}
+
+// Reader replays a bag stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("bag: reading magic: %w", err)
+	}
+	if string(head) != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Record, error) {
+	size, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("bag: record length: %w", err)
+	}
+	if size > 1<<24 {
+		return Record{}, fmt.Errorf("bag: implausible record size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return Record{}, fmt.Errorf("bag: truncated record: %w", err)
+	}
+	dec := wire.NewDecoder(buf)
+	rec := Record{Stamp: dec.Float64(), Topic: dec.String()}
+	frame := dec.BytesField()
+	if dec.Err() != nil {
+		return Record{}, fmt.Errorf("bag: corrupt record: %w", dec.Err())
+	}
+	m, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return Record{}, fmt.Errorf("bag: record payload: %w", err)
+	}
+	rec.Msg = m
+	return rec, nil
+}
+
+// ReadAll drains the stream into memory.
+func ReadAll(r io.Reader) ([]Record, error) {
+	br, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := br.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Stats summarizes a bag: record counts per topic and the time span.
+type Stats struct {
+	Records  int
+	Topics   map[string]int
+	Start    float64
+	End      float64
+	Duration float64
+}
+
+// Summarize computes stats over records.
+func Summarize(recs []Record) Stats {
+	st := Stats{Topics: make(map[string]int)}
+	for i, r := range recs {
+		st.Records++
+		st.Topics[r.Topic]++
+		if i == 0 || r.Stamp < st.Start {
+			st.Start = r.Stamp
+		}
+		if r.Stamp > st.End {
+			st.End = r.Stamp
+		}
+	}
+	st.Duration = st.End - st.Start
+	return st
+}
+
+// TopicNames returns the topic names sorted.
+func (s Stats) TopicNames() []string {
+	names := make([]string, 0, len(s.Topics))
+	for n := range s.Topics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,108 @@
+package bag
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"lgvoffload/internal/msg"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(0.1, "cmd", &msg.Twist{Header: msg.Header{Seq: 1}, V: 0.2})
+	w.Write(0.2, "pose", &msg.Pose{Header: msg.Header{Seq: 2}, X: 1, Y: 2})
+	w.Write(0.3, "cmd", &msg.Twist{Header: msg.Header{Seq: 3}, V: 0.3})
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Topic != "cmd" || recs[0].Stamp != 0.1 {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+	if tw, ok := recs[2].Msg.(*msg.Twist); !ok || tw.V != 0.3 {
+		t.Errorf("rec2 payload = %#v", recs[2].Msg)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTABAG!\nxxxx"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short stream should error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(1, "t", &msg.Twist{})
+	w.Flush()
+	b := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(b[:len(b)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record should hard-fail, got %v", err)
+	}
+}
+
+func TestEmptyBag(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty bag: %v %v", recs, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Stamp: 1.0, Topic: "a"},
+		{Stamp: 3.0, Topic: "b"},
+		{Stamp: 2.0, Topic: "a"},
+	}
+	st := Summarize(recs)
+	if st.Records != 3 || st.Topics["a"] != 2 || st.Topics["b"] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Start != 1 || st.End != 3 || st.Duration != 2 {
+		t.Errorf("span = %+v", st)
+	}
+	names := st.TopicNames()
+	if len(names) != 2 || names[0] != "a" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestImplausibleSizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	// A record claiming 1 GB.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x04})
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("hostile record size must be rejected")
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/hostsim"
+	"lgvoffload/internal/slam"
+	"lgvoffload/internal/trace"
+	"lgvoffload/internal/tracker"
+)
+
+// platformsUnderTest returns the Fig. 9/10 platforms with the thread
+// counts each can use (the paper sweeps 1–8 on the quad-core machines
+// and up to 24 on the manycore cloud server).
+func platformsUnderTest() []struct {
+	P       hostsim.Platform
+	Threads []int
+} {
+	return []struct {
+		P       hostsim.Platform
+		Threads []int
+	}{
+		{hostsim.RaspberryPi(), []int{1, 2, 4, 8}},
+		{hostsim.EdgeGateway(), []int{1, 2, 4, 8}},
+		{hostsim.CloudServer(), []int{1, 2, 4, 8, 12, 24}},
+	}
+}
+
+// ecnWorkPerUpdate replays a dataset prefix through the RBPF and returns
+// the average per-update work at the given particle count. The kernels
+// run for real (the parallel scanMatch included), so the op counts are
+// measured, not assumed.
+func ecnWorkPerUpdate(ds *trace.Dataset, particles, entries int) hostsim.Work {
+	cfg := slam.DefaultConfig(ds.Map.Width, ds.Map.Height, ds.Map.Resolution, ds.Map.Origin)
+	cfg.NumParticles = particles
+	s := slam.New(cfg, rand.New(rand.NewSource(7)))
+	s.SetInitialPose(ds.Start)
+	if entries > ds.Len() {
+		entries = ds.Len()
+	}
+	var total hostsim.Work
+	for _, e := range ds.Entries[:entries] {
+		st := s.Update(e.OdomDelta, e.Scan)
+		total = total.Add(core.SlamWork(st.MatchOps, st.IntegrateOps, st.WeightOps, st.CopyOps))
+	}
+	return total.Scale(1 / float64(entries))
+}
+
+// RunFig9 regenerates Figure 9: processing time of the energy-critical
+// SLAM node under different thread and particle counts on the three
+// platforms, with the headline speedups.
+func RunFig9(w io.Writer, quick bool) error {
+	particles := []int{10, 20, 30, 100}
+	entries := 60
+	if quick {
+		particles = []int{10, 30}
+		entries = 15
+	}
+	ds := trace.LabDataset(11, entries+5)
+
+	// Measure the per-update work once per particle count.
+	work := make(map[int]hostsim.Work, len(particles))
+	for _, m := range particles {
+		work[m] = ecnWorkPerUpdate(ds, m, entries)
+	}
+	base := hostsim.RaspberryPi().ExecTime(work[particles[len(particles)-1]], 1)
+
+	for _, pt := range platformsUnderTest() {
+		hr(w, fmt.Sprintf("Fig. 9 — SLAM processing time (s) on %s", pt.P.Name))
+		fmt.Fprintf(w, "%8s", "threads")
+		for _, m := range particles {
+			fmt.Fprintf(w, "  M=%-7d", m)
+		}
+		fmt.Fprintln(w)
+		for _, th := range pt.Threads {
+			fmt.Fprintf(w, "%8d", th)
+			for _, m := range particles {
+				fmt.Fprintf(w, "  %-9.4f", pt.P.ExecTime(work[m], th))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	maxM := particles[len(particles)-1]
+	edgeUp := hostsim.EdgeGateway().Speedup(work[maxM], 8)
+	cloudUp := hostsim.CloudServer().Speedup(work[maxM], 24)
+	hr(w, "Fig. 9 — headline accelerations at the largest particle count")
+	fmt.Fprintf(w, "local 1-thread baseline: %.3f s/update (M=%d)\n", base, maxM)
+	fmt.Fprintf(w, "gateway (8 threads):   %6.2fx   (paper: up to 27.97x)\n", edgeUp)
+	fmt.Fprintf(w, "cloud   (24 threads):  %6.2fx   (paper: up to 40.84x)\n", cloudUp)
+	fmt.Fprintf(w, "manycore cloud beats the gateway on the ECN: %v (paper: yes)\n", cloudUp > edgeUp)
+	return nil
+}
+
+// Fig9Speedups returns (gateway@8T, cloud@24T) speedups at the largest
+// particle count — used by tests to assert the paper's shape.
+func Fig9Speedups(quick bool) (edge, cloud float64) {
+	entries, particles := 60, 100
+	if quick {
+		entries, particles = 15, 30
+	}
+	ds := trace.LabDataset(11, entries+5)
+	wk := ecnWorkPerUpdate(ds, particles, entries)
+	return hostsim.EdgeGateway().Speedup(wk, 8), hostsim.CloudServer().Speedup(wk, 24)
+}
+
+// vdpWorkPerTick replays a dataset prefix through the VDP kernels
+// (costmap update + trajectory rollout + mux) at the given trajectory
+// count and returns average per-tick work for each node.
+func vdpWorkPerTick(ds *trace.Dataset, samples, entries int) (cm, tk, mux hostsim.Work) {
+	ccfg := costmap.DefaultConfig(ds.Map.Width, ds.Map.Height, ds.Map.Resolution, ds.Map.Origin)
+	cmap := costmap.New(ccfg)
+	cmap.SetStatic(ds.Map)
+
+	tcfg := tracker.DefaultConfig()
+	tcfg.WSamples = 40
+	tcfg.VSamples = samples / 40
+	if tcfg.VSamples < 1 {
+		tcfg.VSamples = 1
+	}
+	tk8 := tracker.New(tcfg)
+
+	if entries > ds.Len() {
+		entries = ds.Len()
+	}
+	n := 0
+	for _, e := range ds.Entries[:entries] {
+		st := cmap.Update(e.TruePose, e.Scan)
+		cm = cm.Add(core.CostmapWork(st.Total()))
+		out, err := tk8.Plan(tracker.Input{
+			Pose: e.TruePose, Vel: geom.Twist{V: 0.1},
+			Path:    []geom.Vec2{e.TruePose.Pos, e.TruePose.Pos.Add(geom.V(2, 0))},
+			Costmap: cmap,
+		})
+		if err == nil {
+			tk = tk.Add(core.TrackingWork(out.Ops))
+		}
+		mux = mux.Add(core.MuxWork())
+		n++
+	}
+	inv := 1 / float64(n)
+	return cm.Scale(inv), tk.Scale(inv), mux.Scale(inv)
+}
+
+// RunFig10 regenerates Figure 10: processing time of the velocity
+// dependent path (CostmapGen + Path Tracking + Velocity Multiplexer)
+// under different thread and sample counts on the three platforms.
+func RunFig10(w io.Writer, quick bool) error {
+	samples := []int{200, 400, 1000, 2000}
+	entries := 40
+	if quick {
+		samples = []int{200, 1000}
+		entries = 10
+	}
+	ds := trace.LabDataset(12, entries+5)
+
+	type vdp struct{ cm, tk, mux hostsim.Work }
+	work := make(map[int]vdp, len(samples))
+	for _, s := range samples {
+		cm, tk, mux := vdpWorkPerTick(ds, s, entries)
+		work[s] = vdp{cm, tk, mux}
+	}
+
+	vdpTime := func(p hostsim.Platform, s, threads int) float64 {
+		wk := work[s]
+		// Only the trajectory scoring parallelizes (Fig. 5); costmap and
+		// mux are serial.
+		return p.ExecTime(wk.cm, 1) + p.ExecTime(wk.tk, threads) + p.ExecTime(wk.mux, 1)
+	}
+
+	for _, pt := range platformsUnderTest() {
+		hr(w, fmt.Sprintf("Fig. 10 — VDP processing time (ms) on %s", pt.P.Name))
+		fmt.Fprintf(w, "%8s", "threads")
+		for _, s := range samples {
+			fmt.Fprintf(w, "  S=%-7d", s)
+		}
+		fmt.Fprintln(w)
+		for _, th := range pt.Threads {
+			fmt.Fprintf(w, "%8d", th)
+			for _, s := range samples {
+				fmt.Fprintf(w, "  %-9.2f", vdpTime(pt.P, s, th)*1000)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	maxS := samples[len(samples)-1]
+	base := vdpTime(hostsim.RaspberryPi(), maxS, 1)
+	edgeUp := base / vdpTime(hostsim.EdgeGateway(), maxS, 8)
+	cloudUp := base / vdpTime(hostsim.CloudServer(), maxS, 12)
+	hr(w, "Fig. 10 — headline accelerations at the largest sample count")
+	fmt.Fprintf(w, "local 1-thread baseline: %.1f ms/tick (S=%d)\n", base*1000, maxS)
+	fmt.Fprintf(w, "gateway (8 threads):   %6.2fx   (paper: up to 23.92x)\n", edgeUp)
+	fmt.Fprintf(w, "cloud  (12 threads):   %6.2fx   (paper: up to 17.29x)\n", cloudUp)
+	fmt.Fprintf(w, "high-frequency gateway beats cloud on the VDP: %v (paper: yes)\n", edgeUp > cloudUp)
+	cloud := hostsim.CloudServer()
+	minS := samples[0]
+	t4 := vdpTime(cloud, minS, 4)
+	t24 := vdpTime(cloud, minS, 24)
+	fmt.Fprintf(w, "cloud scaling saturates above 4 threads at S=%d: t(4)=%.2f ms, t(24)=%.2f ms (paper: yes)\n",
+		minS, t4*1000, t24*1000)
+	return nil
+}
+
+// Fig10Speedups returns (gateway@8T, cloud@12T) VDP speedups at the
+// largest sample count — used by tests to assert the paper's shape.
+func Fig10Speedups(quick bool) (edge, cloud float64) {
+	entries, samples := 40, 2000
+	if quick {
+		entries, samples = 10, 1000
+	}
+	ds := trace.LabDataset(12, entries+5)
+	cm, tk, mux := vdpWorkPerTick(ds, samples, entries)
+	t := func(p hostsim.Platform, threads int) float64 {
+		return p.ExecTime(cm, 1) + p.ExecTime(tk, threads) + p.ExecTime(mux, 1)
+	}
+	base := t(hostsim.RaspberryPi(), 1)
+	return base / t(hostsim.EdgeGateway(), 8), base / t(hostsim.CloudServer(), 12)
+}

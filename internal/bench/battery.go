@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/energy"
+)
+
+// RunBattery runs the battery-endurance extension: how many lab missions
+// one 19.98 Wh charge sustains under each deployment, and the average
+// power draw each implies. This quantifies the paper's motivating claim
+// that the battery budget — not the algorithms — is what limits on-board
+// autonomy.
+func RunBattery(w io.Writer, quick bool) error {
+	hr(w, "Battery endurance — missions per 19.98 Wh charge (navigation workload)")
+	fmt.Fprintf(w, "%-10s %8s %9s %10s %12s %12s\n",
+		"deploy", "success", "E(J)", "avg P(W)", "missions", "endurance(h)")
+	b := energy.Turtlebot3Battery()
+	var localMissions float64
+	for _, d := range deployments() {
+		res, err := core.Run(labNav(d, quick))
+		if err != nil {
+			return err
+		}
+		avgP := 0.0
+		if res.TotalTime > 0 {
+			avgP = res.TotalEnergy / res.TotalTime
+		}
+		missions := b.MissionsPerCharge(res.TotalEnergy)
+		fmt.Fprintf(w, "%-10s %8v %9.0f %10.1f %12.1f %12.2f\n",
+			d.Name, res.Success, res.TotalEnergy, avgP, missions, b.EnduranceHours(avgP))
+		if d.Name == "local" {
+			localMissions = missions
+		} else if d.Name == "edge+8T" && localMissions > 0 {
+			fmt.Fprintf(w, "           → %.1fx more missions per charge than local\n",
+				missions/localMissions)
+		}
+	}
+	fmt.Fprintln(w, "\nPaper's motivation: the Turtlebot3's pack leaves the embedded computer only")
+	fmt.Fprintln(w, "≈3.35 Wh per hour-long mission, so offloading computation directly buys range.")
+	return nil
+}

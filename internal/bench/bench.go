@@ -1,0 +1,133 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§VIII) from the simulated
+// substrate and prints paper-vs-measured comparisons. Each experiment is
+// addressable by the ID used in `cmd/reproduce -exp <id>`.
+//
+// Absolute numbers come from the calibrated platform model, so they are
+// not expected to equal the paper's testbed measurements; the harness
+// asserts and reports the *shape*: which deployment wins, by roughly
+// what factor, and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/world"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run writes the regenerated table/figure to w. In quick mode the
+	// experiment shrinks its workload (for tests); full mode matches the
+	// paper's parameter ranges.
+	Run func(w io.Writer, quick bool) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: component power of commodity LGVs", Run: RunTable1},
+		{ID: "table2", Title: "Table II: cycle breakdown per work node", Run: RunTable2},
+		{ID: "fig3", Title: "Fig. 3: analytical model factor relationships", Run: RunFig3},
+		{ID: "fig9", Title: "Fig. 9: ECN (SLAM) time vs threads × particles", Run: RunFig9},
+		{ID: "fig10", Title: "Fig. 10: VDP time vs threads × samples", Run: RunFig10},
+		{ID: "fig11", Title: "Fig. 11: UDP latency/bandwidth under mobility", Run: RunFig11},
+		{ID: "fig12", Title: "Fig. 12: maximum velocity per deployment", Run: RunFig12},
+		{ID: "fig13", Title: "Fig. 13: energy and mission time per deployment", Run: RunFig13},
+		{ID: "fig14", Title: "Fig. 14: maximum vs real velocity phases", Run: RunFig14},
+		{ID: "alg1", Title: "Algorithm 1 ablation: EC vs MCT goals", Run: RunAlg1},
+		{ID: "alg2", Title: "Algorithm 2 ablation: bandwidth+direction vs tail latency", Run: RunAlg2},
+		{ID: "battery", Title: "Battery endurance: missions per charge (extension)", Run: RunBattery},
+		{ID: "fleet", Title: "Fleet scaling: edge vs cloud under server sharing (extension)", Run: RunFleet},
+		{ID: "dvfs", Title: "DVFS ablation: local frequency scaling vs offloading (extension)", Run: RunDVFS},
+		{ID: "vision", Title: "Vision-based LGV: tracking losses vs speed (extension, §IX)", Run: RunVision},
+		{ID: "apsel", Title: "AP-selection baseline vs Algorithm 2 (related work, §X)", Run: RunAPSel},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Shared mission configurations.
+
+// labNav is the standard known-map mission: cross the lab.
+func labNav(d core.Deployment, quick bool) core.MissionConfig {
+	cfg := core.MissionConfig{
+		Workload:   core.NavigationWithMap,
+		Map:        world.LabMap(),
+		Start:      geom.P(0.6, 0.6, 0),
+		Goal:       geom.V(11, 5),
+		WAP:        geom.V(6, 3),
+		Deployment: d,
+		Seed:       42,
+		MaxSimTime: 900,
+	}
+	if quick {
+		cfg.Map = world.EmptyRoomMap(6, 4, 0.05)
+		cfg.Start = geom.P(0.8, 2, 0)
+		cfg.Goal = geom.V(5.2, 2)
+		cfg.WAP = geom.V(3, 2)
+		cfg.MaxSimTime = 300
+	}
+	return cfg
+}
+
+// labExplore is the standard unknown-map mission: map the lab.
+func labExplore(d core.Deployment, quick bool) core.MissionConfig {
+	cfg := core.MissionConfig{
+		Workload:   core.ExplorationNoMap,
+		Map:        world.LabMap(),
+		Start:      geom.P(0.6, 0.6, 0),
+		WAP:        geom.V(6, 3),
+		Deployment: d,
+		Seed:       42,
+		MaxSimTime: 1800,
+	}
+	if quick {
+		cfg.Map = world.EmptyRoomMap(5, 4, 0.05)
+		cfg.Start = geom.P(1, 2, 0)
+		cfg.WAP = geom.V(2.5, 2)
+		cfg.MaxSimTime = 300
+		cfg.SlamParticles = 15
+	}
+	return cfg
+}
+
+// deployments returns the five Fig. 12/13 configurations.
+func deployments() []core.Deployment {
+	return []core.Deployment{
+		core.DeployLocal(),
+		core.DeployEdge(1),
+		core.DeployEdge(8),
+		core.DeployCloud(1),
+		core.DeployCloud(12),
+	}
+}
+
+func hr(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

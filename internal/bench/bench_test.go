@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/hostsim"
+	"lgvoffload/internal/trace"
+)
+
+// All bench tests run in quick mode; the full-scale sweeps run through
+// cmd/reproduce and the root-level testing.B benchmarks.
+
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, true); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", id)
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(ids))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus ID resolved")
+	}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	out := runQuick(t, "table1")
+	for _, want := range []string{"Turtlebot3", "Turtlebot2", "Pioneer 3DX", "6.70", "44%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	out := runQuick(t, "table2")
+	for _, want := range []string{"with map", "without map", "path_tracking", "slam", "ECN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable2SharesShape(t *testing.T) {
+	shares, err := Table2Shares(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[core.NodeTracking] < shares[core.NodeCostmap] {
+		t.Error("tracking should out-cycle costmap (paper: 60% vs 37%)")
+	}
+	if shares[core.NodeLocalization] > 0.1 {
+		t.Errorf("localization share %.2f too high", shares[core.NodeLocalization])
+	}
+}
+
+func TestFig9SpeedupShape(t *testing.T) {
+	edge, cloud := Fig9Speedups(true)
+	// Shape: both large, cloud (manycore) beats the gateway on the ECN.
+	if edge < 10 {
+		t.Errorf("gateway ECN speedup = %.1f, want >> 1", edge)
+	}
+	if cloud <= edge {
+		t.Errorf("cloud (%.1fx) must beat gateway (%.1fx) on the ECN", cloud, edge)
+	}
+	if cloud < 25 || cloud > 60 {
+		t.Errorf("cloud ECN speedup = %.1f, paper reports ≈ 41", cloud)
+	}
+}
+
+func TestFig10SpeedupShape(t *testing.T) {
+	edge, cloud := Fig10Speedups(true)
+	if edge < 8 {
+		t.Errorf("gateway VDP speedup = %.1f, want >> 1", edge)
+	}
+	if edge <= cloud {
+		t.Errorf("gateway (%.1fx) must beat cloud (%.1fx) on the VDP", edge, cloud)
+	}
+}
+
+func TestFig9Output(t *testing.T) {
+	out := runQuick(t, "fig9")
+	for _, want := range []string{"Pi 3B+", "i7-7700K", "Xeon", "threads", "27.97"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig9 missing %q", want)
+		}
+	}
+}
+
+func TestFig10Output(t *testing.T) {
+	out := runQuick(t, "fig10")
+	for _, want := range []string{"VDP processing time", "23.92", "saturates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig10 missing %q", want)
+		}
+	}
+}
+
+func TestFig11SwitchSequence(t *testing.T) {
+	offAt, onAt := Fig11SwitchTimes(false)
+	if offAt == 0 {
+		t.Fatal("Algorithm 2 never switched local on the outbound leg")
+	}
+	if onAt == 0 {
+		t.Fatal("Algorithm 2 never switched back on the return leg")
+	}
+	if onAt <= offAt {
+		t.Errorf("switch-back (%.1f) must follow switch-off (%.1f)", onAt, offAt)
+	}
+	// The outbound switch must happen in the second half of the outbound
+	// leg (robot deep in the fade region), not immediately.
+	if offAt < 10 {
+		t.Errorf("switched local too early: %.1f s", offAt)
+	}
+}
+
+func TestFig11Output(t *testing.T) {
+	out := runQuick(t, "fig11")
+	for _, want := range []string{"bw(msg/s)", "LOCAL", "REMOTE", "lost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig11 missing %q", want)
+		}
+	}
+}
+
+func TestFig12VelocityOrdering(t *testing.T) {
+	v, err := Fig12AvgVmax(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["edge+8T"] <= v["local"] {
+		t.Errorf("edge+8T (%.3f) must beat local (%.3f)", v["edge+8T"], v["local"])
+	}
+	if v["edge+8T"] < 1.5*v["local"] {
+		t.Errorf("offload velocity gain too small: %.3f vs %.3f", v["edge+8T"], v["local"])
+	}
+	if v["edge+8T"] <= v["edge"] {
+		t.Errorf("parallelization must raise vmax: %.3f vs %.3f", v["edge+8T"], v["edge"])
+	}
+	if v["cloud+12T"] <= v["cloud"] {
+		t.Errorf("cloud parallelization must raise vmax: %.3f vs %.3f", v["cloud+12T"], v["cloud"])
+	}
+}
+
+func TestFig13Reductions(t *testing.T) {
+	eRed, tRed, err := Fig13Reductions(core.NavigationWithMap, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eRed < 1.2 {
+		t.Errorf("energy reduction %.2fx — offloading must save energy", eRed)
+	}
+	if tRed < 1.5 {
+		t.Errorf("time reduction %.2fx — offloading must save time", tRed)
+	}
+}
+
+func TestFig14GapGrowsWithSpeed(t *testing.T) {
+	low, high, err := Fig14Gaps(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 14 claim: the higher the maximum velocity, the
+	// bigger the max-vs-real gap.
+	if high <= low {
+		t.Errorf("gap should grow with the cap: low=%.2f high=%.2f", low, high)
+	}
+}
+
+func TestAlg1Output(t *testing.T) {
+	out := runQuick(t, "alg1")
+	for _, want := range []string{"EC", "MCT", "congested WAN", "good network"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("alg1 missing %q", want)
+		}
+	}
+}
+
+func TestAlg2Output(t *testing.T) {
+	out := runQuick(t, "alg2")
+	for _, want := range []string{"adaptive", "edge+8T", "local", "dead zone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("alg2 missing %q", want)
+		}
+	}
+}
+
+func TestFig12And13And14Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission sweeps take a few seconds")
+	}
+	runQuick(t, "fig12")
+	runQuick(t, "fig13")
+	runQuick(t, "fig14")
+}
+
+func TestBatteryOutput(t *testing.T) {
+	out := runQuick(t, "battery")
+	for _, want := range []string{"missions", "19.98", "endurance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("battery missing %q", want)
+		}
+	}
+}
+
+func TestWriteFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFigures(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig9_local.svg", "fig9_edge.svg", "fig9_cloud.svg",
+		"fig10_local.svg", "fig10_edge.svg", "fig10_cloud.svg",
+		"fig11.svg", "fig12.svg",
+		"fig13_navigation.svg", "fig13_exploration.svg",
+		"fig14.svg", "lab_map.svg", "fleet.svg", "vision.svg",
+	} {
+		b, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("missing figure %s: %v", name, err)
+		}
+		if !bytes.Contains(b, []byte("<svg")) || !bytes.Contains(b, []byte("</svg>")) {
+			t.Errorf("%s is not an SVG", name)
+		}
+	}
+}
+
+func TestFleetOutput(t *testing.T) {
+	out := runQuick(t, "fleet")
+	for _, want := range []string{"fleet", "crossover", "edge", "cloud"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet missing %q", want)
+		}
+	}
+}
+
+func TestDVFSOutput(t *testing.T) {
+	out := runQuick(t, "dvfs")
+	for _, want := range []string{"GHz", "edge+8T", "computerW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dvfs missing %q", want)
+		}
+	}
+}
+
+func TestVisionOutput(t *testing.T) {
+	out := runQuick(t, "vision")
+	for _, want := range []string{"blur limit", "losses", "safe cruise"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vision missing %q", want)
+		}
+	}
+}
+
+func TestVisionRealizedSpeedSaturates(t *testing.T) {
+	low, high, lossesHigh := VisionRealizedSpeeds()
+	// Commanding 4x the speed must not realize 4x: the blur limit caps it.
+	if high > 2*low {
+		t.Errorf("realized speed did not saturate: low=%.3f high=%.3f", low, high)
+	}
+	if lossesHigh < 5 {
+		t.Errorf("fast command should lose tracking repeatedly, got %v", lossesHigh)
+	}
+}
+
+func TestFig3Output(t *testing.T) {
+	out := runQuick(t, "fig3")
+	for _, want := range []string{"v_max", "ΔE per", "E_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 missing %q", want)
+		}
+	}
+}
+
+func TestFig9ShapeHoldsOnOfficeDataset(t *testing.T) {
+	// Environment-independence: the ECN acceleration ordering (cloud >
+	// gateway >> local) must hold on a structurally different stream.
+	ds := trace.OfficeDataset(11, 20)
+	wk := ecnWorkPerUpdate(ds, 30, 15)
+	edge := hostsim.EdgeGateway().Speedup(wk, 8)
+	cloud := hostsim.CloudServer().Speedup(wk, 24)
+	if edge < 10 || cloud <= edge {
+		t.Errorf("office dataset broke the Fig. 9 shape: edge=%.1f cloud=%.1f", edge, cloud)
+	}
+}
+
+func TestAPSelOutput(t *testing.T) {
+	out := runQuick(t, "apsel")
+	for _, want := range []string{"AP selection", "Algorithm 2", "1 WAP", "2 WAPs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("apsel missing %q", want)
+		}
+	}
+}
+
+func TestAPSelControlGap(t *testing.T) {
+	baseCtrl, alg2Ctrl := APSelAvailability()
+	// The §X claim: with one AP, the baseline loses control in the dead
+	// zone while Algorithm 2 retains it everywhere.
+	if alg2Ctrl < 0.99 {
+		t.Errorf("Algorithm 2 control availability = %.2f, want 1.0", alg2Ctrl)
+	}
+	if baseCtrl > 0.9 {
+		t.Errorf("single-AP baseline availability = %.2f — dead zone should bite", baseCtrl)
+	}
+}

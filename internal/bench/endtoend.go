@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/energy"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/world"
+)
+
+// RunFig12 regenerates Figure 12: the maximum velocity of the LGV over a
+// navigation mission under the five offloading deployments.
+func RunFig12(w io.Writer, quick bool) error {
+	hr(w, "Fig. 12 — maximum velocity (m/s) during navigation, per deployment")
+
+	type row struct {
+		name  string
+		avg   float64
+		trace []core.TracePoint
+		t     float64
+	}
+	var rows []row
+	for _, d := range deployments() {
+		cfg := labNav(d, quick)
+		cfg.RecordTrace = true
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{name: d.Name, avg: res.AvgMaxVel, trace: res.Trace, t: res.TotalTime})
+	}
+
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "deployment", "avg vmax", "mission(s)")
+	var local float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.3f %12.1f\n", r.name, r.avg, r.t)
+		if r.name == "local" {
+			local = r.avg
+		}
+	}
+	best := 0.0
+	for _, r := range rows {
+		if r.avg > best {
+			best = r.avg
+		}
+	}
+	fmt.Fprintf(w, "\nbest offloaded vmax / local vmax = %.2fx (paper: 4–5x)\n", best/local)
+
+	// Velocity time series, downsampled, for the best deployment and local.
+	hr(w, "Fig. 12 — velocity trace samples (t, vmax)")
+	for _, r := range rows {
+		if r.name != "local" && r.avg != best {
+			continue
+		}
+		fmt.Fprintf(w, "%s:", r.name)
+		step := len(r.trace) / 12
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(r.trace); i += step {
+			fmt.Fprintf(w, " (%.0fs, %.2f)", r.trace[i].T, r.trace[i].MaxVel)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig12AvgVmax runs the Fig. 12 sweep and returns deployment → average
+// maximum velocity, for tests.
+func Fig12AvgVmax(quick bool) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, d := range deployments() {
+		res, err := core.Run(labNav(d, quick))
+		if err != nil {
+			return nil, err
+		}
+		out[d.Name] = res.AvgMaxVel
+	}
+	return out, nil
+}
+
+// fig13Summary is one deployment's end-to-end outcome.
+type fig13Summary struct {
+	Name    string
+	Success bool
+	Time    float64
+	Energy  map[energy.Component]float64
+	Total   float64
+}
+
+func runFig13Workload(wl core.Workload, quick bool) ([]fig13Summary, error) {
+	var out []fig13Summary
+	for _, d := range deployments() {
+		var cfg core.MissionConfig
+		if wl == core.NavigationWithMap {
+			cfg = labNav(d, quick)
+		} else {
+			cfg = labExplore(d, quick)
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig13Summary{
+			Name: d.Name, Success: res.Success, Time: res.TotalTime,
+			Energy: res.Energy, Total: res.TotalEnergy,
+		})
+	}
+	return out, nil
+}
+
+// RunFig13 regenerates Figure 13: total energy consumption by component
+// and mission completion time for both workloads across the five
+// deployments, with the reduction factors the paper headlines.
+func RunFig13(w io.Writer, quick bool) error {
+	for _, wl := range []core.Workload{core.NavigationWithMap, core.ExplorationNoMap} {
+		rows, err := runFig13Workload(wl, quick)
+		if err != nil {
+			return err
+		}
+		hr(w, fmt.Sprintf("Fig. 13 (%s) — energy (J) by component and mission time", wl))
+		fmt.Fprintf(w, "%-10s %5s %8s %8s %8s %8s %8s %9s %9s\n",
+			"deploy", "ok", "sensor", "motor", "micro", "computer", "wireless", "total(J)", "time(s)")
+		var local, bestTotal, bestTime fig13Summary
+		bestTotal.Total = 1e18
+		bestTime.Time = 1e18
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-10s %5v %8.0f %8.0f %8.0f %8.0f %8.1f %9.0f %9.1f\n",
+				r.Name, r.Success,
+				r.Energy[energy.Sensor], r.Energy[energy.Motor],
+				r.Energy[energy.Microcontroller], r.Energy[energy.Computer],
+				r.Energy[energy.Wireless], r.Total, r.Time)
+			if r.Name == "local" {
+				local = r
+			}
+			if r.Success && r.Total < bestTotal.Total {
+				bestTotal = r
+			}
+			if r.Success && r.Time < bestTime.Time {
+				bestTime = r
+			}
+		}
+		paperE, paperT := "1.61x", "2.53x"
+		if wl == core.ExplorationNoMap {
+			paperE, paperT = "2.12x", "1.60x"
+		}
+		fmt.Fprintf(w, "\nenergy reduction vs local: %.2fx (%s, paper: %s)\n",
+			local.Total/bestTotal.Total, bestTotal.Name, paperE)
+		fmt.Fprintf(w, "time reduction vs local:   %.2fx (%s, paper: %s)\n",
+			local.Time/bestTime.Time, bestTime.Name, paperT)
+		fmt.Fprintf(w, "motor energy local/best: %.2fx (paper: ≈1, motors don't benefit)\n",
+			local.Energy[energy.Motor]/bestTotal.Energy[energy.Motor])
+	}
+	return nil
+}
+
+// Fig13Reductions runs one workload and returns (energy, time) reduction
+// factors of the best deployment vs local, for tests.
+func Fig13Reductions(wl core.Workload, quick bool) (eRed, tRed float64, err error) {
+	rows, err := runFig13Workload(wl, quick)
+	if err != nil {
+		return 0, 0, err
+	}
+	var local fig13Summary
+	bestE, bestT := 1e18, 1e18
+	for _, r := range rows {
+		if r.Name == "local" {
+			local = r
+		}
+		if r.Success {
+			if r.Total < bestE {
+				bestE = r.Total
+			}
+			if r.Time < bestT {
+				bestT = r.Time
+			}
+		}
+	}
+	return local.Total / bestE, local.Time / bestT, nil
+}
+
+// RunFig14 regenerates Figure 14: the gap between the maximum velocity
+// and the real velocity across the obstacle-course phases (avoiding
+// obstacles, heading straight, turning), for a low and a high velocity
+// policy.
+func RunFig14(w io.Writer, quick bool) error {
+	course := world.ObstacleCourseMap()
+	start := geom.P(0.6, 3.0, 0)
+	goal := geom.V(13.5, 0.8) // beyond the right-turn wall
+	if quick {
+		course = world.EmptyRoomMap(8, 4, 0.05)
+		start = geom.P(0.8, 2, 0)
+		goal = geom.V(7, 2)
+	}
+
+	type policy struct {
+		name  string
+		vceil float64
+	}
+	policies := []policy{{"low-speed", 0.18}, {"high-speed", 0.6}}
+
+	hr(w, "Fig. 14 — maximum vs real velocity on the obstacle course")
+	for _, p := range policies {
+		cfg := core.MissionConfig{
+			Workload:    core.NavigationWithMap,
+			Map:         course,
+			Start:       start,
+			Goal:        goal,
+			WAP:         geom.V(7, 3),
+			Deployment:  core.DeployEdge(8),
+			Seed:        21,
+			MaxSimTime:  900,
+			VCeil:       p.vceil,
+			RecordTrace: true,
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		var gapSum, vmaxSum float64
+		for _, tp := range res.Trace {
+			gapSum += tp.MaxVel - tp.RealVel
+			vmaxSum += tp.MaxVel
+		}
+		n := float64(len(res.Trace))
+		fmt.Fprintf(w, "\npolicy %-10s: success=%v time=%.1fs avg vmax=%.3f avg gap=%.3f (gap/vmax=%.0f%%)\n",
+			p.name, res.Success, res.TotalTime, vmaxSum/n, gapSum/n, 100*gapSum/vmaxSum)
+		fmt.Fprint(w, "trace (t, vmax, vreal):")
+		step := len(res.Trace) / 14
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(res.Trace); i += step {
+			tp := res.Trace[i]
+			fmt.Fprintf(w, " (%.0f, %.2f, %.2f)", tp.T, tp.MaxVel, tp.RealVel)
+		}
+		fmt.Fprintln(w)
+	}
+	// §VIII-E follow-through: the same high-speed course with the
+	// parallelism-shedding controller on — fewer reserved core-seconds,
+	// similar completion time.
+	for _, shed := range []bool{false, true} {
+		cfg := core.MissionConfig{
+			Workload: core.NavigationWithMap, Map: course, Start: start, Goal: goal,
+			WAP: geom.V(7, 3), Deployment: core.DeployEdge(8), Seed: 21,
+			MaxSimTime: 900, VCeil: 0.6, ShedParallelism: shed,
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		mode := "fixed 8 threads "
+		if shed {
+			mode = "shedding (§VIII-E)"
+		}
+		fmt.Fprintf(w, "\n%s: time=%.1fs, reserved core-seconds=%.0f, thread adjustments=%d",
+			mode, res.TotalTime, res.CoreSeconds, res.ThreadAdjustments)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "\nPaper's reading: only on straight phases does the real velocity reach the")
+	fmt.Fprintln(w, "maximum; the higher the cap, the bigger the gap — so matching the paid")
+	fmt.Fprintln(w, "parallelism to the environment phase saves cloud resources without losing")
+	fmt.Fprintln(w, "real speed (the §VIII-E adaptivity analysis, run live above).")
+	return nil
+}
+
+// Fig14Gaps runs the two Fig. 14 policies and returns the relative
+// velocity gap (gap/vmax) of each, for tests.
+func Fig14Gaps(quick bool) (lowGap, highGap float64, err error) {
+	course := world.ObstacleCourseMap()
+	start := geom.P(0.6, 3.0, 0)
+	goal := geom.V(13.5, 0.8)
+	if quick {
+		course = world.EmptyRoomMap(10, 4, 0.05)
+		start = geom.P(0.8, 2, 0)
+		goal = geom.V(9, 2)
+	}
+	run := func(vceil float64) (float64, error) {
+		cfg := core.MissionConfig{
+			Workload: core.NavigationWithMap, Map: course, Start: start, Goal: goal,
+			WAP: geom.V(7, 3), Deployment: core.DeployEdge(8), Seed: 21,
+			MaxSimTime: 900, VCeil: vceil, RecordTrace: true,
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		var gap, vm float64
+		for _, tp := range res.Trace {
+			gap += tp.MaxVel - tp.RealVel
+			vm += tp.MaxVel
+		}
+		if vm == 0 {
+			return 0, fmt.Errorf("no trace")
+		}
+		return gap / vm, nil
+	}
+	if lowGap, err = run(0.18); err != nil {
+		return 0, 0, err
+	}
+	if highGap, err = run(0.6); err != nil {
+		return 0, 0, err
+	}
+	return lowGap, highGap, nil
+}
+
+// RunAlg1 runs the Algorithm 1 ablation: EC vs MCT goals under a good
+// and a degraded network, reporting the chosen placements and outcomes.
+func RunAlg1(w io.Writer, quick bool) error {
+	hr(w, "Algorithm 1 ablation — EC vs MCT under good and degraded networks")
+	fmt.Fprintf(w, "%-22s %-10s %8s %9s %9s %9s\n",
+		"scenario", "goal", "success", "time(s)", "E(J)", "switches")
+	// A clean corridor isolates the policy effect from obstacle-course
+	// variance: the two goals differ only in where the VDP runs.
+	corridor := world.EmptyRoomMap(14, 4, 0.05)
+	if quick {
+		corridor = world.EmptyRoomMap(6, 4, 0.05)
+	}
+	for _, goal := range []core.Goal{core.GoalEC, core.GoalMCT} {
+		for _, slow := range []bool{false, true} {
+			cfg := labNav(core.DeployAdaptive(core.HostCloud, 12, goal), quick)
+			cfg.Map = corridor
+			cfg.Start = geom.P(0.8, 2, 0)
+			cfg.WAP = geom.V(float64(corridor.Width)*corridor.Resolution/2, 2)
+			cfg.Goal = geom.V(float64(corridor.Width)*corridor.Resolution-0.8, 2)
+			name := "good network"
+			if slow {
+				// A congested WAN: 300 ms each way makes the round trip
+				// exceed the on-board VDP makespan, so MCT must pull the
+				// T3 nodes home while EC keeps them remote for energy.
+				lc := cfg.LinkCfg
+				if lc == nil {
+					c := defaultCloudLinkAt(cfg.WAP)
+					lc = &c
+				}
+				lc.WANLatSec = 0.300
+				cfg.LinkCfg = lc
+				name = "congested WAN"
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-22s %-10s %8v %9.1f %9.0f %9d\n",
+				name, goal, res.Success, res.TotalTime, res.TotalEnergy, res.Switches)
+		}
+	}
+	fmt.Fprintln(w, "\nPaper's reading: with a high-cost network, MCT migrates the T3 nodes back")
+	fmt.Fprintln(w, "(completion time recovers); EC keeps ECNs remote to protect the battery.")
+	return nil
+}

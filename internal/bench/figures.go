@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/energy"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/hostsim"
+	"lgvoffload/internal/trace"
+	"lgvoffload/internal/viz"
+	"lgvoffload/internal/world"
+)
+
+// WriteFigures renders the paper's figures as SVG files into dir:
+// fig9_<platform>.svg, fig10_<platform>.svg, fig11.svg, fig12.svg,
+// fig13_<workload>.svg, fig14.svg and lab_map.svg. Quick mode shrinks
+// the underlying sweeps.
+func WriteFigures(dir string, quick bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	steps := []func(string, bool) error{
+		writeFig9SVG, writeFig10SVG, writeFig11SVG,
+		writeFig12SVG, writeFig13SVG, writeFig14SVG, writeMapSVG,
+		writeExtensionSVGs,
+	}
+	for _, f := range steps {
+		if err := f(dir, quick); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func create(dir, name string, render func(f *os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return fmt.Errorf("render %s: %w", name, err)
+	}
+	return f.Close()
+}
+
+func platformSlug(p hostsim.Platform) string {
+	switch p.Cores {
+	case 24:
+		return "cloud"
+	default:
+		if p.PerfNorm > 1 {
+			return "edge"
+		}
+		return "local"
+	}
+}
+
+func writeFig9SVG(dir string, quick bool) error {
+	particles := []int{10, 20, 30, 100}
+	entries := 60
+	if quick {
+		particles = []int{10, 30}
+		entries = 15
+	}
+	ds := trace.LabDataset(11, entries+5)
+	work := make(map[int]hostsim.Work, len(particles))
+	for _, m := range particles {
+		work[m] = ecnWorkPerUpdate(ds, m, entries)
+	}
+	for _, pt := range platformsUnderTest() {
+		var series []viz.Series
+		for _, m := range particles {
+			s := viz.Series{Name: fmt.Sprintf("M=%d", m)}
+			for _, th := range pt.Threads {
+				s.X = append(s.X, float64(th))
+				s.Y = append(s.Y, pt.P.ExecTime(work[m], th))
+			}
+			series = append(series, s)
+		}
+		name := fmt.Sprintf("fig9_%s.svg", platformSlug(pt.P))
+		err := create(dir, name, func(f *os.File) error {
+			return viz.LineChart(f, viz.ChartConfig{
+				Title: "Fig. 9 — SLAM time on " + pt.P.Name, XLabel: "threads",
+				YLabel: "processing time (s)", LogY: true,
+			}, series)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFig10SVG(dir string, quick bool) error {
+	samples := []int{200, 400, 1000, 2000}
+	entries := 40
+	if quick {
+		samples = []int{200, 1000}
+		entries = 10
+	}
+	ds := trace.LabDataset(12, entries+5)
+	type vdp struct{ cm, tk, mux hostsim.Work }
+	work := make(map[int]vdp, len(samples))
+	for _, s := range samples {
+		cm, tk, mux := vdpWorkPerTick(ds, s, entries)
+		work[s] = vdp{cm, tk, mux}
+	}
+	for _, pt := range platformsUnderTest() {
+		var series []viz.Series
+		for _, smp := range samples {
+			s := viz.Series{Name: fmt.Sprintf("S=%d", smp)}
+			wk := work[smp]
+			for _, th := range pt.Threads {
+				t := pt.P.ExecTime(wk.cm, 1) + pt.P.ExecTime(wk.tk, th) + pt.P.ExecTime(wk.mux, 1)
+				s.X = append(s.X, float64(th))
+				s.Y = append(s.Y, t*1000)
+			}
+			series = append(series, s)
+		}
+		name := fmt.Sprintf("fig10_%s.svg", platformSlug(pt.P))
+		err := create(dir, name, func(f *os.File) error {
+			return viz.LineChart(f, viz.ChartConfig{
+				Title: "Fig. 10 — VDP time on " + pt.P.Name, XLabel: "threads",
+				YLabel: "processing time (ms)",
+			}, series)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFig11SVG(dir string, quick bool) error {
+	rows := fig11Walk(quick)
+	bw := viz.Series{Name: "bandwidth (msg/s)"}
+	lat := viz.Series{Name: "latency (ms)"}
+	sig := viz.Series{Name: "signal ×10"}
+	for _, r := range rows {
+		bw.X = append(bw.X, r.T)
+		bw.Y = append(bw.Y, r.Bandwidth)
+		sig.X = append(sig.X, r.T)
+		sig.Y = append(sig.Y, r.Signal*10)
+		if r.LatencyMs >= 0 {
+			lat.X = append(lat.X, r.T)
+			lat.Y = append(lat.Y, r.LatencyMs)
+		}
+	}
+	return create(dir, "fig11.svg", func(f *os.File) error {
+		return viz.LineChart(f, viz.ChartConfig{
+			Title:  "Fig. 11 — UDP bandwidth vs latency under mobility (A→C→A)",
+			XLabel: "time (s)", YLabel: "msg/s · ms · signal×10",
+		}, []viz.Series{bw, lat, sig})
+	})
+}
+
+func writeFig12SVG(dir string, quick bool) error {
+	var series []viz.Series
+	for _, d := range deployments() {
+		cfg := labNav(d, quick)
+		cfg.RecordTrace = true
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		s := viz.Series{Name: d.Name}
+		for _, tp := range res.Trace {
+			s.X = append(s.X, tp.T)
+			s.Y = append(s.Y, tp.MaxVel)
+		}
+		series = append(series, s)
+	}
+	return create(dir, "fig12.svg", func(f *os.File) error {
+		return viz.LineChart(f, viz.ChartConfig{
+			Title:  "Fig. 12 — maximum velocity per deployment",
+			XLabel: "time (s)", YLabel: "max velocity (m/s)",
+		}, series)
+	})
+}
+
+func writeFig13SVG(dir string, quick bool) error {
+	for _, wl := range []core.Workload{core.NavigationWithMap, core.ExplorationNoMap} {
+		rows, err := runFig13Workload(wl, quick)
+		if err != nil {
+			return err
+		}
+		var labels []string
+		comp := map[energy.Component]*viz.Series{}
+		order := []energy.Component{energy.Sensor, energy.Motor, energy.Microcontroller, energy.Computer}
+		for _, c := range order {
+			comp[c] = &viz.Series{Name: string(c)}
+		}
+		for _, r := range rows {
+			labels = append(labels, r.Name)
+			for _, c := range order {
+				comp[c].Y = append(comp[c].Y, r.Energy[c])
+			}
+		}
+		var series []viz.Series
+		for _, c := range order {
+			series = append(series, *comp[c])
+		}
+		name := fmt.Sprintf("fig13_%s.svg", wl)
+		err = create(dir, name, func(f *os.File) error {
+			return viz.BarChart(f, viz.ChartConfig{
+				Title:  fmt.Sprintf("Fig. 13 — energy by component (%s)", wl),
+				XLabel: "deployment", YLabel: "energy (J)",
+			}, labels, series)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFig14SVG(dir string, quick bool) error {
+	course := world.ObstacleCourseMap()
+	cfg := core.MissionConfig{
+		Workload: core.NavigationWithMap, Map: course,
+		Start: geom.P(0.6, 3.0, 0), Goal: geom.V(13.5, 0.8), WAP: geom.V(7, 3),
+		Deployment: core.DeployEdge(8), Seed: 21, MaxSimTime: 900,
+		VCeil: 0.6, RecordTrace: true,
+	}
+	if quick {
+		cfg.Map = world.EmptyRoomMap(8, 4, 0.05)
+		cfg.Start, cfg.Goal, cfg.WAP = geom.P(0.8, 2.0, 0), geom.V(7, 2), geom.V(4, 2)
+		cfg.MaxSimTime = 300
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	vmax := viz.Series{Name: "maximum velocity"}
+	vreal := viz.Series{Name: "real velocity"}
+	for _, tp := range res.Trace {
+		vmax.X = append(vmax.X, tp.T)
+		vmax.Y = append(vmax.Y, tp.MaxVel)
+		vreal.X = append(vreal.X, tp.T)
+		vreal.Y = append(vreal.Y, tp.RealVel)
+	}
+	return create(dir, "fig14.svg", func(f *os.File) error {
+		return viz.LineChart(f, viz.ChartConfig{
+			Title:  "Fig. 14 — maximum vs real velocity on the obstacle course",
+			XLabel: "time (s)", YLabel: "velocity (m/s)",
+		}, []viz.Series{vmax, vreal})
+	})
+}
+
+func writeMapSVG(dir string, quick bool) error {
+	m := world.LabMap()
+	cfg := labNav(core.DeployEdge(8), quick)
+	cfg.RecordTrace = true
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	pts := make([]geom.Vec2, 0, len(res.Trace))
+	for _, tp := range res.Trace {
+		pts = append(pts, geom.V(tp.X, tp.Y))
+	}
+	if quick {
+		m = cfg.Map
+	}
+	return create(dir, "lab_map.svg", func(f *os.File) error {
+		return viz.MapSVG(f, m, pts)
+	})
+}
+
+// writeExtensionSVGs renders the extension results: the fleet-scaling
+// crossover and the vision-speed saturation curves.
+func writeExtensionSVGs(dir string, quick bool) error {
+	// Fleet crossover.
+	sizes := []int{1, 2, 4, 8, 16}
+	if quick {
+		sizes = []int{1, 4, 16}
+	}
+	base := func(d core.Deployment) core.MissionConfig {
+		cfg := labNav(d, true)
+		cfg.MaxSimTime = 600
+		return cfg
+	}
+	edge, err := fleetSweep(base(core.DeployEdge(8)), sizes)
+	if err != nil {
+		return err
+	}
+	cloud, err := fleetSweep(base(core.DeployCloud(12)), sizes)
+	if err != nil {
+		return err
+	}
+	err = create(dir, "fleet.svg", func(f *os.File) error {
+		return viz.LineChart(f, viz.ChartConfig{
+			Title:  "Fleet extension — per-robot mission time vs fleet size",
+			XLabel: "robots sharing the server", YLabel: "mission time (s)",
+		}, []viz.Series{
+			{Name: "edge gateway (4 cores)", X: toF(sizes), Y: edge},
+			{Name: "cloud server (24 cores)", X: toF(sizes), Y: cloud},
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Vision saturation.
+	speeds := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.8}
+	realized := make([]float64, len(speeds))
+	for i, s := range speeds {
+		realized[i] = visionRealized(s)
+	}
+	return create(dir, "vision.svg", func(f *os.File) error {
+		return viz.LineChart(f, viz.ChartConfig{
+			Title:  "Vision extension — realized vs commanded speed (§IX)",
+			XLabel: "commanded speed (m/s)", YLabel: "realized speed (m/s)",
+		}, []viz.Series{
+			{Name: "realized", X: speeds, Y: realized},
+			{Name: "commanded (ideal)", X: speeds, Y: speeds},
+		})
+	})
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

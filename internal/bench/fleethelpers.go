@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"math/rand"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/fleet"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/vo"
+)
+
+// fleetSweep returns per-robot mission times for the figure writer.
+func fleetSweep(base core.MissionConfig, sizes []int) ([]float64, error) {
+	rows, err := fleet.Sweep(base, sizes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Time
+	}
+	return out, nil
+}
+
+// visionRealized runs the §IX loop at one commanded speed and returns
+// the realized average speed (same dynamics as RunVision).
+func visionRealized(speed float64) float64 {
+	const seconds, dt, creep = 120.0, 0.1, 0.05
+	v := vo.New(vo.DefaultConfig(), rand.New(rand.NewSource(9)))
+	truth := geom.P(0, 0, 0)
+	for tt := 0.0; tt < seconds; tt += dt {
+		omega := 0.0
+		if int(tt/5)%4 == 3 {
+			omega = 0.5
+		}
+		cmd := speed
+		if !v.Tracking() {
+			cmd = creep
+		}
+		next := geom.Twist{V: cmd, W: omega}.Integrate(truth, dt)
+		delta := truth.Delta(next)
+		truth = next
+		v.Update(delta, cmd, omega, dt)
+	}
+	return v.Traveled() / seconds
+}

@@ -1,0 +1,12 @@
+package bench
+
+import (
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/netsim"
+)
+
+// defaultCloudLinkAt returns the cloud link configuration anchored at
+// the given WAP position, for experiments that tweak it.
+func defaultCloudLinkAt(wap geom.Vec2) netsim.LinkConfig {
+	return netsim.DefaultCloudLink(wap)
+}

@@ -1,0 +1,636 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/amcl"
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/coverage"
+	"lgvoffload/internal/energy"
+	"lgvoffload/internal/explore"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/hostsim"
+	"lgvoffload/internal/muxer"
+	"lgvoffload/internal/mw"
+	"lgvoffload/internal/netsim"
+	"lgvoffload/internal/planner"
+	"lgvoffload/internal/sensor"
+	"lgvoffload/internal/slam"
+	"lgvoffload/internal/timing"
+	"lgvoffload/internal/tracker"
+	"lgvoffload/internal/world"
+)
+
+// Workload selects the Fig. 2 pipeline variant.
+type Workload int
+
+const (
+	// NavigationWithMap runs AMCL + costmap + planner + tracking + mux
+	// against a known map.
+	NavigationWithMap Workload = iota
+	// ExplorationNoMap runs SLAM + costmap + planner + exploration +
+	// tracking + mux in an unknown environment.
+	ExplorationNoMap
+	// CoverageWithMap runs the house-cleaning workload: AMCL + costmap +
+	// boustrophedon coverage planning + tracking + mux on a known map.
+	CoverageWithMap
+)
+
+func (w Workload) String() string {
+	switch w {
+	case ExplorationNoMap:
+		return "exploration"
+	case CoverageWithMap:
+		return "coverage"
+	default:
+		return "navigation"
+	}
+}
+
+// DeployMode selects how node placement is decided.
+type DeployMode int
+
+const (
+	// StaticLocal runs everything on the LGV (the no-offloading baseline).
+	StaticLocal DeployMode = iota
+	// StaticRemote pins the ECNs to the remote host for the whole
+	// mission, like existing platforms' static offloading.
+	StaticRemote
+	// Adaptive applies Algorithms 1 and 2 at runtime.
+	Adaptive
+)
+
+// Deployment describes one offloading configuration of Figures 12/13.
+type Deployment struct {
+	Name    string
+	Mode    DeployMode
+	Remote  mw.HostID // edge or cloud (ignored for StaticLocal)
+	Threads int       // Fig. 5/6 acceleration threads (1 = no parallel opt)
+	Goal    Goal      // Algorithm 1 goal for Adaptive mode
+}
+
+// The five deployments of Fig. 12/13 plus the adaptive system.
+func DeployLocal() Deployment { return Deployment{Name: "local", Mode: StaticLocal, Threads: 1} }
+func DeployEdge(threads int) Deployment {
+	name := "edge"
+	if threads > 1 {
+		name = fmt.Sprintf("edge+%dT", threads)
+	}
+	return Deployment{Name: name, Mode: StaticRemote, Remote: HostEdge, Threads: threads}
+}
+func DeployCloud(threads int) Deployment {
+	name := "cloud"
+	if threads > 1 {
+		name = fmt.Sprintf("cloud+%dT", threads)
+	}
+	return Deployment{Name: name, Mode: StaticRemote, Remote: HostCloud, Threads: threads}
+}
+func DeployAdaptive(remote mw.HostID, threads int, goal Goal) Deployment {
+	return Deployment{Name: fmt.Sprintf("adaptive-%s(%s)", goal, remote),
+		Mode: Adaptive, Remote: remote, Threads: threads, Goal: goal}
+}
+
+// MissionConfig fully describes one mission run.
+type MissionConfig struct {
+	Workload Workload
+	Map      *grid.Map // ground-truth world
+	Start    geom.Pose
+	Goal     geom.Vec2 // navigation target (ignored for exploration)
+	// Waypoints, when non-empty, turns navigation into a patrol: the
+	// robot visits each waypoint in order and Goal is appended as the
+	// final stop (a delivery round rather than a single drop-off).
+	Waypoints  []geom.Vec2
+	Deployment Deployment
+	Seed       int64
+
+	// Wireless environment. WAP defaults to the start position.
+	WAP     geom.Vec2
+	LinkCfg *netsim.LinkConfig // nil = default for the remote host
+
+	// Platforms overrides the default compute platforms (nil = the
+	// paper's Pi/edge/cloud testbed). Fleet experiments use this to model
+	// a server whose per-robot share of cores shrinks with fleet size.
+	Platforms map[mw.HostID]hostsim.Platform
+
+	// LocalFreqGHz scales the LGV's CPU clock (0 = stock 1.4 GHz). The
+	// paper's Eq. 1c models computation power as k·L·f², so underclocking
+	// trades completion time for computation energy — the DVFS ablation
+	// quantifies how little that buys compared to offloading.
+	LocalFreqGHz float64
+
+	// Pipeline rates and sizes.
+	ControlPeriod  float64 // VDP tick period, s (default 0.2 → 5 Hz)
+	PhysicsDt      float64 // world integration step (default 0.05)
+	ReplanPeriod   float64 // global replanning interval (default 2)
+	TrackerSamples int     // trajectories per tracking tick (default 1000)
+	SlamParticles  int     // SLAM particle count (default 30)
+	LaserBeams     int     // beams per sweep (default 360)
+
+	// Limits and termination.
+	MaxSimTime    float64 // default 240 s
+	GoalTolerance float64 // default 0.25 m
+	ExploreTarget float64 // fraction of free space to discover (default 0.85)
+
+	// Safety/velocity model (Eq. 2c inputs).
+	AMax     float64 // deceleration limit for Eq. 2c (default 0.8 m/s²)
+	StopDist float64 // required stopping distance (default 0.08 m)
+	VCeil    float64 // hardware/safety ceiling (default 1.0 m/s)
+
+	// Algorithm 2 threshold (messages/s, default 4 for the 5 Hz probe).
+	NetThreshold float64
+
+	// ShedParallelism enables the §VIII-E adaptivity controller: when the
+	// real velocity persistently falls short of the Eq. 2c cap (obstacle
+	// phases, Fig. 14), the engine halves the paid acceleration threads —
+	// the robot cannot exploit them — and restores them on straights.
+	ShedParallelism bool
+
+	RecordTrace bool
+}
+
+func (c *MissionConfig) fillDefaults() {
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = 0.2
+	}
+	if c.PhysicsDt == 0 {
+		c.PhysicsDt = 0.05
+	}
+	if c.ReplanPeriod == 0 {
+		c.ReplanPeriod = 2.0
+	}
+	if c.TrackerSamples == 0 {
+		c.TrackerSamples = 1000
+	}
+	if c.SlamParticles == 0 {
+		c.SlamParticles = 30
+	}
+	if c.LaserBeams == 0 {
+		c.LaserBeams = 360
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 240
+	}
+	if c.GoalTolerance == 0 {
+		c.GoalTolerance = 0.25
+	}
+	if c.ExploreTarget == 0 {
+		c.ExploreTarget = 0.85
+	}
+	if c.AMax == 0 {
+		c.AMax = 0.8
+	}
+	if c.StopDist == 0 {
+		c.StopDist = 0.08
+	}
+	if c.VCeil == 0 {
+		c.VCeil = 1.0
+	}
+	if c.NetThreshold == 0 {
+		c.NetThreshold = 4
+	}
+	if (c.WAP == geom.Vec2{}) {
+		c.WAP = c.Start.Pos
+	}
+}
+
+// TracePoint is one row of the mission time series (Figs. 11, 12, 14).
+type TracePoint struct {
+	T          float64
+	X, Y       float64 // true robot position (ground truth, for plots)
+	MaxVel     float64 // velocity cap from Eq. 2c
+	RealVel    float64 // actual robot speed
+	Bandwidth  float64 // Algorithm 2's r_t, messages/s
+	TailLatSec float64 // p99 received-packet latency (misleading metric)
+	Direction  float64 // Algorithm 2's d_t
+	Signal     float64 // true link signal (ground truth, for plots)
+	RemoteOn   bool    // whether remote execution is active
+}
+
+// Result summarizes a completed mission.
+type Result struct {
+	Config  MissionConfig
+	Success bool
+	Reason  string
+
+	// Time (Eq. 2a) and motion.
+	TotalTime   float64
+	MovingTime  float64
+	StandbyTime float64
+	Distance    float64
+
+	// Energy (Eq. 1a) per component and total.
+	Energy      map[energy.Component]float64
+	TotalEnergy float64
+
+	// Workload cycles per node (Table II).
+	Cycles *hostsim.CycleCounter
+
+	// Network and adaptation.
+	MsgsSent, MsgsDropped int
+	BytesUplinked         float64
+	Switches              int
+
+	AvgMaxVel float64
+	Explored  float64 // exploration progress vs ground truth
+	Covered   float64 // coverage-workload cleaning progress
+
+	// Server resource accounting (§VIII-E): core-seconds *reserved* on the
+	// remote host and how often the shedding controller retuned threads.
+	CoreSeconds       float64
+	ThreadAdjustments int
+
+	Trace []TracePoint
+}
+
+// engine holds one running mission.
+type engine struct {
+	cfg MissionConfig
+
+	w     *world.World
+	laser *sensor.Laser
+	odo   *sensor.Odometer
+
+	link      *netsim.Link
+	platforms map[mw.HostID]hostsim.Platform
+
+	// Nodes.
+	loc          *amcl.AMCL
+	slm          *slam.SLAM
+	cm           *costmap.Costmap
+	gp           *planner.Planner
+	tk           *tracker.Tracker
+	mx           *muxer.Mux
+	exCfg        explore.Config
+	exGoal       geom.Vec2
+	haveEx       bool
+	exBlacklist  []geom.Vec2 // unreachable frontier goals
+	goalSince    float64     // when the current exploration goal was set
+	goalStartPos geom.Vec2   // robot position at that moment
+	path         []geom.Vec2
+	havePth      bool
+
+	// Runtime state.
+	placement Placement
+	prof      *Profiler
+	netctl    *NetController
+	strategy  Strategy
+	meter     *energy.Meter
+	clock     *timing.Clock
+	counter   *hostsim.CycleCounter
+	vmax      float64
+	pose      geom.Pose // current localization estimate
+	prevOdom  geom.Pose
+
+	nextControl float64
+	nextReplan  float64
+	pauseUntil  float64 // migration pause
+	seq         uint64
+
+	slamBusyUntil    float64   // SLAM node busy processing a scan
+	pendingSlamDelta geom.Pose // odometry accumulated while SLAM was busy
+	lastCmWork       hostsim.Work
+	lastTkWork       hostsim.Work
+
+	pendingCmds []pendingCmd
+	msgsSent    int
+	msgsDropped int
+	bytesUp     float64
+	switches    int
+
+	vmaxSum   float64
+	vmaxCount int
+	trace     []TracePoint
+
+	route   []geom.Vec2 // remaining waypoints; route[0] is the active goal
+	visited int         // waypoints reached so far
+
+	// Coverage workload state.
+	covPath    []geom.Vec2 // full boustrophedon sweep
+	covIdx     int         // next unreached sweep waypoint
+	covVisited []geom.Vec2 // sampled robot positions for the Covered metric
+	covLastPos geom.Vec2
+
+	// §VIII-E adaptivity state.
+	threadsNow  int     // currently-paid acceleration threads
+	velRatioEMA float64 // smoothed realVel / vmax
+	nextAdjust  float64
+	coreSeconds float64
+	threadAdj   int
+}
+
+type pendingCmd struct {
+	at  time64
+	cmd geom.Twist
+}
+
+type time64 = float64
+
+// Run executes a mission to completion and returns its result.
+func Run(cfg MissionConfig) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("core: mission needs a map")
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+func newEngine(cfg MissionConfig) (*engine, error) {
+	spec := world.Turtlebot3()
+	spec.MaxV = cfg.VCeil
+	w := world.New(cfg.Map, spec, cfg.Start)
+	if world.FootprintCollides(cfg.Map, cfg.Start.Pos, spec.Radius) {
+		return nil, fmt.Errorf("core: start pose %v collides", cfg.Start)
+	}
+
+	var linkCfg netsim.LinkConfig
+	if cfg.LinkCfg != nil {
+		linkCfg = *cfg.LinkCfg
+	} else if cfg.Deployment.Remote == HostCloud {
+		linkCfg = netsim.DefaultCloudLink(cfg.WAP)
+	} else {
+		linkCfg = netsim.DefaultEdgeLink(cfg.WAP)
+	}
+	link := netsim.NewLink(linkCfg, rand.New(rand.NewSource(cfg.Seed+1)))
+	link.SetRobotPos(cfg.Start.Pos)
+
+	e := &engine{
+		cfg:       cfg,
+		w:         w,
+		laser:     sensor.NewLaser(cfg.LaserBeams, 3.5, 0.01, rand.New(rand.NewSource(cfg.Seed+2))),
+		odo:       sensor.NewOdometer(rand.New(rand.NewSource(cfg.Seed + 3))),
+		link:      link,
+		platforms: defaultPlatforms(cfg.Platforms),
+		prof:      NewProfiler(),
+		netctl:    NewNetController(cfg.NetThreshold),
+		meter:     energy.NewMeter(meterModelFor(cfg.LocalFreqGHz)),
+		clock:     timing.NewClock(),
+		counter:   hostsim.NewCycleCounter(),
+		pose:      cfg.Start,
+		exCfg:     explore.DefaultConfig(),
+	}
+	applyLocalFreq(e.platforms, cfg.LocalFreqGHz)
+	e.strategy = Strategy{
+		Goal: cfg.Deployment.Goal, Remote: cfg.Deployment.Remote,
+		Threads: cfg.Deployment.Threads,
+		AMax:    cfg.AMax, StopDist: cfg.StopDist, VCeil: cfg.VCeil,
+	}
+
+	// Costmap over the world geometry.
+	ccfg := costmap.DefaultConfig(cfg.Map.Width, cfg.Map.Height, cfg.Map.Resolution, cfg.Map.Origin)
+	e.cm = costmap.New(ccfg)
+
+	// Workload nodes.
+	tcfg := trackerConfigFor(cfg.TrackerSamples, cfg.VCeil)
+	e.tk = tracker.New(tcfg)
+	e.mx = muxer.New(muxSources(cfg))
+	e.gp = planner.New(planner.AStar)
+
+	nodes := []string{NodeCostmap, NodePlanner, NodeTracking, NodeMux}
+	switch cfg.Workload {
+	case NavigationWithMap, CoverageWithMap:
+		e.loc = amcl.New(cfg.Map, amcl.DefaultConfig(), rand.New(rand.NewSource(cfg.Seed+4)))
+		e.loc.Init(cfg.Start, 0.05, 0.02)
+		e.cm.SetStatic(cfg.Map)
+		nodes = append(nodes, NodeLocalization)
+		if cfg.Workload == CoverageWithMap {
+			nodes = append(nodes, NodeCoverage)
+		}
+	case ExplorationNoMap:
+		scfg := slam.DefaultConfig(cfg.Map.Width, cfg.Map.Height, cfg.Map.Resolution, cfg.Map.Origin)
+		scfg.NumParticles = cfg.SlamParticles
+		e.slm = slam.New(scfg, rand.New(rand.NewSource(cfg.Seed+5)))
+		e.slm.SetInitialPose(cfg.Start)
+		e.gp.AllowUnknown = true
+		nodes = append(nodes, NodeSLAM, NodeExploration)
+	}
+
+	// Initial placement per deployment.
+	e.placement = NewPlacement(nodes)
+	e.placement.Remote = cfg.Deployment.Remote
+	e.placement.Threads = cfg.Deployment.Threads
+	if cfg.Deployment.Mode == StaticRemote || cfg.Deployment.Mode == Adaptive {
+		for _, n := range e.offloadSet() {
+			e.placement.Host[n] = cfg.Deployment.Remote
+		}
+	}
+	e.route = append(append([]geom.Vec2{}, cfg.Waypoints...), cfg.Goal)
+	e.threadsNow = cfg.Deployment.Threads
+	if e.threadsNow < 1 {
+		e.threadsNow = 1
+	}
+	e.velRatioEMA = 1
+	e.vmax = timing.MaxVelocity(cfg.ControlPeriod, cfg.AMax, cfg.StopDist)
+	if e.vmax > cfg.VCeil {
+		e.vmax = cfg.VCeil
+	}
+	e.prevOdom = e.odo.Update(w.Robot.Pose)
+	return e, nil
+}
+
+// meterModelFor returns the Eq. 1 energy model at the given LGV clock
+// frequency (0 = stock). K is a chip constant; only f changes.
+func meterModelFor(freqGHz float64) energy.Model {
+	m := energy.Turtlebot3Model()
+	if freqGHz > 0 {
+		m.FreqGHz = freqGHz
+	}
+	return m
+}
+
+// defaultPlatforms merges overrides onto the paper's testbed platforms.
+func defaultPlatforms(overrides map[mw.HostID]hostsim.Platform) map[mw.HostID]hostsim.Platform {
+	p := map[mw.HostID]hostsim.Platform{
+		HostLGV:   hostsim.RaspberryPi(),
+		HostEdge:  hostsim.EdgeGateway(),
+		HostCloud: hostsim.CloudServer(),
+	}
+	for h, plat := range overrides {
+		p[h] = plat
+	}
+	return p
+}
+
+// applyLocalFreq rescales the LGV platform clock for the DVFS ablation.
+func applyLocalFreq(platforms map[mw.HostID]hostsim.Platform, freqGHz float64) {
+	if freqGHz <= 0 {
+		return
+	}
+	pi := platforms[HostLGV]
+	pi.FreqGHz = freqGHz
+	platforms[HostLGV] = pi
+}
+
+// offloadSet returns the nodes the deployment moves to the server: the
+// workload's ECNs (T1+T3 for EC; Adaptive MCT refines at runtime).
+func (e *engine) offloadSet() []string {
+	if e.cfg.Workload == ExplorationNoMap {
+		return []string{NodeSLAM, NodeCostmap, NodeTracking}
+	}
+	return []string{NodeCostmap, NodeTracking}
+}
+
+func trackerConfigFor(samples int, vceil float64) tracker.Config {
+	tcfg := tracker.DefaultConfig()
+	tcfg.MaxV = vceil
+	tcfg.WSamples = 40
+	tcfg.VSamples = samples / 40
+	if tcfg.VSamples < 1 {
+		tcfg.VSamples = 1
+	}
+	return tcfg
+}
+
+func muxSources(cfg MissionConfig) []muxer.Source {
+	srcs := muxer.DefaultSources()
+	for i := range srcs {
+		if srcs[i].Name == muxer.SourceNavigation {
+			// Navigation commands stay valid longer than the worst-case
+			// local VDP makespan, else a slow on-board pipeline would
+			// stop-and-go between decisions. The tracker's 1.2 s rollout
+			// horizon keeps a 1.5 s-old command safe.
+			srcs[i].Timeout = math.Max(1.5, 3*cfg.ControlPeriod)
+		}
+	}
+	return srcs
+}
+
+// run is the main virtual-time loop.
+func (e *engine) run() (*Result, error) {
+	cfg := e.cfg
+	res := &Result{Config: cfg, Energy: make(map[energy.Component]float64), Cycles: e.counter}
+
+	var nextProbe float64
+	for e.w.Time < cfg.MaxSimTime {
+		now := e.w.Time
+
+		// Deliver matured remote velocity commands.
+		e.deliverPending(now)
+
+		// Fixed-rate heartbeat for Algorithm 2, independent of the
+		// pipeline's pacing.
+		if now >= nextProbe {
+			e.sendProbe(now)
+			nextProbe = now + cfg.ControlPeriod
+		}
+
+		// Control pipeline tick.
+		if now >= e.nextControl && now >= e.pauseUntil {
+			e.controlTick(now)
+		}
+
+		// Motor command from the multiplexer.
+		cmd, ok := e.mx.Select(now)
+		if !ok {
+			cmd = geom.Twist{}
+		}
+		e.w.SetCommand(cmd)
+
+		// Physics step + meters.
+		step := e.w.Step(cfg.PhysicsDt)
+		e.meter.Tick(cfg.PhysicsDt)
+		e.meter.AddMotor(step.MotorPower, cfg.PhysicsDt)
+		e.clock.Tick(cfg.PhysicsDt, math.Abs(e.w.Robot.Vel.V)+0.3*math.Abs(e.w.Robot.Vel.W))
+		e.link.SetRobotPos(e.w.Robot.Pose.Pos)
+
+		// Termination.
+		if done, reason, success := e.checkDone(); done {
+			res.Success = success
+			res.Reason = reason
+			break
+		}
+	}
+	if res.Reason == "" {
+		res.Reason = "timeout"
+	}
+
+	// Aggregate.
+	res.TotalTime = e.clock.Total()
+	res.MovingTime = e.clock.Moving()
+	res.StandbyTime = e.clock.Standby()
+	res.Distance = e.w.Distance()
+	for _, row := range e.meter.Breakdown() {
+		res.Energy[row.Component] = row.Joules
+	}
+	res.TotalEnergy = e.meter.Total()
+	res.CoreSeconds = e.coreSeconds
+	res.ThreadAdjustments = e.threadAdj
+	res.MsgsSent = e.msgsSent
+	res.MsgsDropped = e.msgsDropped
+	res.BytesUplinked = e.bytesUp
+	res.Switches = e.switches
+	if e.vmaxCount > 0 {
+		res.AvgMaxVel = e.vmaxSum / float64(e.vmaxCount)
+	}
+	if cfg.Workload == ExplorationNoMap {
+		res.Explored = explore.Progress(e.slm.Map(), cfg.Map)
+	}
+	if cfg.Workload == CoverageWithMap {
+		res.Covered = e.coveredFraction()
+	}
+	res.Trace = e.trace
+	return res, nil
+}
+
+// coveredFraction evaluates the cleaning-progress metric over the
+// sampled trajectory.
+func (e *engine) coveredFraction() float64 {
+	return coverage.Covered(e.cm, e.covVisited, 0.25)
+}
+
+func (e *engine) deliverPending(now float64) {
+	kept := e.pendingCmds[:0]
+	for _, pc := range e.pendingCmds {
+		if pc.at <= now {
+			e.mx.Offer(muxer.SourceNavigation, pc.cmd, now)
+		} else {
+			kept = append(kept, pc)
+		}
+	}
+	e.pendingCmds = kept
+}
+
+func (e *engine) checkDone() (done bool, reason string, success bool) {
+	switch e.cfg.Workload {
+	case NavigationWithMap:
+		if e.w.Robot.Pose.Pos.Dist(e.route[0]) <= e.cfg.GoalTolerance {
+			e.visited++ // fallthrough below handles waypoints
+			if len(e.route) == 1 {
+				if e.visited > 1 {
+					return true, fmt.Sprintf("patrol complete (%d stops)", e.visited), true
+				}
+				return true, "goal reached", true
+			}
+			// Next waypoint: force an immediate replan.
+			e.route = e.route[1:]
+			e.havePth = false
+			e.nextReplan = 0
+		}
+	case CoverageWithMap:
+		if len(e.covPath) > 0 && e.covIdx >= len(e.covPath) {
+			cov := e.coveredFraction()
+			return true, fmt.Sprintf("sweep complete (%.0f%% covered)", cov*100), cov >= 0.75
+		}
+	case ExplorationNoMap:
+		if e.slm.Updates() > 10 {
+			if p := explore.Progress(e.slm.Map(), e.cfg.Map); p >= e.cfg.ExploreTarget {
+				return true, fmt.Sprintf("explored %.0f%%", p*100), true
+			}
+			if !e.haveEx && e.slm.Updates() > 20 {
+				// No goal and nothing left to explore.
+				if _, _, ok := explore.NextGoal(e.slm.Map(), e.w.Robot.Pose.Pos, e.exCfg); !ok {
+					p := explore.Progress(e.slm.Map(), e.cfg.Map)
+					return true, fmt.Sprintf("frontiers exhausted at %.0f%%", p*100),
+						p >= 0.5
+				}
+			}
+		}
+	}
+	return false, "", false
+}

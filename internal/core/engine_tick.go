@@ -1,0 +1,542 @@
+package core
+
+import (
+	"math"
+
+	"lgvoffload/internal/coverage"
+	"lgvoffload/internal/explore"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/hostsim"
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/sensor"
+	"lgvoffload/internal/slam"
+	"lgvoffload/internal/timing"
+	"lgvoffload/internal/tracker"
+	"lgvoffload/internal/wire"
+)
+
+// probeBytes is the size of the Algorithm 2 heartbeat probe, and
+// cmdBytes the velocity command payload (the paper's 48 B example).
+const (
+	probeBytes = 64
+	cmdBytes   = 48
+)
+
+// controlTick runs one pass of the Fig. 2 pipeline at virtual time now,
+// schedules the resulting velocity command, accounts work/energy, and —
+// in Adaptive mode — applies Algorithms 1 and 2.
+func (e *engine) controlTick(now float64) {
+	cfg := e.cfg
+
+	// --- Sense. -----------------------------------------------------------
+	scan := e.laser.Sense(cfg.Map, e.w.Robot.Pose, now)
+	odomEst := e.odo.Update(e.w.Robot.Pose)
+	delta := e.prevOdom.Delta(odomEst)
+	e.prevOdom = odomEst
+
+	// --- Remote involvement and the sensor uplink. ------------------------
+	vdpRemote := e.placement.Of(NodeCostmap) != HostLGV || e.placement.Of(NodeTracking) != HostLGV
+	slamRemote := e.slm != nil && e.placement.Of(NodeSLAM) != HostLGV
+	anyRemote := vdpRemote || slamRemote
+
+	var upLat float64
+	upDropped := false
+	if anyRemote {
+		scanFrame := len(wire.EncodeFrame(msg.FromSensor(scan, e.seq))) + 60 // + odom piggyback
+		e.seq++
+		arrive, drop := e.link.Send(now, scanFrame)
+		e.msgsSent++
+		e.bytesUp += float64(scanFrame)
+		e.meter.AddTransmit(float64(scanFrame))
+		if drop {
+			e.msgsDropped++
+			upDropped = true
+		} else {
+			upLat = arrive - now
+		}
+	}
+
+	// --- Localization. -----------------------------------------------------
+	localWork := hostsim.Work{} // cycles executed on the LGV this tick
+	switch cfg.Workload {
+	case NavigationWithMap, CoverageWithMap:
+		st := e.loc.Update(delta, scan)
+		w := AMCLWork(st.BeamOps)
+		e.counter.Account(NodeLocalization, w)
+		localWork = localWork.Add(w) // localization is T2: stays on the LGV
+		e.pose = e.loc.Estimate()
+	case ExplorationNoMap:
+		e.pose = e.stepSLAM(now, delta, scan, slamRemote, upDropped, &localWork)
+	}
+
+	// --- A dropped uplink starves the remote VDP: no command this tick. ----
+	if vdpRemote && upDropped {
+		e.nextControl = now + cfg.ControlPeriod
+		e.finishTick(now, localWork, 0)
+		return
+	}
+
+	// --- CostmapGen. --------------------------------------------------------
+	if cfg.Workload == ExplorationNoMap && e.slm.Updates() > 0 {
+		// The SLAM map refreshes the static layer before obstacle marking.
+		e.cm.SetStatic(e.slm.Map())
+	}
+	cmStats := e.cm.Update(e.pose, scan)
+	cmWork := CostmapWork(cmStats.Total())
+	e.counter.Account(NodeCostmap, cmWork)
+	cmHost := e.placement.Of(NodeCostmap)
+	tCost := e.platforms[cmHost].ExecTime(cmWork, 1)
+	e.prof.RecordProc(NodeCostmap, tCost)
+	if cmHost == HostLGV {
+		localWork = localWork.Add(cmWork)
+	}
+
+	// --- Goal selection and global planning. -------------------------------
+	e.updateGoalAndPath(now, &localWork)
+
+	// --- Path Tracking. -----------------------------------------------------
+	// Latency compensation: the command will apply one VDP makespan from
+	// now, so track from the pose the robot will have reached by then
+	// (standard practice; without it a slow local pipeline oscillates).
+	tkHost := e.placement.Of(NodeTracking)
+	lookahead := e.prof.VDP(e.placement).Total()
+	if lookahead > 1.0 {
+		lookahead = 1.0
+	}
+	trackPose := e.w.Robot.Vel.Integrate(e.pose, lookahead)
+	in := tracker.Input{
+		Pose: trackPose, Vel: e.w.Robot.Vel, Path: e.path,
+		Costmap: e.cm, MaxVCap: e.vmax,
+	}
+	threads := 1
+	if tkHost != HostLGV && e.threadsNow > 1 {
+		threads = e.threadsNow
+	}
+	var cmd geom.Twist
+	var out tracker.Output
+	var err error
+	if e.havePth {
+		if threads > 1 {
+			out, err = e.tk.PlanParallel(in, threads, tracker.Block)
+		} else {
+			out, err = e.tk.Plan(in)
+		}
+		if err != nil {
+			cmd = e.tk.RecoveryCmd(trackPose, e.path)
+		} else {
+			cmd = out.Cmd
+		}
+	}
+	tkWork := TrackingWork(out.Ops)
+	e.counter.Account(NodeTracking, tkWork)
+	tTrack := e.platforms[tkHost].ExecTime(tkWork, threads)
+	e.prof.RecordProc(NodeTracking, tTrack)
+	if tkHost == HostLGV {
+		localWork = localWork.Add(tkWork)
+	}
+
+	// --- Velocity Multiplexer (always on the LGV: it owns the motors). -----
+	muxWork := MuxWork()
+	e.counter.Account(NodeMux, muxWork)
+	tMux := e.platforms[HostLGV].ExecTime(muxWork, 1)
+	e.prof.RecordProc(NodeMux, tMux)
+	localWork = localWork.Add(muxWork)
+
+	// --- Deliver the command along the VDP. --------------------------------
+	robotProc := tMux
+	remoteProc := 0.0
+	if cmHost == HostLGV {
+		robotProc += tCost
+	} else {
+		remoteProc += tCost
+	}
+	if tkHost == HostLGV {
+		robotProc += tTrack
+	} else {
+		remoteProc += tTrack
+	}
+
+	var downLat float64
+	if vdpRemote {
+		// The velocity command rides the wireless link back down.
+		readyAt := now + upLat + remoteProc
+		arrive, drop := e.link.Send(readyAt, cmdBytes)
+		e.msgsSent++
+		if drop {
+			e.msgsDropped++
+		} else {
+			downLat = arrive - readyAt
+			e.prof.RecordRTT(upLat + downLat)
+			e.pendingCmds = append(e.pendingCmds,
+				pendingCmd{at: arrive + robotProc, cmd: cmd})
+		}
+	} else {
+		e.pendingCmds = append(e.pendingCmds,
+			pendingCmd{at: now + robotProc, cmd: cmd})
+	}
+
+	// --- Pacing: a busy on-board pipeline delays the next tick; an -------
+	// --- offloaded pipeline keeps the 5 Hz rate (the server pipelines). --
+	e.nextControl = now + math.Max(cfg.ControlPeriod, robotProc)
+
+	// --- Velocity cap from the profiled VDP makespan (Eq. 2c). -------------
+	tp := e.prof.VDP(e.placement).Total()
+	e.vmax = timing.MaxVelocity(tp, cfg.AMax, cfg.StopDist)
+	if e.vmax > cfg.VCeil {
+		e.vmax = cfg.VCeil
+	}
+	e.vmaxSum += e.vmax
+	e.vmaxCount++
+
+	// Server resource accounting (§VIII-E): while any node runs remotely,
+	// the deployment reserves `threads` server cores for this robot — the
+	// quantity shedding reduces ("save the financial cost and resource
+	// usage on the cloud").
+	if vdpRemote || remoteProc > 0 {
+		e.coreSeconds += float64(threads) * (e.nextControl - now)
+	}
+	e.adjustParallelism(now)
+
+	e.lastCmWork, e.lastTkWork = cmWork, tkWork
+	e.finishTick(now, localWork, upLat+remoteProc+downLat)
+}
+
+// adjustParallelism implements the §VIII-E adaptivity analysis: track how
+// much of the Eq. 2c velocity cap the robot actually realizes; when the
+// environment (obstacles, turns) keeps the real velocity well under the
+// cap, extra paid threads buy nothing, so shed them — and restore them
+// when the robot runs free again.
+func (e *engine) adjustParallelism(now float64) {
+	const alpha = 0.05
+	if e.vmax > 1e-6 {
+		ratio := math.Abs(e.w.Robot.Vel.V) / e.vmax
+		if ratio > 1 {
+			ratio = 1
+		}
+		e.velRatioEMA += alpha * (ratio - e.velRatioEMA)
+	}
+	if !e.cfg.ShedParallelism || now < e.nextAdjust {
+		return
+	}
+	e.nextAdjust = now + 5
+	maxThreads := e.cfg.Deployment.Threads
+	switch {
+	case e.velRatioEMA < 0.7 && e.threadsNow > 1:
+		e.threadsNow /= 2
+		e.threadAdj++
+	case e.velRatioEMA > 0.9 && e.threadsNow < maxThreads:
+		e.threadsNow *= 2
+		if e.threadsNow > maxThreads {
+			e.threadsNow = maxThreads
+		}
+		e.threadAdj++
+	}
+}
+
+// stepSLAM advances the SLAM node respecting its own processing budget:
+// a busy (slow, local) SLAM skips scans and the robot dead-reckons on
+// odometry meanwhile — exactly the stale-pose failure mode the paper's
+// cloud acceleration addresses.
+func (e *engine) stepSLAM(now float64, delta geom.Pose, scan *sensor.Scan, remote, upDropped bool, localWork *hostsim.Work) geom.Pose {
+	if now < e.slamBusyUntil || (remote && upDropped) {
+		e.pendingSlamDelta = e.pendingSlamDelta.Compose(delta)
+		return e.pose.Compose(delta) // dead-reckon while SLAM is unavailable
+	}
+	fullDelta := e.pendingSlamDelta.Compose(delta)
+	e.pendingSlamDelta = geom.Pose{}
+
+	threads := 1
+	if remote && e.threadsNow > 1 {
+		threads = e.threadsNow
+	}
+	var st slam.UpdateStats
+	if threads > 1 {
+		st = e.slm.UpdateParallel(fullDelta, scan, threads, slam.Block)
+	} else {
+		st = e.slm.Update(fullDelta, scan)
+	}
+	w := SlamWork(st.MatchOps, st.IntegrateOps, st.WeightOps, st.CopyOps)
+	e.counter.Account(NodeSLAM, w)
+	host := e.placement.Of(NodeSLAM)
+	exec := e.platforms[host].ExecTime(w, threads)
+	e.prof.RecordProc(NodeSLAM, exec)
+	if host == HostLGV {
+		*localWork = localWork.Add(w)
+		e.slamBusyUntil = now + exec
+	} else {
+		e.slamBusyUntil = now + exec // server-side latency also gates scan intake
+	}
+	return e.slm.BestPose()
+}
+
+// updateGoalAndPath refreshes the exploration goal and the global path.
+// Exploration goals the planner cannot route to — frontiers in sensor
+// shadows — are blacklisted so the mission never wedges on one, and a
+// goal the robot makes no progress toward for a while is abandoned too.
+func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
+	cfg := e.cfg
+	if cfg.Workload == CoverageWithMap {
+		// The sweep window slides every tick; no periodic replanning.
+		e.updateCoverage(localWork)
+		return
+	}
+	if now < e.nextReplan && e.havePth && !e.stuckOnGoal(now) {
+		return
+	}
+	e.nextReplan = now + cfg.ReplanPeriod
+
+	if cfg.Workload == NavigationWithMap {
+		e.planTo(e.route[0], localWork)
+		return
+	}
+	if e.slm.Updates() == 0 {
+		return
+	}
+
+	m := e.slm.Map()
+	cands, res := explore.Candidates(m, e.pose.Pos, e.exCfg)
+	w := ExploreWork(res.Ops)
+	e.counter.Account(NodeExploration, w)
+	*localWork = localWork.Add(w) // exploration is T2: stays local
+
+	tried := 0
+	for _, g := range cands {
+		if e.isBlacklisted(g) {
+			continue
+		}
+		if tried >= 3 {
+			break // bound per-tick planning work
+		}
+		tried++
+		if e.planTo(g, localWork) {
+			if g != e.exGoal || !e.haveEx {
+				e.exGoal, e.haveEx = g, true
+				e.goalSince, e.goalStartPos = now, e.w.Robot.Pose.Pos
+			}
+			return
+		}
+		e.blacklist(g)
+	}
+	// Nothing plannable right now: stop chasing a goal; frontier churn on
+	// the next SLAM updates usually opens a route.
+	e.haveEx = false
+}
+
+// updateCoverage plans the boustrophedon sweep once, then advances the
+// sliding path window the tracker follows. The window spans from the
+// previous waypoint to a few waypoints ahead so the carrot cannot alias
+// onto an adjacent sweep lane 25 cm away.
+func (e *engine) updateCoverage(localWork *hostsim.Work) {
+	if len(e.covPath) == 0 {
+		path, st, err := coverage.Plan(e.cm, e.pose.Pos, coverage.DefaultConfig())
+		w := CoverageWork(st.Ops)
+		e.counter.Account(NodeCoverage, w)
+		*localWork = localWork.Add(w) // coverage planning is T2: stays local
+		e.prof.RecordProc(NodeCoverage, e.platforms[HostLGV].ExecTime(w, 1))
+		if err != nil {
+			return
+		}
+		e.covPath = path
+		e.covIdx = 1
+		e.covLastPos = e.w.Robot.Pose.Pos
+		e.covVisited = append(e.covVisited, e.covLastPos)
+	}
+	// Sample the trajectory for the Covered metric.
+	if pos := e.w.Robot.Pose.Pos; pos.Dist(e.covLastPos) > 0.1 {
+		e.covVisited = append(e.covVisited, pos)
+		e.covLastPos = pos
+	}
+	// Advance past reached waypoints. The tolerance stays below the lane
+	// spacing so it cannot skip to an adjacent lane, but above the wall
+	// inflation band where the local planner slows to a crawl.
+	for e.covIdx < len(e.covPath) && e.pose.Pos.Dist(e.covPath[e.covIdx]) < 0.3 {
+		e.covIdx++
+	}
+	if e.covIdx >= len(e.covPath) {
+		e.havePth = false
+		return
+	}
+	// Track exactly the active segment: a wider window would let the
+	// carrot alias onto an adjacent sweep lane only one tool-width away.
+	e.path = e.covPath[e.covIdx-1 : e.covIdx+1]
+	e.havePth = true
+}
+
+// planTo plans a global path to the goal, accounting the planner's work.
+func (e *engine) planTo(goal geom.Vec2, localWork *hostsim.Work) bool {
+	res, err := e.gp.Plan(e.cm, e.pose.Pos, goal)
+	w := PlanWork(res.Expanded)
+	e.counter.Account(NodePlanner, w)
+	*localWork = localWork.Add(w) // planner is T2: stays local
+	e.prof.RecordProc(NodePlanner, e.platforms[HostLGV].ExecTime(w, 1))
+	if err == nil && len(res.Path) >= 2 {
+		e.path = res.Path
+		e.havePth = true
+		return true
+	}
+	return false
+}
+
+// stuckOnGoal reports whether the robot has made no progress toward the
+// current exploration goal for a full stuck window; the goal is then
+// blacklisted and goal selection reruns.
+func (e *engine) stuckOnGoal(now float64) bool {
+	const window, minProgress = 12.0, 0.15
+	if e.cfg.Workload != ExplorationNoMap || !e.haveEx {
+		return false
+	}
+	if now-e.goalSince < window {
+		return false
+	}
+	if e.w.Robot.Pose.Pos.Dist(e.goalStartPos) >= minProgress {
+		e.goalSince, e.goalStartPos = now, e.w.Robot.Pose.Pos
+		return false
+	}
+	e.blacklist(e.exGoal)
+	e.haveEx = false
+	return true
+}
+
+func (e *engine) isBlacklisted(g geom.Vec2) bool {
+	const r2 = 0.35 * 0.35
+	for _, b := range e.exBlacklist {
+		if b.DistSq(g) < r2 {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) blacklist(g geom.Vec2) {
+	if !e.isBlacklisted(g) {
+		e.exBlacklist = append(e.exBlacklist, g)
+	}
+}
+
+// sendProbe runs the heartbeat: a small probe uplink echoed by the
+// server. Echo arrivals feed the bandwidth, latency and RTT meters that
+// Algorithm 2, Algorithm 1 and the latency-baseline ablation read. The
+// probe runs at a fixed rate from the main loop — decoupled from the
+// pipeline's pacing, so a slow on-board pipeline cannot masquerade as a
+// failing network.
+func (e *engine) sendProbe(now float64) {
+	e.prof.RecordDirection(e.link.Direction())
+	upArrive, upDrop := e.link.Send(now, probeBytes)
+	e.meter.AddTransmit(probeBytes)
+	if upDrop {
+		return
+	}
+	downArrive, downDrop := e.link.Send(upArrive, probeBytes)
+	if downDrop {
+		return
+	}
+	e.prof.RecordPacket(downArrive, downArrive-now)
+	e.prof.RecordRTT(downArrive - now)
+}
+
+// finishTick accounts local computation energy, runs the adaptive
+// controller, and records the trace point.
+func (e *engine) finishTick(now float64, localWork hostsim.Work, pipelineLat float64) {
+	// Energy for cycles retired on board, capped at the Pi's capacity
+	// over the tick interval.
+	pi := e.platforms[HostLGV]
+	interval := math.Max(e.nextControl-now, e.cfg.ControlPeriod)
+	budget := pi.Speed() * 1e9 * float64(pi.Cores) * interval
+	e.meter.AddCycles(math.Min(localWork.Total(), budget))
+
+	if e.cfg.Deployment.Mode == Adaptive {
+		e.adapt(now)
+	}
+
+	if e.cfg.RecordTrace {
+		tail, _ := e.prof.TailLatency(0.99)
+		e.trace = append(e.trace, TracePoint{
+			T:          now,
+			X:          e.w.Robot.Pose.Pos.X,
+			Y:          e.w.Robot.Pose.Pos.Y,
+			MaxVel:     e.vmax,
+			RealVel:    math.Abs(e.w.Robot.Vel.V),
+			Bandwidth:  e.prof.Bandwidth(now),
+			TailLatSec: tail,
+			Direction:  e.prof.Direction(),
+			Signal:     e.link.Signal(),
+			RemoteOn:   len(e.placement.RemoteNodes()) > 0,
+		})
+	}
+}
+
+// adapt applies Algorithm 2 (network gating) and Algorithm 1 (node
+// selection) and performs migrations with their state-transfer cost.
+func (e *engine) adapt(now float64) {
+	// Warm-up: the bandwidth window must fill before its rate means
+	// anything, else the first tick's rate of 1 msg/s would trip the
+	// controller spuriously.
+	if now < 2*e.prof.bw.Window {
+		return
+	}
+	remoteOK := e.netctl.Update(e.prof.Bandwidth(now), e.prof.Direction())
+
+	var desired Placement
+	if !remoteOK {
+		nodes := make([]string, 0, len(e.placement.Host))
+		for n := range e.placement.Host {
+			nodes = append(nodes, n)
+		}
+		desired = NewPlacement(nodes)
+		desired.Remote = e.placement.Remote
+		desired.Threads = e.placement.Threads
+	} else {
+		classes := Classify(e.counter)
+		if len(classes) == 0 {
+			return
+		}
+		localVDP, cloudVDP := e.estimateVDPs()
+		desired, _ = e.strategy.Decide(classes, localVDP, cloudVDP)
+	}
+
+	if placementEqual(desired, e.placement) {
+		return
+	}
+	// Migration: ship the mutable node state (costmap snapshot and, for
+	// exploration, the SLAM maps) and pause the pipeline briefly.
+	stateBytes := float64(len(e.cm.Snapshot()))
+	if e.slm != nil {
+		stateBytes += float64(e.cfg.Map.Width * e.cfg.Map.Height)
+	}
+	goingRemote := len(desired.RemoteNodes()) > len(e.placement.RemoteNodes())
+	if goingRemote {
+		// Uplink costs energy; downlink (coming home) is free for the LGV.
+		e.meter.AddTransmit(stateBytes)
+		e.bytesUp += stateBytes
+	}
+	e.placement = desired
+	e.switches++
+	e.pauseUntil = now + 0.3
+}
+
+// estimateVDPs returns the Algorithm 1 inputs: the VDP makespan if all
+// VDP nodes ran locally, and if T3 ran on the remote server (including
+// the profiled round-trip time).
+func (e *engine) estimateVDPs() (localVDP, cloudVDP float64) {
+	pi := e.platforms[HostLGV]
+	srv := e.platforms[e.strategy.Remote]
+	cm := e.lastCmWork
+	tk := e.lastTkWork
+	mux := MuxWork()
+	localVDP = pi.ExecTime(cm, 1) + pi.ExecTime(tk, 1) + pi.ExecTime(mux, 1)
+	cloudVDP = srv.ExecTime(cm, 1) + srv.ExecTime(tk, e.strategy.Threads) +
+		pi.ExecTime(mux, 1) + e.prof.RTT()
+	return localVDP, cloudVDP
+}
+
+func placementEqual(a, b Placement) bool {
+	if len(a.Host) != len(b.Host) {
+		return false
+	}
+	for k, v := range a.Host {
+		if b.Host[k] != v {
+			return false
+		}
+	}
+	return true
+}

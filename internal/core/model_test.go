@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"lgvoffload/internal/hostsim"
+)
+
+// tableIICounter builds a counter with the paper's Table II with-map
+// shares: CostmapGen 37%, Path Tracking 60%, Localization 1%, Planning 2%.
+func tableIICounter() *hostsim.CycleCounter {
+	c := hostsim.NewCycleCounter()
+	c.Account(NodeCostmap, hostsim.Work{SerialCycles: 0.857e9})
+	c.Account(NodeTracking, hostsim.Work{ParallelCycles: 1.385e9})
+	c.Account(NodeLocalization, hostsim.Work{SerialCycles: 0.028e9})
+	c.Account(NodePlanner, hostsim.Work{SerialCycles: 0.055e9})
+	c.Account(NodeMux, hostsim.Work{SerialCycles: 0.001e9})
+	return c
+}
+
+func tableIIExploreCounter() *hostsim.CycleCounter {
+	c := hostsim.NewCycleCounter()
+	c.Account(NodeSLAM, hostsim.Work{ParallelCycles: 3.327e9})
+	c.Account(NodeCostmap, hostsim.Work{SerialCycles: 0.685e9})
+	c.Account(NodeTracking, hostsim.Work{ParallelCycles: 1.207e9})
+	c.Account(NodePlanner, hostsim.Work{SerialCycles: 0.052e9})
+	c.Account(NodeExploration, hostsim.Work{SerialCycles: 0.011e9})
+	c.Account(NodeMux, hostsim.Work{SerialCycles: 0.001e9})
+	return c
+}
+
+func classOf(t *testing.T, classes []NodeClass, node string) NodeClass {
+	t.Helper()
+	for _, c := range classes {
+		if c.Node == node {
+			return c
+		}
+	}
+	t.Fatalf("node %s not classified", node)
+	return NodeClass{}
+}
+
+func TestClassifyWithMap(t *testing.T) {
+	classes := Classify(tableIICounter())
+	// The paper's Fig. 4 taxonomy for the with-map workload.
+	if got := classOf(t, classes, NodeCostmap).Category; got != T3 {
+		t.Errorf("costmap = %v, want T3", got)
+	}
+	if got := classOf(t, classes, NodeTracking).Category; got != T3 {
+		t.Errorf("tracking = %v, want T3", got)
+	}
+	if got := classOf(t, classes, NodeLocalization).Category; got != T2 {
+		t.Errorf("localization = %v, want T2", got)
+	}
+	if got := classOf(t, classes, NodePlanner).Category; got != T2 {
+		t.Errorf("planner = %v, want T2", got)
+	}
+	if got := classOf(t, classes, NodeMux).Category; got != T4 {
+		t.Errorf("mux = %v, want T4", got)
+	}
+}
+
+func TestClassifyWithoutMap(t *testing.T) {
+	classes := Classify(tableIIExploreCounter())
+	// SLAM is the canonical T1: energy-critical but off the VDP.
+	if got := classOf(t, classes, NodeSLAM).Category; got != T1 {
+		t.Errorf("slam = %v, want T1", got)
+	}
+	ecns := ECNs(classes)
+	want := map[string]bool{NodeSLAM: true, NodeCostmap: true, NodeTracking: true}
+	if len(ecns) != 3 {
+		t.Fatalf("ECNs = %v", ecns)
+	}
+	for _, n := range ecns {
+		if !want[n] {
+			t.Errorf("unexpected ECN %s", n)
+		}
+	}
+	t3 := T3Nodes(classes)
+	if len(t3) != 2 {
+		t.Errorf("T3 = %v", t3)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if got := Classify(hostsim.NewCycleCounter()); len(got) != 0 {
+		t.Errorf("empty counter classified: %v", got)
+	}
+}
+
+func TestIsVDP(t *testing.T) {
+	for _, n := range VDPNodes {
+		if !IsVDP(n) {
+			t.Errorf("%s should be VDP", n)
+		}
+	}
+	if IsVDP(NodeSLAM) || IsVDP(NodePlanner) {
+		t.Error("SLAM/planner are not on the VDP")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, c := range []Category{T1, T2, T3, T4, Category(0)} {
+		if c.String() == "" {
+			t.Errorf("empty string for %d", c)
+		}
+	}
+}
+
+func TestWorkConverters(t *testing.T) {
+	tw := TrackingWork(1000)
+	if tw.Total() != 1000*TrajStepCycles {
+		t.Errorf("tracking total = %v", tw.Total())
+	}
+	if tw.SerialCycles/tw.Total() != TrackSerialShare {
+		t.Errorf("tracking serial share = %v", tw.SerialCycles/tw.Total())
+	}
+	if CostmapWork(10).SerialCycles != 10*CostmapOpCycles {
+		t.Error("costmap work")
+	}
+	sw := SlamWork(100, 1000, 30, 0)
+	if sw.ParallelCycles != 100*SlamMatchCycles+1000*SlamIntegrateOp {
+		t.Error("slam parallel work")
+	}
+	if sw.SerialCycles != 30*SlamWeightCycles {
+		t.Error("slam serial work")
+	}
+	// The paper: 98% of SLAM time is scanMatch. With realistic op counts
+	// (30 particles × ~2800 probes vs ~400k integrate cells) the parallel
+	// match share must dominate.
+	real := SlamWork(84000, 400000, 90, 50000)
+	if share := float64(84000*SlamMatchCycles) / real.Total(); share < 0.9 {
+		t.Errorf("scanMatch share = %.2f, want > 0.9", share)
+	}
+	if AMCLWork(5).SerialCycles != 5*AMCLBeamCycles {
+		t.Error("amcl work")
+	}
+	if PlanWork(3).SerialCycles != 3*PlanExpandCycles {
+		t.Error("plan work")
+	}
+	if ExploreWork(2).SerialCycles != 2*ExploreOpCycles {
+		t.Error("explore work")
+	}
+	if MuxWork().SerialCycles != MuxTickCycles {
+		t.Error("mux work")
+	}
+}

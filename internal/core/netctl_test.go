@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/netsim"
+)
+
+func TestAlgorithm2SwitchesLocalOnWeakReceding(t *testing.T) {
+	c := NewNetController(4)
+	if !c.RemoteOK() {
+		t.Fatal("should start remote")
+	}
+	// Strong link, approaching: stays remote.
+	if !c.Update(5, 0.5) {
+		t.Error("good conditions should keep remote")
+	}
+	// Weak link but approaching: keep current decision (no flap).
+	if !c.Update(1, 0.5) {
+		t.Error("weak+approaching should not switch yet")
+	}
+	// Weak link and receding: go local.
+	if c.Update(1, -0.5) {
+		t.Error("weak+receding must switch local")
+	}
+	if c.Switches() != 1 {
+		t.Errorf("switches = %d", c.Switches())
+	}
+}
+
+func TestAlgorithm2SwitchesBackOnRecovery(t *testing.T) {
+	c := NewNetController(4)
+	c.Update(1, -0.5) // go local
+	// Good bandwidth but still receding: stay local.
+	if c.Update(5, -0.1) {
+		t.Error("receding should keep local")
+	}
+	// Good bandwidth, approaching the WAP: back to remote.
+	if !c.Update(5, 0.3) {
+		t.Error("recovered link should re-enable remote")
+	}
+	if c.Switches() != 2 {
+		t.Errorf("switches = %d", c.Switches())
+	}
+}
+
+func TestAlgorithm2Hysteresis(t *testing.T) {
+	c := NewNetController(4)
+	// Observations straddling the threshold with mixed directions must
+	// not flap the decision.
+	obs := []struct{ r, d float64 }{
+		{4.5, -0.2}, {3.5, 0.2}, {4.0, 0.0}, {4.2, -0.1}, {3.9, 0.1},
+	}
+	for _, o := range obs {
+		c.Update(o.r, o.d)
+	}
+	if c.Switches() != 0 {
+		t.Errorf("ambiguous observations caused %d switches", c.Switches())
+	}
+}
+
+func TestAlgorithm2ThresholdBoundaryIsNeutral(t *testing.T) {
+	c := NewNetController(4)
+	// rate exactly at the threshold matches neither branch.
+	before := c.RemoteOK()
+	c.Update(4, -1)
+	c.Update(4, 1)
+	if c.RemoteOK() != before || c.Switches() != 0 {
+		t.Error("boundary rate should keep the current decision")
+	}
+}
+
+// TestLatencyPredictorFailsUnderUDPLoss is the §VI ablation: drive the
+// link into the weak zone and compare the bandwidth+direction controller
+// against the tail-latency baseline. The baseline keeps approving remote
+// execution because the packets that survive still show low latency,
+// while Algorithm 2 correctly goes local.
+func TestLatencyPredictorFailsUnderUDPLoss(t *testing.T) {
+	link := netsim.NewLink(netsim.DefaultEdgeLink(geom.V(0, 0)), rand.New(rand.NewSource(1)))
+	bw := netsim.NewBandwidthMeter()
+	lat := &netsim.LatencyMeter{}
+
+	alg2 := NewNetController(4)
+	base := NewLatencyController(0.050) // 50 ms tail budget
+
+	// Robot walks away from the WAP at 0.5 m/s, sending 5 Hz probes.
+	now := 0.0
+	var alg2Decision, baseDecision bool
+	for i := 0; i < 120; i++ {
+		now += 0.2
+		pos := geom.V(0.5*now, 0) // reaches 12 m at t=24 s
+		link.SetRobotPos(pos)
+		if arrive, dropped := link.Send(now, 64); !dropped {
+			bw.Observe(arrive)
+			lat.Observe(arrive - now)
+		}
+		alg2Decision = alg2.Update(bw.Rate(now), link.Direction())
+		p99, ok := lat.Quantile(0.99)
+		baseDecision = base.Update(p99, ok)
+	}
+	// At 12 m the link is dead: Algorithm 2 must have gone local.
+	if alg2Decision {
+		t.Error("Algorithm 2 failed to switch local in the dead zone")
+	}
+	// The latency baseline, fed only by surviving packets, is fooled as
+	// long as the survivors kept sub-threshold latency. It must disagree
+	// with Algorithm 2 for a substantial part of the degradation window —
+	// verify it stayed remote at least until deep fade (bandwidth ≈ 0
+	// long before its p99 crossed the budget).
+	if !baseDecision {
+		// It may eventually trip on queueing delay; assert it tripped
+		// later than Algorithm 2 by replaying and recording first-switch
+		// times.
+		t.Log("baseline eventually tripped; verifying it was slower")
+	}
+	alg2First, baseFirst := firstSwitchTimes(t)
+	if alg2First <= 0 {
+		t.Fatal("Algorithm 2 never switched")
+	}
+	if baseFirst > 0 && baseFirst < alg2First {
+		t.Errorf("latency baseline switched earlier (%v) than Algorithm 2 (%v)", baseFirst, alg2First)
+	}
+}
+
+// firstSwitchTimes replays the §VI walk and returns when each controller
+// first decided to go local (0 = never).
+func firstSwitchTimes(t *testing.T) (alg2First, baseFirst float64) {
+	t.Helper()
+	link := netsim.NewLink(netsim.DefaultEdgeLink(geom.V(0, 0)), rand.New(rand.NewSource(1)))
+	bw := netsim.NewBandwidthMeter()
+	lat := &netsim.LatencyMeter{}
+	alg2 := NewNetController(4)
+	base := NewLatencyController(0.050)
+	now := 0.0
+	for i := 0; i < 120; i++ {
+		now += 0.2
+		link.SetRobotPos(geom.V(0.5*now, 0))
+		if arrive, dropped := link.Send(now, 64); !dropped {
+			bw.Observe(arrive)
+			lat.Observe(arrive - now)
+		}
+		if alg2.Update(bw.Rate(now), link.Direction()) == false && alg2First == 0 {
+			alg2First = now
+		}
+		p99, ok := lat.Quantile(0.99)
+		if base.Update(p99, ok) == false && baseFirst == 0 {
+			baseFirst = now
+		}
+	}
+	return alg2First, baseFirst
+}
+
+func TestLatencyControllerNoSamplesKeepsDecision(t *testing.T) {
+	c := NewLatencyController(0.05)
+	if !c.Update(0, false) {
+		t.Error("no samples must keep the initial remote decision")
+	}
+	c.Update(0.2, true)
+	if c.RemoteOK() {
+		t.Error("over-threshold latency should disable remote")
+	}
+	if c.Update(0, false) {
+		t.Error("no samples must keep the local decision too")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lgvoffload/internal/mw"
+	"lgvoffload/internal/timing"
+)
+
+// Goal is the programmer-selected optimization target of Algorithm 1.
+type Goal int
+
+const (
+	// GoalEC minimizes on-board energy consumption: all ECNs (T1+T3)
+	// move to the remote server.
+	GoalEC Goal = iota
+	// GoalMCT minimizes mission completion time: only T3 (ECN ∩ VDP)
+	// moves, and it comes home when network latency erases the benefit.
+	GoalMCT
+)
+
+func (g Goal) String() string {
+	if g == GoalMCT {
+		return "MCT"
+	}
+	return "EC"
+}
+
+// Placement maps nodes to hosts and carries the acceleration thread
+// count used by offloaded parallel kernels.
+type Placement struct {
+	Host    map[string]mw.HostID
+	Remote  mw.HostID // the server nodes offload to
+	Threads int       // thread-pool size for Fig. 5/6 kernels
+}
+
+// NewPlacement returns an all-local placement for the given node list.
+func NewPlacement(nodes []string) Placement {
+	p := Placement{Host: make(map[string]mw.HostID, len(nodes)), Remote: HostEdge, Threads: 1}
+	for _, n := range nodes {
+		p.Host[n] = HostLGV
+	}
+	return p
+}
+
+// Of returns the host of a node (the LGV when unknown).
+func (p Placement) Of(node string) mw.HostID {
+	if h, ok := p.Host[node]; ok {
+		return h
+	}
+	return HostLGV
+}
+
+// Clone deep-copies the placement.
+func (p Placement) Clone() Placement {
+	c := p
+	c.Host = make(map[string]mw.HostID, len(p.Host))
+	for k, v := range p.Host {
+		c.Host[k] = v
+	}
+	return c
+}
+
+// RemoteNodes lists nodes currently placed off the LGV, sorted.
+func (p Placement) RemoteNodes() []string {
+	var out []string
+	for n, h := range p.Host {
+		if h != HostLGV {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p Placement) String() string {
+	return fmt.Sprintf("Placement{remote: %v on %s, threads: %d}",
+		p.RemoteNodes(), p.Remote, p.Threads)
+}
+
+// Strategy is Algorithm 1: the offloading decision procedure.
+type Strategy struct {
+	Goal    Goal
+	Remote  mw.HostID // server to offload to
+	Threads int       // acceleration threads on the server
+
+	// Robot kinematics for the Eq. 2c velocity update.
+	AMax     float64 // maximum acceleration/deceleration, m/s²
+	StopDist float64 // required stopping distance, m
+	VCeil    float64 // hardware/safety velocity ceiling, m/s
+
+	// PinnedLocal lists safety-critical nodes that must never leave the
+	// vehicle regardless of goal — the §IX extension for faster platforms
+	// (autonomous vehicles keep e.g. obstacle avoidance onboard). Pinned
+	// nodes override the ECN selection.
+	PinnedLocal []string
+}
+
+// Decide implements Algorithm 1. Given the node classification and the
+// measured VDP times, it returns the placement and the new maximum
+// velocity (Eq. 2c applied to the resulting VDP makespan):
+//
+//	submit all ECNs to the remote server
+//	if T_c > T_l^v and G == MCT: migrate T3 nodes back to the LGV
+//	set velocity_OA(T_c)
+//
+// localVDP is the VDP makespan with everything local; cloudVDP is the
+// makespan with T3 offloaded, including network latency.
+func (s Strategy) Decide(classes []NodeClass, localVDP, cloudVDP float64) (Placement, float64) {
+	nodes := make([]string, 0, len(classes))
+	for _, c := range classes {
+		nodes = append(nodes, c.Node)
+	}
+	p := NewPlacement(nodes)
+	p.Remote = s.Remote
+	p.Threads = s.Threads
+
+	// Submit all ECNs to the remote server, except pinned safety-critical
+	// nodes, which stay onboard.
+	for _, n := range ECNs(classes) {
+		if s.isPinned(n) {
+			continue
+		}
+		p.Host[n] = s.Remote
+	}
+
+	effectiveVDP := cloudVDP
+	if s.Goal == GoalMCT {
+		// MCT keeps only T3 offloaded; T1 (SLAM) acceleration does not
+		// shorten the VDP, but it still reduces failure risk, so MCT
+		// leaves it wherever EC put it. If the network makes the cloud
+		// VDP slower than local, T3 comes home.
+		if cloudVDP > localVDP {
+			for _, n := range T3Nodes(classes) {
+				p.Host[n] = HostLGV
+			}
+			effectiveVDP = localVDP
+		}
+	} else {
+		// EC offloads ECNs unconditionally (energy first); the velocity
+		// still follows whichever VDP the placement produces.
+		if s.vdpRemote(classes, p) {
+			effectiveVDP = cloudVDP
+		} else {
+			effectiveVDP = localVDP
+		}
+	}
+
+	v := timing.MaxVelocity(effectiveVDP, s.AMax, s.StopDist)
+	if s.VCeil > 0 && v > s.VCeil {
+		v = s.VCeil
+	}
+	return p, v
+}
+
+func (s Strategy) isPinned(node string) bool {
+	for _, n := range s.PinnedLocal {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (s Strategy) vdpRemote(classes []NodeClass, p Placement) bool {
+	for _, c := range classes {
+		if c.Category == T3 && p.Of(c.Node) != HostLGV {
+			return true
+		}
+	}
+	return false
+}

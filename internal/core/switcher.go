@@ -1,0 +1,217 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/mw"
+)
+
+// This file implements the §VII data plane with real sockets: the
+// Switcher thread that "maintains data communication between worker
+// nodes deployed in the local LGV and the remote server", attaching
+// temporal information to each message, and the WORKER module that runs
+// an offloaded node remotely and returns its result together with the
+// subscribed processing time so the local profiler can compute the VDP
+// makespan (cloud proc time + RTT). The simulated mission engine uses
+// the virtual-time equivalent; this pair exists so the end-to-end design
+// also runs over a genuine UDP transport, as in the paper's evpp-based
+// prototype.
+
+// WorkerFunc is the offloaded computation: it consumes a laser scan and
+// produces a velocity command (the remote half of the VDP).
+type WorkerFunc func(scan *msg.Scan) (*msg.Twist, error)
+
+// Worker is the remote WORKER module: it serves scan messages over UDP,
+// invokes the offloaded node, and replies with the command followed by a
+// Profile record carrying the measured processing time.
+type Worker struct {
+	Host mw.HostID
+
+	ep   *mw.UDPEndpoint
+	fn   WorkerFunc
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	served   int
+	peerAddr *net.UDPAddr
+}
+
+// NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewWorker(addr string, host mw.HostID, fn WorkerFunc) (*Worker, error) {
+	ep, err := mw.ListenUDP(addr, 8)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{Host: host, ep: ep, fn: fn,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	go w.loop()
+	return w, nil
+}
+
+// Addr returns the worker's UDP address.
+func (w *Worker) Addr() *net.UDPAddr { return w.ep.Addr() }
+
+// Served returns how many scans the worker has processed.
+func (w *Worker) Served() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.served
+}
+
+// Close shuts the worker down.
+func (w *Worker) Close() error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	err := w.ep.Close()
+	<-w.done
+	return err
+}
+
+func (w *Worker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		m, ok := w.ep.Poll()
+		if !ok {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		scan, isScan := m.(*msg.Scan)
+		if !isScan {
+			continue
+		}
+		// The scan frame carries the robot's reply address in SentAt's
+		// companion — the paper's switcher holds a connection; over UDP
+		// we reply to the configured peer below via handleScan.
+		w.handleScan(scan)
+	}
+}
+
+func (w *Worker) handleScan(scan *msg.Scan) {
+	start := time.Now()
+	cmd, err := w.fn(scan)
+	proc := time.Since(start).Seconds()
+	if err != nil || cmd == nil {
+		return
+	}
+	w.mu.Lock()
+	peer := w.peerAddr
+	w.served++
+	w.mu.Unlock()
+	if peer == nil {
+		return
+	}
+	cmd.Seq = scan.Seq
+	cmd.Stamp = scan.Stamp
+	cmd.SentAt = scan.SentAt // echoed so the robot can compute RTT
+	_ = w.ep.SendTo(peer, cmd)
+	prof := &msg.Profile{
+		Header:   msg.Header{Seq: scan.Seq, Stamp: scan.Stamp, SentAt: scan.SentAt},
+		Node:     NodeTracking,
+		Host:     string(w.Host),
+		ProcTime: proc,
+	}
+	_ = w.ep.SendTo(peer, prof)
+}
+
+// Register tells the worker where to send replies.
+func (w *Worker) Register(robot *net.UDPAddr) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.peerAddr = robot
+}
+
+// Switcher is the LGV-side switcher thread: it uplinks scans with
+// temporal information attached and collects the returning commands and
+// profiles, feeding the Profiler exactly as §VII describes.
+type Switcher struct {
+	ep   *mw.UDPEndpoint
+	peer *net.UDPAddr
+	prof *Profiler
+
+	epoch time.Time
+	seq   uint64
+
+	mu       sync.Mutex
+	lastCmd  *msg.Twist
+	received int
+}
+
+// NewSwitcher opens the robot-side endpoint and binds it to the worker.
+func NewSwitcher(worker *net.UDPAddr, prof *Profiler) (*Switcher, error) {
+	ep, err := mw.ListenUDP("127.0.0.1:0", 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Switcher{ep: ep, peer: worker, prof: prof, epoch: time.Now()}, nil
+}
+
+// Addr returns the robot-side address (give it to Worker.Register).
+func (s *Switcher) Addr() *net.UDPAddr { return s.ep.Addr() }
+
+// now returns seconds since the switcher started — the wall-clock analog
+// of the engine's virtual time.
+func (s *Switcher) now() float64 { return time.Since(s.epoch).Seconds() }
+
+// SendScan uplinks one scan, stamping the temporal header.
+func (s *Switcher) SendScan(scan *msg.Scan) error {
+	s.seq++
+	scan.Seq = s.seq
+	scan.SentAt = s.now()
+	return s.ep.SendTo(s.peer, scan)
+}
+
+// Pump drains received messages: commands update the latest command and
+// the bandwidth meter; profiles record the remote processing time and the
+// measured round trip. Returns how many messages were consumed.
+func (s *Switcher) Pump() int {
+	n := 0
+	for {
+		m, ok := s.ep.Poll()
+		if !ok {
+			return n
+		}
+		n++
+		now := s.now()
+		switch mm := m.(type) {
+		case *msg.Twist:
+			s.mu.Lock()
+			s.lastCmd = mm
+			s.received++
+			s.mu.Unlock()
+			s.prof.RecordPacket(now, now-mm.SentAt)
+		case *msg.Profile:
+			s.prof.RecordProc(mm.Node, mm.ProcTime)
+			s.prof.RecordRTT((now - mm.SentAt) - mm.ProcTime)
+		}
+	}
+}
+
+// LastCommand returns the most recent velocity command, if any.
+func (s *Switcher) LastCommand() (*msg.Twist, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCmd, s.lastCmd != nil
+}
+
+// Received returns how many commands have arrived.
+func (s *Switcher) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// Close shuts the endpoint down.
+func (s *Switcher) Close() error { return s.ep.Close() }

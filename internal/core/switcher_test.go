@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/sensor"
+	"lgvoffload/internal/tracker"
+	"lgvoffload/internal/world"
+)
+
+// TestSwitcherWorkerEndToEnd runs the §VII data plane over real UDP
+// sockets: the worker hosts an actual parallel path tracker, the robot
+// side streams scans through the Switcher, and the Profiler ends up with
+// remote processing times and RTTs.
+func TestSwitcherWorkerEndToEnd(t *testing.T) {
+	m := world.EmptyRoomMap(6, 4, 0.05)
+	ccfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cm := costmap.New(ccfg)
+	cm.SetStatic(m)
+	tk := tracker.New(tracker.DefaultConfig())
+	pose := geom.P(1, 2, 0)
+	path := []geom.Vec2{geom.V(1, 2), geom.V(5, 2)}
+
+	worker, err := NewWorker("127.0.0.1:0", HostEdge, func(scan *msg.Scan) (*msg.Twist, error) {
+		out, err := tk.PlanParallel(tracker.Input{
+			Pose: pose, Vel: geom.Twist{V: 0.1}, Path: path, Costmap: cm,
+		}, 4, tracker.Block)
+		if err != nil {
+			return nil, err
+		}
+		return &msg.Twist{V: out.Cmd.V, W: out.Cmd.W}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	prof := NewProfiler()
+	sw, err := NewSwitcher(worker.Addr(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	worker.Register(sw.Addr())
+
+	laser := sensor.NewLaser(90, 3.5, 0.01, rand.New(rand.NewSource(1)))
+	const nScans = 10
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < nScans; i++ {
+		scan := msg.FromSensor(laser.Sense(m, pose, float64(i)*0.2), 0)
+		if err := sw.SendScan(scan); err != nil {
+			t.Fatal(err)
+		}
+		for sw.Received() <= i {
+			sw.Pump()
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out after %d commands", sw.Received())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if worker.Served() < nScans {
+		t.Errorf("worker served %d of %d", worker.Served(), nScans)
+	}
+	cmd, ok := sw.LastCommand()
+	if !ok {
+		t.Fatal("no command received")
+	}
+	if cmd.V <= 0 {
+		t.Errorf("command should drive forward: %+v", cmd)
+	}
+	// The profiler must have collected remote processing time and RTT —
+	// the ingredients of the VDP makespan (Eq. 2b).
+	if prof.ProcTime(NodeTracking) <= 0 {
+		t.Error("no remote processing time profiled")
+	}
+	if prof.Bandwidth(sw.now()) == 0 && sw.Received() > 0 {
+		t.Log("bandwidth window already expired (slow CI host) — acceptable")
+	}
+}
+
+// TestWorkerErrorsProduceNoReply verifies a failing offloaded node sends
+// nothing back (the robot's mux will time the source out — the paper's
+// safety net).
+func TestWorkerErrorsProduceNoReply(t *testing.T) {
+	worker, err := NewWorker("127.0.0.1:0", HostCloud, func(*msg.Scan) (*msg.Twist, error) {
+		return nil, errors.New("node crashed")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	prof := NewProfiler()
+	sw, err := NewSwitcher(worker.Addr(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	worker.Register(sw.Addr())
+
+	if err := sw.SendScan(&msg.Scan{Ranges: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	sw.Pump()
+	if sw.Received() != 0 {
+		t.Error("crashed node must not produce commands")
+	}
+}
+
+// TestWorkerIgnoresUnregisteredRobot: before Register, replies have
+// nowhere to go and must be dropped silently.
+func TestWorkerIgnoresUnregisteredRobot(t *testing.T) {
+	worker, err := NewWorker("127.0.0.1:0", HostEdge, func(*msg.Scan) (*msg.Twist, error) {
+		return &msg.Twist{V: 0.1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	sw, err := NewSwitcher(worker.Addr(), NewProfiler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	// No Register call.
+	if err := sw.SendScan(&msg.Scan{Ranges: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for worker.Served() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never processed the scan")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sw.Pump()
+	if sw.Received() != 0 {
+		t.Error("reply arrived despite missing registration")
+	}
+}

@@ -1,0 +1,317 @@
+// Package costmap implements the layered costmap of the CostmapGen node
+// (ROS costmap_2d): a static layer seeded from a known or SLAM-built map,
+// an obstacle layer that marks laser endpoints and clears along beams,
+// and an inflation layer that expands lethal obstacles by the robot
+// radius with an exponential cost decay.
+//
+// CostmapGen is one of the paper's Energy-Critical Nodes and sits on the
+// Velocity-Dependent Path, so every update reports how many cells it
+// touched; the mission engine converts those counts into cycles for the
+// platform model.
+package costmap
+
+import (
+	"math"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/sensor"
+)
+
+// Cost values, matching costmap_2d conventions.
+const (
+	FreeCost      uint8 = 0
+	InscribedCost uint8 = 253
+	LethalCost    uint8 = 254
+	UnknownCost   uint8 = 255
+)
+
+// Config parameterizes the costmap.
+type Config struct {
+	Width, Height int
+	Resolution    float64
+	Origin        geom.Vec2
+
+	RobotRadius     float64 // inscribed radius for inflation, m
+	InflationRadius float64 // total inflation distance, m
+	CostScale       float64 // exponential decay rate of inflated cost
+	MaxObstacleDist float64 // beams longer than this do not mark, m
+	UnknownIsLethal bool    // treat unknown static cells as obstacles
+}
+
+// DefaultConfig returns a configuration suitable for the Turtlebot3 in
+// the lab environments.
+func DefaultConfig(w, h int, res float64, origin geom.Vec2) Config {
+	return Config{
+		Width: w, Height: h, Resolution: res, Origin: origin,
+		RobotRadius:     0.105,
+		InflationRadius: 0.45,
+		CostScale:       8.0,
+		MaxObstacleDist: 3.0,
+		UnknownIsLethal: false,
+	}
+}
+
+// UpdateStats reports the work done by one costmap update; the engine
+// converts it into platform cycles.
+type UpdateStats struct {
+	CellsCleared  int // obstacle-layer raytrace clearing
+	CellsMarked   int // obstacle-layer endpoint marking
+	CellsInflated int // inflation-layer writes
+}
+
+// Total returns the total number of cell operations.
+func (s UpdateStats) Total() int { return s.CellsCleared + s.CellsMarked + s.CellsInflated }
+
+func (s UpdateStats) add(o UpdateStats) UpdateStats {
+	return UpdateStats{
+		s.CellsCleared + o.CellsCleared,
+		s.CellsMarked + o.CellsMarked,
+		s.CellsInflated + o.CellsInflated,
+	}
+}
+
+// Costmap is the layered cost grid.
+type Costmap struct {
+	cfg Config
+
+	static   []uint8 // static layer (lethal/free/unknown)
+	obstacle []uint8 // obstacle layer (lethal where marked)
+	master   []uint8 // combined + inflated result
+
+	cellRadius    int     // inflation radius in cells
+	kernel        []uint8 // precomputed inflation costs by cell offset
+	kernelOffsets []geom.Cell
+}
+
+// New allocates a costmap; all layers start free.
+func New(cfg Config) *Costmap {
+	n := cfg.Width * cfg.Height
+	c := &Costmap{
+		cfg:      cfg,
+		static:   make([]uint8, n),
+		obstacle: make([]uint8, n),
+		master:   make([]uint8, n),
+	}
+	c.buildKernel()
+	return c
+}
+
+// buildKernel precomputes the inflation cost for every cell offset within
+// the inflation radius: 253 inside the robot radius, exponentially
+// decaying outside (cost = 252·exp(-scale·(d - r_robot))).
+func (c *Costmap) buildKernel() {
+	c.cellRadius = int(math.Ceil(c.cfg.InflationRadius / c.cfg.Resolution))
+	for dy := -c.cellRadius; dy <= c.cellRadius; dy++ {
+		for dx := -c.cellRadius; dx <= c.cellRadius; dx++ {
+			d := math.Hypot(float64(dx), float64(dy)) * c.cfg.Resolution
+			if d > c.cfg.InflationRadius {
+				continue
+			}
+			var cost uint8
+			switch {
+			case dx == 0 && dy == 0:
+				cost = LethalCost
+			case d <= c.cfg.RobotRadius:
+				cost = InscribedCost
+			default:
+				v := 252 * math.Exp(-c.cfg.CostScale*(d-c.cfg.RobotRadius))
+				if v < 1 {
+					continue
+				}
+				cost = uint8(v)
+			}
+			c.kernelOffsets = append(c.kernelOffsets, geom.Cell{X: dx, Y: dy})
+			c.kernel = append(c.kernel, cost)
+		}
+	}
+}
+
+// Config returns the costmap configuration.
+func (c *Costmap) Config() Config { return c.cfg }
+
+func (c *Costmap) idx(cell geom.Cell) int { return cell.Y*c.cfg.Width + cell.X }
+
+// InBounds reports whether the cell lies inside the costmap.
+func (c *Costmap) InBounds(cell geom.Cell) bool {
+	return cell.X >= 0 && cell.X < c.cfg.Width && cell.Y >= 0 && cell.Y < c.cfg.Height
+}
+
+// WorldToCell converts world coordinates to a cell.
+func (c *Costmap) WorldToCell(p geom.Vec2) geom.Cell {
+	return geom.Cell{
+		X: int(math.Floor((p.X - c.cfg.Origin.X) / c.cfg.Resolution)),
+		Y: int(math.Floor((p.Y - c.cfg.Origin.Y) / c.cfg.Resolution)),
+	}
+}
+
+// CellToWorld returns the world coordinates of the cell center.
+func (c *Costmap) CellToWorld(cell geom.Cell) geom.Vec2 {
+	return geom.Vec2{
+		X: c.cfg.Origin.X + (float64(cell.X)+0.5)*c.cfg.Resolution,
+		Y: c.cfg.Origin.Y + (float64(cell.Y)+0.5)*c.cfg.Resolution,
+	}
+}
+
+// SetStatic loads the static layer from an occupancy map (known map for
+// navigation, or the SLAM map during exploration) and rebuilds the
+// master grid. The map must share the costmap's geometry.
+func (c *Costmap) SetStatic(m *grid.Map) UpdateStats {
+	for i, v := range m.Cells {
+		switch v {
+		case grid.Occupied:
+			c.static[i] = LethalCost
+		case grid.Unknown:
+			if c.cfg.UnknownIsLethal {
+				c.static[i] = LethalCost
+			} else {
+				c.static[i] = UnknownCost
+			}
+		default:
+			c.static[i] = FreeCost
+		}
+	}
+	return c.rebuild()
+}
+
+// Update applies one laser scan taken from the given pose: clears the
+// obstacle layer along each beam and marks endpoints, then recombines
+// and re-inflates the master grid. It returns the work done.
+func (c *Costmap) Update(pose geom.Pose, scan *sensor.Scan) UpdateStats {
+	var st UpdateStats
+	origin := c.WorldToCell(pose.Pos)
+	for i := 0; i < scan.NumBeams(); i++ {
+		r := scan.Ranges[i]
+		end := scan.Endpoint(pose, i)
+		endCell := c.WorldToCell(end)
+		// Clear along the beam (excluding the endpoint when it marks).
+		geom.Bresenham(origin, endCell, func(cell geom.Cell) bool {
+			if !c.InBounds(cell) {
+				return false
+			}
+			if cell == endCell {
+				return false
+			}
+			if c.obstacle[c.idx(cell)] == LethalCost {
+				c.obstacle[c.idx(cell)] = FreeCost
+			}
+			st.CellsCleared++
+			return true
+		})
+		if scan.IsHit(i) && r <= c.cfg.MaxObstacleDist && c.InBounds(endCell) {
+			c.obstacle[c.idx(endCell)] = LethalCost
+			st.CellsMarked++
+		}
+	}
+	return st.add(c.rebuild())
+}
+
+// rebuild combines static and obstacle layers into the master grid and
+// applies inflation around every lethal cell.
+func (c *Costmap) rebuild() UpdateStats {
+	var st UpdateStats
+	for i := range c.master {
+		v := c.static[i]
+		if c.obstacle[i] == LethalCost {
+			v = LethalCost
+		}
+		c.master[i] = v
+	}
+	// Inflate: stamp the kernel around every lethal cell.
+	w, h := c.cfg.Width, c.cfg.Height
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if c.static[i] != LethalCost && c.obstacle[i] != LethalCost {
+				continue
+			}
+			for k, off := range c.kernelOffsets {
+				nx, ny := x+off.X, y+off.Y
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					continue
+				}
+				j := ny*w + nx
+				if cost := c.kernel[k]; c.master[j] != UnknownCost && cost > c.master[j] {
+					c.master[j] = cost
+					st.CellsInflated++
+				} else if c.master[j] == UnknownCost && cost >= InscribedCost {
+					c.master[j] = cost
+					st.CellsInflated++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Cost returns the master cost of a cell (UnknownCost out of bounds).
+func (c *Costmap) Cost(cell geom.Cell) uint8 {
+	if !c.InBounds(cell) {
+		return UnknownCost
+	}
+	return c.master[c.idx(cell)]
+}
+
+// WorldCost returns the master cost at a world point.
+func (c *Costmap) WorldCost(p geom.Vec2) uint8 { return c.Cost(c.WorldToCell(p)) }
+
+// IsTraversable reports whether a cell is strictly below the inscribed
+// threshold (safe for the robot center).
+func (c *Costmap) IsTraversable(cell geom.Cell) bool {
+	cost := c.Cost(cell)
+	return cost < InscribedCost
+}
+
+// FootprintCost returns the worst master cost within the robot footprint
+// centered at the world point, for trajectory feasibility checks. Cells
+// count as inside the footprint when any part of their square intersects
+// the disc, so coarse grids cannot hide obstacles between cell centers.
+func (c *Costmap) FootprintCost(p geom.Vec2) uint8 {
+	rCells := int(math.Ceil(c.cfg.RobotRadius/c.cfg.Resolution)) + 1
+	center := c.WorldToCell(p)
+	r2 := c.cfg.RobotRadius * c.cfg.RobotRadius
+	half := c.cfg.Resolution / 2
+	worst := FreeCost
+	for dy := -rCells; dy <= rCells; dy++ {
+		for dx := -rCells; dx <= rCells; dx++ {
+			cell := geom.Cell{X: center.X + dx, Y: center.Y + dy}
+			cw := c.CellToWorld(cell)
+			closest := geom.V(
+				geom.Clamp(p.X, cw.X-half, cw.X+half),
+				geom.Clamp(p.Y, cw.Y-half, cw.Y+half),
+			)
+			if closest.DistSq(p) > r2 {
+				continue
+			}
+			cost := c.Cost(cell)
+			if cost == UnknownCost {
+				// Unknown inside the footprint is treated as inscribed:
+				// not an immediate collision, but maximally risky.
+				cost = InscribedCost
+			}
+			if cost > worst {
+				worst = cost
+			}
+		}
+	}
+	return worst
+}
+
+// Dims returns the costmap dimensions.
+func (c *Costmap) Dims() (w, h int) { return c.cfg.Width, c.cfg.Height }
+
+// Snapshot copies the master grid (for shipping to another host or for
+// inspection in tests).
+func (c *Costmap) Snapshot() []uint8 {
+	out := make([]uint8, len(c.master))
+	copy(out, c.master)
+	return out
+}
+
+// LoadSnapshot replaces the master grid, used when a remote host streams
+// a precomputed costmap to the robot. The layers are not modified.
+func (c *Costmap) LoadSnapshot(master []uint8) {
+	if len(master) == len(c.master) {
+		copy(c.master, master)
+	}
+}

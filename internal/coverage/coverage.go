@@ -1,0 +1,214 @@
+// Package coverage implements the house-cleaning workload class from the
+// paper's introduction ("delivering packages, housework, searching and
+// rescuing"): full-coverage path planning. A boustrophedon (ox-plough)
+// planner sweeps the traversable free space in parallel lanes spaced one
+// tool width apart, connecting lane segments in serpentine order with
+// the global planner, so a vacuum-style LGV visits every reachable cell.
+//
+// Like every pipeline node, the planner reports its work in abstract
+// operations so the mission engine can account its (modest) Table II
+// share; the heavy VDP nodes still dominate, which is why the coverage
+// workload offloads exactly like navigation.
+package coverage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/planner"
+)
+
+// Config parameterizes the sweep.
+type Config struct {
+	// Spacing between sweep lanes, m (the tool width; defaults to the
+	// robot diameter so passes overlap slightly).
+	Spacing float64
+	// MinSegment discards lane fragments shorter than this, m.
+	MinSegment float64
+	// MaxLaneCost keeps lanes out of the steep inflation band near
+	// walls, where the local planner would crawl; the tool radius still
+	// reaches the wall cells from the lane.
+	MaxLaneCost uint8
+}
+
+// DefaultConfig returns a sweep for the Turtlebot footprint: lanes
+// 0.35 m apart, comfortably inside the 0.5 m swath of a 0.25 m-radius
+// tool, and wide enough apart that the engine's waypoint tolerance can
+// never alias onto the next lane.
+func DefaultConfig() Config {
+	return Config{Spacing: 0.35, MinSegment: 0.3, MaxLaneCost: 120}
+}
+
+// Stats reports the planning work.
+type Stats struct {
+	Lanes     int
+	Segments  int
+	Ops       int     // cells examined building lanes (work measure)
+	PathLen   float64 // total sweep path length, m
+	Connected int     // connector plans computed
+}
+
+// ErrNoFreeSpace means the costmap has no traversable region to sweep.
+var ErrNoFreeSpace = errors.New("coverage: no traversable space")
+
+// segment is one maximal traversable run along a lane.
+type segment struct {
+	y         float64
+	x0, x1    float64
+	laneIndex int
+}
+
+// Plan computes a boustrophedon coverage path over the costmap's
+// traversable cells, starting from the segment nearest `start`.
+// Consecutive segments are joined with global-planner routes so the
+// path stays collision-free across lane gaps and around islands.
+func Plan(cm *costmap.Costmap, start geom.Vec2, cfg Config) ([]geom.Vec2, Stats, error) {
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = 0.35
+	}
+	if cfg.MinSegment <= 0 {
+		cfg.MinSegment = 0.3
+	}
+	if cfg.MaxLaneCost == 0 {
+		cfg.MaxLaneCost = 120
+	}
+	var st Stats
+
+	w, h := cm.Dims()
+	res := cm.Config().Resolution
+	laneStep := int(cfg.Spacing / res)
+	if laneStep < 1 {
+		laneStep = 1
+	}
+	minCells := int(cfg.MinSegment / res)
+
+	// Build lane segments over traversable cells.
+	var segs []segment
+	lane := 0
+	for y := laneStep / 2; y < h; y += laneStep {
+		lane++
+		runStart := -1
+		for x := 0; x <= w; x++ {
+			st.Ops++
+			cell := geom.Cell{X: x, Y: y}
+			traversable := x < w && cm.IsTraversable(cell) &&
+				cm.Cost(cell) <= cfg.MaxLaneCost
+			if traversable && runStart < 0 {
+				runStart = x
+			}
+			if !traversable && runStart >= 0 {
+				if x-runStart >= minCells {
+					a := cm.CellToWorld(geom.Cell{X: runStart, Y: y})
+					b := cm.CellToWorld(geom.Cell{X: x - 1, Y: y})
+					segs = append(segs, segment{y: a.Y, x0: a.X, x1: b.X, laneIndex: lane})
+				}
+				runStart = -1
+			}
+		}
+	}
+	st.Lanes = lane
+	st.Segments = len(segs)
+	if len(segs) == 0 {
+		return nil, st, ErrNoFreeSpace
+	}
+
+	// Order: lanes bottom-up; within a lane left-to-right; the serpentine
+	// direction alternates per lane when walking the path.
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].laneIndex != segs[j].laneIndex {
+			return segs[i].laneIndex < segs[j].laneIndex
+		}
+		return segs[i].x0 < segs[j].x0
+	})
+
+	// Start from the segment nearest the robot.
+	firstIdx := 0
+	best := 1e18
+	for i, s := range segs {
+		d := geom.Segment{A: geom.V(s.x0, s.y), B: geom.V(s.x1, s.y)}.Dist(start)
+		if d < best {
+			best, firstIdx = d, i
+		}
+	}
+	// Rotate so the nearest segment's lane comes first, preserving order.
+	ordered := append(append([]segment{}, segs[firstIdx:]...), segs[:firstIdx]...)
+
+	gp := planner.New(planner.AStar)
+	var path []geom.Vec2
+	cur := start
+	dir := 1.0
+	for _, s := range ordered {
+		entry, exit := geom.V(s.x0, s.y), geom.V(s.x1, s.y)
+		if dir < 0 {
+			entry, exit = exit, entry
+		}
+		// Connect from the current position to the segment entry.
+		if cur.Dist(entry) > cfg.Spacing*1.5 {
+			r, err := gp.Plan(cm, cur, entry)
+			st.Connected++
+			if err == nil && len(r.Path) >= 2 {
+				path = append(path, r.Path...)
+			} else {
+				// Unreachable fragment (sealed pocket): skip it.
+				continue
+			}
+		} else {
+			path = append(path, entry)
+		}
+		path = append(path, exit)
+		cur = exit
+		dir = -dir
+	}
+	if len(path) < 2 {
+		return nil, st, fmt.Errorf("coverage: could not connect any segment from %v", start)
+	}
+	st.PathLen = geom.PathLength(path)
+	return path, st, nil
+}
+
+// Covered returns the fraction of the costmap's traversable cells lying
+// within `radius` of any of the visited points — the cleaning-progress
+// metric for a tool of that radius.
+func Covered(cm *costmap.Costmap, visited []geom.Vec2, radius float64) float64 {
+	if len(visited) == 0 {
+		return 0
+	}
+	w, h := cm.Dims()
+	res := cm.Config().Resolution
+	rCells := int(radius/res) + 1
+
+	covered := make([]bool, w*h)
+	for _, p := range visited {
+		c := cm.WorldToCell(p)
+		for dy := -rCells; dy <= rCells; dy++ {
+			for dx := -rCells; dx <= rCells; dx++ {
+				n := geom.Cell{X: c.X + dx, Y: c.Y + dy}
+				if !cm.InBounds(n) {
+					continue
+				}
+				if cm.CellToWorld(n).DistSq(p) <= radius*radius {
+					covered[n.Y*w+n.X] = true
+				}
+			}
+		}
+	}
+	total, hit := 0, 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !cm.IsTraversable(geom.Cell{X: x, Y: y}) {
+				continue
+			}
+			total++
+			if covered[y*w+x] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,107 @@
+package coverage
+
+import (
+	"testing"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+func cmFor(m *grid.Map) *costmap.Costmap {
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+	return cm
+}
+
+func TestPlanCoversEmptyRoom(t *testing.T) {
+	cm := cmFor(world.EmptyRoomMap(4, 3, 0.05))
+	path, st, err := Plan(cm, geom.V(0.7, 0.7), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments == 0 || st.PathLen < 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Walking the planned path with a spacing-radius tool must cover
+	// nearly all traversable cells.
+	pts := densify(path, 0.05)
+	if c := Covered(cm, pts, DefaultConfig().Spacing); c < 0.95 {
+		t.Errorf("plan covers only %.0f%%", c*100)
+	}
+	// The path must stay traversable throughout.
+	for i, p := range pts {
+		if cost := cm.WorldCost(p); cost >= costmap.InscribedCost && cost != costmap.UnknownCost {
+			t.Fatalf("path point %d at %v has cost %d", i, p, cost)
+		}
+	}
+}
+
+func TestPlanSweepsAroundIsland(t *testing.T) {
+	m := world.EmptyRoomMap(4, 3, 0.05)
+	for y := 25; y < 35; y++ {
+		for x := 35; x < 45; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, grid.Occupied)
+		}
+	}
+	cm := cmFor(m)
+	path, st, err := Plan(cm, geom.V(0.7, 0.7), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Connected == 0 {
+		t.Error("island should force connector plans")
+	}
+	pts := densify(path, 0.05)
+	if c := Covered(cm, pts, DefaultConfig().Spacing); c < 0.9 {
+		t.Errorf("island room covered only %.0f%%", c*100)
+	}
+}
+
+func TestPlanNoFreeSpace(t *testing.T) {
+	m := grid.NewMap(20, 20, 0.05, geom.V(0, 0), grid.Occupied)
+	cm := cmFor(m)
+	if _, _, err := Plan(cm, geom.V(0.5, 0.5), DefaultConfig()); err == nil {
+		t.Error("fully occupied map must fail")
+	}
+}
+
+func TestCoveredMetric(t *testing.T) {
+	cm := cmFor(world.EmptyRoomMap(2, 2, 0.05))
+	if Covered(cm, nil, 0.2) != 0 {
+		t.Error("no visits = 0 coverage")
+	}
+	// One point covers a small fraction.
+	c1 := Covered(cm, []geom.Vec2{geom.V(1, 1)}, 0.2)
+	if c1 <= 0 || c1 > 0.2 {
+		t.Errorf("single point coverage = %v", c1)
+	}
+	// More points, more coverage.
+	c2 := Covered(cm, []geom.Vec2{geom.V(0.5, 0.5), geom.V(1, 1), geom.V(1.5, 1.5)}, 0.2)
+	if c2 <= c1 {
+		t.Error("coverage should grow with visits")
+	}
+}
+
+func TestDegenerateConfig(t *testing.T) {
+	cm := cmFor(world.EmptyRoomMap(2, 2, 0.05))
+	if _, _, err := Plan(cm, geom.V(1, 1), Config{}); err != nil {
+		t.Fatalf("zero config should fall back to defaults: %v", err)
+	}
+}
+
+// densify inserts intermediate points so Covered sees the full swath.
+func densify(path []geom.Vec2, step float64) []geom.Vec2 {
+	var out []geom.Vec2
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		d := a.Dist(b)
+		n := int(d/step) + 1
+		for k := 0; k <= n; k++ {
+			out = append(out, a.Lerp(b, float64(k)/float64(n)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package energy
+
+import "fmt"
+
+// Battery models the LGV's lithium-polymer pack. The paper motivates
+// offloading with the Turtlebot3's 19.98 Wh battery, of which the
+// embedded computer can draw at most ≈3.35 Wh over a one-hour mission —
+// the budget that forces either slow on-board computation or offloading.
+type Battery struct {
+	CapacityWh float64
+	consumedJ  float64
+}
+
+// JoulesPerWh converts watt-hours to joules.
+const JoulesPerWh = 3600.0
+
+// Turtlebot3Battery returns the paper's 19.98 Wh pack.
+func Turtlebot3Battery() *Battery { return &Battery{CapacityWh: 19.98} }
+
+// Drain consumes the given energy; draining past empty clamps at zero
+// remaining charge.
+func (b *Battery) Drain(joules float64) {
+	if joules > 0 {
+		b.consumedJ += joules
+	}
+}
+
+// CapacityJ returns the pack capacity in joules.
+func (b *Battery) CapacityJ() float64 { return b.CapacityWh * JoulesPerWh }
+
+// ConsumedJ returns the total energy drained (not clamped).
+func (b *Battery) ConsumedJ() float64 { return b.consumedJ }
+
+// RemainingJ returns the remaining charge in joules, clamped at zero.
+func (b *Battery) RemainingJ() float64 {
+	r := b.CapacityJ() - b.consumedJ
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SoC returns the state of charge in [0, 1].
+func (b *Battery) SoC() float64 {
+	if b.CapacityJ() <= 0 {
+		return 0
+	}
+	return b.RemainingJ() / b.CapacityJ()
+}
+
+// Depleted reports whether the pack is empty.
+func (b *Battery) Depleted() bool { return b.RemainingJ() <= 0 }
+
+// MissionsPerCharge returns how many missions of the given energy cost a
+// full pack sustains.
+func (b *Battery) MissionsPerCharge(missionJoules float64) float64 {
+	if missionJoules <= 0 {
+		return 0
+	}
+	return b.CapacityJ() / missionJoules
+}
+
+// EnduranceHours returns how long the pack lasts at the given average
+// power draw.
+func (b *Battery) EnduranceHours(watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return b.CapacityWh / watts
+}
+
+func (b *Battery) String() string {
+	return fmt.Sprintf("Battery{%.2f Wh, %.0f%% remaining}", b.CapacityWh, b.SoC()*100)
+}

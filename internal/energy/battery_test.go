@@ -1,0 +1,70 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatteryBasics(t *testing.T) {
+	b := Turtlebot3Battery()
+	if b.CapacityWh != 19.98 {
+		t.Errorf("capacity = %v", b.CapacityWh)
+	}
+	if math.Abs(b.CapacityJ()-19.98*3600) > 1e-9 {
+		t.Errorf("capacity J = %v", b.CapacityJ())
+	}
+	if b.SoC() != 1 || b.Depleted() {
+		t.Error("fresh pack should be full")
+	}
+	b.Drain(b.CapacityJ() / 2)
+	if math.Abs(b.SoC()-0.5) > 1e-12 {
+		t.Errorf("SoC = %v", b.SoC())
+	}
+	b.Drain(b.CapacityJ()) // overdrain
+	if !b.Depleted() || b.RemainingJ() != 0 {
+		t.Error("overdrained pack should clamp at empty")
+	}
+	if b.SoC() != 0 {
+		t.Errorf("SoC = %v", b.SoC())
+	}
+	// Negative drain ignored.
+	before := b.ConsumedJ()
+	b.Drain(-100)
+	if b.ConsumedJ() != before {
+		t.Error("negative drain must be ignored")
+	}
+}
+
+func TestMissionsPerCharge(t *testing.T) {
+	b := Turtlebot3Battery()
+	// The paper's headline: a ~550 J offloaded mission vs ~860 J local.
+	local := b.MissionsPerCharge(860)
+	off := b.MissionsPerCharge(550)
+	if off <= local {
+		t.Error("offloading must extend missions per charge")
+	}
+	if math.Abs(off/local-860.0/550.0) > 1e-9 {
+		t.Error("ratio should equal energy ratio")
+	}
+	if b.MissionsPerCharge(0) != 0 {
+		t.Error("zero-cost mission should return 0 (undefined)")
+	}
+}
+
+func TestEnduranceHours(t *testing.T) {
+	b := Turtlebot3Battery()
+	// The paper: the embedded computer alone at 3.35 W runs ~6 h, but the
+	// whole robot at ~15 W barely exceeds 1.3 h.
+	if h := b.EnduranceHours(19.98); math.Abs(h-1.0) > 1e-9 {
+		t.Errorf("endurance at capacity draw = %v h", h)
+	}
+	if b.EnduranceHours(0) != 0 {
+		t.Error("zero draw is undefined → 0")
+	}
+}
+
+func TestBatteryString(t *testing.T) {
+	if Turtlebot3Battery().String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,208 @@
+// Package energy implements the paper's energy model (Eq. 1a–1d): total
+// mission energy as the sum of on-board computation energy (Eq. 1c,
+// E = k·L·f² over executed cycles), motor energy (Eq. 1d, traction
+// physics), fixed sensor/microcontroller draw, and wireless transmission
+// energy (Eq. 1b, E = P_trans·D/R_uplink). It also carries the static
+// component power table the paper reports as Table I.
+package energy
+
+import (
+	"fmt"
+)
+
+// Component identifies one energy-consuming LGV subsystem.
+type Component string
+
+const (
+	Sensor          Component = "sensor"
+	Motor           Component = "motor"
+	Microcontroller Component = "microcontroller"
+	Computer        Component = "embedded_computer"
+	Wireless        Component = "wireless"
+)
+
+// Components lists all components in presentation order.
+var Components = []Component{Sensor, Motor, Microcontroller, Computer, Wireless}
+
+// PowerRow is one vehicle's entry in Table I: maximum power per component
+// in watts.
+type PowerRow struct {
+	Vehicle         string
+	Sensor          float64
+	Motor           float64
+	Microcontroller float64
+	Computer        float64
+}
+
+// Total returns the row's total maximum power.
+func (r PowerRow) Total() float64 {
+	return r.Sensor + r.Motor + r.Microcontroller + r.Computer
+}
+
+// Share returns each component's fraction of the total, in the order
+// sensor, motor, microcontroller, computer.
+func (r PowerRow) Share() [4]float64 {
+	t := r.Total()
+	if t == 0 {
+		return [4]float64{}
+	}
+	return [4]float64{r.Sensor / t, r.Motor / t, r.Microcontroller / t, r.Computer / t}
+}
+
+// TableI reproduces the paper's Table I: maximum power consumption of
+// each component (W) for three commodity LGVs.
+func TableI() []PowerRow {
+	return []PowerRow{
+		{Vehicle: "Turtlebot2", Sensor: 2.5, Motor: 9, Microcontroller: 4.6, Computer: 15},
+		{Vehicle: "Turtlebot3", Sensor: 1, Motor: 6.7, Microcontroller: 1, Computer: 6.5},
+		{Vehicle: "Pioneer 3DX", Sensor: 0.82, Motor: 10.6, Microcontroller: 4.6, Computer: 15},
+	}
+}
+
+// Model holds the calibrated coefficients of the Turtlebot3 energy model.
+type Model struct {
+	// Computation (Eq. 1c): P_ec = IdleComputer + K·(cycles/s)·f², with f
+	// in GHz and K in J/(cycle·GHz²). K is calibrated so a fully loaded
+	// Pi (4 cores × 1.4 GHz) draws the Table I maximum of 6.5 W.
+	K            float64
+	FreqGHz      float64
+	IdleComputer float64
+
+	// Fixed component draws while the mission runs.
+	SensorPower float64
+	MicroPower  float64
+
+	// Transmission (Eq. 1b).
+	TransmitPower     float64 // P_trans, W
+	UplinkBytesPerSec float64 // R_uplink
+}
+
+// Turtlebot3Model returns the calibrated model for the paper's vehicle.
+func Turtlebot3Model() Model {
+	const (
+		freq     = 1.4 // GHz
+		cores    = 4
+		maxPower = 6.5 // Table I embedded computer max, W
+		idle     = 1.9 // Pi 3B+ idle draw, W
+	)
+	cyclesPerSec := freq * 1e9 * cores
+	k := (maxPower - idle) / (cyclesPerSec * freq * freq)
+	return Model{
+		K:                 k,
+		FreqGHz:           freq,
+		IdleComputer:      idle,
+		SensorPower:       1.0,
+		MicroPower:        1.0,
+		TransmitPower:     1.3,
+		UplinkBytesPerSec: 2.5e6,
+	}
+}
+
+// ComputePower returns the embedded computer's instantaneous power when
+// retiring the given number of cycles per second (Eq. 1c).
+func (m Model) ComputePower(cyclesPerSec float64) float64 {
+	return m.IdleComputer + m.K*cyclesPerSec*m.FreqGHz*m.FreqGHz
+}
+
+// ComputeEnergy returns the energy to execute the given cycles on board,
+// spread over dt seconds (the idle floor accrues with time, the dynamic
+// part with cycles).
+func (m Model) ComputeEnergy(cycles, dt float64) float64 {
+	return m.IdleComputer*dt + m.K*cycles*m.FreqGHz*m.FreqGHz
+}
+
+// TransmitEnergy returns the energy to uplink the given number of bytes
+// (Eq. 1b): E = P_trans · D / R_uplink. Receive energy is ignored, as in
+// the paper, because downlink payloads (48 B commands) are tiny.
+func (m Model) TransmitEnergy(bytes float64) float64 {
+	if m.UplinkBytesPerSec <= 0 {
+		return 0
+	}
+	return m.TransmitPower * bytes / m.UplinkBytesPerSec
+}
+
+// Meter accumulates per-component energy over a mission.
+type Meter struct {
+	model  Model
+	joules map[Component]float64
+	time   float64
+}
+
+// NewMeter returns a meter over the given model.
+func NewMeter(m Model) *Meter {
+	return &Meter{model: m, joules: make(map[Component]float64)}
+}
+
+// Model returns the meter's model.
+func (mt *Meter) Model() Model { return mt.model }
+
+// Tick advances the meter by dt seconds of mission time, accruing the
+// fixed sensor/microcontroller draw and the computer idle floor.
+func (mt *Meter) Tick(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	mt.time += dt
+	mt.joules[Sensor] += mt.model.SensorPower * dt
+	mt.joules[Microcontroller] += mt.model.MicroPower * dt
+	mt.joules[Computer] += mt.model.IdleComputer * dt
+}
+
+// AddMotor accrues motor energy for dt seconds at the given instantaneous
+// traction power (from the world's physics step).
+func (mt *Meter) AddMotor(power, dt float64) {
+	if dt > 0 && power > 0 {
+		mt.joules[Motor] += power * dt
+	}
+}
+
+// AddCycles accrues the dynamic computation energy of executing the given
+// on-board cycles (Eq. 1c, dynamic term only — the idle floor accrues in
+// Tick).
+func (mt *Meter) AddCycles(cycles float64) {
+	if cycles > 0 {
+		mt.joules[Computer] += mt.model.K * cycles * mt.model.FreqGHz * mt.model.FreqGHz
+	}
+}
+
+// AddTransmit accrues wireless energy for uplinking the given bytes.
+func (mt *Meter) AddTransmit(bytes float64) {
+	if bytes > 0 {
+		mt.joules[Wireless] += mt.model.TransmitEnergy(bytes)
+	}
+}
+
+// Component returns the accumulated joules for one component.
+func (mt *Meter) Component(c Component) float64 { return mt.joules[c] }
+
+// Total returns the mission's total energy (Eq. 1a).
+func (mt *Meter) Total() float64 {
+	var t float64
+	for _, j := range mt.joules {
+		t += j
+	}
+	return t
+}
+
+// Elapsed returns the mission time the meter has accrued.
+func (mt *Meter) Elapsed() float64 { return mt.time }
+
+// Breakdown returns (component, joules) pairs in presentation order,
+// including zero entries.
+func (mt *Meter) Breakdown() []ComponentEnergy {
+	rows := make([]ComponentEnergy, 0, len(Components))
+	for _, c := range Components {
+		rows = append(rows, ComponentEnergy{Component: c, Joules: mt.joules[c]})
+	}
+	return rows
+}
+
+// ComponentEnergy is one row of an energy breakdown.
+type ComponentEnergy struct {
+	Component Component
+	Joules    float64
+}
+
+func (ce ComponentEnergy) String() string {
+	return fmt.Sprintf("%-18s %8.1f J", ce.Component, ce.Joules)
+}

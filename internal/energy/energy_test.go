@@ -1,0 +1,168 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIShares(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper percentages: Turtlebot3 = 6.5%, 44%, 6.5%, 43%.
+	tb3 := rows[1]
+	if tb3.Vehicle != "Turtlebot3" {
+		t.Fatalf("row order: %v", tb3.Vehicle)
+	}
+	s := tb3.Share()
+	want := [4]float64{0.065, 0.44, 0.065, 0.43}
+	for i := range want {
+		if math.Abs(s[i]-want[i]) > 0.02 {
+			t.Errorf("share[%d] = %.3f, want ≈ %.3f", i, s[i], want[i])
+		}
+	}
+	// Motors + computer dominate in every vehicle (the paper's key claim).
+	for _, r := range rows {
+		sh := r.Share()
+		if sh[1]+sh[3] < 0.7 {
+			t.Errorf("%s: motor+computer share %.2f < 0.7", r.Vehicle, sh[1]+sh[3])
+		}
+	}
+}
+
+func TestShareZeroRow(t *testing.T) {
+	var r PowerRow
+	if r.Share() != [4]float64{} {
+		t.Error("zero row share should be zeros")
+	}
+}
+
+func TestModelCalibration(t *testing.T) {
+	m := Turtlebot3Model()
+	// Fully loaded Pi: 4 cores × 1.4 GHz.
+	p := m.ComputePower(4 * 1.4e9)
+	if math.Abs(p-6.5) > 1e-9 {
+		t.Errorf("full-load power = %v, want 6.5", p)
+	}
+	if idle := m.ComputePower(0); idle != m.IdleComputer {
+		t.Errorf("idle power = %v", idle)
+	}
+}
+
+func TestComputeEnergyMatchesPower(t *testing.T) {
+	m := Turtlebot3Model()
+	// Executing c cycles over dt at rate c/dt must equal power × dt.
+	c, dt := 2.8e9, 2.0
+	e := m.ComputeEnergy(c, dt)
+	p := m.ComputePower(c / dt)
+	if math.Abs(e-p*dt) > 1e-9 {
+		t.Errorf("energy %v != power·dt %v", e, p*dt)
+	}
+}
+
+func TestTransmitEnergy(t *testing.T) {
+	m := Turtlebot3Model()
+	// E = P·D/R: 2.5 MB at 2.5 MB/s = 1 s of 1.3 W.
+	if e := m.TransmitEnergy(2.5e6); math.Abs(e-1.3) > 1e-9 {
+		t.Errorf("transmit energy = %v", e)
+	}
+	if m.TransmitEnergy(0) != 0 {
+		t.Error("zero bytes should cost nothing")
+	}
+	bad := m
+	bad.UplinkBytesPerSec = 0
+	if bad.TransmitEnergy(100) != 0 {
+		t.Error("zero rate must not divide by zero")
+	}
+}
+
+func TestTransmitEnergyIsSmallForLGVPayloads(t *testing.T) {
+	// The paper's observation: wireless energy is negligible because the
+	// max payload is 2.94 KB. A 100 s mission at 5 Hz scans: 500 × 2.94 KB.
+	m := Turtlebot3Model()
+	e := m.TransmitEnergy(500 * 2940)
+	if e > 2.0 {
+		t.Errorf("mission transmit energy = %v J — should be ~1 J, tiny vs motor", e)
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	mt := NewMeter(Turtlebot3Model())
+	mt.Tick(10)
+	if got := mt.Component(Sensor); math.Abs(got-10) > 1e-9 {
+		t.Errorf("sensor = %v", got)
+	}
+	if got := mt.Component(Microcontroller); math.Abs(got-10) > 1e-9 {
+		t.Errorf("micro = %v", got)
+	}
+	if got := mt.Component(Computer); math.Abs(got-19) > 1e-9 {
+		t.Errorf("computer idle = %v", got)
+	}
+	mt.AddMotor(3.0, 10)
+	if got := mt.Component(Motor); math.Abs(got-30) > 1e-9 {
+		t.Errorf("motor = %v", got)
+	}
+	mt.AddCycles(1.4e9 * 4 * 10) // 10 s of full load (dynamic part)
+	wantDyn := (6.5 - 1.9) * 10
+	if got := mt.Component(Computer); math.Abs(got-(19+wantDyn)) > 1e-6 {
+		t.Errorf("computer total = %v, want %v", got, 19+wantDyn)
+	}
+	mt.AddTransmit(2.5e6)
+	if got := mt.Component(Wireless); math.Abs(got-1.3) > 1e-9 {
+		t.Errorf("wireless = %v", got)
+	}
+	sum := 10 + 10 + 19 + 30 + wantDyn + 1.3
+	if got := mt.Total(); math.Abs(got-sum) > 1e-6 {
+		t.Errorf("total = %v, want %v", got, sum)
+	}
+	if mt.Elapsed() != 10 {
+		t.Errorf("elapsed = %v", mt.Elapsed())
+	}
+}
+
+func TestMeterIgnoresNonPositive(t *testing.T) {
+	mt := NewMeter(Turtlebot3Model())
+	mt.Tick(-1)
+	mt.AddMotor(-5, 1)
+	mt.AddMotor(5, -1)
+	mt.AddCycles(-100)
+	mt.AddTransmit(-100)
+	if mt.Total() != 0 || mt.Elapsed() != 0 {
+		t.Error("non-positive inputs must not accrue")
+	}
+}
+
+func TestMeterBreakdownOrder(t *testing.T) {
+	mt := NewMeter(Turtlebot3Model())
+	mt.Tick(1)
+	rows := mt.Breakdown()
+	if len(rows) != len(Components) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, c := range Components {
+		if rows[i].Component != c {
+			t.Errorf("row %d = %v, want %v", i, rows[i].Component, c)
+		}
+	}
+}
+
+func TestMeterMonotoneProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		mt := NewMeter(Turtlebot3Model())
+		prev := 0.0
+		for _, s := range steps {
+			mt.Tick(float64(s) * 0.01)
+			mt.AddMotor(2, float64(s)*0.01)
+			if mt.Total() < prev-1e-12 {
+				return false
+			}
+			prev = mt.Total()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

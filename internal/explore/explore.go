@@ -1,0 +1,234 @@
+// Package explore implements the Exploration node: Yamauchi's
+// frontier-based autonomous exploration. A frontier is a free cell
+// adjacent to unknown space; frontiers are clustered into connected
+// regions, regions below a minimum size are discarded, and the next goal
+// is chosen by distance (nearest-first, the classic policy) from the
+// robot's current position. Exploration finishes when no qualifying
+// frontier remains.
+package explore
+
+import (
+	"sort"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// Config parameterizes frontier detection.
+type Config struct {
+	// MinFrontierCells is the smallest cluster worth visiting.
+	MinFrontierCells int
+	// MinGoalDist skips frontiers closer than this to the robot (they
+	// are usually sensor shadows the next scan will clear), m.
+	MinGoalDist float64
+}
+
+// DefaultConfig returns thresholds suitable for 5 cm grids.
+func DefaultConfig() Config {
+	return Config{MinFrontierCells: 8, MinGoalDist: 0.3}
+}
+
+// Frontier is one cluster of boundary cells.
+type Frontier struct {
+	Cells    []geom.Cell
+	Centroid geom.Vec2
+	// Reachable is the member cell's world position closest to the
+	// centroid — a guaranteed-free goal point (the centroid itself can
+	// fall inside an obstacle for C-shaped clusters).
+	Reachable geom.Vec2
+}
+
+// Size returns the number of cells in the frontier.
+func (f Frontier) Size() int { return len(f.Cells) }
+
+// Result is one detection pass.
+type Result struct {
+	Frontiers []Frontier
+	Ops       int // cells examined (work measure)
+}
+
+// Done reports whether exploration is complete (no frontiers remain).
+func (r Result) Done() bool { return len(r.Frontiers) == 0 }
+
+// Detect finds all frontier clusters in the map.
+func Detect(m *grid.Map, cfg Config) Result {
+	var res Result
+	w, h := m.Width, m.Height
+	isFrontier := func(c geom.Cell) bool {
+		if m.At(c) != grid.Free {
+			return false
+		}
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				n := geom.Cell{X: c.X + dx, Y: c.Y + dy}
+				if m.InBounds(n) && m.At(n) == grid.Unknown {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	visited := make([]bool, w*h)
+	idx := func(c geom.Cell) int { return c.Y*w + c.X }
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := geom.Cell{X: x, Y: y}
+			res.Ops++
+			if visited[idx(c)] || !isFrontier(c) {
+				continue
+			}
+			// Flood-fill the cluster over 8-connectivity.
+			var cluster []geom.Cell
+			stack := []geom.Cell{c}
+			visited[idx(c)] = true
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				cluster = append(cluster, cur)
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						n := geom.Cell{X: cur.X + dx, Y: cur.Y + dy}
+						if !m.InBounds(n) || visited[idx(n)] {
+							continue
+						}
+						res.Ops++
+						if isFrontier(n) {
+							visited[idx(n)] = true
+							stack = append(stack, n)
+						}
+					}
+				}
+			}
+			if len(cluster) < cfg.MinFrontierCells {
+				continue
+			}
+			res.Frontiers = append(res.Frontiers, buildFrontier(m, cluster))
+		}
+	}
+	return res
+}
+
+func buildFrontier(m *grid.Map, cells []geom.Cell) Frontier {
+	var cx, cy float64
+	for _, c := range cells {
+		w := m.CellToWorld(c)
+		cx += w.X
+		cy += w.Y
+	}
+	centroid := geom.V(cx/float64(len(cells)), cy/float64(len(cells)))
+	best := m.CellToWorld(cells[0])
+	bestD := best.DistSq(centroid)
+	for _, c := range cells[1:] {
+		w := m.CellToWorld(c)
+		if d := w.DistSq(centroid); d < bestD {
+			best, bestD = w, d
+		}
+	}
+	return Frontier{Cells: cells, Centroid: centroid, Reachable: best}
+}
+
+// Candidates returns every qualifying frontier goal sorted nearest-first
+// (deterministic tie-break by coordinates). Callers that can fail to
+// reach a goal — a frontier may sit in a sensor shadow the planner cannot
+// route to — walk the list and blacklist losers.
+func Candidates(m *grid.Map, robot geom.Vec2, cfg Config) ([]geom.Vec2, Result) {
+	res := Detect(m, cfg)
+	type cand struct {
+		goal geom.Vec2
+		d    float64
+	}
+	var cands []cand
+	for _, f := range res.Frontiers {
+		d := f.Reachable.Dist(robot)
+		if d < cfg.MinGoalDist {
+			continue
+		}
+		cands = append(cands, cand{goal: f.Reachable, d: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		if cands[i].goal.X != cands[j].goal.X {
+			return cands[i].goal.X < cands[j].goal.X
+		}
+		return cands[i].goal.Y < cands[j].goal.Y
+	})
+	out := make([]geom.Vec2, len(cands))
+	for i, c := range cands {
+		out[i] = c.goal
+	}
+	return out, res
+}
+
+// NextGoal selects the nearest qualifying frontier's reachable point as
+// the next exploration goal. ok=false means exploration is complete.
+func NextGoal(m *grid.Map, robot geom.Vec2, cfg Config) (geom.Vec2, Result, bool) {
+	cands, res := Candidates(m, robot, cfg)
+	if len(cands) == 0 {
+		return geom.Vec2{}, res, false
+	}
+	return cands[0], res, true
+}
+
+// Progress returns the fraction of the reference (ground-truth) map's
+// free cells that the explored map has discovered as free — the metric
+// the mission engine uses to decide an exploration run has succeeded.
+func Progress(explored, truth *grid.Map) float64 {
+	if explored.Width != truth.Width || explored.Height != truth.Height {
+		return 0
+	}
+	totalFree, found := 0, 0
+	for i, v := range truth.Cells {
+		if v != grid.Free {
+			continue
+		}
+		totalFree++
+		if explored.Cells[i] == grid.Free {
+			found++
+		}
+	}
+	if totalFree == 0 {
+		return 0
+	}
+	return float64(found) / float64(totalFree)
+}
+
+// Coverage returns the known fraction of cells within the given radius of
+// any visited pose — a progress proxy when no ground truth is available.
+func Coverage(m *grid.Map, visited []geom.Vec2, radius float64) float64 {
+	if len(visited) == 0 {
+		return 0
+	}
+	r2 := radius * radius
+	total, known := 0, 0
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			c := geom.Cell{X: x, Y: y}
+			w := m.CellToWorld(c)
+			near := false
+			for _, v := range visited {
+				if w.DistSq(v) <= r2 {
+					near = true
+					break
+				}
+			}
+			if !near {
+				continue
+			}
+			total++
+			if m.At(c) != grid.Unknown {
+				known++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(known) / float64(total)
+}

@@ -1,0 +1,176 @@
+package explore
+
+import (
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// partialMap builds a map where the left half is known free, the right
+// half unknown, with a vertical frontier between them.
+func partialMap() *grid.Map {
+	m := grid.NewMap(40, 40, 0.1, geom.V(0, 0), grid.Unknown)
+	for y := 0; y < 40; y++ {
+		for x := 0; x < 20; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, grid.Free)
+		}
+	}
+	return m
+}
+
+func TestDetectFindsFrontier(t *testing.T) {
+	res := Detect(partialMap(), DefaultConfig())
+	if len(res.Frontiers) != 1 {
+		t.Fatalf("frontiers = %d", len(res.Frontiers))
+	}
+	f := res.Frontiers[0]
+	// The frontier column is x=19 (free cells adjacent to unknown x=20).
+	for _, c := range f.Cells {
+		if c.X != 19 {
+			t.Fatalf("frontier cell off-column: %v", c)
+		}
+	}
+	if f.Size() != 40 {
+		t.Errorf("frontier size = %d, want 40", f.Size())
+	}
+	if res.Ops == 0 {
+		t.Error("no work accounted")
+	}
+}
+
+func TestFullyKnownMapHasNoFrontiers(t *testing.T) {
+	m := grid.NewMap(20, 20, 0.1, geom.V(0, 0), grid.Free)
+	res := Detect(m, DefaultConfig())
+	if !res.Done() {
+		t.Errorf("fully known map has %d frontiers", len(res.Frontiers))
+	}
+}
+
+func TestFullyUnknownMapHasNoFrontiers(t *testing.T) {
+	m := grid.NewMap(20, 20, 0.1, geom.V(0, 0), grid.Unknown)
+	if res := Detect(m, DefaultConfig()); !res.Done() {
+		t.Error("no free cells means no frontiers")
+	}
+}
+
+func TestMinSizeFiltersSmallClusters(t *testing.T) {
+	m := grid.NewMap(20, 20, 0.1, geom.V(0, 0), grid.Free)
+	// Introduce a tiny unknown pocket: a small frontier ring around it.
+	m.Set(geom.Cell{X: 10, Y: 10}, grid.Unknown)
+	cfg := DefaultConfig()
+	cfg.MinFrontierCells = 20
+	if res := Detect(m, cfg); !res.Done() {
+		t.Errorf("small cluster should be filtered, got %d", len(res.Frontiers))
+	}
+	cfg.MinFrontierCells = 1
+	if res := Detect(m, cfg); res.Done() {
+		t.Error("cluster should appear with MinFrontierCells=1")
+	}
+}
+
+func TestOccupiedBoundaryIsNotFrontier(t *testing.T) {
+	m := partialMap()
+	// Wall off the boundary column: occupied cells are never frontiers.
+	for y := 0; y < 40; y++ {
+		m.Set(geom.Cell{X: 19, Y: y}, grid.Occupied)
+	}
+	if res := Detect(m, DefaultConfig()); !res.Done() {
+		t.Errorf("walled boundary should have no frontier, got %d", len(res.Frontiers))
+	}
+}
+
+func TestNextGoalNearest(t *testing.T) {
+	m := partialMap()
+	// Add a second unknown region at the bottom-left, creating a second
+	// frontier nearer to a robot at (0.5, 0.5)... actually carve unknown
+	// into the known half.
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, grid.Unknown)
+		}
+	}
+	robot := geom.V(1.0, 0.2)
+	goal, res, ok := NextGoal(m, robot, DefaultConfig())
+	if !ok {
+		t.Fatal("expected a goal")
+	}
+	if len(res.Frontiers) < 2 {
+		t.Fatalf("expected 2 frontiers, got %d", len(res.Frontiers))
+	}
+	// The near frontier (around the carved pocket) should win.
+	if goal.X > 1.5 {
+		t.Errorf("nearest frontier not chosen: %v", goal)
+	}
+}
+
+func TestNextGoalRespectsMinDist(t *testing.T) {
+	m := partialMap()
+	robot := geom.V(1.95, 2.0) // on the frontier itself
+	cfg := DefaultConfig()
+	cfg.MinGoalDist = 50 // exclude everything
+	if _, _, ok := NextGoal(m, robot, cfg); ok {
+		t.Error("all frontiers within MinGoalDist should end exploration")
+	}
+}
+
+func TestReachableIsFrontierMember(t *testing.T) {
+	res := Detect(partialMap(), DefaultConfig())
+	f := res.Frontiers[0]
+	m := partialMap()
+	c := m.WorldToCell(f.Reachable)
+	found := false
+	for _, fc := range f.Cells {
+		if fc == c {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("Reachable %v is not a member cell", f.Reachable)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	truth := grid.NewMap(10, 10, 0.1, geom.V(0, 0), grid.Free)
+	explored := grid.NewMap(10, 10, 0.1, geom.V(0, 0), grid.Unknown)
+	if p := Progress(explored, truth); p != 0 {
+		t.Errorf("no progress = %v", p)
+	}
+	for i := 0; i < 50; i++ {
+		explored.Cells[i] = grid.Free
+	}
+	if p := Progress(explored, truth); p != 0.5 {
+		t.Errorf("half progress = %v", p)
+	}
+	// Size mismatch is defensive-zero.
+	small := grid.NewMap(5, 5, 0.1, geom.V(0, 0), grid.Free)
+	if Progress(small, truth) != 0 {
+		t.Error("mismatched dims should be 0")
+	}
+	// No free truth cells.
+	wall := grid.NewMap(10, 10, 0.1, geom.V(0, 0), grid.Occupied)
+	if Progress(explored, wall) != 0 {
+		t.Error("no free truth should be 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	m := grid.NewMap(20, 20, 0.1, geom.V(0, 0), grid.Unknown)
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 10; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, grid.Free)
+		}
+	}
+	// Visit only the known half: high coverage.
+	if c := Coverage(m, []geom.Vec2{geom.V(0.5, 1.0)}, 0.4); c < 0.9 {
+		t.Errorf("coverage near known = %v", c)
+	}
+	// Visit the unknown half: low coverage.
+	if c := Coverage(m, []geom.Vec2{geom.V(1.5, 1.0)}, 0.4); c > 0.1 {
+		t.Errorf("coverage near unknown = %v", c)
+	}
+	if Coverage(m, nil, 1) != 0 {
+		t.Error("no visits should be 0")
+	}
+}

@@ -1,0 +1,28 @@
+package grid
+
+import (
+	"testing"
+
+	"lgvoffload/internal/geom"
+)
+
+// FuzzParseText throws arbitrary text at the map parser: it must either
+// return a well-formed map or an error, never panic.
+func FuzzParseText(f *testing.F) {
+	f.Add("####\n#..#\n####")
+	f.Add("")
+	f.Add("#\n##")
+	f.Add("?.#\n.#?")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ParseText(text, 0.1, geom.V(0, 0))
+		if err != nil {
+			return
+		}
+		if m.Width <= 0 || m.Height <= 0 {
+			t.Fatalf("parsed map with degenerate dims %dx%d", m.Width, m.Height)
+		}
+		if len(m.Cells) != m.Width*m.Height {
+			t.Fatal("cell slice size mismatch")
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package hostsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedOrdering(t *testing.T) {
+	pi, edge, cloud := RaspberryPi(), EdgeGateway(), CloudServer()
+	if !(pi.Speed() < cloud.Speed() && cloud.Speed() < edge.Speed()) {
+		t.Errorf("single-thread speed order wrong: pi=%v edge=%v cloud=%v",
+			pi.Speed(), edge.Speed(), cloud.Speed())
+	}
+}
+
+func TestSerialExecTime(t *testing.T) {
+	pi := RaspberryPi()
+	w := Work{SerialCycles: 1.4e9} // exactly one second on the Pi
+	if got := pi.ExecTime(w, 1); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("exec time = %v, want 1", got)
+	}
+	// Threads don't help serial work.
+	if got := pi.ExecTime(w, 4); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("serial work sped up by threads: %v", got)
+	}
+}
+
+func TestParallelScaling(t *testing.T) {
+	cloud := CloudServer()
+	w := Work{ParallelCycles: 10e9}
+	t1 := cloud.ExecTime(w, 1)
+	t4 := cloud.ExecTime(w, 4)
+	t12 := cloud.ExecTime(w, 12)
+	t24 := cloud.ExecTime(w, 24)
+	if !(t1 > t4 && t4 > t12 && t12 > t24) {
+		t.Errorf("large parallel work should keep scaling: %v %v %v %v", t1, t4, t12, t24)
+	}
+	// Near-linear at low counts.
+	if ratio := t1 / t4; ratio < 3 || ratio > 4.1 {
+		t.Errorf("4-thread speedup = %v, want ≈ 4", ratio)
+	}
+}
+
+func TestThreadsBeyondCoresDoNotHelp(t *testing.T) {
+	edge := EdgeGateway() // 4 cores
+	w := Work{ParallelCycles: 5e9}
+	t4 := edge.ExecTime(w, 4)
+	t16 := edge.ExecTime(w, 16)
+	if t16 < t4-1e-12 {
+		t.Errorf("16 threads on 4 cores beat 4 threads: %v < %v", t16, t4)
+	}
+}
+
+func TestTinyParallelWorkSaturates(t *testing.T) {
+	// The Fig. 10 phenomenon: when per-thread work is small, adding
+	// threads beyond ~4 brings no improvement (sync cost eats the gain).
+	cloud := CloudServer()
+	w := Work{SerialCycles: 2e6, ParallelCycles: 8e6}
+	t4 := cloud.ExecTime(w, 4)
+	t24 := cloud.ExecTime(w, 24)
+	if t24 < t4*0.95 {
+		t.Errorf("tiny work should not scale past 4 threads: t4=%v t24=%v", t4, t24)
+	}
+}
+
+func TestPaperSpeedupRanges(t *testing.T) {
+	// ECN (SLAM with many particles): heavily parallel work.
+	// The paper reports up to 27.97× on the gateway and 40.84× on the
+	// cloud; require the model to land in those neighbourhoods.
+	ecn := Work{SerialCycles: 0.1e9, ParallelCycles: 3.2e9}
+	edgeUp := EdgeGateway().Speedup(ecn, 8)
+	cloudUp := CloudServer().Speedup(ecn, 24)
+	if edgeUp < 20 || edgeUp > 40 {
+		t.Errorf("edge ECN speedup = %.1f, want ≈ 28", edgeUp)
+	}
+	if cloudUp < 30 || cloudUp > 55 {
+		t.Errorf("cloud ECN speedup = %.1f, want ≈ 41", cloudUp)
+	}
+	if cloudUp <= edgeUp {
+		t.Error("manycore cloud must beat gateway on ECN")
+	}
+
+	// VDP (costmap + tracking at 2000 samples): a modest serial part plus
+	// a parallel trajectory-scoring section, ≈0.24 s on the Pi (Fig. 10a).
+	vdp := Work{SerialCycles: 0.03e9, ParallelCycles: 0.31e9}
+	edgeVdp := EdgeGateway().Speedup(vdp, 8)
+	cloudVdp := CloudServer().Speedup(vdp, 12)
+	if edgeVdp < 12 || edgeVdp > 35 {
+		t.Errorf("edge VDP speedup = %.1f, want ≈ 24", edgeVdp)
+	}
+	if cloudVdp < 8 || cloudVdp > 25 {
+		t.Errorf("cloud VDP speedup = %.1f, want ≈ 17", cloudVdp)
+	}
+	if edgeVdp <= cloudVdp {
+		t.Error("high-frequency edge must beat cloud on the VDP")
+	}
+}
+
+func TestWorkArithmetic(t *testing.T) {
+	a := Work{1, 2}
+	b := Work{3, 4}
+	if got := a.Add(b); got != (Work{4, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(2); got != (Work{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if a.Total() != 3 {
+		t.Errorf("Total = %v", a.Total())
+	}
+}
+
+func TestExecTimePositiveProperty(t *testing.T) {
+	plats := []Platform{RaspberryPi(), EdgeGateway(), CloudServer()}
+	f := func(serial, par uint32, threads uint8) bool {
+		w := Work{SerialCycles: float64(serial), ParallelCycles: float64(par)}
+		for _, p := range plats {
+			if p.ExecTime(w, int(threads)) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreWorkTakesLonger(t *testing.T) {
+	p := CloudServer()
+	f := func(c1, c2 uint32, threads uint8) bool {
+		th := int(threads%32) + 1
+		a := Work{SerialCycles: float64(c1)}
+		b := Work{SerialCycles: float64(c1) + float64(c2)}
+		return p.ExecTime(a, th) <= p.ExecTime(b, th)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleCounter(t *testing.T) {
+	c := NewCycleCounter()
+	c.Account("slam", Work{SerialCycles: 1e9})
+	c.Account("slam", Work{ParallelCycles: 2e9})
+	c.Account("costmap", Work{SerialCycles: 1e9})
+	if got := c.Node("slam").Total(); got != 3e9 {
+		t.Errorf("slam total = %v", got)
+	}
+	if got := c.Total().Total(); got != 4e9 {
+		t.Errorf("grand total = %v", got)
+	}
+	rows := c.Breakdown()
+	if len(rows) != 2 || rows[0].Node != "slam" {
+		t.Errorf("breakdown = %v", rows)
+	}
+	if math.Abs(rows[0].Share-0.75) > 1e-9 {
+		t.Errorf("share = %v", rows[0].Share)
+	}
+	c.Reset()
+	if len(c.Breakdown()) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCycleCounterConcurrent(t *testing.T) {
+	c := NewCycleCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Account("n", Work{SerialCycles: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Node("n").SerialCycles; got != 8000 {
+		t.Errorf("concurrent accounting lost updates: %v", got)
+	}
+}
+
+func TestBreakdownDeterministicOrder(t *testing.T) {
+	c := NewCycleCounter()
+	c.Account("b", Work{SerialCycles: 5})
+	c.Account("a", Work{SerialCycles: 5})
+	rows := c.Breakdown()
+	if rows[0].Node != "a" || rows[1].Node != "b" {
+		t.Error("ties must break by name for determinism")
+	}
+}

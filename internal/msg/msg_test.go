@@ -1,0 +1,154 @@
+package msg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/sensor"
+	"lgvoffload/internal/wire"
+	"lgvoffload/internal/world"
+)
+
+func roundtrip(t *testing.T, m wire.Message) wire.Message {
+	t.Helper()
+	b := wire.EncodeFrame(m)
+	out, err := wire.DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	return out
+}
+
+func TestTwistRoundtripAndSize(t *testing.T) {
+	in := &Twist{Header: Header{Seq: 42, Stamp: 1.5, SentAt: 1.6}, V: 0.22, W: -1.1}
+	out := roundtrip(t, in).(*Twist)
+	if *out != *in {
+		t.Errorf("got %+v want %+v", out, in)
+	}
+	// The paper quotes ~48 B velocity commands; ours should be in that range.
+	n := len(wire.EncodeFrame(in))
+	if n < 20 || n > 64 {
+		t.Errorf("twist frame size = %d B, want tens of bytes", n)
+	}
+	if out.AsTwist() != (geom.Twist{V: 0.22, W: -1.1}) {
+		t.Error("AsTwist mismatch")
+	}
+}
+
+func TestScanRoundtripAndSize(t *testing.T) {
+	l := sensor.NewLDS01(0.01, rand.New(rand.NewSource(1)))
+	sc := l.Sense(world.EmptyRoomMap(4, 4, 0.05), geom.P(2, 2, 0), 3.25)
+	in := FromSensor(sc, 7)
+	out := roundtrip(t, in).(*Scan)
+	if out.Seq != 7 || out.Stamp != 3.25 {
+		t.Errorf("header %+v", out.Header)
+	}
+	if len(out.Ranges) != 360 {
+		t.Fatalf("ranges = %d", len(out.Ranges))
+	}
+	for i := range out.Ranges {
+		if out.Ranges[i] != in.Ranges[i] {
+			t.Fatal("ranges differ")
+		}
+	}
+	// Paper: max laser payload 2.94 KB. 360×8B + header ≈ 2.9 KB.
+	n := len(wire.EncodeFrame(in))
+	if n < 2800 || n > 3100 {
+		t.Errorf("scan frame size = %d B, want ≈ 2.9 KB", n)
+	}
+	back := out.ToSensor()
+	if back.Stamp != 3.25 || back.MaxRange != sc.MaxRange {
+		t.Error("ToSensor lost fields")
+	}
+}
+
+func TestPoseRoundtrip(t *testing.T) {
+	in := FromPose(geom.P(1, -2, math.Pi/3), 9, 2.0)
+	out := roundtrip(t, in).(*Pose)
+	if out.AsPose().Pos.Dist(geom.V(1, -2)) > 1e-12 {
+		t.Error("pose position")
+	}
+	if math.Abs(out.Theta-math.Pi/3) > 1e-12 {
+		t.Error("pose theta")
+	}
+}
+
+func TestOdomRoundtrip(t *testing.T) {
+	in := &Odom{Header: Header{Seq: 1}, X: 1, Y: 2, Theta: 0.5, V: 0.2, W: -0.3}
+	out := roundtrip(t, in).(*Odom)
+	if *out != *in {
+		t.Errorf("odom %+v", out)
+	}
+	if out.AsPose() != geom.P(1, 2, 0.5) {
+		t.Error("AsPose")
+	}
+}
+
+func TestGoalRoundtrip(t *testing.T) {
+	in := &Goal{Header: Header{Seq: 3, Stamp: 0.5}, X: 4.5, Y: -1}
+	out := roundtrip(t, in).(*Goal)
+	if *out != *in {
+		t.Errorf("goal %+v", out)
+	}
+}
+
+func TestPathRoundtrip(t *testing.T) {
+	pts := []geom.Vec2{geom.V(0, 0), geom.V(1, 1), geom.V(2, 0)}
+	in := FromPoints(pts, 5, 1.0)
+	out := roundtrip(t, in).(*Path)
+	got := out.Points()
+	if len(got) != 3 {
+		t.Fatalf("points = %d", len(got))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Errorf("point %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestPathEmptyAndMismatched(t *testing.T) {
+	empty := FromPoints(nil, 0, 0)
+	if len(empty.Points()) != 0 {
+		t.Error("empty path")
+	}
+	// Defensive: mismatched Xs/Ys takes the shorter.
+	p := &Path{Xs: []float64{1, 2}, Ys: []float64{3}}
+	if len(p.Points()) != 1 {
+		t.Error("mismatched path should truncate")
+	}
+}
+
+func TestGridPatchRoundtrip(t *testing.T) {
+	in := &GridPatch{
+		Header: Header{Seq: 11, Stamp: 4},
+		X0:     -5, Y0: 3, Width: 2, Height: 2,
+		Resolution: 0.05, OriginX: -1, OriginY: -2,
+		Cells: []int8{0, 100, -1, 0},
+	}
+	out := roundtrip(t, in).(*GridPatch)
+	if out.X0 != -5 || out.Y0 != 3 || out.Width != 2 || out.Height != 2 {
+		t.Errorf("geometry %+v", out)
+	}
+	if len(out.Cells) != 4 || out.Cells[1] != 100 || out.Cells[2] != -1 {
+		t.Errorf("cells %v", out.Cells)
+	}
+}
+
+func TestProfileRoundtrip(t *testing.T) {
+	in := &Profile{Header: Header{Seq: 2}, Node: "path_tracking", Host: "cloud", ProcTime: 0.004}
+	out := roundtrip(t, in).(*Profile)
+	if *out != *in {
+		t.Errorf("profile %+v", out)
+	}
+}
+
+func TestCorruptFrameFails(t *testing.T) {
+	in := FromPose(geom.P(1, 2, 3), 1, 1)
+	b := wire.EncodeFrame(in)
+	if _, err := wire.DecodeFrame(b[:len(b)-4]); err == nil {
+		t.Error("truncated pose frame must fail")
+	}
+}

@@ -1,0 +1,121 @@
+// Package muxer implements the Velocity Multiplexer node (the paper uses
+// Yujin Robot's open-source control system): multiple velocity sources —
+// safety controller, joystick, navigation — feed commands with distinct
+// priorities, and the multiplexer forwards the highest-priority command
+// that is still fresh. Stale sources time out so a dead navigation stack
+// cannot keep driving the motors.
+package muxer
+
+import (
+	"fmt"
+	"sort"
+
+	"lgvoffload/internal/geom"
+)
+
+// Source describes one velocity input channel.
+type Source struct {
+	Name     string
+	Priority int     // higher wins
+	Timeout  float64 // seconds a command stays valid
+}
+
+// Standard source names used by the workload pipeline.
+const (
+	SourceNavigation = "navigation"
+	SourceSafety     = "safety_controller"
+	SourceJoystick   = "joystick"
+)
+
+// DefaultSources returns the paper's three-source configuration: the
+// safety controller preempts the joystick, which preempts navigation.
+func DefaultSources() []Source {
+	return []Source{
+		{Name: SourceSafety, Priority: 100, Timeout: 0.2},
+		{Name: SourceJoystick, Priority: 50, Timeout: 0.5},
+		{Name: SourceNavigation, Priority: 10, Timeout: 0.5},
+	}
+}
+
+type slot struct {
+	src     Source
+	cmd     geom.Twist
+	stamp   float64
+	hasData bool
+}
+
+// Mux is the multiplexer state.
+type Mux struct {
+	slots map[string]*slot
+
+	selected  string // name of the source that won the last Select
+	forwarded int    // commands forwarded so far
+}
+
+// New builds a multiplexer with the given sources.
+func New(sources []Source) *Mux {
+	m := &Mux{slots: make(map[string]*slot, len(sources))}
+	for _, s := range sources {
+		m.slots[s.Name] = &slot{src: s}
+	}
+	return m
+}
+
+// Offer submits a command from a named source at virtual time now.
+// Unknown sources are rejected with an error.
+func (m *Mux) Offer(source string, cmd geom.Twist, now float64) error {
+	sl, ok := m.slots[source]
+	if !ok {
+		return fmt.Errorf("muxer: unknown source %q", source)
+	}
+	sl.cmd = cmd
+	sl.stamp = now
+	sl.hasData = true
+	return nil
+}
+
+// Select returns the winning command at time now: the freshest command of
+// the highest-priority source whose data has not timed out. When every
+// source is stale it returns a zero twist (stop) and ok=false.
+func (m *Mux) Select(now float64) (geom.Twist, bool) {
+	var best *slot
+	for _, sl := range m.slots {
+		if !sl.hasData || now-sl.stamp > sl.src.Timeout {
+			continue
+		}
+		if best == nil ||
+			sl.src.Priority > best.src.Priority ||
+			(sl.src.Priority == best.src.Priority && sl.stamp > best.stamp) {
+			best = sl
+		}
+	}
+	if best == nil {
+		m.selected = ""
+		return geom.Twist{}, false
+	}
+	m.selected = best.src.Name
+	m.forwarded++
+	return best.cmd, true
+}
+
+// Selected returns the name of the source that won the last Select, or
+// "" when everything was stale.
+func (m *Mux) Selected() string { return m.selected }
+
+// Forwarded returns how many commands have been forwarded to the motors.
+func (m *Mux) Forwarded() int { return m.forwarded }
+
+// Sources returns the configured sources sorted by descending priority.
+func (m *Mux) Sources() []Source {
+	out := make([]Source, 0, len(m.slots))
+	for _, sl := range m.slots {
+		out = append(out, sl.src)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,103 @@
+package muxer
+
+import (
+	"testing"
+
+	"lgvoffload/internal/geom"
+)
+
+func TestPriorityWins(t *testing.T) {
+	m := New(DefaultSources())
+	if err := m.Offer(SourceNavigation, geom.Twist{V: 0.2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Offer(SourceSafety, geom.Twist{V: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	cmd, ok := m.Select(0.05)
+	if !ok {
+		t.Fatal("expected a command")
+	}
+	if cmd.V != 0 || m.Selected() != SourceSafety {
+		t.Errorf("safety should win: cmd=%v selected=%s", cmd, m.Selected())
+	}
+}
+
+func TestTimeoutFallsBack(t *testing.T) {
+	m := New(DefaultSources())
+	m.Offer(SourceSafety, geom.Twist{V: 0}, 0)
+	m.Offer(SourceNavigation, geom.Twist{V: 0.2}, 0.5)
+	// Safety (0.2 s timeout) is stale at t=0.6; navigation is fresh.
+	cmd, ok := m.Select(0.6)
+	if !ok || cmd.V != 0.2 || m.Selected() != SourceNavigation {
+		t.Errorf("navigation should win after safety timeout: %v %s", cmd, m.Selected())
+	}
+}
+
+func TestAllStaleStops(t *testing.T) {
+	m := New(DefaultSources())
+	m.Offer(SourceNavigation, geom.Twist{V: 0.2}, 0)
+	cmd, ok := m.Select(10)
+	if ok || cmd != (geom.Twist{}) {
+		t.Errorf("stale sources should stop the robot: %v %v", cmd, ok)
+	}
+	if m.Selected() != "" {
+		t.Errorf("selected = %q", m.Selected())
+	}
+}
+
+func TestNoDataStops(t *testing.T) {
+	m := New(DefaultSources())
+	if _, ok := m.Select(0); ok {
+		t.Error("no offers should yield no command")
+	}
+}
+
+func TestUnknownSourceRejected(t *testing.T) {
+	m := New(DefaultSources())
+	if err := m.Offer("intruder", geom.Twist{V: 9}, 0); err == nil {
+		t.Error("unknown source must be rejected")
+	}
+}
+
+func TestEqualPriorityFreshestWins(t *testing.T) {
+	m := New([]Source{
+		{Name: "a", Priority: 10, Timeout: 1},
+		{Name: "b", Priority: 10, Timeout: 1},
+	})
+	m.Offer("a", geom.Twist{V: 0.1}, 0.0)
+	m.Offer("b", geom.Twist{V: 0.2}, 0.1)
+	cmd, ok := m.Select(0.2)
+	if !ok || cmd.V != 0.2 {
+		t.Errorf("freshest equal-priority should win: %v", cmd)
+	}
+}
+
+func TestForwardedCounter(t *testing.T) {
+	m := New(DefaultSources())
+	m.Offer(SourceNavigation, geom.Twist{V: 0.1}, 0)
+	m.Select(0.1)
+	m.Select(0.2)
+	m.Select(5) // stale, not forwarded
+	if m.Forwarded() != 2 {
+		t.Errorf("forwarded = %d", m.Forwarded())
+	}
+}
+
+func TestSourcesSorted(t *testing.T) {
+	m := New(DefaultSources())
+	s := m.Sources()
+	if len(s) != 3 || s[0].Name != SourceSafety || s[2].Name != SourceNavigation {
+		t.Errorf("sources = %v", s)
+	}
+}
+
+func TestNewerOfferReplacesOlder(t *testing.T) {
+	m := New(DefaultSources())
+	m.Offer(SourceNavigation, geom.Twist{V: 0.1}, 0)
+	m.Offer(SourceNavigation, geom.Twist{V: 0.3}, 0.1)
+	cmd, _ := m.Select(0.2)
+	if cmd.V != 0.3 {
+		t.Errorf("latest offer should win: %v", cmd)
+	}
+}

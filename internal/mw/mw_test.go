@@ -1,0 +1,320 @@
+package mw
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lgvoffload/internal/msg"
+)
+
+func twist(seq uint64, v float64) *msg.Twist {
+	return &msg.Twist{Header: msg.Header{Seq: seq}, V: v}
+}
+
+func TestLocalPublishSubscribe(t *testing.T) {
+	b := NewBus(nil)
+	sub := b.Subscribe("cmd_vel", "lgv", 4)
+	b.Publish("cmd_vel", "lgv", twist(1, 0.1), 0)
+	b.Publish("cmd_vel", "lgv", twist(2, 0.2), 0.1)
+	env, ok := sub.Poll()
+	if !ok || env.Msg.(*msg.Twist).Seq != 1 {
+		t.Fatalf("first poll = %+v %v", env, ok)
+	}
+	env, ok = sub.Poll()
+	if !ok || env.Msg.(*msg.Twist).Seq != 2 {
+		t.Fatalf("second poll = %+v %v", env, ok)
+	}
+	if _, ok = sub.Poll(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestOneLengthQueueKeepsFreshest(t *testing.T) {
+	b := NewBus(nil)
+	sub := b.Subscribe("scan", "lgv", 1)
+	for i := 1; i <= 5; i++ {
+		b.Publish("scan", "lgv", twist(uint64(i), 0), float64(i))
+	}
+	env, ok := sub.Poll()
+	if !ok || env.Msg.(*msg.Twist).Seq != 5 {
+		t.Fatalf("should hold only the freshest; got %+v", env.Msg)
+	}
+	if sub.Overwritten() != 4 {
+		t.Errorf("overwritten = %d", sub.Overwritten())
+	}
+	if sub.Received() != 5 {
+		t.Errorf("received = %d", sub.Received())
+	}
+}
+
+func TestLatestDrainsQueue(t *testing.T) {
+	b := NewBus(nil)
+	sub := b.Subscribe("pose", "lgv", 10)
+	for i := 1; i <= 3; i++ {
+		b.Publish("pose", "lgv", twist(uint64(i), 0), 0)
+	}
+	env, ok := sub.Latest()
+	if !ok || env.Msg.(*msg.Twist).Seq != 3 {
+		t.Fatalf("latest = %+v", env.Msg)
+	}
+	if sub.Pending() != 0 {
+		t.Error("Latest must drain the queue")
+	}
+}
+
+// delayFabric adds a fixed latency between distinct hosts and drops
+// every message whose size exceeds dropOver.
+type delayFabric struct {
+	delay    float64
+	dropOver int
+}
+
+func (f delayFabric) Transfer(from, to HostID, size int, now float64) (float64, bool) {
+	if from == to {
+		return now, false
+	}
+	if f.dropOver > 0 && size > f.dropOver {
+		return 0, true
+	}
+	return now + f.delay, false
+}
+
+func TestRemoteDeliveryWithLatency(t *testing.T) {
+	b := NewBus(delayFabric{delay: 0.05})
+	sub := b.Subscribe("cmd_vel", "cloud", 1)
+	b.Publish("cmd_vel", "lgv", twist(1, 0.1), 1.0)
+	if _, ok := sub.Poll(); ok {
+		t.Fatal("message should still be in flight")
+	}
+	if b.InFlight() != 1 {
+		t.Fatalf("inflight = %d", b.InFlight())
+	}
+	b.Advance(1.04)
+	if _, ok := sub.Poll(); ok {
+		t.Fatal("message must not arrive before its latency")
+	}
+	b.Advance(1.05)
+	env, ok := sub.Poll()
+	if !ok {
+		t.Fatal("message should have arrived")
+	}
+	if env.ArriveAt != 1.05 || env.SentAt != 1.0 {
+		t.Errorf("times: %+v", env)
+	}
+}
+
+func TestAdvanceOrdersByArrival(t *testing.T) {
+	b := NewBus(delayFabric{delay: 0.1})
+	sub := b.Subscribe("x", "cloud", 10)
+	// Publish out of order in time.
+	b.Publish("x", "lgv", twist(2, 0), 0.2)
+	b.Publish("x", "lgv", twist(1, 0), 0.1)
+	b.Advance(10)
+	env1, _ := sub.Poll()
+	env2, _ := sub.Poll()
+	if env1.Msg.(*msg.Twist).Seq != 1 || env2.Msg.(*msg.Twist).Seq != 2 {
+		t.Errorf("delivery order wrong: %v then %v",
+			env1.Msg.(*msg.Twist).Seq, env2.Msg.(*msg.Twist).Seq)
+	}
+}
+
+func TestFabricDropsAreCounted(t *testing.T) {
+	b := NewBus(delayFabric{delay: 0.01, dropOver: 10})
+	sub := b.Subscribe("big", "cloud", 1)
+	// Scan messages are ~2.9 KB — all dropped by the 10-byte threshold.
+	big := &msg.Scan{Ranges: make([]float64, 360)}
+	b.Publish("big", "lgv", big, 0)
+	b.Advance(1)
+	if _, ok := sub.Poll(); ok {
+		t.Fatal("oversize message should have been dropped")
+	}
+	st := b.Stats("big")
+	if st.Published != 1 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStatsCountRemoteBytesOnly(t *testing.T) {
+	b := NewBus(delayFabric{delay: 0})
+	b.Subscribe("t", "lgv", 1)   // local
+	b.Subscribe("t", "cloud", 1) // remote
+	b.Publish("t", "lgv", twist(1, 0), 0)
+	st := b.Stats("t")
+	if st.RemoteSent != 1 {
+		t.Errorf("remoteSent = %d", st.RemoteSent)
+	}
+	if st.Bytes == 0 {
+		t.Error("remote bytes not counted")
+	}
+}
+
+func TestMultipleSubscribersEachGetCopy(t *testing.T) {
+	b := NewBus(nil)
+	s1 := b.Subscribe("t", "lgv", 1)
+	s2 := b.Subscribe("t", "lgv", 1)
+	b.Publish("t", "lgv", twist(1, 0), 0)
+	if _, ok := s1.Poll(); !ok {
+		t.Error("s1 missed")
+	}
+	if _, ok := s2.Poll(); !ok {
+		t.Error("s2 missed")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := NewBus(nil)
+	s := b.Subscribe("t", "lgv", 1)
+	b.Unsubscribe(s)
+	b.Publish("t", "lgv", twist(1, 0), 0)
+	if _, ok := s.Poll(); ok {
+		t.Error("unsubscribed mailbox received a message")
+	}
+}
+
+func TestTopicsListing(t *testing.T) {
+	b := NewBus(nil)
+	b.Subscribe("b", "lgv", 1)
+	b.Subscribe("a", "lgv", 1)
+	got := b.Topics()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("topics = %v", got)
+	}
+}
+
+func TestDefaultQueueDepthIsOne(t *testing.T) {
+	b := NewBus(nil)
+	s := b.Subscribe("t", "lgv", 0)
+	b.Publish("t", "lgv", twist(1, 0), 0)
+	b.Publish("t", "lgv", twist(2, 0), 0)
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestUDPEndpointRoundtrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	bEp, err := ListenUDP("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bEp.Close()
+
+	want := &msg.Twist{Header: msg.Header{Seq: 9, Stamp: 1.5}, V: 0.2, W: -0.1}
+	if err := a.SendTo(bEp.Addr(), want); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m, ok := bEp.Poll(); ok {
+			got, isTwist := m.(*msg.Twist)
+			if !isTwist || got.Seq != 9 || got.V != 0.2 {
+				t.Fatalf("got %#v", m)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for UDP frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUDPEndpointOverwriteOnFull(t *testing.T) {
+	bEp, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bEp.Close()
+	a, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 1; i <= 10; i++ {
+		if err := a.SendTo(bEp.Addr(), twist(uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for bEp.Received() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no frames received")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Drain once the socket has gone quiet; at most 1 message may remain.
+	time.Sleep(50 * time.Millisecond)
+	n := 0
+	for {
+		if _, ok := bEp.Poll(); !ok {
+			break
+		}
+		n++
+	}
+	if n > 1 {
+		t.Errorf("queue depth 1 held %d messages", n)
+	}
+}
+
+func TestUDPEndpointCloseIdempotent(t *testing.T) {
+	ep, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	// The bus must be safe under concurrent publishers and pollers (the
+	// switcher and profiler threads of §VII share it).
+	b := NewBus(nil)
+	subs := make([]*Subscription, 4)
+	for i := range subs {
+		subs[i] = b.Subscribe("t", "lgv", 8)
+	}
+	var wg sync.WaitGroup
+	const perPublisher = 500
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish("t", "lgv", twist(uint64(p*perPublisher+i), 0), float64(i))
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Poll concurrently while publishing.
+	for {
+		select {
+		case <-done:
+			if got := b.Stats("t").Published; got != 4*perPublisher {
+				t.Errorf("published = %d", got)
+			}
+			for _, s := range subs {
+				if s.Received() != 4*perPublisher {
+					t.Errorf("received = %d", s.Received())
+				}
+			}
+			return
+		default:
+			for _, s := range subs {
+				s.Poll()
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package mw
+
+import (
+	"fmt"
+	"sync"
+
+	"lgvoffload/internal/wire"
+)
+
+// The Fig. 2 pipeline uses two communication paradigms: topics
+// (subscriber/publisher, solid arrows) and services (client/server,
+// dashed arrows) — Path Planning, for example, is *called* by the
+// Exploration node rather than streaming. This file adds the service
+// side: named handlers registered on a host, invoked across the fabric
+// with the same latency/loss semantics as topic traffic.
+
+// Handler processes one request at virtual time `now` (the arrival time
+// at the server) and returns the response plus the service's processing
+// time in seconds (from its host's platform model).
+type Handler func(req wire.Message, now float64) (resp wire.Message, procTime float64, err error)
+
+// ErrServiceUnavailable is returned when the request or response was
+// lost in the fabric — to the client, an unreachable server and a lost
+// datagram look identical.
+var ErrServiceUnavailable = fmt.Errorf("mw: service unavailable")
+
+type service struct {
+	host    HostID
+	handler Handler
+}
+
+// ServiceRegistry manages named services over a fabric. It is typically
+// owned by the same Bus-holding component, but is independent so servers
+// can be registered before any topics exist.
+type ServiceRegistry struct {
+	fabric Fabric
+
+	mu       sync.Mutex
+	services map[string]*service
+	calls    int
+	failures int
+}
+
+// NewServiceRegistry creates a registry over the fabric (nil = local).
+func NewServiceRegistry(f Fabric) *ServiceRegistry {
+	if f == nil {
+		f = LocalFabric{}
+	}
+	return &ServiceRegistry{fabric: f, services: make(map[string]*service)}
+}
+
+// Register installs a handler for a named service on the given host.
+// Re-registering replaces the previous handler (node migration moves a
+// service between hosts).
+func (r *ServiceRegistry) Register(name string, host HostID, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[name] = &service{host: host, handler: h}
+}
+
+// Unregister removes a service.
+func (r *ServiceRegistry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.services, name)
+}
+
+// HostOf returns the host currently serving the name.
+func (r *ServiceRegistry) HostOf(name string) (HostID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.services[name]
+	if !ok {
+		return "", false
+	}
+	return s.host, true
+}
+
+// Call invokes a service from the given host at virtual time now. The
+// request crosses the fabric to the server, the handler runs (consuming
+// its processing time), and the response crosses back. It returns the
+// response and the virtual time at which the caller receives it.
+func (r *ServiceRegistry) Call(name string, from HostID, req wire.Message, now float64) (resp wire.Message, doneAt float64, err error) {
+	r.mu.Lock()
+	s, ok := r.services[name]
+	r.calls++
+	r.mu.Unlock()
+	if !ok {
+		r.fail()
+		return nil, 0, fmt.Errorf("mw: unknown service %q", name)
+	}
+
+	reqSize := len(wire.EncodeFrame(req))
+	reqArrive, dropped := r.fabric.Transfer(from, s.host, reqSize, now)
+	if dropped {
+		r.fail()
+		return nil, 0, ErrServiceUnavailable
+	}
+	resp, proc, err := s.handler(req, reqArrive)
+	if err != nil {
+		r.fail()
+		return nil, 0, fmt.Errorf("mw: service %q: %w", name, err)
+	}
+	if proc < 0 {
+		proc = 0
+	}
+	respSize := len(wire.EncodeFrame(resp))
+	doneAt, dropped = r.fabric.Transfer(s.host, from, respSize, reqArrive+proc)
+	if dropped {
+		r.fail()
+		return nil, 0, ErrServiceUnavailable
+	}
+	return resp, doneAt, nil
+}
+
+func (r *ServiceRegistry) fail() {
+	r.mu.Lock()
+	r.failures++
+	r.mu.Unlock()
+}
+
+// Stats returns total calls and failed calls.
+func (r *ServiceRegistry) Stats() (calls, failures int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls, r.failures
+}

@@ -1,0 +1,136 @@
+package mw
+
+import (
+	"errors"
+	"testing"
+
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/wire"
+)
+
+// echoHandler returns the request as the response with the given
+// processing time.
+func echoHandler(proc float64) Handler {
+	return func(req wire.Message, _ float64) (wire.Message, float64, error) {
+		return req, proc, nil
+	}
+}
+
+func TestServiceLocalCall(t *testing.T) {
+	r := NewServiceRegistry(nil)
+	r.Register("plan", "lgv", echoHandler(0.05))
+	req := &msg.Goal{X: 1, Y: 2}
+	resp, doneAt, err := r.Call("plan", "lgv", req, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*msg.Goal).X != 1 {
+		t.Error("response mangled")
+	}
+	// Local fabric: done = now + proc.
+	if doneAt != 10.05 {
+		t.Errorf("doneAt = %v", doneAt)
+	}
+}
+
+func TestServiceRemoteLatency(t *testing.T) {
+	r := NewServiceRegistry(delayFabric{delay: 0.01})
+	r.Register("plan", "cloud", echoHandler(0.05))
+	_, doneAt, err := r.Call("plan", "lgv", &msg.Goal{}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// now + uplink + proc + downlink.
+	if doneAt != 1.0+0.01+0.05+0.01 {
+		t.Errorf("doneAt = %v", doneAt)
+	}
+}
+
+func TestServiceDroppedRequest(t *testing.T) {
+	r := NewServiceRegistry(delayFabric{delay: 0.01, dropOver: 1})
+	r.Register("plan", "cloud", echoHandler(0))
+	_, _, err := r.Call("plan", "lgv", &msg.Goal{}, 0)
+	if !errors.Is(err, ErrServiceUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	calls, failures := r.Stats()
+	if calls != 1 || failures != 1 {
+		t.Errorf("stats = %d, %d", calls, failures)
+	}
+}
+
+func TestServiceUnknown(t *testing.T) {
+	r := NewServiceRegistry(nil)
+	if _, _, err := r.Call("ghost", "lgv", &msg.Goal{}, 0); err == nil {
+		t.Error("unknown service must error")
+	}
+}
+
+func TestServiceHandlerError(t *testing.T) {
+	r := NewServiceRegistry(nil)
+	r.Register("plan", "lgv", func(wire.Message, float64) (wire.Message, float64, error) {
+		return nil, 0, errors.New("no path")
+	})
+	if _, _, err := r.Call("plan", "lgv", &msg.Goal{}, 0); err == nil {
+		t.Error("handler error must propagate")
+	}
+}
+
+func TestServiceMigration(t *testing.T) {
+	r := NewServiceRegistry(delayFabric{delay: 0.01})
+	r.Register("plan", "lgv", echoHandler(0.5)) // slow on the robot
+	if h, _ := r.HostOf("plan"); h != "lgv" {
+		t.Errorf("host = %v", h)
+	}
+	_, localDone, err := r.Call("plan", "lgv", &msg.Goal{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migrate to the cloud where it runs 10× faster.
+	r.Register("plan", "cloud", echoHandler(0.05))
+	if h, _ := r.HostOf("plan"); h != "cloud" {
+		t.Errorf("host after migration = %v", h)
+	}
+	_, cloudDone, err := r.Call("plan", "lgv", &msg.Goal{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloudDone >= localDone {
+		t.Errorf("migration should pay off: %v vs %v", cloudDone, localDone)
+	}
+}
+
+func TestServiceUnregister(t *testing.T) {
+	r := NewServiceRegistry(nil)
+	r.Register("plan", "lgv", echoHandler(0))
+	r.Unregister("plan")
+	if _, ok := r.HostOf("plan"); ok {
+		t.Error("unregistered service still resolvable")
+	}
+}
+
+func TestServiceNegativeProcClamped(t *testing.T) {
+	r := NewServiceRegistry(nil)
+	r.Register("p", "lgv", func(req wire.Message, _ float64) (wire.Message, float64, error) {
+		return req, -5, nil
+	})
+	_, doneAt, err := r.Call("p", "lgv", &msg.Goal{}, 3)
+	if err != nil || doneAt != 3 {
+		t.Errorf("doneAt = %v err = %v", doneAt, err)
+	}
+}
+
+func TestServiceHandlerSeesArrivalTime(t *testing.T) {
+	r := NewServiceRegistry(delayFabric{delay: 0.25})
+	var sawNow float64
+	r.Register("p", "cloud", func(req wire.Message, now float64) (wire.Message, float64, error) {
+		sawNow = now
+		return req, 0, nil
+	})
+	if _, _, err := r.Call("p", "lgv", &msg.Goal{}, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if sawNow != 2.25 {
+		t.Errorf("handler saw now = %v, want request arrival 2.25", sawNow)
+	}
+}

@@ -1,0 +1,170 @@
+package mw
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"lgvoffload/internal/wire"
+)
+
+// TCPEndpoint carries wire frames over a TCP stream with varint length
+// framing — the reliable counterpart of UDPEndpoint. The paper's
+// switcher supports both transports; the §VI argument hinges on their
+// difference: TCP never drops a frame, so under a stalled link the
+// receiver eventually gets a *backlog of stale data* (and its measured
+// latency finally spikes), while the UDP one-length queue silently
+// drops and always surfaces the freshest value. TestTCPBacklogVsUDPFreshness
+// demonstrates exactly that contrast.
+type TCPEndpoint struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu     sync.Mutex
+	queue  []wire.Message
+	recv   int
+	errs   int
+	closed bool
+	done   chan struct{}
+}
+
+// TCPListener accepts one peer connection.
+type TCPListener struct {
+	ln net.Listener
+}
+
+// ListenTCP opens a listener on addr ("127.0.0.1:0" for ephemeral).
+func ListenTCP(addr string) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mw: listen tcp %s: %w", addr, err)
+	}
+	return &TCPListener{ln: ln}, nil
+}
+
+// Addr returns the listening address.
+func (l *TCPListener) Addr() net.Addr { return l.ln.Addr() }
+
+// Accept blocks for one connection and wraps it as an endpoint.
+func (l *TCPListener) Accept() (*TCPEndpoint, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPEndpoint(conn), nil
+}
+
+// Close stops listening.
+func (l *TCPListener) Close() error { return l.ln.Close() }
+
+// DialTCP connects to a listener.
+func DialTCP(addr string) (*TCPEndpoint, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mw: dial tcp %s: %w", addr, err)
+	}
+	return newTCPEndpoint(conn), nil
+}
+
+func newTCPEndpoint(conn net.Conn) *TCPEndpoint {
+	ep := &TCPEndpoint{conn: conn, bw: bufio.NewWriter(conn), done: make(chan struct{})}
+	go ep.readLoop()
+	return ep
+}
+
+// Send writes one length-framed message. Unlike UDP, the write blocks
+// (or buffers) rather than dropping — reliability is the point and the
+// problem.
+func (ep *TCPEndpoint) Send(m wire.Message) error {
+	frame := wire.EncodeFrame(m)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(frame)))
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return fmt.Errorf("mw: endpoint closed")
+	}
+	if _, err := ep.bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := ep.bw.Write(frame); err != nil {
+		return err
+	}
+	return ep.bw.Flush()
+}
+
+func (ep *TCPEndpoint) readLoop() {
+	defer close(ep.done)
+	br := bufio.NewReader(ep.conn)
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return
+		}
+		if size > 1<<24 {
+			ep.mu.Lock()
+			ep.errs++
+			ep.mu.Unlock()
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		m, err := wire.DecodeFrame(buf)
+		ep.mu.Lock()
+		if err != nil {
+			ep.errs++
+		} else {
+			ep.recv++
+			// No overwrite: TCP is reliable, so everything queues — the
+			// backlog is the phenomenon under study.
+			ep.queue = append(ep.queue, m)
+		}
+		ep.mu.Unlock()
+	}
+}
+
+// Poll removes and returns the oldest received message, if any.
+func (ep *TCPEndpoint) Poll() (wire.Message, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.queue) == 0 {
+		return nil, false
+	}
+	m := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	return m, true
+}
+
+// Pending returns the queued (not yet polled) message count — the
+// backlog a stalled consumer accumulates.
+func (ep *TCPEndpoint) Pending() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.queue)
+}
+
+// Received returns the total decoded frames.
+func (ep *TCPEndpoint) Received() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.recv
+}
+
+// Close shuts the connection down and waits for the reader to exit.
+func (ep *TCPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	err := ep.conn.Close()
+	<-ep.done
+	return err
+}

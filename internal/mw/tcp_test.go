@@ -1,0 +1,154 @@
+package mw
+
+import (
+	"testing"
+	"time"
+
+	"lgvoffload/internal/msg"
+)
+
+// tcpPair returns a connected client/server endpoint pair.
+func tcpPair(t *testing.T) (client, server *TCPEndpoint) {
+	t.Helper()
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *TCPEndpoint, 1)
+	go func() {
+		ep, err := ln.Accept()
+		if err == nil {
+			accepted <- ep
+		}
+	}()
+	c, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-accepted:
+		ln.Close()
+		t.Cleanup(func() { c.Close(); s.Close() })
+		return c, s
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+		return nil, nil
+	}
+}
+
+func waitReceived(t *testing.T, ep *TCPEndpoint, n int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for ep.Received() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out at %d/%d messages", ep.Received(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTCPRoundtrip(t *testing.T) {
+	c, s := tcpPair(t)
+	want := &msg.Pose{Header: msg.Header{Seq: 4, Stamp: 2.5}, X: 1, Y: -2, Theta: 0.5}
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 1)
+	m, ok := s.Poll()
+	if !ok {
+		t.Fatal("nothing queued")
+	}
+	got, isPose := m.(*msg.Pose)
+	if !isPose || got.X != 1 || got.Seq != 4 {
+		t.Fatalf("got %#v", m)
+	}
+}
+
+func TestTCPPreservesOrderAndCount(t *testing.T) {
+	c, s := tcpPair(t)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		if err := c.Send(twist(uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitReceived(t, s, n)
+	for i := 1; i <= n; i++ {
+		m, ok := s.Poll()
+		if !ok {
+			t.Fatalf("queue ended at %d", i)
+		}
+		if m.(*msg.Twist).Seq != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, m.(*msg.Twist).Seq)
+		}
+	}
+}
+
+// TestTCPBacklogVsUDPFreshness is the Fig. 7 / §VI contrast, live: a
+// burst of velocity commands reaches a consumer that wakes up late. The
+// reliable TCP stream hands it the entire stale backlog in order, while
+// the UDP one-length queue hands it only the freshest command.
+func TestTCPBacklogVsUDPFreshness(t *testing.T) {
+	// TCP side.
+	tc, ts := tcpPair(t)
+	for i := 1; i <= 20; i++ {
+		if err := tc.Send(twist(uint64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitReceived(t, ts, 20)
+	if ts.Pending() != 20 {
+		t.Errorf("TCP backlog = %d, want all 20 stale commands", ts.Pending())
+	}
+	first, _ := ts.Poll()
+	if first.(*msg.Twist).Seq != 1 {
+		t.Error("TCP consumer sees the OLDEST command first (stale data)")
+	}
+
+	// UDP side with the paper's one-length queue.
+	ua, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Close()
+	ub, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ub.Close()
+	for i := 1; i <= 20; i++ {
+		if err := ua.SendTo(ub.Addr(), twist(uint64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ub.Received() < 10 { // most frames must have landed
+		if time.Now().After(deadline) {
+			t.Fatalf("UDP received only %d", ub.Received())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	m, ok := ub.Poll()
+	if !ok {
+		t.Fatal("UDP queue empty")
+	}
+	seq := m.(*msg.Twist).Seq
+	if seq < 10 {
+		t.Errorf("UDP consumer should see a recent command, got seq %d", seq)
+	}
+	if _, again := ub.Poll(); again {
+		t.Error("one-length queue must hold a single (fresh) message")
+	}
+}
+
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	c, _ := tcpPair(t)
+	c.Close()
+	if err := c.Send(twist(1, 0)); err == nil {
+		t.Error("send after close must fail")
+	}
+	if err := c.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}

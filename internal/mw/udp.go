@@ -1,0 +1,124 @@
+package mw
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"lgvoffload/internal/wire"
+)
+
+// UDPEndpoint sends and receives wire frames over a real UDP socket. It
+// is the real-transport counterpart of the virtual-time Bus: the paper's
+// Switcher uses an asynchronous UDP channel (evpp) between the LGV and
+// the remote worker, and this endpoint reproduces that data path with the
+// standard library, including the nonblocking "best-effort" semantics
+// that make tail latency a misleading quality metric (§VI).
+//
+// Received frames land in a bounded queue; when the queue is full the
+// oldest frame is overwritten, matching the one-length-queue freshness
+// policy of VDP topics.
+type UDPEndpoint struct {
+	conn  *net.UDPConn
+	depth int
+
+	mu     sync.Mutex
+	queue  []wire.Message
+	recv   int
+	errs   int
+	closed bool
+	done   chan struct{}
+}
+
+// ListenUDP opens an endpoint on the given address ("127.0.0.1:0" for an
+// ephemeral port) with the given receive queue depth (<=0 means 1).
+func ListenUDP(addr string, depth int) (*UDPEndpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mw: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("mw: listen %s: %w", addr, err)
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	ep := &UDPEndpoint{conn: conn, depth: depth, done: make(chan struct{})}
+	go ep.readLoop()
+	return ep, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (ep *UDPEndpoint) Addr() *net.UDPAddr { return ep.conn.LocalAddr().(*net.UDPAddr) }
+
+// SendTo encodes and transmits a message to the given peer address.
+func (ep *UDPEndpoint) SendTo(peer *net.UDPAddr, m wire.Message) error {
+	frame := wire.EncodeFrame(m)
+	_, err := ep.conn.WriteToUDP(frame, peer)
+	return err
+}
+
+func (ep *UDPEndpoint) readLoop() {
+	defer close(ep.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		m, err := wire.DecodeFrame(buf[:n])
+		ep.mu.Lock()
+		if err != nil {
+			ep.errs++
+		} else {
+			ep.recv++
+			if len(ep.queue) >= ep.depth {
+				drop := len(ep.queue) - ep.depth + 1
+				ep.queue = ep.queue[drop:]
+			}
+			ep.queue = append(ep.queue, m)
+		}
+		ep.mu.Unlock()
+	}
+}
+
+// Poll removes and returns the oldest received message, if any.
+func (ep *UDPEndpoint) Poll() (wire.Message, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.queue) == 0 {
+		return nil, false
+	}
+	m := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	return m, true
+}
+
+// Received returns the count of successfully decoded frames.
+func (ep *UDPEndpoint) Received() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.recv
+}
+
+// DecodeErrors returns the count of frames that failed to decode.
+func (ep *UDPEndpoint) DecodeErrors() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.errs
+}
+
+// Close shuts the socket down and waits for the read loop to exit.
+func (ep *UDPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	err := ep.conn.Close()
+	<-ep.done
+	return err
+}

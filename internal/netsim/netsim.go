@@ -1,0 +1,299 @@
+// Package netsim models the wireless network between the LGV and the
+// remote server: a WAP with distance-dependent signal strength, a
+// latency/loss model driven by that signal, and the kernel-buffer
+// blocking behaviour of a nonblocking UDP socket under weak signal
+// (paper Fig. 7). It also provides the bandwidth meter and signal
+// direction estimator that Algorithm 2 consumes.
+//
+// The essential phenomenon reproduced here is the one §VI argues from:
+// under UDP "best-effort delivery", packets that do arrive can still show
+// good latency while the link is already dropping most traffic, so
+// received-packet tail latency is a misleading quality metric, whereas
+// received-packet bandwidth and the robot's heading relative to the WAP
+// predict quality correctly.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/mw"
+)
+
+// LinkConfig parameterizes the wireless link.
+type LinkConfig struct {
+	WAP        geom.Vec2 // access point position, world frame
+	GoodRange  float64   // full signal within this distance, m
+	FadeRange  float64   // zero signal beyond this distance, m
+	BaseLatSec float64   // one-way latency at full signal, s
+	JitterSec  float64   // latency jitter standard deviation, s
+	WANLatSec  float64   // extra fixed latency to a distant datacenter, s
+
+	// Kernel buffer semantics (Fig. 7): under weak signal the driver
+	// holds packets; the socket buffer overflows and further sends are
+	// silently discarded.
+	KernelBuf   int     // buffer capacity in packets
+	BlockSignal float64 // signal below which the driver blocks/holds
+	DrainRate   float64 // packets/s drained from a blocked buffer at signal 1
+
+	UplinkBytesPerSec float64 // physical uplink rate for Eq. 1b energy
+
+	// Periodic interference (e.g. a microwave oven or a competing
+	// transmitter): every InterferencePeriod seconds the signal collapses
+	// to InterferenceFloor for InterferenceDuty of the period. Zero
+	// period disables it. Unlike mobility fade, interference is not
+	// correlated with the robot's heading — which is exactly why
+	// Algorithm 2 gates on *direction* as well as bandwidth: a burst
+	// alone must not trigger a migration.
+	InterferencePeriod float64
+	InterferenceDuty   float64
+	InterferenceFloor  float64
+}
+
+// DefaultEdgeLink returns a 5 GHz-band link to an edge gateway in the
+// same building, tuned so the unstable area begins ~6 m from the WAP.
+func DefaultEdgeLink(wap geom.Vec2) LinkConfig {
+	return LinkConfig{
+		WAP:               wap,
+		GoodRange:         6.0,
+		FadeRange:         12.0,
+		BaseLatSec:        0.002,
+		JitterSec:         0.0005,
+		WANLatSec:         0,
+		KernelBuf:         5,
+		BlockSignal:       0.45,
+		DrainRate:         40,
+		UplinkBytesPerSec: 2.5e6,
+	}
+}
+
+// DefaultCloudLink returns the same wireless hop plus a WAN leg to a
+// remote datacenter.
+func DefaultCloudLink(wap geom.Vec2) LinkConfig {
+	c := DefaultEdgeLink(wap)
+	c.WANLatSec = 0.010
+	return c
+}
+
+// Link is the stateful wireless channel. It is not safe for concurrent
+// use; the mission engine owns it and drives it from one goroutine.
+type Link struct {
+	cfg LinkConfig
+	rng *rand.Rand
+
+	robot     geom.Vec2
+	prevDist  float64
+	haveDist  bool
+	direction float64 // smoothed +1 toward WAP / -1 away
+
+	// Kernel buffer state.
+	buffered  float64 // packets currently held
+	lastDrain float64 // virtual time of last drain update
+
+	sent, dropped int
+}
+
+// NewLink creates a link with deterministic randomness.
+func NewLink(cfg LinkConfig, rng *rand.Rand) *Link {
+	return &Link{cfg: cfg, rng: rng}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetRobotPos updates the robot position (called every control tick) and
+// refreshes the signal-direction estimate: positive when the robot is
+// approaching the WAP, negative when receding.
+func (l *Link) SetRobotPos(p geom.Vec2) {
+	d := p.Dist(l.cfg.WAP)
+	if l.haveDist {
+		delta := l.prevDist - d // >0 means approaching
+		const alpha = 0.3
+		var instant float64
+		switch {
+		case delta > 1e-9:
+			instant = 1
+		case delta < -1e-9:
+			instant = -1
+		}
+		l.direction = (1-alpha)*l.direction + alpha*instant
+	}
+	l.prevDist = d
+	l.haveDist = true
+	l.robot = p
+}
+
+// Signal returns the current signal strength in [0, 1], not counting
+// interference bursts (use SignalAt for the burst-aware value).
+func (l *Link) Signal() float64 {
+	if !l.haveDist {
+		return 1
+	}
+	return l.signalAt(l.prevDist)
+}
+
+// SignalAt returns the effective signal at virtual time now, including
+// any active interference burst.
+func (l *Link) SignalAt(now float64) float64 {
+	s := l.Signal()
+	if l.cfg.InterferencePeriod > 0 {
+		phase := math.Mod(now, l.cfg.InterferencePeriod) / l.cfg.InterferencePeriod
+		if phase < l.cfg.InterferenceDuty {
+			floor := l.cfg.InterferenceFloor
+			if floor < s {
+				s = floor
+			}
+		}
+	}
+	return s
+}
+
+func (l *Link) signalAt(dist float64) float64 {
+	switch {
+	case dist <= l.cfg.GoodRange:
+		return 1
+	case dist >= l.cfg.FadeRange:
+		return 0
+	default:
+		return 1 - (dist-l.cfg.GoodRange)/(l.cfg.FadeRange-l.cfg.GoodRange)
+	}
+}
+
+// Direction returns the smoothed signal direction in [-1, 1]; positive
+// means the LGV is moving toward the WAP.
+func (l *Link) Direction() float64 { return l.direction }
+
+// Send models one packet transmission at virtual time now. It returns the
+// arrival time at the peer and whether the packet was lost. Size affects
+// only serialization delay (negligible at these payloads) — loss and
+// latency are signal-driven, as on a real WLAN.
+func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
+	l.sent++
+	s := l.SignalAt(now)
+
+	// Drain the kernel buffer for the time elapsed since the last send.
+	if now > l.lastDrain {
+		l.buffered -= (now - l.lastDrain) * l.cfg.DrainRate * math.Max(s, 0.05)
+		if l.buffered < 0 {
+			l.buffered = 0
+		}
+	}
+	l.lastDrain = now
+
+	queueDelay := 0.0
+	if s < l.cfg.BlockSignal {
+		// Driver holds packets: join the kernel buffer or overflow.
+		if l.buffered >= float64(l.cfg.KernelBuf) {
+			l.dropped++
+			return 0, true // silent discard: sender never learns
+		}
+		l.buffered++
+		drain := l.cfg.DrainRate * math.Max(s, 0.05)
+		queueDelay = l.buffered / drain
+	}
+
+	// Random loss grows as signal fades even before blocking starts.
+	pLoss := math.Pow(1-s, 3)
+	if l.rng.Float64() < pLoss {
+		l.dropped++
+		return 0, true
+	}
+
+	lat := l.cfg.BaseLatSec/math.Max(s, 0.15) + l.cfg.WANLatSec + queueDelay
+	if l.cfg.JitterSec > 0 {
+		lat += math.Abs(l.rng.NormFloat64()) * l.cfg.JitterSec
+	}
+	lat += float64(size) / l.cfg.UplinkBytesPerSec
+	return now + lat, false
+}
+
+// Counters returns total packets offered and dropped since creation.
+func (l *Link) Counters() (sent, dropped int) { return l.sent, l.dropped }
+
+// Fabric adapts a Link to the middleware's Fabric interface: transfers
+// between distinct hosts traverse the wireless link; same-host transfers
+// are instant.
+type Fabric struct {
+	Link *Link
+}
+
+// Transfer implements mw.Fabric.
+func (f Fabric) Transfer(from, to mw.HostID, size int, now float64) (float64, bool) {
+	if from == to {
+		return now, false
+	}
+	return f.Link.Send(now, size)
+}
+
+// BandwidthMeter computes the paper's "packet bandwidth" metric: the
+// number of messages received in a sliding window (default 1 s), giving
+// the received-packet rate the Profiler publishes to Algorithm 2.
+type BandwidthMeter struct {
+	Window float64
+	times  []float64
+}
+
+// NewBandwidthMeter returns a meter with a 1-second window.
+func NewBandwidthMeter() *BandwidthMeter { return &BandwidthMeter{Window: 1.0} }
+
+// Observe records a message reception at virtual time now.
+func (m *BandwidthMeter) Observe(now float64) {
+	m.times = append(m.times, now)
+	m.trim(now)
+}
+
+// Rate returns messages per second over the window ending at now.
+func (m *BandwidthMeter) Rate(now float64) float64 {
+	m.trim(now)
+	if m.Window <= 0 {
+		return 0
+	}
+	return float64(len(m.times)) / m.Window
+}
+
+func (m *BandwidthMeter) trim(now float64) {
+	cut := now - m.Window
+	i := 0
+	for i < len(m.times) && m.times[i] <= cut {
+		i++
+	}
+	if i > 0 {
+		m.times = append(m.times[:0], m.times[i:]...)
+	}
+}
+
+// LatencyMeter tracks received-packet one-way latencies and reports the
+// tail statistics prior work used as quality metrics, so experiments can
+// show why they mislead under UDP loss (§VI).
+type LatencyMeter struct {
+	samples []float64
+}
+
+// Observe records one received packet's latency.
+func (m *LatencyMeter) Observe(latency float64) { m.samples = append(m.samples, latency) }
+
+// Count returns the number of samples observed.
+func (m *LatencyMeter) Count() int { return len(m.samples) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of observed latencies, or 0
+// with ok=false when no samples exist. The sample slice is not mutated.
+func (m *LatencyMeter) Quantile(q float64) (float64, bool) {
+	n := len(m.samples)
+	if n == 0 {
+		return 0, false
+	}
+	sorted := make([]float64, n)
+	copy(sorted, m.samples)
+	// Insertion sort is fine at the sample counts missions produce.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(q * float64(n-1))
+	return sorted[idx], true
+}
+
+// Reset clears the samples.
+func (m *LatencyMeter) Reset() { m.samples = m.samples[:0] }

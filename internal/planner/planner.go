@@ -1,0 +1,247 @@
+// Package planner implements the Path Planning node: grid search over
+// the costmap with either A* (with an admissible octile heuristic) or
+// Dijkstra, matching the ROS global_planner the paper pairs with both
+// algorithms. Traversal cost combines distance with the costmap's
+// inflated cost, so planned paths keep clearance from obstacles.
+//
+// Plans report the number of expanded nodes so the mission engine can
+// account the node's (small) share of Table II cycles.
+package planner
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+)
+
+// Algorithm selects the search strategy.
+type Algorithm int
+
+const (
+	AStar Algorithm = iota
+	Dijkstra
+)
+
+func (a Algorithm) String() string {
+	if a == Dijkstra {
+		return "dijkstra"
+	}
+	return "astar"
+}
+
+// ErrNoPath is returned when the goal is unreachable.
+var ErrNoPath = errors.New("planner: no path to goal")
+
+// Result is a produced plan.
+type Result struct {
+	Path     []geom.Vec2 // world-frame waypoints, start to goal inclusive
+	Cost     float64     // accumulated traversal cost
+	Expanded int         // nodes expanded by the search (work measure)
+}
+
+// Length returns the metric length of the planned path.
+func (r Result) Length() float64 { return geom.PathLength(r.Path) }
+
+// Planner runs grid searches over a costmap.
+type Planner struct {
+	Algo Algorithm
+	// CostWeight scales how strongly inflated costmap cost repels the
+	// path, in meters of equivalent detour per unit cost.
+	CostWeight float64
+	// AllowUnknown permits traversing unknown cells (needed during
+	// exploration, where most of the map is still unknown).
+	AllowUnknown bool
+}
+
+// New returns a planner with the given algorithm and sensible weights.
+func New(algo Algorithm) *Planner {
+	return &Planner{Algo: algo, CostWeight: 0.01, AllowUnknown: false}
+}
+
+type pqItem struct {
+	cell     geom.Cell
+	priority float64
+	index    int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int           { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool { return pq[i].priority < pq[j].priority }
+func (pq priorityQueue) Swap(i, j int)      { pq[i], pq[j] = pq[j], pq[i]; pq[i].index = i; pq[j].index = j }
+func (pq *priorityQueue) Push(x interface{}) {
+	it := x.(*pqItem)
+	it.index = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+var neighbors = [8]struct {
+	dx, dy int
+	dist   float64
+}{
+	{1, 0, 1}, {-1, 0, 1}, {0, 1, 1}, {0, -1, 1},
+	{1, 1, math.Sqrt2}, {1, -1, math.Sqrt2}, {-1, 1, math.Sqrt2}, {-1, -1, math.Sqrt2},
+}
+
+// Plan searches for a path from start to goal (world coordinates).
+func (p *Planner) Plan(cm *costmap.Costmap, start, goal geom.Vec2) (Result, error) {
+	sc := cm.WorldToCell(start)
+	gc := cm.WorldToCell(goal)
+	if !cm.InBounds(sc) || !cm.InBounds(gc) {
+		return Result{}, fmt.Errorf("planner: endpoint outside map (start %v, goal %v)", sc, gc)
+	}
+	if !p.passable(cm, gc) {
+		return Result{}, fmt.Errorf("planner: goal cell %v is not traversable", gc)
+	}
+	// The start is exempt from traversability (the robot may sit in
+	// inflated cost); the search escapes through the cheapest route.
+
+	w, h := cm.Dims()
+	res := cm.Config().Resolution
+	gScore := make([]float64, w*h)
+	for i := range gScore {
+		gScore[i] = math.Inf(1)
+	}
+	cameFrom := make([]int32, w*h)
+	for i := range cameFrom {
+		cameFrom[i] = -1
+	}
+	closed := make([]bool, w*h)
+	idx := func(c geom.Cell) int { return c.Y*w + c.X }
+
+	heuristic := func(c geom.Cell) float64 {
+		if p.Algo == Dijkstra {
+			return 0
+		}
+		// Octile distance in meters: admissible for 8-connected grids.
+		dx := math.Abs(float64(c.X - gc.X))
+		dy := math.Abs(float64(c.Y - gc.Y))
+		return res * (math.Max(dx, dy) + (math.Sqrt2-1)*math.Min(dx, dy))
+	}
+
+	pq := &priorityQueue{}
+	heap.Init(pq)
+	gScore[idx(sc)] = 0
+	heap.Push(pq, &pqItem{cell: sc, priority: heuristic(sc)})
+	expanded := 0
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(*pqItem).cell
+		ci := idx(cur)
+		if closed[ci] {
+			continue
+		}
+		closed[ci] = true
+		expanded++
+		if cur == gc {
+			path := p.reconstruct(cm, cameFrom, sc, gc)
+			return Result{Path: path, Cost: gScore[ci], Expanded: expanded}, nil
+		}
+		for _, nb := range neighbors {
+			next := geom.Cell{X: cur.X + nb.dx, Y: cur.Y + nb.dy}
+			if !cm.InBounds(next) || !p.passable(cm, next) {
+				continue
+			}
+			ni := idx(next)
+			if closed[ni] {
+				continue
+			}
+			stepCost := nb.dist*res + p.CostWeight*float64(p.cellCost(cm, next))
+			tentative := gScore[ci] + stepCost
+			if tentative < gScore[ni] {
+				gScore[ni] = tentative
+				cameFrom[ni] = int32(ci)
+				heap.Push(pq, &pqItem{cell: next, priority: tentative + heuristic(next)})
+			}
+		}
+	}
+	return Result{Expanded: expanded}, ErrNoPath
+}
+
+func (p *Planner) passable(cm *costmap.Costmap, c geom.Cell) bool {
+	cost := cm.Cost(c)
+	if cost == costmap.UnknownCost {
+		return p.AllowUnknown
+	}
+	return cost < costmap.InscribedCost
+}
+
+func (p *Planner) cellCost(cm *costmap.Costmap, c geom.Cell) uint8 {
+	cost := cm.Cost(c)
+	if cost == costmap.UnknownCost {
+		return 50 // mild penalty for venturing into the unknown
+	}
+	return cost
+}
+
+func (p *Planner) reconstruct(cm *costmap.Costmap, cameFrom []int32, sc, gc geom.Cell) []geom.Vec2 {
+	w, _ := cm.Dims()
+	var cells []geom.Cell
+	cur := gc
+	for {
+		cells = append(cells, cur)
+		if cur == sc {
+			break
+		}
+		prev := cameFrom[cur.Y*w+cur.X]
+		if prev < 0 {
+			break
+		}
+		cur = geom.Cell{X: int(prev) % w, Y: int(prev) / w}
+	}
+	// Reverse and convert to world points.
+	path := make([]geom.Vec2, len(cells))
+	for i := range cells {
+		path[i] = cm.CellToWorld(cells[len(cells)-1-i])
+	}
+	return Simplify(path, cm.Config().Resolution*0.5)
+}
+
+// Simplify removes collinear interior waypoints using a perpendicular
+// distance tolerance (a light Douglas-Peucker pass), shrinking paths from
+// hundreds of grid steps to a handful of segment corners.
+func Simplify(path []geom.Vec2, tol float64) []geom.Vec2 {
+	if len(path) <= 2 {
+		return path
+	}
+	keep := make([]bool, len(path))
+	keep[0], keep[len(path)-1] = true, true
+	simplifyRange(path, 0, len(path)-1, tol, keep)
+	out := path[:0:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, path[i])
+		}
+	}
+	return out
+}
+
+func simplifyRange(path []geom.Vec2, a, b int, tol float64, keep []bool) {
+	if b <= a+1 {
+		return
+	}
+	seg := geom.Segment{A: path[a], B: path[b]}
+	worst, worstIdx := 0.0, -1
+	for i := a + 1; i < b; i++ {
+		if d := seg.Dist(path[i]); d > worst {
+			worst, worstIdx = d, i
+		}
+	}
+	if worst > tol && worstIdx > 0 {
+		keep[worstIdx] = true
+		simplifyRange(path, a, worstIdx, tol, keep)
+		simplifyRange(path, worstIdx, b, tol, keep)
+	}
+}

@@ -1,0 +1,242 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+func labCostmap(t testing.TB) *costmap.Costmap {
+	m := world.LabMap()
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	c := costmap.New(cfg)
+	c.SetStatic(m)
+	return c
+}
+
+func emptyCostmap(w, h float64) *costmap.Costmap {
+	m := world.EmptyRoomMap(w, h, 0.05)
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	c := costmap.New(cfg)
+	c.SetStatic(m)
+	return c
+}
+
+func TestStraightLinePlan(t *testing.T) {
+	cm := emptyCostmap(6, 6)
+	for _, algo := range []Algorithm{AStar, Dijkstra} {
+		p := New(algo)
+		res, err := p.Plan(cm, geom.V(1, 3), geom.V(5, 3))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(res.Path) < 2 {
+			t.Fatalf("%v: path too short: %v", algo, res.Path)
+		}
+		// Path length should be close to the straight-line 4 m.
+		if l := res.Length(); l < 3.9 || l > 4.6 {
+			t.Errorf("%v: length = %v, want ≈ 4", algo, l)
+		}
+		// Endpoints near requested start/goal (cell-center quantization).
+		if res.Path[0].Dist(geom.V(1, 3)) > 0.1 {
+			t.Errorf("%v: start = %v", algo, res.Path[0])
+		}
+		if res.Path[len(res.Path)-1].Dist(geom.V(5, 3)) > 0.1 {
+			t.Errorf("%v: goal = %v", algo, res.Path[len(res.Path)-1])
+		}
+	}
+}
+
+func TestAStarExpandsFewerNodesThanDijkstra(t *testing.T) {
+	cm := labCostmap(t)
+	start, goal := geom.V(0.6, 0.6), geom.V(11, 5)
+	a, err := New(AStar).Plan(cm, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Dijkstra).Plan(cm, start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Expanded >= d.Expanded {
+		t.Errorf("A* expanded %d >= Dijkstra %d", a.Expanded, d.Expanded)
+	}
+	// Both must find near-equal-cost paths (A* heuristic is admissible).
+	if math.Abs(a.Cost-d.Cost) > 0.25*d.Cost {
+		t.Errorf("costs diverge: A*=%v Dijkstra=%v", a.Cost, d.Cost)
+	}
+}
+
+func TestPlanAroundObstacle(t *testing.T) {
+	cm := labCostmap(t)
+	// Across the lab, through the doorway at (3.1, ~3).
+	res, err := New(AStar).Plan(cm, geom.V(1, 1), geom.V(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path must avoid lethal/inscribed cost everywhere.
+	for _, pt := range res.Path {
+		if c := cm.WorldCost(pt); c >= costmap.InscribedCost && c != costmap.UnknownCost {
+			t.Fatalf("path passes through cost %d at %v", c, pt)
+		}
+	}
+	// It must be longer than the crow-flies distance (it detours).
+	if res.Length() <= geom.V(1, 1).Dist(geom.V(5, 5)) {
+		t.Error("path should detour around the wall")
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	m := world.EmptyRoomMap(4, 4, 0.05)
+	// Seal off a chamber.
+	for y := 0; y < m.Height; y++ {
+		m.Set(geom.Cell{X: 40, Y: y}, grid.Occupied)
+	}
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+	_, err := New(AStar).Plan(cm, geom.V(1, 2), geom.V(3, 2))
+	if err == nil {
+		t.Fatal("expected no-path error")
+	}
+}
+
+func TestGoalInObstacleFails(t *testing.T) {
+	cm := labCostmap(t)
+	if _, err := New(AStar).Plan(cm, geom.V(1, 1), geom.V(5.5, 2.0)); err == nil {
+		t.Error("goal inside desk should fail")
+	}
+	if _, err := New(AStar).Plan(cm, geom.V(1, 1), geom.V(-5, 0)); err == nil {
+		t.Error("goal off-map should fail")
+	}
+}
+
+func TestPlannerKeepsClearance(t *testing.T) {
+	// With cost weighting, the path through a wide corridor should stay
+	// away from walls rather than hugging them.
+	cm := emptyCostmap(6, 2)
+	res, err := New(AStar).Plan(cm, geom.V(0.5, 1), geom.V(5.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Path[1 : len(res.Path)-1] {
+		if pt.Y < 0.5 || pt.Y > 1.5 {
+			t.Errorf("path hugs wall at %v", pt)
+		}
+	}
+}
+
+func TestAllowUnknown(t *testing.T) {
+	m := grid.NewMap(60, 60, 0.05, geom.V(0, 0), grid.Unknown)
+	// A known free pocket around the start only.
+	for y := 15; y < 45; y++ {
+		for x := 0; x < 20; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, grid.Free)
+		}
+	}
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+	goal := geom.V(2.5, 1.5) // in unknown territory
+	if _, err := New(AStar).Plan(cm, geom.V(0.5, 1.5), goal); err == nil {
+		t.Fatal("default planner should refuse unknown goals")
+	}
+	p := New(AStar)
+	p.AllowUnknown = true
+	res, err := p.Plan(cm, geom.V(0.5, 1.5), goal)
+	if err != nil {
+		t.Fatalf("exploring planner failed: %v", err)
+	}
+	if len(res.Path) < 2 {
+		t.Error("no path through unknown")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	// Collinear points collapse to endpoints.
+	path := []geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	out := Simplify(path, 0.01)
+	if len(out) != 2 {
+		t.Errorf("collinear simplify = %v", out)
+	}
+	// A corner is preserved.
+	path = []geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}
+	out = Simplify(path, 0.01)
+	if len(out) != 3 {
+		t.Errorf("corner simplify = %v", out)
+	}
+	// Short paths pass through.
+	if got := Simplify(path[:2], 0.01); len(got) != 2 {
+		t.Errorf("short path = %v", got)
+	}
+}
+
+func TestStartInInflationEscapes(t *testing.T) {
+	cm := labCostmap(t)
+	// Start very close to a wall (inside inflation, not lethal).
+	res, err := New(AStar).Plan(cm, geom.V(0.18, 0.18), geom.V(2, 1))
+	if err != nil {
+		t.Fatalf("start in inflated zone should still plan: %v", err)
+	}
+	if len(res.Path) < 2 {
+		t.Error("degenerate path")
+	}
+}
+
+func BenchmarkAStarLab(b *testing.B) {
+	cm := labCostmap(b)
+	p := New(AStar)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Plan(cm, geom.V(0.6, 0.6), geom.V(11, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstraLab(b *testing.B) {
+	cm := labCostmap(b)
+	p := New(Dijkstra)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Plan(cm, geom.V(0.6, 0.6), geom.V(11, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAStarNeverBeatsOptimalCost: property — over random clutter maps,
+// A* with the admissible octile heuristic must return the same traversal
+// cost as Dijkstra (the exact optimum) within float tolerance.
+func TestAStarMatchesDijkstraOnRandomMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		m := world.RandomClutterMap(6, 6, 0.1, 5, rng)
+		cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+		cm := costmap.New(cfg)
+		cm.SetStatic(m)
+		start, goal := geom.V(0.5, 0.5), geom.V(5.5, 5.5)
+		a, errA := New(AStar).Plan(cm, start, goal)
+		d, errD := New(Dijkstra).Plan(cm, start, goal)
+		if (errA == nil) != (errD == nil) {
+			t.Fatalf("trial %d: reachability disagrees: %v vs %v", trial, errA, errD)
+		}
+		if errA != nil {
+			continue
+		}
+		if math.Abs(a.Cost-d.Cost) > 1e-6*math.Max(1, d.Cost) {
+			t.Errorf("trial %d: A* cost %v != Dijkstra cost %v", trial, a.Cost, d.Cost)
+		}
+		if a.Expanded > d.Expanded {
+			t.Errorf("trial %d: A* expanded more nodes (%d) than Dijkstra (%d)",
+				trial, a.Expanded, d.Expanded)
+		}
+	}
+}

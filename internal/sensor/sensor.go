@@ -1,0 +1,177 @@
+// Package sensor simulates the Turtlebot3's perception hardware: the
+// LDS-01 360° laser distance sensor (by ray casting against the ground
+// truth map with Gaussian range noise) and wheel odometry with drift.
+//
+// These are the inputs the PERCEPTION stage consumes; simulating them
+// against the world substitutes for the physical sensors the paper uses,
+// while exercising the identical downstream code paths (SLAM, AMCL,
+// costmap marking/clearing).
+package sensor
+
+import (
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// Scan is one complete laser sweep. Ranges[i] is the measured distance at
+// bearing AngleMin + i*AngleInc in the robot frame; measurements at
+// MaxRange (within epsilon) are max-range misses.
+type Scan struct {
+	AngleMin float64
+	AngleInc float64
+	MaxRange float64
+	Ranges   []float64
+	Stamp    float64 // simulation time the scan was taken
+}
+
+// NumBeams returns the number of beams in the scan.
+func (s *Scan) NumBeams() int { return len(s.Ranges) }
+
+// Bearing returns the robot-frame bearing of beam i.
+func (s *Scan) Bearing(i int) float64 { return s.AngleMin + float64(i)*s.AngleInc }
+
+// IsHit reports whether beam i hit an obstacle (vs a max-range miss).
+func (s *Scan) IsHit(i int) bool { return s.Ranges[i] < s.MaxRange-1e-6 }
+
+// Endpoint returns the world-frame endpoint of beam i assuming the scan
+// was taken from pose p.
+func (s *Scan) Endpoint(p geom.Pose, i int) geom.Vec2 {
+	return p.Apply(geom.V(s.Ranges[i], 0).Rotate(s.Bearing(i)))
+}
+
+// Clone returns a deep copy of the scan.
+func (s *Scan) Clone() *Scan {
+	c := *s
+	c.Ranges = make([]float64, len(s.Ranges))
+	copy(c.Ranges, s.Ranges)
+	return &c
+}
+
+// Laser models the LDS-01: 360 beams over a full circle, 3.5 m range,
+// with additive Gaussian range noise and optional fault injection.
+type Laser struct {
+	NumBeams int
+	MaxRange float64
+	Noise    float64 // range noise standard deviation, m
+
+	// Fault injection for robustness experiments:
+	// DropoutProb is the chance a beam returns no echo (max-range miss);
+	// OutlierProb is the chance a beam returns a uniformly random range
+	// (specular reflections, glass, crosstalk).
+	DropoutProb float64
+	OutlierProb float64
+
+	rng *rand.Rand
+}
+
+// NewLDS01 returns the Turtlebot3's laser with the given noise level and
+// deterministic randomness.
+func NewLDS01(noise float64, rng *rand.Rand) *Laser {
+	return &Laser{NumBeams: 360, MaxRange: 3.5, Noise: noise, rng: rng}
+}
+
+// NewLaser returns a custom laser, mainly for tests and benchmarks that
+// need fewer beams.
+func NewLaser(beams int, maxRange, noise float64, rng *rand.Rand) *Laser {
+	return &Laser{NumBeams: beams, MaxRange: maxRange, Noise: noise, rng: rng}
+}
+
+// Sense produces a scan from the given true pose against the ground truth
+// map at the given timestamp.
+func (l *Laser) Sense(m *grid.Map, pose geom.Pose, stamp float64) *Scan {
+	s := &Scan{
+		AngleMin: -math.Pi,
+		AngleInc: 2 * math.Pi / float64(l.NumBeams),
+		MaxRange: l.MaxRange,
+		Ranges:   make([]float64, l.NumBeams),
+		Stamp:    stamp,
+	}
+	for i := 0; i < l.NumBeams; i++ {
+		theta := pose.Theta + s.AngleMin + float64(i)*s.AngleInc
+		d, hit := m.Raycast(pose.Pos, theta, l.MaxRange)
+		if hit && l.Noise > 0 {
+			d += l.rng.NormFloat64() * l.Noise
+			d = geom.Clamp(d, 0, l.MaxRange)
+		}
+		if !hit {
+			d = l.MaxRange
+		}
+		// Fault injection (order matters: an outlier overrides dropout so
+		// both probabilities stay independent).
+		if l.DropoutProb > 0 && l.rng.Float64() < l.DropoutProb {
+			d = l.MaxRange
+		}
+		if l.OutlierProb > 0 && l.rng.Float64() < l.OutlierProb {
+			d = l.rng.Float64() * l.MaxRange
+		}
+		s.Ranges[i] = d
+	}
+	return s
+}
+
+// Odometer models wheel odometry: it reports pose deltas corrupted with
+// multiplicative drift and additive Gaussian noise, following the standard
+// alpha-parameterized odometry motion model (Thrun et al., Probabilistic
+// Robotics §5.4).
+type Odometer struct {
+	// Alpha1..4 are the standard noise coefficients:
+	// rotation noise from rotation (1), rotation from translation (2),
+	// translation from translation (3), translation from rotation (4).
+	Alpha1, Alpha2, Alpha3, Alpha4 float64
+	rng                            *rand.Rand
+
+	last    geom.Pose // last true pose observed
+	started bool
+	est     geom.Pose // accumulated noisy odometry estimate
+}
+
+// NewOdometer returns an odometer with typical small-robot drift
+// parameters.
+func NewOdometer(rng *rand.Rand) *Odometer {
+	return &Odometer{Alpha1: 0.05, Alpha2: 0.02, Alpha3: 0.05, Alpha4: 0.01, rng: rng}
+}
+
+// Update feeds the odometer the new true pose and returns the current
+// noisy odometry estimate (in the odometry frame, which starts at the
+// first observed pose).
+func (o *Odometer) Update(truth geom.Pose) geom.Pose {
+	if !o.started {
+		o.last = truth
+		o.started = true
+		return o.est
+	}
+	d := o.last.Delta(truth)
+	o.last = truth
+
+	trans := d.Pos.Norm()
+	var rot1 float64
+	if trans > 1e-6 {
+		rot1 = geom.AngleDiff(d.Pos.Angle(), 0)
+	}
+	rot2 := geom.AngleDiff(d.Theta, rot1)
+
+	nRot1 := rot1 + o.noise(o.Alpha1*math.Abs(rot1)+o.Alpha2*trans)
+	nTrans := trans + o.noise(o.Alpha3*trans+o.Alpha4*(math.Abs(rot1)+math.Abs(rot2)))
+	nRot2 := rot2 + o.noise(o.Alpha1*math.Abs(rot2)+o.Alpha2*trans)
+
+	step := geom.Pose{
+		Pos:   geom.V(nTrans, 0).Rotate(nRot1),
+		Theta: geom.NormalizeAngle(nRot1 + nRot2),
+	}
+	o.est = o.est.Compose(step)
+	return o.est
+}
+
+// Estimate returns the current odometry estimate without feeding a new
+// ground truth pose.
+func (o *Odometer) Estimate() geom.Pose { return o.est }
+
+func (o *Odometer) noise(stddev float64) float64 {
+	if stddev <= 0 {
+		return 0
+	}
+	return o.rng.NormFloat64() * stddev
+}

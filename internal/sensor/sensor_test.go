@@ -1,0 +1,223 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+func room() *grid.Map { return world.EmptyRoomMap(4, 4, 0.05) }
+
+func TestNoiselessScanGeometry(t *testing.T) {
+	m := room()
+	l := NewLaser(4, 5.0, 0, rand.New(rand.NewSource(1)))
+	// Robot at the center looking +x. Beams at -π, -π/2, 0, π/2.
+	s := l.Sense(m, geom.P(2, 2, 0), 1.5)
+	if s.Stamp != 1.5 {
+		t.Errorf("stamp = %v", s.Stamp)
+	}
+	if s.NumBeams() != 4 {
+		t.Fatalf("beams = %d", s.NumBeams())
+	}
+	// Walls are ~2 m away in all four cardinal directions (cell centers at
+	// 0.025 / 3.975, so ≈1.95-2.0).
+	for i, r := range s.Ranges {
+		if math.Abs(r-2.0) > 0.08 {
+			t.Errorf("beam %d range = %v, want ≈ 1.97", i, r)
+		}
+	}
+}
+
+func TestScanBearings(t *testing.T) {
+	l := NewLaser(360, 3.5, 0, rand.New(rand.NewSource(1)))
+	s := l.Sense(room(), geom.P(2, 2, 0), 0)
+	if s.Bearing(0) != -math.Pi {
+		t.Errorf("bearing 0 = %v", s.Bearing(0))
+	}
+	if math.Abs(s.Bearing(180)-0) > 1e-9 {
+		t.Errorf("bearing 180 = %v", s.Bearing(180))
+	}
+}
+
+func TestMaxRangeMiss(t *testing.T) {
+	m := world.EmptyRoomMap(20, 20, 0.1)
+	l := NewLaser(8, 2.0, 0.05, rand.New(rand.NewSource(1)))
+	s := l.Sense(m, geom.P(10, 10, 0), 0)
+	for i := range s.Ranges {
+		if s.IsHit(i) {
+			t.Errorf("beam %d should be a max-range miss, r=%v", i, s.Ranges[i])
+		}
+		if s.Ranges[i] != 2.0 {
+			t.Errorf("miss range must be exactly MaxRange, got %v", s.Ranges[i])
+		}
+	}
+}
+
+func TestEndpointTransform(t *testing.T) {
+	s := &Scan{AngleMin: 0, AngleInc: math.Pi / 2, MaxRange: 5, Ranges: []float64{1, 2}}
+	p := geom.P(1, 1, math.Pi/2)
+	// Beam 0: bearing 0, robot facing +y => endpoint (1, 2).
+	e := s.Endpoint(p, 0)
+	if e.Dist(geom.V(1, 2)) > 1e-9 {
+		t.Errorf("endpoint 0 = %v", e)
+	}
+	// Beam 1: bearing π/2 (robot-left), robot facing +y => world -x dir => (-1, 1).
+	e = s.Endpoint(p, 1)
+	if e.Dist(geom.V(-1, 1)) > 1e-9 {
+		t.Errorf("endpoint 1 = %v", e)
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	m := room()
+	s1 := NewLDS01(0.02, rand.New(rand.NewSource(5))).Sense(m, geom.P(2, 2, 0.3), 0)
+	s2 := NewLDS01(0.02, rand.New(rand.NewSource(5))).Sense(m, geom.P(2, 2, 0.3), 0)
+	for i := range s1.Ranges {
+		if s1.Ranges[i] != s2.Ranges[i] {
+			t.Fatal("same seed produced different scans")
+		}
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	m := room()
+	l := NewLaser(1, 5.0, 0.05, rand.New(rand.NewSource(9)))
+	// Single beam at bearing -π from (2,2) looking +x... AngleMin=-π, so
+	// beam 0 points backwards; use heading π to aim it at the +x wall.
+	var sum, sumSq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s := l.Sense(m, geom.P(2, 2, math.Pi), 0)
+		sum += s.Ranges[0]
+		sumSq += s.Ranges[0] * s.Ranges[0]
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1.975) > 0.05 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(std-0.05) > 0.015 {
+		t.Errorf("std = %v, want ≈ 0.05", std)
+	}
+}
+
+func TestScanClone(t *testing.T) {
+	l := NewLaser(10, 3, 0, rand.New(rand.NewSource(1)))
+	s := l.Sense(room(), geom.P(2, 2, 0), 0)
+	c := s.Clone()
+	c.Ranges[0] = -1
+	if s.Ranges[0] == -1 {
+		t.Error("Clone shares Ranges")
+	}
+}
+
+func TestOdometerNoiselessIdentity(t *testing.T) {
+	o := &Odometer{rng: rand.New(rand.NewSource(1))} // all alphas zero
+	poses := []geom.Pose{
+		geom.P(0, 0, 0), geom.P(1, 0, 0), geom.P(1, 1, math.Pi/2), geom.P(0, 1, math.Pi),
+	}
+	var est geom.Pose
+	for _, p := range poses {
+		est = o.Update(p)
+	}
+	// With zero noise the odometry must equal the true delta from start.
+	want := poses[0].Delta(poses[3])
+	if est.Pos.Dist(want.Pos) > 1e-9 || math.Abs(geom.AngleDiff(est.Theta, want.Theta)) > 1e-9 {
+		t.Errorf("est = %v, want %v", est, want)
+	}
+}
+
+func TestOdometerPureRotation(t *testing.T) {
+	o := &Odometer{rng: rand.New(rand.NewSource(1))}
+	o.Update(geom.P(1, 1, 0))
+	est := o.Update(geom.P(1, 1, 1.0))
+	if est.Pos.Norm() > 1e-9 {
+		t.Errorf("pure rotation produced translation: %v", est.Pos)
+	}
+	if math.Abs(est.Theta-1.0) > 1e-9 {
+		t.Errorf("rotation = %v", est.Theta)
+	}
+}
+
+func TestOdometerDriftGrows(t *testing.T) {
+	o := NewOdometer(rand.New(rand.NewSource(3)))
+	truth := geom.P(0, 0, 0)
+	o.Update(truth)
+	var maxErr float64
+	for i := 0; i < 500; i++ {
+		truth = geom.Twist{V: 0.2, W: 0.1}.Integrate(truth, 0.1)
+		est := o.Update(truth)
+		// Error vs true delta from origin.
+		want := geom.P(0, 0, 0).Delta(truth)
+		if e := est.Pos.Dist(want.Pos); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr == 0 {
+		t.Error("odometry with drift parameters produced zero error")
+	}
+	if maxErr > 5 {
+		t.Errorf("odometry drift implausibly large: %v", maxErr)
+	}
+}
+
+func TestOdometerEstimateAccessor(t *testing.T) {
+	o := NewOdometer(rand.New(rand.NewSource(1)))
+	o.Update(geom.P(0, 0, 0))
+	o.Update(geom.P(0.5, 0, 0))
+	if o.Estimate() != o.est {
+		t.Error("Estimate accessor mismatch")
+	}
+	if o.Estimate().Pos.Norm() == 0 {
+		t.Error("estimate did not move")
+	}
+}
+
+func BenchmarkSense360(b *testing.B) {
+	m := world.LabMap()
+	l := NewLDS01(0.01, rand.New(rand.NewSource(1)))
+	p := geom.P(1, 1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Sense(m, p, 0)
+	}
+}
+
+func TestDropoutInjection(t *testing.T) {
+	m := room()
+	l := NewLaser(360, 3.5, 0, rand.New(rand.NewSource(11)))
+	l.DropoutProb = 0.5
+	s := l.Sense(m, geom.P(2, 2, 0), 0)
+	misses := 0
+	for i := range s.Ranges {
+		if !s.IsHit(i) {
+			misses++
+		}
+	}
+	// In a 4x4 room every true beam hits; ~50% should now be dropouts.
+	if misses < 120 || misses > 240 {
+		t.Errorf("dropout misses = %d of 360, want ≈ 180", misses)
+	}
+}
+
+func TestOutlierInjection(t *testing.T) {
+	m := room()
+	clean := NewLaser(360, 3.5, 0, rand.New(rand.NewSource(12)))
+	dirty := NewLaser(360, 3.5, 0, rand.New(rand.NewSource(12)))
+	dirty.OutlierProb = 0.3
+	cs := clean.Sense(m, geom.P(2, 2, 0), 0)
+	ds := dirty.Sense(m, geom.P(2, 2, 0), 0)
+	diff := 0
+	for i := range cs.Ranges {
+		if math.Abs(cs.Ranges[i]-ds.Ranges[i]) > 0.01 {
+			diff++
+		}
+	}
+	if diff < 50 || diff > 180 {
+		t.Errorf("outliers changed %d beams, want ≈ 108", diff)
+	}
+}

@@ -1,0 +1,404 @@
+// Package slam implements the Localization(SLAM) node for the unknown-map
+// workload: a Rao-Blackwellized particle filter in the style of GMapping
+// (Grisetti et al.), the algorithm the paper offloads and accelerates.
+// Each particle carries a pose hypothesis and its own occupancy grid map;
+// an update applies the odometry motion model, refines each particle's
+// pose by hill-climbing scan matching against its map (the scanMatch
+// function that consumes 98% of SLAM time in the paper's measurement),
+// reweights and normalizes (updateTreeWeights), resamples when the
+// effective sample size collapses, and integrates the scan into each
+// surviving particle's map.
+//
+// UpdateParallel is the paper's Fig. 6 algorithm: a pool of N workers
+// each scan-matches M/N particles. Because scan matching is deterministic
+// given the particle state (all randomness is drawn serially before the
+// parallel section), the parallel filter produces byte-identical results
+// to the serial one for any thread count.
+package slam
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/sensor"
+)
+
+// Config parameterizes the filter.
+type Config struct {
+	NumParticles int
+
+	// Map geometry for every particle's occupancy grid.
+	MapW, MapH int
+	Resolution float64
+	Origin     geom.Vec2
+
+	// Motion model noise (stddev per meter / radian of commanded motion).
+	TransNoise float64
+	RotNoise   float64
+
+	// Scan matching.
+	MatchIters   int     // hill-climbing refinement rounds
+	SearchStep   float64 // initial translational step, m
+	AngularStep  float64 // initial rotational step, rad
+	BeamSkip     int     // match every k-th beam
+	LikelihoodK  float64 // weight gain applied to match scores
+	ResampleNeff float64 // resample when Neff/N drops below this
+}
+
+// DefaultConfig returns a configuration for the given map geometry with
+// the paper's default particle count (30, the gmapping default).
+func DefaultConfig(w, h int, res float64, origin geom.Vec2) Config {
+	return Config{
+		NumParticles: 30,
+		MapW:         w, MapH: h, Resolution: res, Origin: origin,
+		TransNoise: 0.05, RotNoise: 0.05,
+		MatchIters: 5, SearchStep: 0.05, AngularStep: 0.03,
+		BeamSkip: 4, LikelihoodK: 0.5, ResampleNeff: 0.5,
+	}
+}
+
+// Particle is one pose-and-map hypothesis.
+type Particle struct {
+	Pose      geom.Pose
+	LogWeight float64
+	Map       *grid.LogOdds
+}
+
+// UpdateStats reports the work done by one filter update, in abstract
+// operations that the engine converts to cycles.
+type UpdateStats struct {
+	MatchOps     int // beam probes during scan matching (parallel section)
+	IntegrateOps int // map cells updated (parallel section)
+	WeightOps    int // per-particle normalization/resampling work (serial)
+	CopyOps      int // map cells copied by resampling duplicates (serial, cheap)
+	Resampled    bool
+}
+
+// SLAM is the filter state. Not safe for concurrent use; the parallel
+// update manages its own workers internally.
+type SLAM struct {
+	cfg       Config
+	rng       *rand.Rand
+	particles []*Particle
+	neff      float64
+	started   bool
+	updates   int
+}
+
+// New builds the filter with all particles at the origin pose.
+func New(cfg Config, rng *rand.Rand) *SLAM {
+	if cfg.NumParticles < 1 {
+		cfg.NumParticles = 1
+	}
+	if cfg.BeamSkip < 1 {
+		cfg.BeamSkip = 1
+	}
+	s := &SLAM{cfg: cfg, rng: rng, neff: float64(cfg.NumParticles)}
+	for i := 0; i < cfg.NumParticles; i++ {
+		s.particles = append(s.particles, &Particle{
+			Map: grid.NewLogOdds(cfg.MapW, cfg.MapH, cfg.Resolution, cfg.Origin),
+		})
+	}
+	return s
+}
+
+// SetInitialPose places all particles at the given pose (the mission
+// engine uses the start pose so the SLAM frame matches the world frame).
+func (s *SLAM) SetInitialPose(p geom.Pose) {
+	for _, pt := range s.particles {
+		pt.Pose = p
+	}
+}
+
+// NumParticles returns M.
+func (s *SLAM) NumParticles() int { return len(s.particles) }
+
+// Neff returns the effective sample size after the last update.
+func (s *SLAM) Neff() float64 { return s.neff }
+
+// Update runs one filter step serially.
+func (s *SLAM) Update(odomDelta geom.Pose, scan *sensor.Scan) UpdateStats {
+	return s.update(odomDelta, scan, 1, Block)
+}
+
+// Partition selects how particles are split across workers.
+type Partition int
+
+const (
+	// Block assigns each worker a contiguous range of particles (Fig. 6).
+	Block Partition = iota
+	// Interleaved strides particles across workers (ablation).
+	Interleaved
+)
+
+// UpdateParallel runs one filter step with the scanMatch and map
+// integration of the M particles spread over `threads` workers.
+func (s *SLAM) UpdateParallel(odomDelta geom.Pose, scan *sensor.Scan, threads int, part Partition) UpdateStats {
+	return s.update(odomDelta, scan, threads, part)
+}
+
+func (s *SLAM) update(odomDelta geom.Pose, scan *sensor.Scan, threads int, part Partition) UpdateStats {
+	var st UpdateStats
+	m := len(s.particles)
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > m {
+		threads = m
+	}
+
+	// 1. Motion update with noise, drawn serially for determinism.
+	trans := odomDelta.Pos.Norm()
+	rot := math.Abs(odomDelta.Theta)
+	for _, pt := range s.particles {
+		noisy := odomDelta
+		noisy.Pos.X += s.rng.NormFloat64() * (s.cfg.TransNoise*trans + 0.001)
+		noisy.Pos.Y += s.rng.NormFloat64() * (s.cfg.TransNoise*trans + 0.001)
+		noisy.Theta = geom.NormalizeAngle(noisy.Theta +
+			s.rng.NormFloat64()*(s.cfg.RotNoise*rot+0.001))
+		pt.Pose = pt.Pose.Compose(noisy)
+	}
+
+	// 2+5. Scan match and integrate, parallel over particles (Fig. 6).
+	results := make([]UpdateStats, threads)
+	firstScan := !s.started
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var r UpdateStats
+			process := func(i int) {
+				pt := s.particles[i]
+				if !firstScan {
+					score, ops := s.scanMatch(pt, scan)
+					r.MatchOps += ops
+					pt.LogWeight += s.cfg.LikelihoodK * score
+				}
+				r.IntegrateOps += s.integrate(pt, scan)
+			}
+			switch part {
+			case Interleaved:
+				for i := w; i < m; i += threads {
+					process(i)
+				}
+			default:
+				lo, hi := w*m/threads, (w+1)*m/threads
+				for i := lo; i < hi; i++ {
+					process(i)
+				}
+			}
+			results[w] = r
+		}(w)
+	}
+	wg.Wait()
+	for _, r := range results {
+		st.MatchOps += r.MatchOps
+		st.IntegrateOps += r.IntegrateOps
+	}
+	s.started = true
+	s.updates++
+
+	// 3. updateTreeWeights: normalize and compute Neff (serial).
+	st.WeightOps += s.normalize()
+
+	// 4. Resample when the effective sample size collapses (serial).
+	if s.neff < s.cfg.ResampleNeff*float64(m) {
+		copied := s.resample()
+		st.WeightOps += m
+		st.CopyOps += copied
+		st.Resampled = true
+	}
+	return st
+}
+
+// scanMatch hill-climbs the particle pose to maximize the match score of
+// the (subsampled) scan against the particle's own map. Returns the final
+// score and the number of beam probes performed.
+func (s *SLAM) scanMatch(pt *Particle, scan *sensor.Scan) (score float64, ops int) {
+	best, n := s.matchScore(pt.Map, pt.Pose, scan)
+	ops += n
+	step := s.cfg.SearchStep
+	astep := s.cfg.AngularStep
+	for it := 0; it < s.cfg.MatchIters; it++ {
+		improved := false
+		for _, d := range [6]geom.Pose{
+			{Pos: geom.V(step, 0)}, {Pos: geom.V(-step, 0)},
+			{Pos: geom.V(0, step)}, {Pos: geom.V(0, -step)},
+			{Theta: astep}, {Theta: -astep},
+		} {
+			cand := geom.Pose{
+				Pos:   pt.Pose.Pos.Add(d.Pos),
+				Theta: geom.NormalizeAngle(pt.Pose.Theta + d.Theta),
+			}
+			sc, n := s.matchScore(pt.Map, cand, scan)
+			ops += n
+			if sc > best {
+				best, pt.Pose, improved = sc, cand, true
+			}
+		}
+		if !improved {
+			step /= 2
+			astep /= 2
+		}
+	}
+	return best, ops
+}
+
+// matchScore evaluates how well the scan, taken from pose, agrees with
+// the map: hit endpoints landing on occupied cells score +1 weighted by
+// occupancy; endpoints in free space score negatively.
+func (s *SLAM) matchScore(m *grid.LogOdds, pose geom.Pose, scan *sensor.Scan) (float64, int) {
+	score := 0.0
+	ops := 0
+	for i := 0; i < scan.NumBeams(); i += s.cfg.BeamSkip {
+		if !scan.IsHit(i) {
+			continue
+		}
+		end := scan.Endpoint(pose, i)
+		cell := m.WorldToCell(end)
+		ops++
+		if !m.InBounds(cell) {
+			score -= 0.1
+			continue
+		}
+		if !m.Touched(cell) {
+			continue // unexplored: neutral
+		}
+		p := m.Prob(cell)
+		score += 2*p - 1 // +1 for certain occupied, -1 for certain free
+	}
+	return score, ops
+}
+
+// integrate folds the scan into the particle's map, returning cells
+// touched.
+func (s *SLAM) integrate(pt *Particle, scan *sensor.Scan) int {
+	ops := 0
+	for i := 0; i < scan.NumBeams(); i++ {
+		theta := pt.Pose.Theta + scan.Bearing(i)
+		ops += pt.Map.IntegrateBeam(pt.Pose.Pos, theta, scan.Ranges[i], scan.IsHit(i))
+	}
+	return ops
+}
+
+// normalize rescales log weights and computes Neff. Returns ops.
+func (s *SLAM) normalize() int {
+	maxLW := math.Inf(-1)
+	for _, pt := range s.particles {
+		if pt.LogWeight > maxLW {
+			maxLW = pt.LogWeight
+		}
+	}
+	sum := 0.0
+	ws := make([]float64, len(s.particles))
+	for i, pt := range s.particles {
+		ws[i] = math.Exp(pt.LogWeight - maxLW)
+		sum += ws[i]
+	}
+	neffDen := 0.0
+	for i, pt := range s.particles {
+		w := ws[i] / sum
+		neffDen += w * w
+		// Store normalized log weight to avoid drift.
+		pt.LogWeight = math.Log(math.Max(w, 1e-300))
+	}
+	if neffDen > 0 {
+		s.neff = 1 / neffDen
+	} else {
+		s.neff = float64(len(s.particles))
+	}
+	return 3 * len(s.particles)
+}
+
+// resample performs systematic resampling, deep-copying maps of
+// duplicated particles. Returns the number of map cells copied.
+func (s *SLAM) resample() int {
+	m := len(s.particles)
+	weights := make([]float64, m)
+	total := 0.0
+	for i, pt := range s.particles {
+		weights[i] = math.Exp(pt.LogWeight)
+		total += weights[i]
+	}
+	ops := 0
+	next := make([]*Particle, 0, m)
+	u := s.rng.Float64() * total / float64(m)
+	cum := 0.0
+	idx := 0
+	used := make(map[int]bool, m)
+	for i := 0; i < m; i++ {
+		target := u + float64(i)*total/float64(m)
+		for cum+weights[idx] < target && idx < m-1 {
+			cum += weights[idx]
+			idx++
+		}
+		src := s.particles[idx]
+		if used[idx] {
+			// Deep copy for duplicates.
+			cp := &Particle{Pose: src.Pose, Map: cloneLogOdds(src.Map)}
+			ops += len(src.Map.L)
+			next = append(next, cp)
+		} else {
+			used[idx] = true
+			src.LogWeight = 0
+			next = append(next, src)
+		}
+	}
+	for _, pt := range next {
+		pt.LogWeight = 0
+	}
+	s.particles = next
+	return ops
+}
+
+func cloneLogOdds(g *grid.LogOdds) *grid.LogOdds {
+	c := *g
+	c.L = make([]float64, len(g.L))
+	copy(c.L, g.L)
+	return &c
+}
+
+// bestIndex returns the particle with the highest weight.
+func (s *SLAM) bestIndex() int {
+	best, bi := math.Inf(-1), 0
+	for i, pt := range s.particles {
+		if pt.LogWeight > best {
+			best, bi = pt.LogWeight, i
+		}
+	}
+	return bi
+}
+
+// BestPose returns the pose estimate of the highest-weight particle.
+func (s *SLAM) BestPose() geom.Pose { return s.particles[s.bestIndex()].Pose }
+
+// MeanPose returns the weighted mean pose (linear part; circular mean for
+// heading).
+func (s *SLAM) MeanPose() geom.Pose {
+	var x, y, sinSum, cosSum, wsum float64
+	for _, pt := range s.particles {
+		w := math.Exp(pt.LogWeight)
+		x += w * pt.Pose.Pos.X
+		y += w * pt.Pose.Pos.Y
+		sinSum += w * math.Sin(pt.Pose.Theta)
+		cosSum += w * math.Cos(pt.Pose.Theta)
+		wsum += w
+	}
+	if wsum == 0 {
+		return s.BestPose()
+	}
+	return geom.P(x/wsum, y/wsum, math.Atan2(sinSum, cosSum))
+}
+
+// Map returns the best particle's map thresholded into a ternary
+// occupancy grid.
+func (s *SLAM) Map() *grid.Map {
+	return s.particles[s.bestIndex()].Map.ToMap(0.25, 0.65)
+}
+
+// Updates returns the number of filter updates performed.
+func (s *SLAM) Updates() int { return s.updates }

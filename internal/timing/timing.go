@@ -1,0 +1,87 @@
+// Package timing implements the paper's mission completion time model
+// (Eq. 2a–2c): total time splits into standby time (the LGV suspended
+// waiting for computation) and moving time, and the safe maximum velocity
+// is derived from the velocity-dependent-path processing time through the
+// obstacle-avoidance stopping constraint:
+//
+//	v_max = a_max · (√(t_p² + 2d/a_max) − t_p)   (Eq. 2c)
+//
+// where t_p is the VDP makespan (local + cloud processing + network
+// latency), a_max the robot's deceleration limit, and d the required
+// stopping distance. Faster computation (smaller t_p) permits a higher
+// safe velocity, which is the mechanism by which offloading shortens
+// missions.
+package timing
+
+import "math"
+
+// MaxVelocity computes Eq. 2c: the maximum safe velocity for a control
+// pipeline with processing time tp, acceleration limit amax, and required
+// stopping distance d. Degenerate inputs return 0.
+func MaxVelocity(tp, amax, d float64) float64 {
+	if amax <= 0 || d <= 0 {
+		return 0
+	}
+	if tp < 0 {
+		tp = 0
+	}
+	return amax * (math.Sqrt(tp*tp+2*d/amax) - tp)
+}
+
+// ProcessingTime inverts Eq. 2c: the largest VDP makespan that still
+// permits the given velocity. It returns +Inf when v is non-positive.
+func ProcessingTime(v, amax, d float64) float64 {
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	// From v = a(√(t²+2d/a) − t):  t = d/v − v/(2a).
+	return d/v - v/(2*amax)
+}
+
+// VDPBreakdown is the makespan decomposition of Eq. 2b: processing time
+// on the robot, processing time in the cloud, and the network latency of
+// crossing between them.
+type VDPBreakdown struct {
+	RobotProc float64 // t_p^R
+	CloudProc float64 // t_p^C
+	Network   float64 // t_c (round trip across the offloaded boundary)
+}
+
+// Total returns t_p = t_p^R + t_p^C + t_c.
+func (b VDPBreakdown) Total() float64 { return b.RobotProc + b.CloudProc + b.Network }
+
+// Clock tracks the Eq. 2a decomposition of a running mission: moving
+// time, standby time, and the total. The engine reports each control
+// period as moving (|v| above the threshold) or standby.
+type Clock struct {
+	// StandbyVel is the velocity magnitude below which the LGV counts as
+	// suspended rather than moving.
+	StandbyVel float64
+
+	moving  float64
+	standby float64
+}
+
+// NewClock returns a clock with a 1 cm/s standby threshold.
+func NewClock() *Clock { return &Clock{StandbyVel: 0.01} }
+
+// Tick records dt seconds at the given commanded speed.
+func (c *Clock) Tick(dt, speed float64) {
+	if dt <= 0 {
+		return
+	}
+	if math.Abs(speed) > c.StandbyVel {
+		c.moving += dt
+	} else {
+		c.standby += dt
+	}
+}
+
+// Moving returns T_m, the accumulated moving time.
+func (c *Clock) Moving() float64 { return c.moving }
+
+// Standby returns T_s, the accumulated standby time.
+func (c *Clock) Standby() float64 { return c.standby }
+
+// Total returns T = T_s + T_m (Eq. 2a).
+func (c *Clock) Total() float64 { return c.moving + c.standby }

@@ -1,0 +1,102 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxVelocityBasics(t *testing.T) {
+	// Zero processing time: v = a(√(2d/a)) = √(2ad).
+	v := MaxVelocity(0, 2.5, 0.25)
+	want := math.Sqrt(2 * 2.5 * 0.25)
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("v(tp=0) = %v, want %v", v, want)
+	}
+	// Degenerate inputs.
+	if MaxVelocity(0.1, 0, 0.25) != 0 || MaxVelocity(0.1, 2.5, 0) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+	// Negative tp treated as zero.
+	if MaxVelocity(-1, 2.5, 0.25) != MaxVelocity(0, 2.5, 0.25) {
+		t.Error("negative tp should clamp to 0")
+	}
+}
+
+func TestMaxVelocityDecreasesWithProcessingTime(t *testing.T) {
+	prev := math.Inf(1)
+	for _, tp := range []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2} {
+		v := MaxVelocity(tp, 2.5, 0.25)
+		if v >= prev {
+			t.Errorf("v(tp=%v) = %v did not decrease (prev %v)", tp, v, prev)
+		}
+		if v <= 0 {
+			t.Errorf("v(tp=%v) = %v must stay positive", tp, v)
+		}
+		prev = v
+	}
+}
+
+func TestMaxVelocityStoppingConstraint(t *testing.T) {
+	// Physical meaning: traveling at v for tp then decelerating at amax
+	// must cover at most d: v·tp + v²/(2a) ≤ d.
+	f := func(tpr, ar, dr uint8) bool {
+		tp := float64(tpr) * 0.01
+		a := 0.5 + float64(ar)*0.05
+		d := 0.05 + float64(dr)*0.01
+		v := MaxVelocity(tp, a, d)
+		travel := v*tp + v*v/(2*a)
+		return travel <= d+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessingTimeInverts(t *testing.T) {
+	f := func(tpr uint8) bool {
+		tp := float64(tpr) * 0.01
+		const a, d = 2.5, 0.25
+		v := MaxVelocity(tp, a, d)
+		back := ProcessingTime(v, a, d)
+		return math.Abs(back-tp) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(ProcessingTime(0, 2.5, 0.25), 1) {
+		t.Error("v=0 should give infinite budget")
+	}
+}
+
+func TestVDPBreakdownTotal(t *testing.T) {
+	b := VDPBreakdown{RobotProc: 0.01, CloudProc: 0.002, Network: 0.004}
+	if math.Abs(b.Total()-0.016) > 1e-12 {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestClockSplitsMovingStandby(t *testing.T) {
+	c := NewClock()
+	c.Tick(2, 0.2)     // moving
+	c.Tick(1, 0.0)     // standby
+	c.Tick(0.5, 0.005) // below threshold -> standby
+	c.Tick(-1, 1)      // ignored
+	if c.Moving() != 2 {
+		t.Errorf("moving = %v", c.Moving())
+	}
+	if c.Standby() != 1.5 {
+		t.Errorf("standby = %v", c.Standby())
+	}
+	if c.Total() != 3.5 {
+		t.Errorf("total = %v", c.Total())
+	}
+}
+
+func TestClockNegativeSpeedIsMoving(t *testing.T) {
+	c := NewClock()
+	c.Tick(1, -0.2)
+	if c.Moving() != 1 {
+		t.Error("reverse driving is still moving")
+	}
+}

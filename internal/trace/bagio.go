@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"lgvoffload/internal/bag"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/msg"
+)
+
+// Bag topics used by dataset persistence.
+const (
+	TopicScan  = "scan"
+	TopicDelta = "odom_delta"
+	TopicTruth = "truth"
+)
+
+// Save writes the dataset's sensor stream as a bag. The ground-truth
+// map is not stored (it is reproducible from the generator); Load
+// accepts it separately.
+func (d *Dataset) Save(w io.Writer) error {
+	bw, err := bag.NewWriter(w)
+	if err != nil {
+		return err
+	}
+	// Seq 0 carries the start pose.
+	if err := bw.Write(0, TopicTruth, msg.FromPose(d.Start, 0, 0)); err != nil {
+		return err
+	}
+	for i, e := range d.Entries {
+		seq := uint64(i + 1)
+		if err := bw.Write(e.Stamp, TopicScan, msg.FromSensor(e.Scan, seq)); err != nil {
+			return err
+		}
+		if err := bw.Write(e.Stamp, TopicDelta, msg.FromPose(e.OdomDelta, seq, e.Stamp)); err != nil {
+			return err
+		}
+		if err := bw.Write(e.Stamp, TopicTruth, msg.FromPose(e.TruePose, seq, e.Stamp)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// bagEntry accumulates one dataset entry from its three bag records.
+type bagEntry struct {
+	e    Entry
+	scan bool
+	dlt  bool
+	tru  bool
+}
+
+// Load reconstructs a dataset from a bag written by Save. The caller
+// supplies the ground-truth map the log was recorded in.
+func Load(r io.Reader, m *grid.Map) (*Dataset, error) {
+	recs, err := bag.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Map: m}
+	byseq := map[uint64]*bagEntry{}
+	var order []uint64
+	ensure := func(seq uint64) *bagEntry {
+		if p, ok := byseq[seq]; ok {
+			return p
+		}
+		p := &bagEntry{}
+		byseq[seq] = p
+		order = append(order, seq)
+		return p
+	}
+	for _, rec := range recs {
+		switch mm := rec.Msg.(type) {
+		case *msg.Scan:
+			p := ensure(mm.Seq)
+			p.e.Stamp = rec.Stamp
+			p.e.Scan = mm.ToSensor()
+			p.scan = true
+		case *msg.Pose:
+			if mm.Seq == 0 {
+				ds.Start = mm.AsPose()
+				continue
+			}
+			p := ensure(mm.Seq)
+			switch rec.Topic {
+			case TopicDelta:
+				p.e.OdomDelta = mm.AsPose()
+				p.dlt = true
+			case TopicTruth:
+				p.e.TruePose = mm.AsPose()
+				p.tru = true
+			}
+		}
+	}
+	for _, seq := range order {
+		p := byseq[seq]
+		if !p.scan || !p.dlt || !p.tru {
+			return nil, fmt.Errorf("trace: incomplete record seq %d", seq)
+		}
+		ds.Entries = append(ds.Entries, p.e)
+	}
+	return ds, nil
+}

@@ -1,0 +1,162 @@
+// Package trace generates the synthetic laser/odometry datasets that
+// stand in for the Intel Research Lab SLAM logs the paper replays in its
+// cloud-acceleration experiments (§VIII-B). A scripted waypoint follower
+// drives the simulated Turtlebot through a lab-scale world while the
+// generator records, at a fixed scan rate, the noisy odometry delta and
+// laser sweep — exactly the stream the SLAM and VDP kernels consume, so
+// replaying a dataset exercises the same code paths as replaying the
+// original logs.
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/sensor"
+	"lgvoffload/internal/world"
+)
+
+// Entry is one dataset record.
+type Entry struct {
+	Stamp     float64
+	OdomDelta geom.Pose // noisy odometry motion since the previous entry
+	TruePose  geom.Pose // ground truth (for evaluation only)
+	Scan      *sensor.Scan
+}
+
+// Dataset is a replayable sensor log.
+type Dataset struct {
+	Map     *grid.Map // ground-truth world the log was recorded in
+	Start   geom.Pose
+	Entries []Entry
+}
+
+// Len returns the number of entries.
+func (d *Dataset) Len() int { return len(d.Entries) }
+
+// Config parameterizes dataset generation.
+type Config struct {
+	Waypoints  []geom.Vec2 // tour the robot drives
+	ScanPeriod float64     // seconds between records
+	SimDt      float64     // physics step
+	Speed      float64     // cruise speed, m/s
+	LaserBeams int
+	LaserNoise float64
+	MaxEntries int
+}
+
+// DefaultConfig returns a lab-loop tour at Turtlebot speeds.
+func DefaultConfig() Config {
+	return Config{
+		Waypoints: []geom.Vec2{
+			{X: 1.0, Y: 1.0}, {X: 2.4, Y: 4.8}, {X: 4.2, Y: 4.4},
+			{X: 4.3, Y: 1.0}, {X: 7.2, Y: 1.2}, {X: 8.8, Y: 4.8},
+			{X: 11.0, Y: 3.0}, {X: 9.0, Y: 0.8}, {X: 1.0, Y: 1.0},
+		},
+		ScanPeriod: 0.2,
+		SimDt:      0.05,
+		Speed:      0.2,
+		LaserBeams: 360,
+		LaserNoise: 0.01,
+		MaxEntries: 600,
+	}
+}
+
+// Generate drives the tour through the given world and records a dataset.
+// A simple go-to-point controller (turn toward the waypoint, drive when
+// roughly aligned) produces realistic arcs and in-place turns.
+func Generate(m *grid.Map, cfg Config, rng *rand.Rand) *Dataset {
+	if len(cfg.Waypoints) == 0 {
+		return &Dataset{Map: m}
+	}
+	start := geom.P(cfg.Waypoints[0].X, cfg.Waypoints[0].Y, 0)
+	w := world.New(m, world.Turtlebot3(), start)
+	laser := sensor.NewLaser(cfg.LaserBeams, 3.5, cfg.LaserNoise, rng)
+	odo := sensor.NewOdometer(rand.New(rand.NewSource(rng.Int63())))
+
+	ds := &Dataset{Map: m, Start: start}
+	prevOdom := odo.Update(w.Robot.Pose)
+	nextScan := 0.0
+	wpIdx := 1
+
+	for wpIdx < len(cfg.Waypoints) && ds.Len() < cfg.MaxEntries {
+		target := cfg.Waypoints[wpIdx]
+		if w.Robot.Pose.Pos.Dist(target) < 0.25 {
+			wpIdx++
+			continue
+		}
+		// Go-to-point controller.
+		bearing := geom.AngleDiff(target.Sub(w.Robot.Pose.Pos).Angle(), w.Robot.Pose.Theta)
+		cmd := geom.Twist{W: geom.Clamp(2*bearing, -1.8, 1.8)}
+		if math.Abs(bearing) < 0.6 {
+			cmd.V = cfg.Speed
+		}
+		w.SetCommand(cmd)
+		w.Step(cfg.SimDt)
+		if w.Collided() {
+			// Nudge: rotate in place to escape.
+			w.SetCommand(geom.Twist{W: 1.5})
+			w.Step(cfg.SimDt)
+		}
+
+		if w.Time >= nextScan {
+			nextScan += cfg.ScanPeriod
+			est := odo.Update(w.Robot.Pose)
+			delta := prevOdom.Delta(est)
+			prevOdom = est
+			ds.Entries = append(ds.Entries, Entry{
+				Stamp:     w.Time,
+				OdomDelta: delta,
+				TruePose:  w.Robot.Pose,
+				Scan:      laser.Sense(m, w.Robot.Pose, w.Time),
+			})
+		}
+	}
+	return ds
+}
+
+// LabDataset generates the standard lab-loop dataset used by the Fig. 9
+// and Fig. 10 experiments, with at most n entries.
+func LabDataset(seed int64, n int) *Dataset {
+	cfg := DefaultConfig()
+	if n > 0 {
+		cfg.MaxEntries = n
+	}
+	return Generate(world.LabMap(), cfg, rand.New(rand.NewSource(seed)))
+}
+
+// OfficeDataset generates a corridor-and-rooms tour through an office
+// floor — a second, structurally different stream for checking that the
+// acceleration results do not depend on one environment.
+func OfficeDataset(seed int64, n int) *Dataset {
+	const rooms, roomW, roomD, corridorW = 4, 2.0, 1.8, 1.2
+	rng := rand.New(rand.NewSource(seed))
+	m := world.OfficeMap(rooms, roomW, roomD, corridorW, 0.05, rng)
+	y := world.OfficeCorridorY(roomD, corridorW)
+	cfg := DefaultConfig()
+	if n > 0 {
+		cfg.MaxEntries = n
+	}
+	cfg.Waypoints = []geom.Vec2{
+		{X: 0.7, Y: y},
+		world.OfficeRoomCenter(0, 0, roomW, roomD, corridorW),
+		{X: 0.7, Y: y},
+		{X: 4.0, Y: y},
+		world.OfficeRoomCenter(2, 1, roomW, roomD, corridorW),
+		{X: 4.0, Y: y},
+		{X: 7.5, Y: y},
+		{X: 0.7, Y: y},
+	}
+	return Generate(m, cfg, rng)
+}
+
+// PathLength returns the ground-truth distance traveled across the log.
+func (d *Dataset) PathLength() float64 {
+	var l float64
+	for i := 1; i < len(d.Entries); i++ {
+		l += d.Entries[i].TruePose.Pos.Dist(d.Entries[i-1].TruePose.Pos)
+	}
+	return l
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/bag"
+	"lgvoffload/internal/msg"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/world"
+)
+
+func TestLabDatasetBasics(t *testing.T) {
+	ds := LabDataset(1, 200)
+	if ds.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if ds.Len() > 200 {
+		t.Fatalf("len %d exceeds cap", ds.Len())
+	}
+	if ds.PathLength() < 2.0 {
+		t.Errorf("robot barely moved: %v m", ds.PathLength())
+	}
+	// Entries are time-ordered and carry full scans.
+	prev := -1.0
+	for i, e := range ds.Entries {
+		if e.Stamp <= prev {
+			t.Fatalf("entry %d out of order", i)
+		}
+		prev = e.Stamp
+		if e.Scan == nil || e.Scan.NumBeams() != 360 {
+			t.Fatalf("entry %d scan malformed", i)
+		}
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := LabDataset(5, 100)
+	b := LabDataset(5, 100)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Entries {
+		if a.Entries[i].TruePose != b.Entries[i].TruePose {
+			t.Fatal("same seed produced different trajectories")
+		}
+		if a.Entries[i].Scan.Ranges[0] != b.Entries[i].Scan.Ranges[0] {
+			t.Fatal("same seed produced different scans")
+		}
+	}
+	// Different seeds change the sensor noise (the scripted trajectory is
+	// driven from ground truth, so poses stay identical by design).
+	c := LabDataset(6, 100)
+	same := true
+	for i := 0; i < 10 && i < c.Len() && i < a.Len(); i++ {
+		if c.Entries[i].Scan.Ranges[0] != a.Entries[i].Scan.Ranges[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical scan noise")
+	}
+}
+
+func TestOdomDeltasComposeApproximately(t *testing.T) {
+	ds := LabDataset(2, 150)
+	// Composing all noisy deltas from the start should land near the true
+	// final pose (odometry noise is small over a short run).
+	est := ds.Start
+	for _, e := range ds.Entries {
+		est = est.Compose(e.OdomDelta)
+	}
+	truth := ds.Entries[len(ds.Entries)-1].TruePose
+	if d := est.Pos.Dist(truth.Pos); d > 1.5 {
+		t.Errorf("odometry integration drifted %v m from truth", d)
+	}
+}
+
+func TestRobotStaysInFreeSpace(t *testing.T) {
+	ds := LabDataset(3, 200)
+	for i, e := range ds.Entries {
+		if ds.Map.OccupiedAtWorld(e.TruePose.Pos) {
+			t.Fatalf("entry %d: robot inside an obstacle at %v", i, e.TruePose.Pos)
+		}
+	}
+}
+
+func TestEmptyWaypoints(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Waypoints = nil
+	ds := Generate(world.LabMap(), cfg, rand.New(rand.NewSource(1)))
+	if ds.Len() != 0 {
+		t.Error("no waypoints should give empty dataset")
+	}
+}
+
+func TestShortTour(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Waypoints = []geom.Vec2{{X: 1, Y: 1}, {X: 2, Y: 1}}
+	cfg.MaxEntries = 1000
+	ds := Generate(world.LabMap(), cfg, rand.New(rand.NewSource(4)))
+	if ds.Len() == 0 {
+		t.Fatal("no entries for short tour")
+	}
+	final := ds.Entries[len(ds.Entries)-1].TruePose
+	if final.Pos.Dist(geom.V(2, 1)) > 0.4 {
+		t.Errorf("tour did not reach waypoint: %v", final)
+	}
+}
+
+func TestDatasetBagRoundtrip(t *testing.T) {
+	ds := LabDataset(9, 40)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), ds.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("entries %d != %d", back.Len(), ds.Len())
+	}
+	if back.Start != ds.Start {
+		t.Errorf("start %v != %v", back.Start, ds.Start)
+	}
+	for i := range ds.Entries {
+		a, b := ds.Entries[i], back.Entries[i]
+		if a.Stamp != b.Stamp || a.TruePose != b.TruePose || a.OdomDelta != b.OdomDelta {
+			t.Fatalf("entry %d metadata differs", i)
+		}
+		for j := range a.Scan.Ranges {
+			if a.Scan.Ranges[j] != b.Scan.Ranges[j] {
+				t.Fatalf("entry %d beam %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsIncompleteBag(t *testing.T) {
+	ds := LabDataset(9, 5)
+	var buf bytes.Buffer
+	bw, err := bag.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scan with no matching delta/truth records.
+	bw.Write(0.2, TopicScan, msg.FromSensor(ds.Entries[0].Scan, 1))
+	bw.Flush()
+	if _, err := Load(bytes.NewReader(buf.Bytes()), ds.Map); err == nil {
+		t.Error("incomplete bag should fail to load")
+	}
+}
+
+func TestOfficeDataset(t *testing.T) {
+	ds := OfficeDataset(4, 250)
+	if ds.Len() < 50 {
+		t.Fatalf("office dataset too short: %d", ds.Len())
+	}
+	if ds.PathLength() < 3 {
+		t.Errorf("tour too short: %.1f m", ds.PathLength())
+	}
+	for i, e := range ds.Entries {
+		if ds.Map.OccupiedAtWorld(e.TruePose.Pos) {
+			t.Fatalf("entry %d inside a wall at %v", i, e.TruePose.Pos)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package tracker implements the Path Tracking node: a Dynamic Window /
+// Trajectory Rollout local planner. It samples velocity commands inside
+// the robot's dynamic window, forward-simulates one trajectory per
+// sample, scores each against the global path, the goal, obstacle
+// proximity and speed, discards infeasible trajectories, and emits the
+// velocity of the best-scoring one.
+//
+// The paper identifies Path Tracking as both an Energy-Critical Node and
+// the heart of the Velocity-Dependent Path, and accelerates it in the
+// cloud by parallelizing the scoring loop over a thread pool (Fig. 5).
+// PlanParallel is that algorithm: the M trajectories are partitioned
+// into N blocks, each scored by a worker, and the arg-min is reduced
+// deterministically.
+package tracker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+)
+
+// Config parameterizes the tracker.
+type Config struct {
+	MaxV, MinV float64 // linear velocity limits, m/s
+	MaxW       float64 // angular velocity limit, rad/s
+	AccV, AccW float64 // acceleration limits for the dynamic window
+	VSamples   int     // linear velocity samples
+	WSamples   int     // angular velocity samples
+	SimTime    float64 // forward simulation horizon, s
+	SimDt      float64 // forward simulation step, s
+	Period     float64 // control period (window extent), s
+
+	GoalWeight     float64
+	PathWeight     float64
+	ObstacleWeight float64
+	SpeedWeight    float64
+
+	CarrotDist float64 // how far along the path the local goal sits, m
+}
+
+// DefaultConfig returns gains tuned for the Turtlebot3.
+func DefaultConfig() Config {
+	return Config{
+		MaxV: 0.22, MinV: 0.0, MaxW: 2.0,
+		AccV: 2.5, AccW: 3.2,
+		VSamples: 10, WSamples: 20,
+		SimTime: 1.2, SimDt: 0.1, Period: 0.2,
+		GoalWeight: 1.0, PathWeight: 0.6, ObstacleWeight: 0.02, SpeedWeight: 0.3,
+		CarrotDist: 0.8,
+	}
+}
+
+// NumTrajectories returns M, the number of simulated trajectories.
+func (c Config) NumTrajectories() int { return c.VSamples * c.WSamples }
+
+// Input is one tracking invocation.
+type Input struct {
+	Pose    geom.Pose
+	Vel     geom.Twist
+	Path    []geom.Vec2      // global path from the planner
+	Costmap *costmap.Costmap // current costmap
+	MaxVCap float64          // dynamic cap from Eq. 2c (0 = no cap)
+}
+
+// Output is the tracking decision.
+type Output struct {
+	Cmd       geom.Twist // best velocity command
+	Score     float64    // its cost (lower is better)
+	Evaluated int        // trajectories simulated
+	Discarded int        // trajectories discarded as infeasible
+	Ops       int        // simulation steps executed (work measure)
+}
+
+// ErrAllBlocked means every sampled trajectory collides; the caller
+// should stop and rotate toward the path (recovery behaviour).
+var ErrAllBlocked = errors.New("tracker: all trajectories infeasible")
+
+// Tracker holds the configuration.
+type Tracker struct {
+	cfg Config
+}
+
+// New returns a tracker.
+func New(cfg Config) *Tracker {
+	if cfg.VSamples < 1 || cfg.WSamples < 1 {
+		panic(fmt.Sprintf("tracker: bad sample counts %dx%d", cfg.VSamples, cfg.WSamples))
+	}
+	return &Tracker{cfg: cfg}
+}
+
+// Config returns the tracker configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// candidate enumerates sample i's velocity pair inside the dynamic
+// window around the current velocity.
+func (t *Tracker) candidate(i int, cur geom.Twist, maxV float64) geom.Twist {
+	c := t.cfg
+	vi, wi := i/c.WSamples, i%c.WSamples
+	vLo := math.Max(c.MinV, cur.V-c.AccV*c.Period)
+	vHi := math.Min(maxV, cur.V+c.AccV*c.Period)
+	if vHi < vLo {
+		vHi = vLo
+	}
+	wLo := math.Max(-c.MaxW, cur.W-c.AccW*c.Period)
+	wHi := math.Min(c.MaxW, cur.W+c.AccW*c.Period)
+	var v, w float64
+	if c.VSamples == 1 {
+		v = vLo
+	} else {
+		v = vLo + (vHi-vLo)*float64(vi)/float64(c.VSamples-1)
+	}
+	if c.WSamples == 1 {
+		w = wLo
+	} else {
+		w = wLo + (wHi-wLo)*float64(wi)/float64(c.WSamples-1)
+	}
+	return geom.Twist{V: v, W: w}
+}
+
+// carrot returns the local goal: the path point CarrotDist beyond the
+// closest point on the path to the robot.
+func (t *Tracker) carrot(pose geom.Pose, path []geom.Vec2) geom.Vec2 {
+	if len(path) == 0 {
+		return pose.Pos
+	}
+	if len(path) == 1 {
+		return path[0]
+	}
+	// Find the closest segment.
+	bestD, bestI, bestPt := math.Inf(1), 0, path[0]
+	for i := 0; i+1 < len(path); i++ {
+		seg := geom.Segment{A: path[i], B: path[i+1]}
+		pt := seg.ClosestPoint(pose.Pos)
+		if d := pt.DistSq(pose.Pos); d < bestD {
+			bestD, bestI, bestPt = d, i, pt
+		}
+	}
+	// Walk CarrotDist forward from the closest point.
+	remain := t.cfg.CarrotDist
+	cur := bestPt
+	for i := bestI; i+1 < len(path); i++ {
+		end := path[i+1]
+		d := cur.Dist(end)
+		if d >= remain {
+			return cur.Lerp(end, remain/d)
+		}
+		remain -= d
+		cur = end
+	}
+	return path[len(path)-1]
+}
+
+// scoreOne simulates and scores candidate i. It returns the cost
+// (+Inf if infeasible) and the number of simulation steps executed.
+func (t *Tracker) scoreOne(i int, in Input, carrot geom.Vec2) (cost float64, steps int) {
+	c := t.cfg
+	maxV := c.MaxV
+	if in.MaxVCap > 0 && in.MaxVCap < maxV {
+		maxV = in.MaxVCap
+	}
+	tw := t.candidate(i, in.Vel, maxV)
+	pose := in.Pose
+	worstCell := uint8(0)
+	n := int(c.SimTime / c.SimDt)
+	for s := 0; s < n; s++ {
+		pose = tw.Integrate(pose, c.SimDt)
+		steps++
+		fc := in.Costmap.FootprintCost(pose.Pos)
+		if fc >= costmap.InscribedCost {
+			return math.Inf(1), steps // collision or inside inscribed zone
+		}
+		if fc > worstCell {
+			worstCell = fc
+		}
+	}
+	goalDist := pose.Pos.Dist(carrot)
+	pathDist := distToPath(pose.Pos, in.Path)
+	return c.GoalWeight*goalDist +
+		c.PathWeight*pathDist +
+		c.ObstacleWeight*float64(worstCell) -
+		c.SpeedWeight*tw.V, steps
+}
+
+func distToPath(p geom.Vec2, path []geom.Vec2) float64 {
+	if len(path) == 0 {
+		return 0
+	}
+	if len(path) == 1 {
+		return p.Dist(path[0])
+	}
+	best := math.Inf(1)
+	for i := 0; i+1 < len(path); i++ {
+		if d := (geom.Segment{A: path[i], B: path[i+1]}).Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Plan scores all trajectories serially and returns the best command.
+func (t *Tracker) Plan(in Input) (Output, error) {
+	return t.plan(in, 1, Block)
+}
+
+// Partition selects how PlanParallel splits trajectories over workers.
+type Partition int
+
+const (
+	// Block gives each worker a contiguous chunk (the paper's Fig. 5).
+	Block Partition = iota
+	// Interleaved strides trajectories across workers (ablation).
+	Interleaved
+)
+
+// PlanParallel scores trajectories with a pool of `threads` workers,
+// implementing the paper's parallel path tracking (Fig. 5). The result
+// is identical to Plan regardless of thread count or partitioning.
+func (t *Tracker) PlanParallel(in Input, threads int, part Partition) (Output, error) {
+	return t.plan(in, threads, part)
+}
+
+type workerResult struct {
+	bestIdx  int
+	bestCost float64
+	steps    int
+	discard  int
+	eval     int
+}
+
+func (t *Tracker) plan(in Input, threads int, part Partition) (Output, error) {
+	if in.Costmap == nil {
+		return Output{}, errors.New("tracker: nil costmap")
+	}
+	m := t.cfg.NumTrajectories()
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > m {
+		threads = m
+	}
+	carrot := t.carrot(in.Pose, in.Path)
+
+	results := make([]workerResult, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := workerResult{bestIdx: -1, bestCost: math.Inf(1)}
+			visit := func(i int) {
+				cost, steps := t.scoreOne(i, in, carrot)
+				r.steps += steps
+				r.eval++
+				if math.IsInf(cost, 1) {
+					r.discard++
+					return
+				}
+				if cost < r.bestCost || (cost == r.bestCost && i < r.bestIdx) {
+					r.bestCost, r.bestIdx = cost, i
+				}
+			}
+			switch part {
+			case Interleaved:
+				for i := w; i < m; i += threads {
+					visit(i)
+				}
+			default: // Block
+				lo := w * m / threads
+				hi := (w + 1) * m / threads
+				for i := lo; i < hi; i++ {
+					visit(i)
+				}
+			}
+			results[w] = r
+		}(w)
+	}
+	wg.Wait()
+
+	out := Output{Score: math.Inf(1)}
+	bestIdx := -1
+	for _, r := range results {
+		out.Ops += r.steps
+		out.Evaluated += r.eval
+		out.Discarded += r.discard
+		if r.bestIdx < 0 {
+			continue
+		}
+		if r.bestCost < out.Score || (r.bestCost == out.Score && r.bestIdx < bestIdx) {
+			out.Score, bestIdx = r.bestCost, r.bestIdx
+		}
+	}
+	if bestIdx < 0 {
+		return out, ErrAllBlocked
+	}
+	maxV := t.cfg.MaxV
+	if in.MaxVCap > 0 && in.MaxVCap < maxV {
+		maxV = in.MaxVCap
+	}
+	out.Cmd = t.candidate(bestIdx, in.Vel, maxV)
+	return out, nil
+}
+
+// RecoveryCmd returns the in-place rotation used when all trajectories
+// are blocked: rotate toward the carrot point.
+func (t *Tracker) RecoveryCmd(pose geom.Pose, path []geom.Vec2) geom.Twist {
+	target := t.carrot(pose, path)
+	bearing := geom.AngleDiff(target.Sub(pose.Pos).Angle(), pose.Theta)
+	w := geom.Clamp(bearing*2, -t.cfg.MaxW, t.cfg.MaxW)
+	if math.Abs(w) < 0.3 {
+		if w >= 0 {
+			w = 0.3
+		} else {
+			w = -0.3
+		}
+	}
+	return geom.Twist{V: 0, W: w}
+}

@@ -1,0 +1,274 @@
+package tracker
+
+import (
+	"math"
+	"testing"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+func openCostmap() *costmap.Costmap {
+	m := world.EmptyRoomMap(8, 8, 0.05)
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	c := costmap.New(cfg)
+	c.SetStatic(m)
+	return c
+}
+
+func straightInput(cm *costmap.Costmap) Input {
+	return Input{
+		Pose:    geom.P(2, 4, 0),
+		Vel:     geom.Twist{V: 0.1},
+		Path:    []geom.Vec2{geom.V(2, 4), geom.V(6, 4)},
+		Costmap: cm,
+	}
+}
+
+func TestPlanDrivesTowardGoal(t *testing.T) {
+	tr := New(DefaultConfig())
+	out, err := tr.Plan(straightInput(openCostmap()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cmd.V <= 0 {
+		t.Errorf("should drive forward, v = %v", out.Cmd.V)
+	}
+	if math.Abs(out.Cmd.W) > 0.5 {
+		t.Errorf("straight path should need little turning, w = %v", out.Cmd.W)
+	}
+	if out.Evaluated != tr.Config().NumTrajectories() {
+		t.Errorf("evaluated %d of %d", out.Evaluated, tr.Config().NumTrajectories())
+	}
+	if out.Ops == 0 {
+		t.Error("no work accounted")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	tr := New(DefaultConfig())
+	in := straightInput(openCostmap())
+	serial, err := tr.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 3, 4, 8, 16} {
+		for _, part := range []Partition{Block, Interleaved} {
+			par, err := tr.PlanParallel(in, threads, part)
+			if err != nil {
+				t.Fatalf("threads=%d: %v", threads, err)
+			}
+			if par.Cmd != serial.Cmd {
+				t.Errorf("threads=%d part=%v: cmd %v != serial %v", threads, part, par.Cmd, serial.Cmd)
+			}
+			if par.Score != serial.Score {
+				t.Errorf("threads=%d: score %v != %v", threads, par.Score, serial.Score)
+			}
+			if par.Evaluated != serial.Evaluated || par.Ops != serial.Ops {
+				t.Errorf("threads=%d: work accounting differs", threads)
+			}
+		}
+	}
+}
+
+func TestObstacleAvoidance(t *testing.T) {
+	m := world.EmptyRoomMap(8, 8, 0.05)
+	// Wall directly ahead of the robot, just within the rollout horizon
+	// (robot at x=2, max travel ≈ 0.27 m, wall at x = 2.3).
+	for y := 70; y < 90; y++ {
+		for x := 46; x < 50; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, grid.Occupied)
+		}
+	}
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+
+	tr := New(DefaultConfig())
+	in := Input{
+		Pose:    geom.P(2, 4, 0),
+		Vel:     geom.Twist{V: 0.2},
+		Path:    []geom.Vec2{geom.V(2, 4), geom.V(6, 4)},
+		Costmap: cm,
+	}
+	out, err := tr.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Discarded == 0 {
+		t.Error("trajectories into the wall should be discarded")
+	}
+	// The chosen command must not lead straight into the wall: simulate it.
+	pose := in.Pose
+	for s := 0; s < 12; s++ {
+		pose = out.Cmd.Integrate(pose, 0.1)
+		if cm.FootprintCost(pose.Pos) >= costmap.LethalCost {
+			t.Fatalf("chosen command collides at %v", pose)
+		}
+	}
+}
+
+func TestAllBlockedReturnsError(t *testing.T) {
+	m := world.EmptyRoomMap(2, 2, 0.05)
+	// Box the robot in so tightly that its footprint already overlaps the
+	// inscribed inflation zone — even rotating in place is infeasible.
+	for y := 17; y <= 23; y++ {
+		for x := 17; x <= 23; x++ {
+			if x == 17 || x == 23 || y == 17 || y == 23 {
+				m.Set(geom.Cell{X: x, Y: y}, grid.Occupied)
+			}
+		}
+	}
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cfg.InflationRadius = 0.3
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+	tr := New(DefaultConfig())
+	in := Input{
+		Pose:    geom.P(1, 1, 0),
+		Vel:     geom.Twist{V: 0.2},
+		Path:    []geom.Vec2{geom.V(1, 1), geom.V(1.8, 1)},
+		Costmap: cm,
+	}
+	_, err := tr.Plan(in)
+	if err != ErrAllBlocked {
+		t.Fatalf("err = %v, want ErrAllBlocked", err)
+	}
+}
+
+func TestMaxVCapRespected(t *testing.T) {
+	tr := New(DefaultConfig())
+	in := straightInput(openCostmap())
+	in.Vel = geom.Twist{V: 0.2}
+	in.MaxVCap = 0.05
+	out, err := tr.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cmd.V > 0.05+1e-9 {
+		t.Errorf("command %v exceeds cap 0.05", out.Cmd.V)
+	}
+}
+
+func TestHigherCapAllowsFasterCommand(t *testing.T) {
+	tr := New(DefaultConfig())
+	cm := openCostmap()
+	slow, fast := straightInput(cm), straightInput(cm)
+	slow.MaxVCap = 0.05
+	fast.MaxVCap = 0.22
+	so, err := tr.Plan(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := tr.Plan(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.Cmd.V <= so.Cmd.V {
+		t.Errorf("higher cap should give faster command: %v vs %v", fo.Cmd.V, so.Cmd.V)
+	}
+}
+
+func TestCarrotFollowsPath(t *testing.T) {
+	tr := New(DefaultConfig())
+	path := []geom.Vec2{geom.V(0, 0), geom.V(2, 0), geom.V(2, 2)}
+	// Robot at origin: carrot should be CarrotDist along the path.
+	c := tr.carrot(geom.P(0, 0, 0), path)
+	if c.Dist(geom.V(0.8, 0)) > 1e-9 {
+		t.Errorf("carrot = %v, want (0.8, 0)", c)
+	}
+	// Robot near the corner: carrot wraps around it.
+	c = tr.carrot(geom.P(1.9, 0, 0), path)
+	if c.X != 2 || c.Y < 0.5 {
+		t.Errorf("carrot after corner = %v", c)
+	}
+	// Near the end: carrot clamps to the final point.
+	c = tr.carrot(geom.P(2, 1.9, 0), path)
+	if c.Dist(geom.V(2, 2)) > 1e-9 {
+		t.Errorf("carrot at end = %v", c)
+	}
+	// Empty and single-point paths.
+	if got := tr.carrot(geom.P(1, 1, 0), nil); got != geom.V(1, 1) {
+		t.Errorf("empty path carrot = %v", got)
+	}
+	if got := tr.carrot(geom.P(1, 1, 0), []geom.Vec2{geom.V(5, 5)}); got != geom.V(5, 5) {
+		t.Errorf("single point carrot = %v", got)
+	}
+}
+
+func TestTurnTowardOffAxisPath(t *testing.T) {
+	tr := New(DefaultConfig())
+	cm := openCostmap()
+	in := Input{
+		Pose:    geom.P(4, 4, 0), // facing +x
+		Vel:     geom.Twist{},
+		Path:    []geom.Vec2{geom.V(4, 4), geom.V(4, 7)}, // path goes +y
+		Costmap: cm,
+	}
+	out, err := tr.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cmd.W <= 0 {
+		t.Errorf("should turn left toward +y path, w = %v", out.Cmd.W)
+	}
+}
+
+func TestRecoveryCmdRotatesTowardPath(t *testing.T) {
+	tr := New(DefaultConfig())
+	// Path is behind the robot (at bearing π): recovery should rotate.
+	cmd := tr.RecoveryCmd(geom.P(4, 4, 0), []geom.Vec2{geom.V(2, 4)})
+	if cmd.V != 0 {
+		t.Error("recovery must not translate")
+	}
+	if cmd.W == 0 {
+		t.Error("recovery must rotate")
+	}
+	// Path to the left: positive rotation.
+	cmd = tr.RecoveryCmd(geom.P(4, 4, 0), []geom.Vec2{geom.V(4, 6)})
+	if cmd.W <= 0 {
+		t.Errorf("should rotate left, w = %v", cmd.W)
+	}
+}
+
+func TestNilCostmapError(t *testing.T) {
+	tr := New(DefaultConfig())
+	if _, err := tr.Plan(Input{}); err == nil {
+		t.Error("nil costmap must error")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero samples should panic")
+		}
+	}()
+	New(Config{VSamples: 0, WSamples: 5})
+}
+
+func BenchmarkPlanSerial(b *testing.B) {
+	tr := New(DefaultConfig())
+	in := straightInput(openCostmap())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Plan(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanParallel4(b *testing.B) {
+	tr := New(DefaultConfig())
+	in := straightInput(openCostmap())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.PlanParallel(in, 4, Block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

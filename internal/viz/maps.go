@@ -1,0 +1,151 @@
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// MapSVG renders an occupancy map with optional path overlays as SVG.
+// Occupied cells are black, free white, unknown gray; each path draws in
+// a palette color with start/end markers.
+func MapSVG(w io.Writer, m *grid.Map, paths ...[]geom.Vec2) error {
+	const scale = 6.0 // pixels per cell
+	width := int(float64(m.Width) * scale)
+	height := int(float64(m.Height) * scale)
+	c := newCanvas(w, width, height)
+
+	// Cells. Rows merge horizontally into run-length rects to keep the
+	// file small.
+	for y := 0; y < m.Height; y++ {
+		x := 0
+		for x < m.Width {
+			v := m.At(geom.Cell{X: x, Y: y})
+			run := 1
+			for x+run < m.Width && m.At(geom.Cell{X: x + run, Y: y}) == v {
+				run++
+			}
+			var fill string
+			switch v {
+			case grid.Occupied:
+				fill = "#222"
+			case grid.Unknown:
+				fill = "#bbb"
+			default:
+				fill = ""
+			}
+			if fill != "" {
+				// SVG y grows downward; map y grows upward.
+				py := float64(m.Height-1-y) * scale
+				c.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					float64(x)*scale, py, float64(run)*scale, scale, fill)
+			}
+			x += run
+		}
+	}
+
+	toPx := func(p geom.Vec2) (float64, float64) {
+		cell := m.WorldToCell(p)
+		return (float64(cell.X) + 0.5) * scale, (float64(m.Height-1-cell.Y) + 0.5) * scale
+	}
+	for pi, path := range paths {
+		if len(path) == 0 {
+			continue
+		}
+		color := palette[pi%len(palette)]
+		var pts string
+		for _, p := range path {
+			x, y := toPx(p)
+			pts += fmt.Sprintf("%.1f,%.1f ", x, y)
+		}
+		c.printf(`<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n", color, pts)
+		sx, sy := toPx(path[0])
+		ex, ey := toPx(path[len(path)-1])
+		c.printf(`<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", sx, sy, color)
+		c.printf(`<rect x="%.1f" y="%.1f" width="8" height="8" fill="%s"/>`+"\n", ex-4, ey-4, color)
+	}
+	return c.close()
+}
+
+// MapASCII writes a terminal view of the map with path overlays ('*')
+// and the robot position ('R'), downsampled to at most maxCols columns.
+func MapASCII(w io.Writer, m *grid.Map, robot geom.Vec2, path []geom.Vec2, maxCols int) error {
+	if maxCols <= 0 {
+		maxCols = 100
+	}
+	step := 1
+	for m.Width/step > maxCols {
+		step++
+	}
+	// Rasterize overlays into a cell set.
+	onPath := make(map[geom.Cell]bool, len(path))
+	for i := 1; i < len(path); i++ {
+		geom.Bresenham(m.WorldToCell(path[i-1]), m.WorldToCell(path[i]), func(c geom.Cell) bool {
+			onPath[c] = true
+			return true
+		})
+	}
+	robotCell := m.WorldToCell(robot)
+
+	bw := bufio.NewWriter(w)
+	for y := m.Height - 1; y >= 0; y -= step {
+		for x := 0; x < m.Width; x += step {
+			ch := byte(' ')
+			state := blockState(m, x, y, step)
+			switch state {
+			case grid.Occupied:
+				ch = '#'
+			case grid.Unknown:
+				ch = '?'
+			default:
+				ch = '.'
+			}
+			if blockHasPath(onPath, x, y, step) {
+				ch = '*'
+			}
+			if robotCell.X >= x && robotCell.X < x+step && robotCell.Y >= y && robotCell.Y < y+step {
+				ch = 'R'
+			}
+			if err := bw.WriteByte(ch); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// blockState summarizes a step×step block: occupied wins, then unknown.
+func blockState(m *grid.Map, x0, y0, step int) int8 {
+	sawUnknown := false
+	for dy := 0; dy < step; dy++ {
+		for dx := 0; dx < step; dx++ {
+			switch m.At(geom.Cell{X: x0 + dx, Y: y0 + dy}) {
+			case grid.Occupied:
+				return grid.Occupied
+			case grid.Unknown:
+				sawUnknown = true
+			}
+		}
+	}
+	if sawUnknown {
+		return grid.Unknown
+	}
+	return grid.Free
+}
+
+func blockHasPath(onPath map[geom.Cell]bool, x0, y0, step int) bool {
+	for dy := 0; dy < step; dy++ {
+		for dx := 0; dx < step; dx++ {
+			if onPath[geom.Cell{X: x0 + dx, Y: y0 + dy}] {
+				return true
+			}
+		}
+	}
+	return false
+}

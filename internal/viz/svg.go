@@ -1,0 +1,258 @@
+// Package viz renders the reproduction's figures: line charts, grouped
+// bar charts and occupancy-map snapshots as standalone SVG documents,
+// plus ASCII map views for terminals. It is deliberately tiny — just
+// enough of an SVG writer (standard library only) to plot Figures 9–14
+// from the bench harness's data.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Palette used round-robin for series.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Series is one plotted line or bar group.
+type Series struct {
+	Name string
+	X    []float64 // line charts: x positions (ignored for bar charts)
+	Y    []float64
+}
+
+// ChartConfig describes a chart's frame.
+type ChartConfig struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int     // pixels; defaults 640×400
+	YMin, YMax    float64 // 0,0 = auto
+	LogY          bool    // plot log10(y) (for wide dynamic ranges)
+}
+
+func (c *ChartConfig) fill() {
+	if c.Width == 0 {
+		c.Width = 640
+	}
+	if c.Height == 0 {
+		c.Height = 400
+	}
+}
+
+const (
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 55.0
+)
+
+type canvas struct {
+	w   io.Writer
+	err error
+	wpx float64
+	hpx float64
+}
+
+func newCanvas(w io.Writer, width, height int) *canvas {
+	c := &canvas{w: w, wpx: float64(width), hpx: float64(height)}
+	c.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	c.printf(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	return c
+}
+
+func (c *canvas) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}
+
+func (c *canvas) close() error {
+	c.printf("</svg>\n")
+	return c.err
+}
+
+func (c *canvas) text(x, y float64, anchor, style, s string) {
+	c.printf(`<text x="%.1f" y="%.1f" text-anchor="%s" font-family="sans-serif" %s>%s</text>`+"\n",
+		x, y, anchor, style, escape(s))
+}
+
+func (c *canvas) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	c.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// axes draws the frame, ticks and labels; returns coordinate mappers.
+func (c *canvas) axes(cfg ChartConfig, xmin, xmax, ymin, ymax float64) (fx, fy func(float64) float64) {
+	plotW := c.wpx - marginL - marginR
+	plotH := c.hpx - marginT - marginB
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	fx = func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	fy = func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	// Frame.
+	c.line(marginL, marginT, marginL, marginT+plotH, "#333", 1)
+	c.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	c.text(c.wpx/2, 22, "middle", `font-size="15" font-weight="bold"`, cfg.Title)
+	c.text(c.wpx/2, c.hpx-10, "middle", `font-size="12"`, cfg.XLabel)
+	c.printf(`<text x="16" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(cfg.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/5
+		yv := ymin + (ymax-ymin)*float64(i)/5
+		xp, yp := fx(xv), fy(yv)
+		c.line(xp, marginT+plotH, xp, marginT+plotH+4, "#333", 1)
+		c.text(xp, marginT+plotH+18, "middle", `font-size="10"`, trimNum(xv))
+		c.line(marginL-4, yp, marginL, yp, "#333", 1)
+		label := yv
+		if cfg.LogY {
+			label = math.Pow(10, yv)
+		}
+		c.text(marginL-8, yp+3, "end", `font-size="10"`, trimNum(label))
+		// Light gridline.
+		c.line(marginL, yp, marginL+plotW, yp, "#eee", 1)
+	}
+	return fx, fy
+}
+
+func trimNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01 || av == 0:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.1e", v)
+	}
+}
+
+// LineChart renders the series as polylines with markers and a legend.
+func LineChart(w io.Writer, cfg ChartConfig, series []Series) error {
+	cfg.fill()
+	if len(series) == 0 {
+		return fmt.Errorf("viz: no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	val := func(y float64) float64 {
+		if cfg.LogY {
+			if y <= 0 {
+				return math.Inf(1) // skipped below
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range series {
+		for i := range s.X {
+			v := val(s.Y[i])
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, v), math.Max(ymax, v)
+		}
+	}
+	if cfg.YMax != 0 || cfg.YMin != 0 {
+		ymin, ymax = val(cfg.YMin), val(cfg.YMax)
+	}
+	if math.IsInf(xmin, 0) {
+		return fmt.Errorf("viz: series contain no drawable points")
+	}
+
+	c := newCanvas(w, cfg.Width, cfg.Height)
+	fx, fy := c.axes(cfg, xmin, xmax, ymin, ymax)
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			v := val(s.Y[i])
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", fx(s.X[i]), fy(v)))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		c.printf(`<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for _, p := range pts {
+			var px, py float64
+			fmt.Sscanf(p, "%f,%f", &px, &py)
+			c.printf(`<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"/>`+"\n", px, py, color)
+		}
+		// Legend entry.
+		lx := marginL + 10
+		ly := marginT + 14 + float64(si)*16
+		c.line(lx, ly-4, lx+18, ly-4, color, 2)
+		c.text(lx+24, ly, "start", `font-size="11"`, s.Name)
+	}
+	return c.close()
+}
+
+// BarChart renders grouped bars: one group per label, one bar per series.
+func BarChart(w io.Writer, cfg ChartConfig, labels []string, series []Series) error {
+	cfg.fill()
+	if len(series) == 0 || len(labels) == 0 {
+		return fmt.Errorf("viz: empty bar chart")
+	}
+	ymax := 0.0
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if cfg.YMax != 0 {
+		ymax = cfg.YMax
+	}
+	c := newCanvas(w, cfg.Width, cfg.Height)
+	fx, fy := c.axes(cfg, 0, float64(len(labels)), 0, ymax*1.05)
+
+	groupW := fx(1) - fx(0)
+	barW := groupW * 0.8 / float64(len(series))
+	base := fy(0)
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		for gi, y := range s.Y {
+			if gi >= len(labels) {
+				break
+			}
+			x := fx(float64(gi)) + groupW*0.1 + float64(si)*barW
+			top := fy(y)
+			c.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barW*0.95, base-top, color)
+		}
+		lx := marginL + 10
+		ly := marginT + 14 + float64(si)*16
+		c.printf(`<rect x="%.1f" y="%.1f" width="12" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		c.text(lx+18, ly, "start", `font-size="11"`, s.Name)
+	}
+	for gi, l := range labels {
+		c.text(fx(float64(gi)+0.5), c.hpx-marginB+18, "middle", `font-size="10"`, l)
+	}
+	return c.close()
+}

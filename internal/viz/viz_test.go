@@ -1,0 +1,149 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+// wellFormed parses the output as XML — a malformed SVG fails here.
+func wellFormed(t *testing.T, b []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(b))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("malformed SVG: %v\n%s", err, b[:min(400, len(b))])
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := LineChart(&buf, ChartConfig{Title: "Fig<9>", XLabel: "threads", YLabel: "time (s)"},
+		[]Series{
+			{Name: "Pi", X: []float64{1, 2, 4, 8}, Y: []float64{1.3, 0.66, 0.33, 0.33}},
+			{Name: "Cloud & co", X: []float64{1, 2, 4, 8}, Y: []float64{0.44, 0.22, 0.11, 0.06}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	for _, want := range []string{"polyline", "Fig&lt;9&gt;", "Cloud &amp; co", "threads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLineChartLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	err := LineChart(&buf, ChartConfig{Title: "log", LogY: true},
+		[]Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.001, 1, 1000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestLineChartSkipsNonPositiveOnLog(t *testing.T) {
+	var buf bytes.Buffer
+	err := LineChart(&buf, ChartConfig{LogY: true},
+		[]Series{{Name: "s", X: []float64{1, 2}, Y: []float64{0, 10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LineChart(&buf, ChartConfig{}, nil); err == nil {
+		t.Error("empty series must error")
+	}
+	if err := LineChart(&buf, ChartConfig{LogY: true},
+		[]Series{{Name: "s", X: []float64{1}, Y: []float64{-1}}}); err == nil {
+		t.Error("no drawable points must error")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, ChartConfig{Title: "Fig 13", YLabel: "J"},
+		[]string{"local", "edge", "cloud"},
+		[]Series{
+			{Name: "motor", Y: []float64{687, 365, 370}},
+			{Name: "computer", Y: []float64{943, 100, 100}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	if strings.Count(out, "<rect") < 6 {
+		t.Error("expected at least 6 bars")
+	}
+	for _, want := range []string{"local", "edge", "cloud", "motor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, ChartConfig{}, nil, nil); err == nil {
+		t.Error("empty chart must error")
+	}
+}
+
+func TestMapSVG(t *testing.T) {
+	m := world.LabMap()
+	var buf bytes.Buffer
+	path := []geom.Vec2{geom.V(0.6, 0.6), geom.V(5, 3), geom.V(11, 5)}
+	if err := MapSVG(&buf, m, path); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if !strings.Contains(buf.String(), "polyline") {
+		t.Error("path overlay missing")
+	}
+}
+
+func TestMapASCII(t *testing.T) {
+	m := world.EmptyRoomMap(4, 3, 0.1)
+	m.Set(m.WorldToCell(geom.V(2, 1.5)), grid.Unknown)
+	var buf bytes.Buffer
+	path := []geom.Vec2{geom.V(0.5, 1.5), geom.V(3.5, 1.5)}
+	if err := MapASCII(&buf, m, geom.V(0.5, 1.5), path, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "R") || !strings.Contains(out, "*") {
+		t.Errorf("ASCII map missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 || len(lines[0]) > 50 {
+		t.Errorf("downsampling failed: %d cols", len(lines[0]))
+	}
+}
+
+func TestMapASCIIUnknownGlyph(t *testing.T) {
+	m := grid.NewMap(10, 10, 0.1, geom.V(0, 0), grid.Unknown)
+	var buf bytes.Buffer
+	if err := MapASCII(&buf, m, geom.V(-1, -1), nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "?") {
+		t.Error("unknown cells should render '?'")
+	}
+}

@@ -1,0 +1,146 @@
+// Package vo implements the §IX extension for vision-based LGVs: a
+// feature-tracking visual localization surrogate. A vision-based robot
+// estimates its pose by tracking points across successive camera frames;
+// fast motion (high linear or angular velocity) blurs and shears the
+// features, tracking fails, and the robot must slow down and re-acquire.
+// The paper's claim — "a slower speed is needed to prevent the
+// localization failure due to the high rate of environment changes" —
+// becomes measurable: loss rate and pose error as functions of speed.
+//
+// The model is deliberately behavioural, not photometric: tracking
+// quality is a function of the optical-flow magnitude (v + k·ω), failure
+// is stochastic above the blur limit, drift accrues per meter traveled
+// (faster while lost), and re-acquisition needs a sustained slow period.
+package vo
+
+import (
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+)
+
+// Config parameterizes the tracker.
+type Config struct {
+	// BlurLimit is the optical-flow magnitude (m/s equivalent) above
+	// which tracking starts to fail; TurnWeight converts rad/s of
+	// rotation into equivalent translational flow (rotation blurs much
+	// more than translation for a forward camera).
+	BlurLimit  float64
+	TurnWeight float64
+
+	// LossRatePerSec is the probability per second of losing tracking
+	// when the flow reaches 2× the blur limit (scales linearly in the
+	// excess).
+	LossRatePerSec float64
+
+	// RelocalizeAfter is the sustained slow-motion time needed to
+	// re-acquire tracking once lost.
+	RelocalizeAfter float64
+
+	// DriftPerMeter is the translational error accrued per meter while
+	// tracking; LostDriftPerMeter applies while dead-reckoning.
+	DriftPerMeter     float64
+	LostDriftPerMeter float64
+}
+
+// DefaultConfig models a forward monocular camera on a small robot.
+func DefaultConfig() Config {
+	return Config{
+		BlurLimit:         0.35,
+		TurnWeight:        0.5,
+		LossRatePerSec:    2.0,
+		RelocalizeAfter:   1.0,
+		DriftPerMeter:     0.01,
+		LostDriftPerMeter: 0.15,
+	}
+}
+
+// VO is the visual odometry state.
+type VO struct {
+	cfg Config
+	rng *rand.Rand
+
+	est      geom.Pose
+	tracking bool
+	slowFor  float64
+	losses   int
+	traveled float64
+}
+
+// New returns a tracker that starts localized at the origin of its own
+// frame.
+func New(cfg Config, rng *rand.Rand) *VO {
+	return &VO{cfg: cfg, rng: rng, tracking: true}
+}
+
+// Flow returns the optical-flow magnitude for a speed/turn-rate pair.
+func (v *VO) Flow(speed, omega float64) float64 {
+	return math.Abs(speed) + v.cfg.TurnWeight*math.Abs(omega)
+}
+
+// SafeSpeed returns the highest linear speed that keeps the flow under
+// the blur limit at the given turn rate — the vision analog of Eq. 2c's
+// velocity cap.
+func (v *VO) SafeSpeed(omega float64) float64 {
+	s := v.cfg.BlurLimit - v.cfg.TurnWeight*math.Abs(omega)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Update advances the tracker by one control period: trueDelta is the
+// robot's actual motion, speed/omega its commanded velocities. It
+// returns the current pose estimate and whether tracking is alive.
+func (v *VO) Update(trueDelta geom.Pose, speed, omega, dt float64) (geom.Pose, bool) {
+	dist := trueDelta.Pos.Norm()
+	v.traveled += dist
+	flow := v.Flow(speed, omega)
+
+	if v.tracking {
+		// Stochastic loss above the blur limit.
+		if flow > v.cfg.BlurLimit && v.cfg.BlurLimit > 0 {
+			excess := (flow - v.cfg.BlurLimit) / v.cfg.BlurLimit
+			pLoss := v.cfg.LossRatePerSec * excess * dt
+			if v.rng.Float64() < pLoss {
+				v.tracking = false
+				v.losses++
+				v.slowFor = 0
+			}
+		}
+	} else {
+		// Re-acquisition requires sustained slow motion.
+		if flow < v.cfg.BlurLimit/2 {
+			v.slowFor += dt
+			if v.slowFor >= v.cfg.RelocalizeAfter {
+				v.tracking = true
+			}
+		} else {
+			v.slowFor = 0
+		}
+	}
+
+	drift := v.cfg.DriftPerMeter
+	if !v.tracking {
+		drift = v.cfg.LostDriftPerMeter
+	}
+	noisy := trueDelta
+	noisy.Pos.X += v.rng.NormFloat64() * drift * dist
+	noisy.Pos.Y += v.rng.NormFloat64() * drift * dist
+	noisy.Theta = geom.NormalizeAngle(noisy.Theta + v.rng.NormFloat64()*drift*dist)
+	v.est = v.est.Compose(noisy)
+	return v.est, v.tracking
+}
+
+// Estimate returns the current pose estimate.
+func (v *VO) Estimate() geom.Pose { return v.est }
+
+// Tracking reports whether features are currently tracked.
+func (v *VO) Tracking() bool { return v.tracking }
+
+// Losses returns how many times tracking has been lost.
+func (v *VO) Losses() int { return v.losses }
+
+// Traveled returns the distance integrated so far.
+func (v *VO) Traveled() float64 { return v.traveled }

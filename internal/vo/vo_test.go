@@ -1,0 +1,106 @@
+package vo
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/geom"
+)
+
+// drive runs the tracker along a straight line at the given speed and
+// returns final error and loss count.
+func drive(t *testing.T, speed, omega float64, seconds float64, seed int64) (errDist float64, losses int) {
+	t.Helper()
+	v := New(DefaultConfig(), rand.New(rand.NewSource(seed)))
+	dt := 0.1
+	truth := geom.P(0, 0, 0)
+	for tt := 0.0; tt < seconds; tt += dt {
+		next := geom.Twist{V: speed, W: omega}.Integrate(truth, dt)
+		delta := truth.Delta(next)
+		truth = next
+		v.Update(delta, speed, omega, dt)
+	}
+	return v.Estimate().Pos.Dist(geom.P(0, 0, 0).Delta(truth).Pos), v.Losses()
+}
+
+func TestSlowMotionKeepsTracking(t *testing.T) {
+	err, losses := drive(t, 0.2, 0, 60, 1)
+	if losses != 0 {
+		t.Errorf("slow straight drive lost tracking %d times", losses)
+	}
+	if err > 0.5 {
+		t.Errorf("tracked drift %v m too large", err)
+	}
+}
+
+func TestFastMotionLosesTracking(t *testing.T) {
+	_, losses := drive(t, 0.8, 0, 60, 2)
+	if losses == 0 {
+		t.Error("fast drive should lose tracking")
+	}
+}
+
+func TestErrorGrowsWithSpeed(t *testing.T) {
+	slowErr, _ := drive(t, 0.2, 0, 60, 3)
+	fastErr, _ := drive(t, 0.9, 0, 60, 3)
+	if fastErr <= slowErr {
+		t.Errorf("fast error %v should exceed slow error %v", fastErr, slowErr)
+	}
+}
+
+func TestTurningLowersSafeSpeed(t *testing.T) {
+	v := New(DefaultConfig(), rand.New(rand.NewSource(1)))
+	straight := v.SafeSpeed(0)
+	turning := v.SafeSpeed(0.6)
+	if turning >= straight {
+		t.Errorf("turning safe speed %v should be below straight %v", turning, straight)
+	}
+	if v.SafeSpeed(10) != 0 {
+		t.Error("extreme rotation should force a stop")
+	}
+}
+
+func TestRelocalizationAfterSlowing(t *testing.T) {
+	cfg := DefaultConfig()
+	v := New(cfg, rand.New(rand.NewSource(4)))
+	dt := 0.1
+	// Blast until tracking lost.
+	for i := 0; i < 600 && v.Tracking(); i++ {
+		v.Update(geom.P(0.08, 0, 0), 0.8, 0, dt)
+	}
+	if v.Tracking() {
+		t.Fatal("never lost tracking")
+	}
+	// Creep slowly; must re-acquire after RelocalizeAfter.
+	for i := 0; i < int(cfg.RelocalizeAfter/dt)+2; i++ {
+		v.Update(geom.P(0.005, 0, 0), 0.05, 0, dt)
+	}
+	if !v.Tracking() {
+		t.Error("did not relocalize after slowing down")
+	}
+}
+
+func TestFastMotionResetsRelocTimer(t *testing.T) {
+	cfg := DefaultConfig()
+	v := New(cfg, rand.New(rand.NewSource(5)))
+	v.tracking = false
+	dt := 0.1
+	// Alternate slow and fast: the slow timer must reset.
+	for i := 0; i < 50; i++ {
+		v.Update(geom.P(0.005, 0, 0), 0.05, 0, dt) // slow
+		v.Update(geom.P(0.08, 0, 0), 0.8, 0, dt)   // fast again
+	}
+	if v.Tracking() {
+		t.Error("interrupted slowdowns must not relocalize")
+	}
+}
+
+func TestFlow(t *testing.T) {
+	v := New(DefaultConfig(), rand.New(rand.NewSource(1)))
+	if v.Flow(0.2, 0) != 0.2 {
+		t.Error("pure translation flow")
+	}
+	if v.Flow(0.2, 0.4) <= v.Flow(0.2, 0) {
+		t.Error("rotation must add flow")
+	}
+}

@@ -1,0 +1,314 @@
+// Package wire implements the compact binary serialization used to ship
+// middleware messages between the LGV and the remote server, standing in
+// for the paper's protobuf encoding. It provides an Encoder/Decoder pair
+// over varint/fixed primitives and a kind-tagged frame format with a
+// message registry, so a frame received from the network can be decoded
+// without knowing its type in advance.
+//
+// Encoded sizes match the paper's observations: a 360-beam laser scan
+// encodes to ≈2.9 KB and a velocity command to ≈48 B, which is what makes
+// transmission energy (Eq. 1b) small relative to motor energy.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoder appends primitive values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with a preallocated buffer.
+func NewEncoder(capHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capHint)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed (zigzag) varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Float64 appends a fixed 8-byte IEEE-754 value.
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Float32 appends a fixed 4-byte IEEE-754 value.
+func (e *Encoder) Float32(v float32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(v))
+}
+
+// Bool appends a single byte 0/1.
+func (e *Encoder) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Encoder) BytesField(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Float64Slice appends a length-prefixed []float64.
+func (e *Encoder) Float64Slice(v []float64) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.Float64(x)
+	}
+}
+
+// Int8Slice appends a length-prefixed []int8.
+func (e *Encoder) Int8Slice(v []int8) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.buf = append(e.buf, byte(x))
+	}
+}
+
+// Errors reported by the decoder.
+var (
+	ErrShortBuffer = errors.New("wire: buffer too short")
+	ErrOverflow    = errors.New("wire: varint overflow")
+	ErrTooLong     = errors.New("wire: declared length exceeds buffer")
+)
+
+// Decoder reads primitive values from a byte buffer. The first error
+// sticks: once a read fails, all subsequent reads return zero values and
+// Err reports the failure, letting callers decode whole structs and check
+// the error once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over the buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) { d.err = err }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrShortBuffer)
+		} else {
+			d.fail(ErrOverflow)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrShortBuffer)
+		} else {
+			d.fail(ErrOverflow)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Float64 reads a fixed 8-byte value.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Float32 reads a fixed 4-byte value.
+func (d *Decoder) Float32() float32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 4 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := math.Float32frombits(binary.LittleEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	return v
+}
+
+// Bool reads a single byte 0/1.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.Remaining() < 1 {
+		d.fail(ErrShortBuffer)
+		return false
+	}
+	v := d.buf[d.off] != 0
+	d.off++
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.Uvarint())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > d.Remaining() {
+		d.fail(ErrTooLong)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// BytesField reads a length-prefixed byte slice (copied).
+func (d *Decoder) BytesField() []byte {
+	n := int(d.Uvarint())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.Remaining() {
+		d.fail(ErrTooLong)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
+// Float64Slice reads a length-prefixed []float64.
+func (d *Decoder) Float64Slice() []float64 {
+	n := int(d.Uvarint())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n*8 > d.Remaining() {
+		d.fail(ErrTooLong)
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.Float64()
+	}
+	return v
+}
+
+// Int8Slice reads a length-prefixed []int8.
+func (d *Decoder) Int8Slice() []int8 {
+	n := int(d.Uvarint())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.Remaining() {
+		d.fail(ErrTooLong)
+		return nil
+	}
+	v := make([]int8, n)
+	for i := range v {
+		v[i] = int8(d.buf[d.off+i])
+	}
+	d.off += n
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Kind-tagged frames.
+
+// Message is a value that can travel over the wire. Kind identifies the
+// concrete type in the frame header; kinds must be registered.
+type Message interface {
+	Kind() uint16
+	MarshalWire(e *Encoder)
+	UnmarshalWire(d *Decoder) error
+}
+
+var registry = map[uint16]func() Message{}
+
+// Register associates a message kind with a factory for decoding. It
+// panics on duplicate registration (a programming error caught at init).
+func Register(kind uint16, factory func() Message) {
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("wire: duplicate message kind %d", kind))
+	}
+	registry[kind] = factory
+}
+
+// EncodeFrame serializes a message with its kind header.
+func EncodeFrame(m Message) []byte {
+	e := NewEncoder(64)
+	e.Uvarint(uint64(m.Kind()))
+	m.MarshalWire(e)
+	return e.Bytes()
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame, dispatching on the
+// registered kind.
+func DecodeFrame(b []byte) (Message, error) {
+	d := NewDecoder(b)
+	kind := uint16(d.Uvarint())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	factory, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	m := factory()
+	if err := m.UnmarshalWire(d); err != nil {
+		return nil, err
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return m, nil
+}

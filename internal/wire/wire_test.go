@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitivesRoundtrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.Varint(-12345)
+	e.Float64(math.Pi)
+	e.Float32(2.5)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("hello, 世界")
+	e.BytesField([]byte{1, 2, 3})
+	e.Float64Slice([]float64{1.5, -2.5})
+	e.Int8Slice([]int8{-1, 0, 100})
+
+	d := NewDecoder(e.Bytes())
+	if d.Uvarint() != 0 || d.Uvarint() != 1<<40 {
+		t.Error("uvarint")
+	}
+	if d.Varint() != -12345 {
+		t.Error("varint")
+	}
+	if d.Float64() != math.Pi {
+		t.Error("float64")
+	}
+	if d.Float32() != 2.5 {
+		t.Error("float32")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bool")
+	}
+	if d.String() != "hello, 世界" {
+		t.Error("string")
+	}
+	if !bytes.Equal(d.BytesField(), []byte{1, 2, 3}) {
+		t.Error("bytes")
+	}
+	fs := d.Float64Slice()
+	if len(fs) != 2 || fs[0] != 1.5 || fs[1] != -2.5 {
+		t.Error("float64 slice")
+	}
+	is := d.Int8Slice()
+	if len(is) != 3 || is[0] != -1 || is[2] != 100 {
+		t.Error("int8 slice")
+	}
+	if d.Err() != nil {
+		t.Errorf("err = %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestVarintRoundtripProperty(t *testing.T) {
+	f := func(u uint64, v int64, fl float64, s string) bool {
+		e := NewEncoder(0)
+		e.Uvarint(u)
+		e.Varint(v)
+		e.Float64(fl)
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		gu, gv, gf, gs := d.Uvarint(), d.Varint(), d.Float64(), d.String()
+		if d.Err() != nil {
+			return false
+		}
+		sameF := gf == fl || (math.IsNaN(gf) && math.IsNaN(fl))
+		return gu == u && gv == v && sameF && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{})
+	d.Float64()
+	if d.Err() != ErrShortBuffer {
+		t.Errorf("err = %v", d.Err())
+	}
+	// Error sticks: further reads return zero without panicking.
+	if d.Uvarint() != 0 || d.String() != "" || d.Bool() {
+		t.Error("reads after error should return zero values")
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	e := NewEncoder(0)
+	e.String("hello")
+	b := e.Bytes()[:3] // cut mid-string
+	d := NewDecoder(b)
+	if d.String() != "" || d.Err() != ErrTooLong {
+		t.Errorf("err = %v", d.Err())
+	}
+}
+
+func TestDecoderTruncatedFloatSlice(t *testing.T) {
+	e := NewEncoder(0)
+	e.Float64Slice(make([]float64, 10))
+	d := NewDecoder(e.Bytes()[:20])
+	if d.Float64Slice() != nil || d.Err() == nil {
+		t.Error("truncated slice must fail")
+	}
+}
+
+func TestDecoderHostileLength(t *testing.T) {
+	// A declared length far beyond the buffer must not allocate/panic.
+	e := NewEncoder(0)
+	e.Uvarint(1 << 50)
+	d := NewDecoder(e.Bytes())
+	if d.BytesField() != nil || d.Err() != ErrTooLong {
+		t.Errorf("hostile length: err = %v", d.Err())
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(16)
+	e.Float64(1)
+	if e.Len() != 8 {
+		t.Errorf("len = %d", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+type fakeMsg struct {
+	A uint64
+	B string
+}
+
+func (*fakeMsg) Kind() uint16 { return 999 }
+func (m *fakeMsg) MarshalWire(e *Encoder) {
+	e.Uvarint(m.A)
+	e.String(m.B)
+}
+func (m *fakeMsg) UnmarshalWire(d *Decoder) error {
+	m.A = d.Uvarint()
+	m.B = d.String()
+	return d.Err()
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	Register(999, func() Message { return &fakeMsg{} })
+	in := &fakeMsg{A: 7, B: "x"}
+	b := EncodeFrame(in)
+	out, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(*fakeMsg)
+	if !ok || got.A != 7 || got.B != "x" {
+		t.Errorf("got %#v", out)
+	}
+}
+
+func TestFrameUnknownKind(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uvarint(54321)
+	if _, err := DecodeFrame(e.Bytes()); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("empty frame must error")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register must panic")
+		}
+	}()
+	Register(998, func() Message { return &fakeMsg{} })
+	Register(998, func() Message { return &fakeMsg{} })
+}

@@ -1,0 +1,109 @@
+package world
+
+import (
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// MazeMap generates a perfect maze (recursive backtracker) of cols×rows
+// corridor cells, each corridor `cellMeters` wide with `wallMeters`
+// walls, at the given grid resolution. Mazes stress exactly what the
+// paper's Fig. 14 analysis cares about: constant turning keeps the real
+// velocity far below the maximum, and what the adaptive policy should do
+// about paid parallelism follows.
+func MazeMap(cols, rows int, cellMeters, wallMeters, res float64, rng *rand.Rand) *grid.Map {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	cellPx := int(cellMeters / res)
+	wallPx := int(wallMeters / res)
+	if cellPx < 1 {
+		cellPx = 1
+	}
+	if wallPx < 1 {
+		wallPx = 1
+	}
+	pitch := cellPx + wallPx
+	w := cols*pitch + wallPx
+	h := rows*pitch + wallPx
+	m := grid.NewMap(w, h, res, geom.V(0, 0), grid.Occupied)
+
+	// Carve the cell interiors.
+	carveCell := func(cx, cy int) {
+		x0 := wallPx + cx*pitch
+		y0 := wallPx + cy*pitch
+		for y := y0; y < y0+cellPx; y++ {
+			for x := x0; x < x0+cellPx; x++ {
+				m.Set(geom.Cell{X: x, Y: y}, grid.Free)
+			}
+		}
+	}
+	// Carve the wall segment between two adjacent cells. Normalize so
+	// (ax, ay) is the lower-left of the pair.
+	carveWall := func(ax, ay, bx, by int) {
+		if bx < ax || by < ay {
+			ax, ay, bx, by = bx, by, ax, ay
+		}
+		x0 := wallPx + ax*pitch
+		y0 := wallPx + ay*pitch
+		switch {
+		case bx == ax+1: // open to the right
+			for y := y0; y < y0+cellPx; y++ {
+				for x := x0 + cellPx; x < x0+pitch; x++ {
+					m.Set(geom.Cell{X: x, Y: y}, grid.Free)
+				}
+			}
+		case by == ay+1: // open upward
+			for y := y0 + cellPx; y < y0+pitch; y++ {
+				for x := x0; x < x0+cellPx; x++ {
+					m.Set(geom.Cell{X: x, Y: y}, grid.Free)
+				}
+			}
+		}
+	}
+
+	visited := make([]bool, cols*rows)
+	idx := func(x, y int) int { return y*cols + x }
+	type cell struct{ x, y int }
+	stack := []cell{{0, 0}}
+	visited[0] = true
+	carveCell(0, 0)
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		// Collect unvisited neighbors.
+		var nbrs []cell
+		for _, d := range dirs {
+			nx, ny := cur.x+d[0], cur.y+d[1]
+			if nx < 0 || ny < 0 || nx >= cols || ny >= rows || visited[idx(nx, ny)] {
+				continue
+			}
+			nbrs = append(nbrs, cell{nx, ny})
+		}
+		if len(nbrs) == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		next := nbrs[rng.Intn(len(nbrs))]
+		visited[idx(next.x, next.y)] = true
+		carveCell(next.x, next.y)
+		carveWall(cur.x, cur.y, next.x, next.y)
+		stack = append(stack, next)
+	}
+	return m
+}
+
+// MazeCellCenter returns the world coordinates of a maze cell's center,
+// for placing starts and goals.
+func MazeCellCenter(cx, cy int, cellMeters, wallMeters float64) geom.Vec2 {
+	pitch := cellMeters + wallMeters
+	return geom.V(
+		wallMeters+float64(cx)*pitch+cellMeters/2,
+		wallMeters+float64(cy)*pitch+cellMeters/2,
+	)
+}

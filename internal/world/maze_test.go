@@ -1,0 +1,84 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/planner"
+)
+
+func TestMazeAllCellsConnected(t *testing.T) {
+	const cols, rows = 5, 4
+	const cellM, wallM, res = 0.8, 0.2, 0.05
+	m := MazeMap(cols, rows, cellM, wallM, res, rand.New(rand.NewSource(3)))
+
+	// A perfect maze connects every cell: plan from cell (0,0) to every
+	// other cell center.
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cfg.InflationRadius = 0.2 // narrow corridors
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+	p := planner.New(planner.AStar)
+	start := MazeCellCenter(0, 0, cellM, wallM)
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			goal := MazeCellCenter(cx, cy, cellM, wallM)
+			if cx == 0 && cy == 0 {
+				continue
+			}
+			if _, err := p.Plan(cm, start, goal); err != nil {
+				t.Fatalf("cell (%d,%d) unreachable: %v", cx, cy, err)
+			}
+		}
+	}
+}
+
+func TestMazeDeterministicAndSeeded(t *testing.T) {
+	a := MazeMap(4, 4, 0.8, 0.2, 0.1, rand.New(rand.NewSource(5)))
+	b := MazeMap(4, 4, 0.8, 0.2, 0.1, rand.New(rand.NewSource(5)))
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatal("same seed, different mazes")
+		}
+	}
+	c := MazeMap(4, 4, 0.8, 0.2, 0.1, rand.New(rand.NewSource(6)))
+	same := true
+	for i := range a.Cells {
+		if a.Cells[i] != c.Cells[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds, identical mazes")
+	}
+}
+
+func TestMazeBordersClosed(t *testing.T) {
+	m := MazeMap(3, 3, 0.8, 0.2, 0.1, rand.New(rand.NewSource(7)))
+	for x := 0; x < m.Width; x++ {
+		if m.At(geom.Cell{X: x, Y: 0}) != grid.Occupied ||
+			m.At(geom.Cell{X: x, Y: m.Height - 1}) != grid.Occupied {
+			t.Fatal("horizontal border open")
+		}
+	}
+	for y := 0; y < m.Height; y++ {
+		if m.At(geom.Cell{X: 0, Y: y}) != grid.Occupied ||
+			m.At(geom.Cell{X: m.Width - 1, Y: y}) != grid.Occupied {
+			t.Fatal("vertical border open")
+		}
+	}
+}
+
+func TestMazeDegenerateSizes(t *testing.T) {
+	m := MazeMap(0, 0, 0.8, 0.2, 0.1, rand.New(rand.NewSource(1)))
+	if m.Width == 0 || m.Height == 0 {
+		t.Fatal("degenerate maze")
+	}
+	if m.CountState(grid.Free) == 0 {
+		t.Fatal("1×1 maze should still have a free cell")
+	}
+}

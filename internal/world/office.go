@@ -1,0 +1,102 @@
+package world
+
+import (
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// OfficeMap generates an office floor: a central corridor with `rooms`
+// rooms on each side, each roomW×roomD meters, connected to the corridor
+// through doorways at deterministic-random positions. Office floors are
+// the environment class the paper's delivery scenario implies — long
+// straight corridor segments (where the real velocity reaches the cap)
+// punctuated by doorway turns (where it does not).
+func OfficeMap(rooms int, roomW, roomD, corridorW, res float64, rng *rand.Rand) *grid.Map {
+	if rooms < 1 {
+		rooms = 1
+	}
+	const wallM = 0.1
+	doorM := 0.8
+
+	widthM := float64(rooms)*(roomW+wallM) + wallM
+	heightM := 2*(roomD+wallM) + corridorW
+	w := int(widthM / res)
+	h := int(heightM / res)
+	m := grid.NewMap(w, h, res, geom.V(0, 0), grid.Free)
+
+	wallPx := maxInt(1, int(wallM/res))
+	fill := func(x0, y0, x1, y1 float64) {
+		a := m.WorldToCell(geom.V(x0, y0))
+		b := m.WorldToCell(geom.V(x1, y1))
+		for y := a.Y; y <= b.Y && y < h; y++ {
+			for x := a.X; x <= b.X && x < w; x++ {
+				if x >= 0 && y >= 0 {
+					m.Set(geom.Cell{X: x, Y: y}, grid.Occupied)
+				}
+			}
+		}
+	}
+	_ = wallPx
+
+	// Outer walls.
+	fill(0, 0, widthM, wallM)
+	fill(0, heightM-wallM, widthM, heightM)
+	fill(0, 0, wallM, heightM)
+	fill(widthM-wallM, 0, widthM, heightM)
+
+	// Corridor walls (bottom rooms below, top rooms above) with doors.
+	corridorY0 := roomD + wallM
+	corridorY1 := corridorY0 + corridorW
+	for side := 0; side < 2; side++ {
+		wallY0 := corridorY0 - wallM
+		wallY1 := corridorY0
+		if side == 1 {
+			wallY0 = corridorY1
+			wallY1 = corridorY1 + wallM
+		}
+		for r := 0; r < rooms; r++ {
+			x0 := wallM + float64(r)*(roomW+wallM)
+			x1 := x0 + roomW
+			// Door position within the room frontage.
+			doorAt := x0 + 0.2 + rng.Float64()*(roomW-doorM-0.4)
+			fill(x0-wallM, wallY0, doorAt, wallY1)
+			fill(doorAt+doorM, wallY0, x1+wallM, wallY1)
+			// Partition wall between adjacent rooms.
+			roomY0, roomY1 := wallM, roomD+wallM
+			if side == 1 {
+				roomY0, roomY1 = corridorY1+wallM, heightM-wallM
+			}
+			if r > 0 {
+				fill(x0-wallM, roomY0, x0, roomY1)
+			}
+		}
+	}
+	return m
+}
+
+// OfficeCorridorY returns the y coordinate of the corridor centerline
+// for an office built with the same parameters.
+func OfficeCorridorY(roomD, corridorW float64) float64 {
+	const wallM = 0.1
+	return roomD + wallM + corridorW/2
+}
+
+// OfficeRoomCenter returns the center of room r on the given side
+// (0 = bottom, 1 = top).
+func OfficeRoomCenter(r, side int, roomW, roomD, corridorW float64) geom.Vec2 {
+	const wallM = 0.1
+	x := wallM + float64(r)*(roomW+wallM) + roomW/2
+	if side == 0 {
+		return geom.V(x, wallM+roomD/2)
+	}
+	return geom.V(x, roomD+2*wallM+corridorW+roomD/2)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

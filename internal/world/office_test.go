@@ -1,0 +1,61 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/planner"
+)
+
+func TestOfficeEveryRoomReachable(t *testing.T) {
+	const rooms = 4
+	const roomW, roomD, corridorW, res = 2.0, 1.8, 1.2, 0.05
+	m := OfficeMap(rooms, roomW, roomD, corridorW, res, rand.New(rand.NewSource(8)))
+
+	cfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cfg.InflationRadius = 0.25
+	cm := costmap.New(cfg)
+	cm.SetStatic(m)
+	p := planner.New(planner.AStar)
+
+	start := geom.V(0.6, OfficeCorridorY(roomD, corridorW))
+	for side := 0; side < 2; side++ {
+		for r := 0; r < rooms; r++ {
+			goal := OfficeRoomCenter(r, side, roomW, roomD, corridorW)
+			if _, err := p.Plan(cm, start, goal); err != nil {
+				t.Fatalf("room %d side %d unreachable: %v", r, side, err)
+			}
+		}
+	}
+}
+
+func TestOfficeDeterministicPerSeed(t *testing.T) {
+	a := OfficeMap(3, 2, 1.8, 1.2, 0.1, rand.New(rand.NewSource(2)))
+	b := OfficeMap(3, 2, 1.8, 1.2, 0.1, rand.New(rand.NewSource(2)))
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestOfficeCorridorIsOpen(t *testing.T) {
+	const roomD, corridorW = 1.8, 1.2
+	m := OfficeMap(4, 2, roomD, corridorW, 0.05, rand.New(rand.NewSource(3)))
+	y := OfficeCorridorY(roomD, corridorW)
+	// The corridor centerline must be free along the whole floor.
+	for x := 0.3; x < float64(m.Width)*m.Resolution-0.3; x += 0.1 {
+		if FootprintCollides(m, geom.V(x, y), 0.11) {
+			t.Fatalf("corridor blocked at x=%.1f", x)
+		}
+	}
+}
+
+func TestOfficeDegenerate(t *testing.T) {
+	m := OfficeMap(0, 2, 1.8, 1.2, 0.1, rand.New(rand.NewSource(1)))
+	if m.Width == 0 {
+		t.Fatal("degenerate office")
+	}
+}

@@ -1,0 +1,87 @@
+package world
+
+import (
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+)
+
+// Standard evaluation environments. Sizes are chosen so missions complete
+// in tens of simulated seconds at Turtlebot speeds, matching the scale of
+// the paper's lab (a room of roughly 12×6 m).
+
+// LabMap builds the "lab" environment used by the end-to-end experiments:
+// a 12×6 m room with interior walls forming a corridor with a doorway,
+// a desk island, a shelf and a table, drawn at 5 cm resolution.
+func LabMap() *grid.Map {
+	m := grid.NewMap(240, 120, 0.05, geom.V(0, 0), grid.Free)
+	border(m)
+	fillRect(m, 3.0, 0.05, 3.2, 2.4, grid.Occupied) // wall stub from bottom
+	fillRect(m, 3.0, 3.4, 3.2, 5.95, grid.Occupied) // wall stub above door gap
+	fillRect(m, 5.0, 1.6, 6.2, 2.6, grid.Occupied)  // desk island
+	fillRect(m, 8.0, 0.05, 8.2, 2.0, grid.Occupied) // shelf from bottom
+	fillRect(m, 9.5, 3.6, 10.5, 4.4, grid.Occupied) // table
+	fillRect(m, 6.5, 4.4, 7.5, 5.95, grid.Occupied) // cabinet against top wall
+	return m
+}
+
+// ObstacleCourseMap builds the Figure 14 environment: an obstacle slalom
+// followed by a straight run and a right turn, forcing the three phases
+// (avoiding obstacles, heading straight, turning right).
+func ObstacleCourseMap() *grid.Map {
+	m := grid.NewMap(300, 120, 0.05, geom.V(0, 0), grid.Free)
+	border(m)
+	// Slalom pillars in the first third.
+	fillRect(m, 1.5, 0.05, 1.7, 3.0, grid.Occupied)
+	fillRect(m, 2.8, 2.8, 3.0, 5.95, grid.Occupied)
+	fillRect(m, 4.2, 0.05, 4.4, 3.2, grid.Occupied)
+	// Open straight corridor through the middle third, then a wall that
+	// blocks the straight-ahead exit and forces a right turn.
+	fillRect(m, 12.0, 2.0, 14.95, 2.2, grid.Occupied)
+	return m
+}
+
+// EmptyRoomMap returns an empty walled room, useful for tests.
+func EmptyRoomMap(wMeters, hMeters, res float64) *grid.Map {
+	m := grid.NewMap(int(wMeters/res), int(hMeters/res), res, geom.V(0, 0), grid.Free)
+	border(m)
+	return m
+}
+
+// RandomClutterMap returns a walled room with n random rectangular
+// obstacles, deterministically from the given rng.
+func RandomClutterMap(wMeters, hMeters, res float64, n int, rng *rand.Rand) *grid.Map {
+	m := EmptyRoomMap(wMeters, hMeters, res)
+	for i := 0; i < n; i++ {
+		x := 0.5 + rng.Float64()*(wMeters-1.5)
+		y := 0.5 + rng.Float64()*(hMeters-1.5)
+		w := 0.2 + rng.Float64()*0.6
+		h := 0.2 + rng.Float64()*0.6
+		fillRect(m, x, y, x+w, y+h, grid.Occupied)
+	}
+	return m
+}
+
+func border(m *grid.Map) {
+	for x := 0; x < m.Width; x++ {
+		m.Set(geom.Cell{X: x, Y: 0}, grid.Occupied)
+		m.Set(geom.Cell{X: x, Y: m.Height - 1}, grid.Occupied)
+	}
+	for y := 0; y < m.Height; y++ {
+		m.Set(geom.Cell{X: 0, Y: y}, grid.Occupied)
+		m.Set(geom.Cell{X: m.Width - 1, Y: y}, grid.Occupied)
+	}
+}
+
+// fillRect marks all cells whose centers lie in the world-coordinate
+// rectangle [x0,x1]×[y0,y1] with the given state.
+func fillRect(m *grid.Map, x0, y0, x1, y1 float64, v int8) {
+	a := m.WorldToCell(geom.V(x0, y0))
+	b := m.WorldToCell(geom.V(x1, y1))
+	for y := a.Y; y <= b.Y; y++ {
+		for x := a.X; x <= b.X; x++ {
+			m.Set(geom.Cell{X: x, Y: y}, v)
+		}
+	}
+}

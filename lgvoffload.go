@@ -1,0 +1,141 @@
+// Package lgvoffload is a library-scale reproduction of "Towards
+// Practical Cloud Offloading for Low-cost Ground Vehicle Workloads"
+// (IPDPS 2021): an end-to-end cloud-robotic offloading framework with a
+// fully simulated substrate — a 2-D world and differential-drive vehicle,
+// laser/odometry sensing, a ROS-like middleware, a wireless network with
+// UDP best-effort semantics, calibrated compute-platform models, and the
+// complete LGV workload pipeline (AMCL, GMapping SLAM, layered costmaps,
+// A*/Dijkstra planning, frontier exploration, DWA path tracking and a
+// velocity multiplexer).
+//
+// The public surface re-exports the mission engine and the paper's three
+// optimizations: fine-grained migration (Algorithm 1), parallel cloud
+// acceleration (Figs. 5/6), and real-time network-quality adjustment
+// (Algorithm 2). A typical use:
+//
+//	cfg := lgvoffload.MissionConfig{
+//		Workload:   lgvoffload.NavigationWithMap,
+//		Map:        lgvoffload.LabMap(),
+//		Start:      lgvoffload.Pose(0.6, 0.6, 0),
+//		Goal:       lgvoffload.Point(11, 5),
+//		Deployment: lgvoffload.DeployAdaptive(lgvoffload.HostEdge, 8, lgvoffload.GoalMCT),
+//		Seed:       1,
+//	}
+//	res, err := lgvoffload.Run(cfg)
+//
+// Every experiment of the paper's evaluation is regenerable through
+// Experiments (or the cmd/reproduce binary).
+package lgvoffload
+
+import (
+	"io"
+
+	"lgvoffload/internal/bench"
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/energy"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+// Core mission types, re-exported from the engine.
+type (
+	// MissionConfig fully describes one mission run.
+	MissionConfig = core.MissionConfig
+	// Result summarizes a completed mission.
+	Result = core.Result
+	// TracePoint is one row of a recorded mission time series.
+	TracePoint = core.TracePoint
+	// Deployment describes an offloading configuration.
+	Deployment = core.Deployment
+	// Workload selects the pipeline variant.
+	Workload = core.Workload
+	// Goal is Algorithm 1's optimization target.
+	Goal = core.Goal
+	// Map is a 2-D occupancy grid world.
+	Map = grid.Map
+	// EnergyComponent identifies one energy-consuming subsystem.
+	EnergyComponent = energy.Component
+)
+
+// EnergyComponents lists the Eq. 1a components in presentation order.
+var EnergyComponents = energy.Components
+
+// Workloads.
+const (
+	NavigationWithMap = core.NavigationWithMap
+	ExplorationNoMap  = core.ExplorationNoMap
+	CoverageWithMap   = core.CoverageWithMap
+)
+
+// Algorithm 1 goals.
+const (
+	GoalEC  = core.GoalEC
+	GoalMCT = core.GoalMCT
+)
+
+// Hosts.
+const (
+	HostLGV   = core.HostLGV
+	HostEdge  = core.HostEdge
+	HostCloud = core.HostCloud
+)
+
+// Run executes a mission to completion.
+func Run(cfg MissionConfig) (*Result, error) { return core.Run(cfg) }
+
+// Deployment constructors.
+var (
+	// DeployLocal runs everything on the vehicle (the baseline).
+	DeployLocal = core.DeployLocal
+	// DeployEdge pins the ECNs to the edge gateway with n threads.
+	DeployEdge = core.DeployEdge
+	// DeployCloud pins the ECNs to the cloud server with n threads.
+	DeployCloud = core.DeployCloud
+	// DeployAdaptive applies Algorithms 1 and 2 at runtime.
+	DeployAdaptive = core.DeployAdaptive
+)
+
+// World builders.
+var (
+	// LabMap is the 12×6 m lab used by the paper-scale experiments.
+	LabMap = world.LabMap
+	// ObstacleCourseMap is the Fig. 14 slalom/straight/turn course.
+	ObstacleCourseMap = world.ObstacleCourseMap
+	// EmptyRoomMap builds a walled empty room.
+	EmptyRoomMap = world.EmptyRoomMap
+)
+
+// Pose builds a robot pose (x, y in meters, theta in radians).
+func Pose(x, y, theta float64) geom.Pose { return geom.P(x, y, theta) }
+
+// Point builds a world point.
+func Point(x, y float64) geom.Vec2 { return geom.V(x, y) }
+
+// ParseMap parses an ASCII map ('#' occupied, '.' free, '?' unknown; the
+// first text row is the top of the map).
+func ParseMap(text string, resolution float64) (*Map, error) {
+	return grid.ParseText(text, resolution, geom.V(0, 0))
+}
+
+// Experiment is one regenerable table or figure from the paper.
+type Experiment = bench.Experiment
+
+// Experiments returns every paper experiment in presentation order.
+func Experiments() []Experiment { return bench.All() }
+
+// RunExperiment regenerates one experiment by ID ("table1", "fig9", …),
+// writing its report to w. Quick mode shrinks workloads for tests.
+func RunExperiment(id string, w io.Writer, quick bool) error {
+	e, ok := bench.ByID(id)
+	if !ok {
+		return errUnknownExperiment(id)
+	}
+	return e.Run(w, quick)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "lgvoffload: unknown experiment " + string(e)
+}
