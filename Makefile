@@ -1,0 +1,19 @@
+# Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
+.PHONY: check vet build test bench reproduce
+
+check: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+reproduce:
+	go run ./cmd/reproduce -exp all

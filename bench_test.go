@@ -221,6 +221,37 @@ func BenchmarkFig14ObstacleCourse(b *testing.B) {
 	}
 }
 
+// --- Telemetry overhead -------------------------------------------------------
+
+// The telemetry pair bounds the observer effect: the disabled run is the
+// allocation baseline (nil *Telemetry, every hook a no-op), the enabled
+// run pays for the ring and registry. Compare allocs/op between the two.
+func BenchmarkMissionTelemetryOff(b *testing.B) { benchMissionTelemetry(b, false) }
+func BenchmarkMissionTelemetryOn(b *testing.B)  { benchMissionTelemetry(b, true) }
+
+func benchMissionTelemetry(b *testing.B, enabled bool) {
+	cfg := MissionConfig{
+		Workload:   NavigationWithMap,
+		Map:        EmptyRoomMap(6, 4, 0.05),
+		Start:      Pose(0.8, 2, 0),
+		Goal:       Point(5.2, 2),
+		WAP:        Point(3, 2),
+		Deployment: DeployAdaptive(HostEdge, 8, GoalMCT),
+		Seed:       3,
+		MaxSimTime: 300,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if enabled {
+			cfg.Telemetry = NewTelemetry(1 << 14)
+		}
+		res, err := Run(cfg)
+		if err != nil || !res.Success {
+			b.Fatalf("mission failed: %v", err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) -------------------------------------------------
 
 // Partitioning strategy for the parallel scan matcher: block (Fig. 6)

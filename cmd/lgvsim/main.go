@@ -9,6 +9,7 @@
 //	lgvsim -workload explore -deploy cloud -threads 12
 //	lgvsim -deploy local -seed 7
 //	lgvsim -deploy adaptive -goal ec -trace  # with a velocity trace
+//	lgvsim -deploy adaptive -telemetry out.jsonl -postmortem
 package main
 
 import (
@@ -21,12 +22,15 @@ import (
 
 func main() {
 	workload := flag.String("workload", "nav", "workload: nav | explore | coverage")
+	mapName := flag.String("map", "lab", "world: lab | deadzone (corridor through a WAP dead zone)")
 	deploy := flag.String("deploy", "adaptive", "deployment: local | edge | cloud | adaptive")
 	threads := flag.Int("threads", 8, "acceleration threads on the server")
 	goal := flag.String("goal", "mct", "Algorithm 1 goal for adaptive mode: ec | mct")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	maxTime := flag.Float64("maxtime", 1800, "simulated-time budget (s)")
 	trace := flag.Bool("trace", false, "print the velocity/bandwidth trace")
+	telemetry := flag.String("telemetry", "", "write the mission event timeline to this JSONL file")
+	postmortem := flag.Bool("postmortem", false, "print the telemetry post-mortem report")
 	flag.Parse()
 
 	var d lgvoffload.Deployment
@@ -58,11 +62,35 @@ func main() {
 		MaxSimTime:  *maxTime,
 		RecordTrace: *trace,
 	}
+	switch *mapName {
+	case "lab":
+	case "deadzone":
+		// A 24 m corridor whose far end is out of WAP range: the adaptive
+		// policy must shed remote nodes and finally retreat to local
+		// compute mid-mission — the post-mortem's showcase.
+		link := lgvoffload.DeadZoneLink(lgvoffload.Point(1, 1.5))
+		cfg.Map = lgvoffload.EmptyRoomMap(24, 3, 0.1)
+		cfg.Start = lgvoffload.Pose(1, 1.5, 0)
+		cfg.Goal = lgvoffload.Point(22, 1.5)
+		cfg.WAP = lgvoffload.Point(1, 1.5)
+		cfg.LinkCfg = &link
+	default:
+		fmt.Fprintf(os.Stderr, "unknown map %q\n", *mapName)
+		os.Exit(2)
+	}
 	switch *workload {
 	case "explore":
 		cfg.Workload = lgvoffload.ExplorationNoMap
 	case "coverage":
 		cfg.Workload = lgvoffload.CoverageWithMap
+	}
+
+	var tel *lgvoffload.Telemetry
+	if *telemetry != "" || *postmortem {
+		// A long mission at 5 Hz emits several events per tick; a roomy
+		// ring keeps the early adaptation decisions from being evicted.
+		tel = lgvoffload.NewTelemetry(1 << 16)
+		cfg.Telemetry = tel
 	}
 
 	res, err := lgvoffload.Run(cfg)
@@ -91,8 +119,32 @@ func main() {
 	for _, row := range res.Cycles.Breakdown() {
 		fmt.Printf("  %s\n", row)
 	}
-	fmt.Printf("\nnetwork:   %d msgs sent, %d dropped, %.1f KB uplinked, %d placement switches\n",
-		res.MsgsSent, res.MsgsDropped, res.BytesUplinked/1024, res.Switches)
+	fmt.Printf("\nnetwork:   %d msgs sent, %d dropped, %d overwritten, %.1f KB uplinked, %d placement switches\n",
+		res.MsgsSent, res.MsgsDropped, res.MsgsOverwritten, res.BytesUplinked/1024, res.Switches)
+
+	if *telemetry != "" {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
+		if err := tel.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: %d events written to %s\n", len(tel.Events()), *telemetry)
+	}
+	if *postmortem {
+		fmt.Println()
+		if err := lgvoffload.WritePostMortem(os.Stdout, tel, res.TotalTime); err != nil {
+			fmt.Fprintln(os.Stderr, "post-mortem:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *trace {
 		fmt.Println("\ntrace (t, vmax, vreal, bw, remote):")

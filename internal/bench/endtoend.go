@@ -345,9 +345,25 @@ func RunAlg1(w io.Writer, quick bool) error {
 			}
 			fmt.Fprintf(w, "%-22s %-10s %8v %9.1f %9.0f %9d\n",
 				name, goal, res.Success, res.TotalTime, res.TotalEnergy, res.Switches)
+			writeDecisionLog(w, res.Decisions)
 		}
 	}
 	fmt.Fprintln(w, "\nPaper's reading: with a high-cost network, MCT migrates the T3 nodes back")
 	fmt.Fprintln(w, "(completion time recovers); EC keeps ECNs remote to protect the battery.")
 	return nil
+}
+
+// writeDecisionLog prints a mission's adaptation decisions with the
+// profiler inputs (bandwidth, signal direction, VDP estimates) that
+// produced each placement switch.
+func writeDecisionLog(w io.Writer, decisions []core.AdaptDecision) {
+	for _, d := range decisions {
+		extra := ""
+		if d.RemoteOK {
+			extra = fmt.Sprintf(", VDP local=%.0f ms cloud=%.0f ms",
+				d.LocalVDP*1000, d.CloudVDP*1000)
+		}
+		fmt.Fprintf(w, "    %7.1f s  %-9s %s -> %s  (bw=%.1f msg/s, dir=%+.2f%s)\n",
+			d.T, d.Reason, d.From, d.To, d.Bandwidth, d.Direction, extra)
+	}
 }

@@ -154,6 +154,7 @@ func RunAlg2(w io.Writer, quick bool) error {
 	hr(w, "Algorithm 2 ablation — mission across a WAP dead zone")
 	fmt.Fprintf(w, "%-24s %8s %9s %9s %8s %9s %8s\n",
 		"policy", "success", "time(s)", "stdby(s)", "drops", "switches", "E(J)")
+	var adaptive []core.AdaptDecision
 	for _, d := range []core.Deployment{
 		core.DeployAdaptive(core.HostEdge, 8, core.GoalMCT),
 		core.DeployEdge(8),
@@ -168,6 +169,13 @@ func RunAlg2(w io.Writer, quick bool) error {
 		fmt.Fprintf(w, "%-24s %8v %9.1f %9.1f %8d %9d %8.0f\n",
 			d.Name, res.Success, res.TotalTime, res.StandbyTime,
 			res.MsgsDropped, res.Switches, res.TotalEnergy)
+		if cfg.Deployment.Mode == core.Adaptive {
+			adaptive = res.Decisions
+		}
+	}
+	if len(adaptive) > 0 {
+		fmt.Fprintln(w, "\nadaptive decision log (bandwidth and direction at each switch):")
+		writeDecisionLog(w, adaptive)
 	}
 	fmt.Fprintln(w, "\nPaper's reading: static offloading starves in the dead zone; the adaptive")
 	fmt.Fprintln(w, "policy rides the fast server while reachable and degrades to local gracefully.")

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"lgvoffload/internal/mw"
+)
+
+// AdaptDecision is one entry of the mission's adaptation decision log:
+// every placement change the adaptive controller performed, together
+// with the profiler inputs that produced it. The log rides on Result so
+// the bench experiments and the post-mortem report can explain *why* a
+// mission offloaded or retreated, not just how often.
+type AdaptDecision struct {
+	T      float64 // virtual time of the switch
+	Reason string  // "alg2-gate" (network veto) or "alg1-EC"/"alg1-MCT"
+
+	// Algorithm 2 inputs at decision time.
+	Bandwidth float64 // r_t, messages/s
+	Direction float64 // d_t, signal trend
+	RemoteOK  bool    // Algorithm 2's verdict
+
+	// Algorithm 1 inputs (zero when the network gate vetoed remote).
+	LocalVDP float64 // estimated all-local VDP makespan, s
+	CloudVDP float64 // estimated offloaded VDP makespan incl. RTT, s
+
+	From, To   string  // placement descriptions, e.g. "edge:[costmap_gen path_tracking]"
+	StateBytes float64 // migrated mutable node state
+}
+
+// remoteSetDesc renders a placement as "all-local" or
+// "<host>:[node node ...]" for decision logs and switch events.
+func remoteSetDesc(p Placement) string {
+	remote := p.RemoteNodes()
+	if len(remote) == 0 {
+		return "all-local"
+	}
+	// Group by host: ordinarily every remote node shares p.Remote, but the
+	// description must not lie if a future strategy splits them.
+	byHost := make(map[mw.HostID][]string)
+	for _, n := range remote {
+		byHost[p.Of(n)] = append(byHost[p.Of(n)], n)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, string(h))
+	}
+	sort.Strings(hosts)
+	parts := make([]string, 0, len(hosts))
+	for _, h := range hosts {
+		parts = append(parts, h+":["+strings.Join(byHost[mw.HostID(h)], " ")+"]")
+	}
+	return strings.Join(parts, " ")
+}

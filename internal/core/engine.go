@@ -16,6 +16,7 @@ import (
 	"lgvoffload/internal/muxer"
 	"lgvoffload/internal/mw"
 	"lgvoffload/internal/netsim"
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/planner"
 	"lgvoffload/internal/sensor"
 	"lgvoffload/internal/slam"
@@ -149,6 +150,11 @@ type MissionConfig struct {
 	ShedParallelism bool
 
 	RecordTrace bool
+
+	// Telemetry, when non-nil, receives the full mission event timeline
+	// and metrics (see internal/obs). Nil — the default — keeps every
+	// instrumented hot path allocation-free.
+	Telemetry *obs.Telemetry
 }
 
 func (c *MissionConfig) fillDefaults() {
@@ -230,8 +236,15 @@ type Result struct {
 
 	// Network and adaptation.
 	MsgsSent, MsgsDropped int
-	BytesUplinked         float64
-	Switches              int
+	// MsgsOverwritten counts velocity commands that reached the
+	// multiplexer but were replaced by a fresher command before the motors
+	// consumed them — pipeline work bought and thrown away.
+	MsgsOverwritten int
+	BytesUplinked   float64
+	Switches        int
+	// Decisions is the adaptation decision log: one entry per placement
+	// switch with the Algorithm 1/2 inputs behind it.
+	Decisions []AdaptDecision
 
 	AvgMaxVel float64
 	Explored  float64 // exploration progress vs ground truth
@@ -304,6 +317,11 @@ type engine struct {
 	vmaxCount int
 	trace     []TracePoint
 
+	// Telemetry (nil when disabled; every hook on it is nil-safe).
+	tel          *obs.Telemetry
+	decisions    []AdaptDecision
+	lastRemoteOK bool // previous Algorithm 2 verdict, for flip detection
+
 	route   []geom.Vec2 // remaining waypoints; route[0] is the active goal
 	visited int         // waypoints reached so far
 
@@ -374,6 +392,15 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 		counter:   hostsim.NewCycleCounter(),
 		pose:      cfg.Start,
 		exCfg:     explore.DefaultConfig(),
+
+		tel:          cfg.Telemetry,
+		lastRemoteOK: true, // adaptive deployments start offloaded
+	}
+	if cfg.Telemetry != nil {
+		// Interface wiring only when enabled: a nil Sink keeps the link's
+		// hot path branch-predictable and allocation-free.
+		link.SetSink(cfg.Telemetry)
+		e.tel.SetPhase(cfg.Workload.String())
 	}
 	applyLocalFreq(e.platforms, cfg.LocalFreqGHz)
 	e.strategy = Strategy{
@@ -563,8 +590,10 @@ func (e *engine) run() (*Result, error) {
 	res.ThreadAdjustments = e.threadAdj
 	res.MsgsSent = e.msgsSent
 	res.MsgsDropped = e.msgsDropped
+	res.MsgsOverwritten = e.mx.Overwritten()
 	res.BytesUplinked = e.bytesUp
 	res.Switches = e.switches
+	res.Decisions = e.decisions
 	if e.vmaxCount > 0 {
 		res.AvgMaxVel = e.vmaxSum / float64(e.vmaxCount)
 	}

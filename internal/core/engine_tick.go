@@ -51,8 +51,10 @@ func (e *engine) controlTick(now float64) {
 		if drop {
 			e.msgsDropped++
 			upDropped = true
+			e.tel.Drop(now, "scan", "uplink")
 		} else {
 			upLat = arrive - now
+			e.tel.Transfer(now, arrive, "scan", string(e.placement.Remote), scanFrame)
 		}
 	}
 
@@ -65,6 +67,10 @@ func (e *engine) controlTick(now float64) {
 		e.counter.Account(NodeLocalization, w)
 		localWork = localWork.Add(w) // localization is T2: stays on the LGV
 		e.pose = e.loc.Estimate()
+		if e.tel != nil { // exec time is computed for telemetry only
+			e.tel.NodeExec(NodeLocalization, string(HostLGV), now,
+				e.platforms[HostLGV].ExecTime(w, 1), 1)
+		}
 	case ExplorationNoMap:
 		e.pose = e.stepSLAM(now, delta, scan, slamRemote, upDropped, &localWork)
 	}
@@ -87,6 +93,7 @@ func (e *engine) controlTick(now float64) {
 	cmHost := e.placement.Of(NodeCostmap)
 	tCost := e.platforms[cmHost].ExecTime(cmWork, 1)
 	e.prof.RecordProc(NodeCostmap, tCost)
+	e.tel.NodeExec(NodeCostmap, string(cmHost), now, tCost, 1)
 	if cmHost == HostLGV {
 		localWork = localWork.Add(cmWork)
 	}
@@ -131,6 +138,7 @@ func (e *engine) controlTick(now float64) {
 	e.counter.Account(NodeTracking, tkWork)
 	tTrack := e.platforms[tkHost].ExecTime(tkWork, threads)
 	e.prof.RecordProc(NodeTracking, tTrack)
+	e.tel.NodeExec(NodeTracking, string(tkHost), now, tTrack, threads)
 	if tkHost == HostLGV {
 		localWork = localWork.Add(tkWork)
 	}
@@ -140,6 +148,7 @@ func (e *engine) controlTick(now float64) {
 	e.counter.Account(NodeMux, muxWork)
 	tMux := e.platforms[HostLGV].ExecTime(muxWork, 1)
 	e.prof.RecordProc(NodeMux, tMux)
+	e.tel.NodeExec(NodeMux, string(HostLGV), now, tMux, 1)
 	localWork = localWork.Add(muxWork)
 
 	// --- Deliver the command along the VDP. --------------------------------
@@ -164,9 +173,11 @@ func (e *engine) controlTick(now float64) {
 		e.msgsSent++
 		if drop {
 			e.msgsDropped++
+			e.tel.Drop(readyAt, "cmd_vel", "downlink")
 		} else {
 			downLat = arrive - readyAt
 			e.prof.RecordRTT(upLat + downLat)
+			e.tel.Transfer(readyAt, arrive, "cmd_vel", string(HostLGV), cmdBytes)
 			e.pendingCmds = append(e.pendingCmds,
 				pendingCmd{at: arrive + robotProc, cmd: cmd})
 		}
@@ -260,6 +271,7 @@ func (e *engine) stepSLAM(now float64, delta geom.Pose, scan *sensor.Scan, remot
 	host := e.placement.Of(NodeSLAM)
 	exec := e.platforms[host].ExecTime(w, threads)
 	e.prof.RecordProc(NodeSLAM, exec)
+	e.tel.NodeExec(NodeSLAM, string(host), now, exec, threads)
 	if host == HostLGV {
 		*localWork = localWork.Add(w)
 		e.slamBusyUntil = now + exec
@@ -277,7 +289,7 @@ func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
 	cfg := e.cfg
 	if cfg.Workload == CoverageWithMap {
 		// The sweep window slides every tick; no periodic replanning.
-		e.updateCoverage(localWork)
+		e.updateCoverage(now, localWork)
 		return
 	}
 	if now < e.nextReplan && e.havePth && !e.stuckOnGoal(now) {
@@ -286,7 +298,7 @@ func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
 	e.nextReplan = now + cfg.ReplanPeriod
 
 	if cfg.Workload == NavigationWithMap {
-		e.planTo(e.route[0], localWork)
+		e.planTo(now, e.route[0], localWork)
 		return
 	}
 	if e.slm.Updates() == 0 {
@@ -298,6 +310,10 @@ func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
 	w := ExploreWork(res.Ops)
 	e.counter.Account(NodeExploration, w)
 	*localWork = localWork.Add(w) // exploration is T2: stays local
+	if e.tel != nil { // exec time is computed for telemetry only
+		e.tel.NodeExec(NodeExploration, string(HostLGV), now,
+			e.platforms[HostLGV].ExecTime(w, 1), 1)
+	}
 
 	tried := 0
 	for _, g := range cands {
@@ -308,7 +324,7 @@ func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
 			break // bound per-tick planning work
 		}
 		tried++
-		if e.planTo(g, localWork) {
+		if e.planTo(now, g, localWork) {
 			if g != e.exGoal || !e.haveEx {
 				e.exGoal, e.haveEx = g, true
 				e.goalSince, e.goalStartPos = now, e.w.Robot.Pose.Pos
@@ -326,13 +342,15 @@ func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
 // sliding path window the tracker follows. The window spans from the
 // previous waypoint to a few waypoints ahead so the carrot cannot alias
 // onto an adjacent sweep lane 25 cm away.
-func (e *engine) updateCoverage(localWork *hostsim.Work) {
+func (e *engine) updateCoverage(now float64, localWork *hostsim.Work) {
 	if len(e.covPath) == 0 {
 		path, st, err := coverage.Plan(e.cm, e.pose.Pos, coverage.DefaultConfig())
 		w := CoverageWork(st.Ops)
 		e.counter.Account(NodeCoverage, w)
 		*localWork = localWork.Add(w) // coverage planning is T2: stays local
-		e.prof.RecordProc(NodeCoverage, e.platforms[HostLGV].ExecTime(w, 1))
+		tPlan := e.platforms[HostLGV].ExecTime(w, 1)
+		e.prof.RecordProc(NodeCoverage, tPlan)
+		e.tel.NodeExec(NodeCoverage, string(HostLGV), now, tPlan, 1)
 		if err != nil {
 			return
 		}
@@ -363,12 +381,14 @@ func (e *engine) updateCoverage(localWork *hostsim.Work) {
 }
 
 // planTo plans a global path to the goal, accounting the planner's work.
-func (e *engine) planTo(goal geom.Vec2, localWork *hostsim.Work) bool {
+func (e *engine) planTo(now float64, goal geom.Vec2, localWork *hostsim.Work) bool {
 	res, err := e.gp.Plan(e.cm, e.pose.Pos, goal)
 	w := PlanWork(res.Expanded)
 	e.counter.Account(NodePlanner, w)
 	*localWork = localWork.Add(w) // planner is T2: stays local
-	e.prof.RecordProc(NodePlanner, e.platforms[HostLGV].ExecTime(w, 1))
+	tPlan := e.platforms[HostLGV].ExecTime(w, 1)
+	e.prof.RecordProc(NodePlanner, tPlan)
+	e.tel.NodeExec(NodePlanner, string(HostLGV), now, tPlan, 1)
 	if err == nil && len(res.Path) >= 2 {
 		e.path = res.Path
 		e.havePth = true
@@ -424,14 +444,17 @@ func (e *engine) sendProbe(now float64) {
 	upArrive, upDrop := e.link.Send(now, probeBytes)
 	e.meter.AddTransmit(probeBytes)
 	if upDrop {
+		e.tel.Drop(now, "probe", "uplink")
 		return
 	}
 	downArrive, downDrop := e.link.Send(upArrive, probeBytes)
 	if downDrop {
+		e.tel.Drop(upArrive, "probe", "downlink")
 		return
 	}
 	e.prof.RecordPacket(downArrive, downArrive-now)
 	e.prof.RecordRTT(downArrive - now)
+	e.tel.Probe(now, downArrive-now)
 }
 
 // finishTick accounts local computation energy, runs the adaptive
@@ -443,6 +466,8 @@ func (e *engine) finishTick(now float64, localWork hostsim.Work, pipelineLat flo
 	interval := math.Max(e.nextControl-now, e.cfg.ControlPeriod)
 	budget := pi.Speed() * 1e9 * float64(pi.Cores) * interval
 	e.meter.AddCycles(math.Min(localWork.Total(), budget))
+
+	e.tel.TickSpan(now, e.nextControl, pipelineLat)
 
 	if e.cfg.Deployment.Mode == Adaptive {
 		e.adapt(now)
@@ -474,9 +499,17 @@ func (e *engine) adapt(now float64) {
 	if now < 2*e.prof.bw.Window {
 		return
 	}
-	remoteOK := e.netctl.Update(e.prof.Bandwidth(now), e.prof.Direction())
+	bw := e.prof.Bandwidth(now)
+	dir := e.prof.Direction()
+	remoteOK := e.netctl.Update(bw, dir)
+	if remoteOK != e.lastRemoteOK {
+		e.tel.Alg2(now, bw, dir, remoteOK)
+		e.lastRemoteOK = remoteOK
+	}
 
 	var desired Placement
+	var localVDP, cloudVDP float64
+	reason := "alg2-gate"
 	if !remoteOK {
 		nodes := make([]string, 0, len(e.placement.Host))
 		for n := range e.placement.Host {
@@ -490,8 +523,9 @@ func (e *engine) adapt(now float64) {
 		if len(classes) == 0 {
 			return
 		}
-		localVDP, cloudVDP := e.estimateVDPs()
+		localVDP, cloudVDP = e.estimateVDPs()
 		desired, _ = e.strategy.Decide(classes, localVDP, cloudVDP)
+		reason = "alg1-" + e.strategy.Goal.String()
 	}
 
 	if placementEqual(desired, e.placement) {
@@ -509,9 +543,18 @@ func (e *engine) adapt(now float64) {
 		e.meter.AddTransmit(stateBytes)
 		e.bytesUp += stateBytes
 	}
+	from, to := remoteSetDesc(e.placement), remoteSetDesc(desired)
 	e.placement = desired
 	e.switches++
 	e.pauseUntil = now + 0.3
+	e.decisions = append(e.decisions, AdaptDecision{
+		T: now, Reason: reason,
+		Bandwidth: bw, Direction: dir, RemoteOK: remoteOK,
+		LocalVDP: localVDP, CloudVDP: cloudVDP,
+		From: from, To: to, StateBytes: stateBytes,
+	})
+	e.tel.Switch(now, bw, dir, stateBytes,
+		len(desired.RemoteNodes()) > 0, from+" -> "+to)
 }
 
 // estimateVDPs returns the Algorithm 1 inputs: the VDP makespan if all
@@ -522,10 +565,20 @@ func (e *engine) estimateVDPs() (localVDP, cloudVDP float64) {
 	srv := e.platforms[e.strategy.Remote]
 	cm := e.lastCmWork
 	tk := e.lastTkWork
-	mux := MuxWork()
-	localVDP = pi.ExecTime(cm, 1) + pi.ExecTime(tk, 1) + pi.ExecTime(mux, 1)
+	// Prefer profiled times over model values where available; on a cold
+	// profiler a silent 0 would bias the comparison, so fall back to the
+	// platform model (mux) or a pessimistic full control period (RTT).
+	muxTime := pi.ExecTime(MuxWork(), 1)
+	if t, ok := e.prof.ProcTimeOK(NodeMux); ok {
+		muxTime = t
+	}
+	rtt, ok := e.prof.RTTOK()
+	if !ok {
+		rtt = e.cfg.ControlPeriod
+	}
+	localVDP = pi.ExecTime(cm, 1) + pi.ExecTime(tk, 1) + muxTime
 	cloudVDP = srv.ExecTime(cm, 1) + srv.ExecTime(tk, e.strategy.Threads) +
-		pi.ExecTime(mux, 1) + e.prof.RTT()
+		muxTime + rtt
 	return localVDP, cloudVDP
 }
 

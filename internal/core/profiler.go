@@ -48,11 +48,24 @@ func (p *Profiler) RecordProc(node string, seconds float64) {
 	}
 }
 
-// ProcTime returns the smoothed processing time of a node.
+// ProcTime returns the smoothed processing time of a node, or 0 when the
+// node was never profiled. Callers that must distinguish "never profiled"
+// from "instant" use ProcTimeOK.
 func (p *Profiler) ProcTime(node string) float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.procTime[node]
+}
+
+// ProcTimeOK returns the smoothed processing time of a node and whether
+// the node has ever been profiled. A cold profiler returning a silent 0
+// would make unprofiled nodes look free to Algorithm 1; callers that feed
+// placement decisions must use this variant.
+func (p *Profiler) ProcTimeOK(node string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.procTime[node]
+	return t, ok
 }
 
 // RecordRTT records one measured round-trip time across the offload
@@ -67,11 +80,19 @@ func (p *Profiler) RecordRTT(seconds float64) {
 	}
 }
 
-// RTT returns the smoothed round-trip time.
+// RTT returns the smoothed round-trip time (0 when never measured).
 func (p *Profiler) RTT() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rtt
+}
+
+// RTTOK returns the smoothed round-trip time and whether any round trip
+// was ever measured — the cold-start companion of ProcTimeOK.
+func (p *Profiler) RTTOK() (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rtt, p.haveRTT
 }
 
 // RecordPacket records a received message at virtual time now with the

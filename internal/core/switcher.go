@@ -7,6 +7,7 @@ import (
 
 	"lgvoffload/internal/msg"
 	"lgvoffload/internal/mw"
+	"lgvoffload/internal/obs"
 )
 
 // This file implements the §VII data plane with real sockets: the
@@ -140,6 +141,7 @@ type Switcher struct {
 	ep   *mw.UDPEndpoint
 	peer *net.UDPAddr
 	prof *Profiler
+	sink obs.Sink // nil when telemetry is off
 
 	epoch time.Time
 	seq   uint64
@@ -160,6 +162,12 @@ func NewSwitcher(worker *net.UDPAddr, prof *Profiler) (*Switcher, error) {
 
 // Addr returns the robot-side address (give it to Worker.Register).
 func (s *Switcher) Addr() *net.UDPAddr { return s.ep.Addr() }
+
+// SetSink attaches a telemetry sink so real-socket runs feed the same
+// live registry the simulated engine uses (pass nil to detach). The
+// switcher — not the profiler — is instrumented, so a mission engine
+// sharing a Profiler never double-counts.
+func (s *Switcher) SetSink(sk obs.Sink) { s.sink = sk }
 
 // now returns seconds since the switcher started — the wall-clock analog
 // of the engine's virtual time.
@@ -192,9 +200,23 @@ func (s *Switcher) Pump() int {
 			s.received++
 			s.mu.Unlock()
 			s.prof.RecordPacket(now, now-mm.SentAt)
+			if s.sink != nil {
+				s.sink.Count(obs.MTransfers, "cmd_vel", 1)
+				s.sink.Emit(obs.Event{Kind: obs.KindTransfer,
+					T0: mm.SentAt, T1: now, Node: "cmd_vel", Value: now - mm.SentAt})
+			}
 		case *msg.Profile:
 			s.prof.RecordProc(mm.Node, mm.ProcTime)
-			s.prof.RecordRTT((now - mm.SentAt) - mm.ProcTime)
+			rtt := (now - mm.SentAt) - mm.ProcTime
+			s.prof.RecordRTT(rtt)
+			if s.sink != nil {
+				s.sink.Observe(obs.MNodeExecSeconds, mm.Node, mm.ProcTime)
+				s.sink.Count(obs.MNodeExecs, mm.Node, 1)
+				s.sink.Observe(obs.MProbeRTTSeconds, "", rtt)
+				s.sink.Emit(obs.Event{Kind: obs.KindNodeExec,
+					T0: mm.SentAt, T1: now, Node: mm.Node, Host: mm.Host,
+					Value: mm.ProcTime})
+			}
 		}
 	}
 }

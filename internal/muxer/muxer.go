@@ -38,18 +38,20 @@ func DefaultSources() []Source {
 }
 
 type slot struct {
-	src     Source
-	cmd     geom.Twist
-	stamp   float64
-	hasData bool
+	src      Source
+	cmd      geom.Twist
+	stamp    float64
+	hasData  bool
+	consumed bool // the held command won a Select at least once
 }
 
 // Mux is the multiplexer state.
 type Mux struct {
 	slots map[string]*slot
 
-	selected  string // name of the source that won the last Select
-	forwarded int    // commands forwarded so far
+	selected    string // name of the source that won the last Select
+	forwarded   int    // commands forwarded so far
+	overwritten int    // commands replaced before the motors ever saw them
 }
 
 // New builds a multiplexer with the given sources.
@@ -68,9 +70,15 @@ func (m *Mux) Offer(source string, cmd geom.Twist, now float64) error {
 	if !ok {
 		return fmt.Errorf("muxer: unknown source %q", source)
 	}
+	if sl.hasData && !sl.consumed {
+		// A command the motors never executed is being replaced by a
+		// fresher one: the pipeline work behind it was wasted.
+		m.overwritten++
+	}
 	sl.cmd = cmd
 	sl.stamp = now
 	sl.hasData = true
+	sl.consumed = false
 	return nil
 }
 
@@ -95,6 +103,7 @@ func (m *Mux) Select(now float64) (geom.Twist, bool) {
 	}
 	m.selected = best.src.Name
 	m.forwarded++
+	best.consumed = true
 	return best.cmd, true
 }
 
@@ -104,6 +113,11 @@ func (m *Mux) Selected() string { return m.selected }
 
 // Forwarded returns how many commands have been forwarded to the motors.
 func (m *Mux) Forwarded() int { return m.forwarded }
+
+// Overwritten returns how many offered commands were replaced by fresher
+// ones before any Select forwarded them — a measure of pipeline output
+// the robot paid for but never used.
+func (m *Mux) Overwritten() int { return m.overwritten }
 
 // Sources returns the configured sources sorted by descending priority.
 func (m *Mux) Sources() []Source {

@@ -101,3 +101,23 @@ func TestNewerOfferReplacesOlder(t *testing.T) {
 		t.Errorf("latest offer should win: %v", cmd)
 	}
 }
+
+func TestOverwrittenCountsUnconsumedReplacement(t *testing.T) {
+	m := New(DefaultSources())
+	m.Offer(SourceNavigation, geom.Twist{V: 0.1}, 0)
+	m.Offer(SourceNavigation, geom.Twist{V: 0.2}, 0.1) // replaces unread 0.1
+	if m.Overwritten() != 1 {
+		t.Errorf("overwritten = %d, want 1", m.Overwritten())
+	}
+	m.Select(0.15) // consumes 0.2
+	m.Offer(SourceNavigation, geom.Twist{V: 0.3}, 0.2)
+	if m.Overwritten() != 1 {
+		t.Errorf("replacing a consumed command is not an overwrite: %d", m.Overwritten())
+	}
+	m.Select(0.25)
+	m.Select(0.3) // re-selecting the same command is not a second consume
+	m.Offer(SourceNavigation, geom.Twist{V: 0.4}, 0.35)
+	if m.Overwritten() != 1 {
+		t.Errorf("overwritten = %d after consumed re-offer, want 1", m.Overwritten())
+	}
+}

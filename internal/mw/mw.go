@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/wire"
 )
 
@@ -114,17 +115,21 @@ func (s *Subscription) Overwritten() int {
 // Host returns the host this subscription lives on.
 func (s *Subscription) Host() HostID { return s.host }
 
-func (s *Subscription) deliver(env Envelope) {
+// deliver enqueues one message and returns how many older messages the
+// bounded queue overwrote to make room.
+func (s *Subscription) deliver(env Envelope) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.recv++
+	drop := 0
 	if len(s.queue) >= s.depth {
 		// Overwrite the oldest message: bounded queue keeps data fresh.
-		drop := len(s.queue) - s.depth + 1
+		drop = len(s.queue) - s.depth + 1
 		s.queue = s.queue[drop:]
 		s.dropped += drop
 	}
 	s.queue = append(s.queue, env)
+	return drop
 }
 
 // TopicStats aggregates traffic counters for one topic.
@@ -133,6 +138,9 @@ type TopicStats struct {
 	Dropped    int // lost in the fabric (network loss)
 	Bytes      int // total bytes offered to the fabric for remote transfers
 	RemoteSent int // messages that crossed hosts
+	// Overwritten sums the freshness overwrites across the topic's
+	// *current* subscribers (unsubscribed mailboxes leave the tally).
+	Overwritten int
 }
 
 type topicState struct {
@@ -148,6 +156,7 @@ type Bus struct {
 	topics   map[string]*topicState
 	inflight []Envelope // messages waiting for their arrival time
 	seq      uint64
+	sink     obs.Sink // nil when telemetry is off (the default)
 }
 
 // NewBus creates a bus over the given fabric (nil means LocalFabric).
@@ -156,6 +165,15 @@ func NewBus(f Fabric) *Bus {
 		f = LocalFabric{}
 	}
 	return &Bus{fabric: f, topics: make(map[string]*topicState)}
+}
+
+// SetSink attaches a telemetry sink to the bus (nil detaches). Transfers,
+// fabric drops and queue overwrites are reported per topic; the default
+// nil sink costs one branch per event.
+func (b *Bus) SetSink(s obs.Sink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sink = s
 }
 
 func (b *Bus) topic(name string) *topicState {
@@ -204,18 +222,32 @@ func (b *Bus) Publish(topic string, from HostID, m wire.Message, now float64) {
 	ts := b.topic(topic)
 	ts.stats.Published++
 	for _, sub := range ts.subs {
-		if sub.host != from {
+		remote := sub.host != from
+		if remote {
 			ts.stats.RemoteSent++
 			ts.stats.Bytes += size
 		}
 		arrive, dropped := b.fabric.Transfer(from, sub.host, size, now)
 		if dropped {
 			ts.stats.Dropped++
+			if b.sink != nil {
+				b.sink.Count(obs.MDrops, topic, 1)
+				b.sink.Emit(obs.Event{Kind: obs.KindDrop, T0: now, T1: now,
+					Node: topic, Detail: "fabric"})
+			}
 			continue
+		}
+		if remote && b.sink != nil {
+			b.sink.Count(obs.MTransfers, topic, 1)
+			b.sink.Count(obs.MTransferBytes, topic, float64(size))
+			b.sink.Emit(obs.Event{Kind: obs.KindTransfer, T0: now, T1: arrive,
+				Node: topic, Host: string(sub.host), Bytes: size, Value: arrive - now})
 		}
 		env := Envelope{Msg: m, Topic: topic, From: from, Size: size, SentAt: now, ArriveAt: arrive}
 		if arrive <= now {
-			sub.deliver(env)
+			if n := sub.deliver(env); n > 0 && b.sink != nil {
+				b.sink.Count(obs.MOverwrites, topic, float64(n))
+			}
 		} else {
 			b.inflight = append(b.inflight, inflightFor(env, sub))
 		}
@@ -241,7 +273,9 @@ func (b *Bus) Advance(now float64) {
 	var remaining []Envelope
 	for _, env := range b.inflight {
 		if env.ArriveAt <= now {
-			env.dest.deliver(env)
+			if n := env.dest.deliver(env); n > 0 && b.sink != nil {
+				b.sink.Count(obs.MOverwrites, env.Topic, float64(n))
+			}
 		} else {
 			remaining = append(remaining, env)
 		}
@@ -256,11 +290,17 @@ func (b *Bus) InFlight() int {
 	return len(b.inflight)
 }
 
-// Stats returns a copy of the topic's traffic counters.
+// Stats returns a copy of the topic's traffic counters, with Overwritten
+// aggregated over the topic's current subscribers.
 func (b *Bus) Stats(topic string) TopicStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.topic(topic).stats
+	ts := b.topic(topic)
+	st := ts.stats
+	for _, sub := range ts.subs {
+		st.Overwritten += sub.Overwritten()
+	}
+	return st
 }
 
 // Topics returns the names of all known topics, sorted.

@@ -1,0 +1,124 @@
+package mw
+
+import (
+	"testing"
+	"time"
+
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/obs"
+)
+
+func TestTopicStatsOverwritten(t *testing.T) {
+	b := NewBus(nil)
+	sub := b.Subscribe("scan", "lgv", 1)
+	for i := 1; i <= 5; i++ {
+		b.Publish("scan", "lgv", twist(uint64(i), 0), float64(i))
+	}
+	if st := b.Stats("scan"); st.Overwritten != 4 {
+		t.Errorf("TopicStats.Overwritten = %d, want 4", st.Overwritten)
+	}
+	if sub.Overwritten() != 4 {
+		t.Errorf("sub.Overwritten = %d", sub.Overwritten())
+	}
+}
+
+func TestBusSinkCountsOverwrites(t *testing.T) {
+	tel := obs.NewTelemetry(16)
+	b := NewBus(nil)
+	b.SetSink(tel)
+	b.Subscribe("scan", "lgv", 1)
+	for i := 1; i <= 5; i++ {
+		b.Publish("scan", "lgv", twist(uint64(i), 0), float64(i))
+	}
+	if got := tel.Reg.Counter(obs.MOverwrites, "scan").Value(); got != 4 {
+		t.Errorf("%s counter = %v, want 4", obs.MOverwrites, got)
+	}
+}
+
+func TestBusSinkCountsDropsAndTransfers(t *testing.T) {
+	tel := obs.NewTelemetry(16)
+	// Scan messages are ~2.9 KB, twists a few dozen bytes: only the scan
+	// exceeds the drop threshold.
+	b := NewBus(delayFabric{delay: 0.01, dropOver: 1000})
+	b.SetSink(tel)
+	b.Subscribe("big", "cloud", 1)
+	b.Subscribe("tiny", "cloud", 1)
+
+	b.Publish("big", "lgv", &msg.Scan{Ranges: make([]float64, 360)}, 0)
+	b.Publish("tiny", "lgv", twist(1, 0), 0)
+	b.Advance(1)
+
+	if got := tel.Reg.Counter(obs.MDrops, "big").Value(); got != 1 {
+		t.Errorf("%s counter = %v, want 1", obs.MDrops, got)
+	}
+	if got := tel.Reg.Counter(obs.MTransfers, "tiny").Value(); got != 1 {
+		t.Errorf("%s counter = %v, want 1", obs.MTransfers, got)
+	}
+	if got := tel.Reg.Counter(obs.MTransferBytes, "tiny").Value(); got <= 0 {
+		t.Errorf("%s counter = %v, want > 0", obs.MTransferBytes, got)
+	}
+	var drops, transfers int
+	for _, ev := range tel.Events() {
+		switch ev.Kind {
+		case obs.KindDrop:
+			drops++
+		case obs.KindTransfer:
+			transfers++
+		}
+	}
+	if drops != 1 || transfers != 1 {
+		t.Errorf("timeline: %d drops, %d transfers", drops, transfers)
+	}
+}
+
+func TestUDPEndpointOverwrittenCounter(t *testing.T) {
+	tel := obs.NewTelemetry(16)
+	bEp, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bEp.Close()
+	bEp.SetSink(tel)
+	a, err := ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	for i := 1; i <= 10; i++ {
+		if err := a.SendTo(bEp.Addr(), twist(uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for bEp.Received() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no frames received")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let the socket go quiet
+
+	polled := 0
+	for {
+		if _, ok := bEp.Poll(); !ok {
+			break
+		}
+		polled++
+	}
+	// Every received frame either reached Poll or was overwritten in the
+	// depth-1 queue; the loopback socket may legitimately drop the rest.
+	if got := bEp.Overwritten() + polled; got != bEp.Received() {
+		t.Errorf("overwritten(%d) + polled(%d) != received(%d)",
+			bEp.Overwritten(), polled, bEp.Received())
+	}
+	if bEp.Overwritten() == 0 {
+		t.Error("10 sends into a depth-1 queue overwrote nothing")
+	}
+	if got := tel.Reg.Counter(obs.MOverwrites, "udp").Value(); got != float64(bEp.Overwritten()) {
+		t.Errorf("%s counter = %v, endpoint says %d", obs.MOverwrites, got, bEp.Overwritten())
+	}
+	if got := tel.Reg.Counter(obs.MFrames, "udp").Value(); got != float64(bEp.Received()) {
+		t.Errorf("%s counter = %v, endpoint says %d", obs.MFrames, got, bEp.Received())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/wire"
 )
 
@@ -29,6 +30,7 @@ type TCPEndpoint struct {
 	errs   int
 	closed bool
 	done   chan struct{}
+	sink   obs.Sink // nil when telemetry is off
 }
 
 // TCPListener accepts one peer connection.
@@ -118,14 +120,29 @@ func (ep *TCPEndpoint) readLoop() {
 		ep.mu.Lock()
 		if err != nil {
 			ep.errs++
+			if ep.sink != nil {
+				ep.sink.Count(obs.MDecodeErrors, "tcp", 1)
+			}
 		} else {
 			ep.recv++
 			// No overwrite: TCP is reliable, so everything queues — the
 			// backlog is the phenomenon under study.
 			ep.queue = append(ep.queue, m)
+			if ep.sink != nil {
+				ep.sink.Count(obs.MFrames, "tcp", 1)
+				ep.sink.SetGauge(obs.MBacklog, "tcp", float64(len(ep.queue)))
+			}
 		}
 		ep.mu.Unlock()
 	}
+}
+
+// SetSink attaches a telemetry sink for live frame/error/backlog
+// counters (nil detaches).
+func (ep *TCPEndpoint) SetSink(s obs.Sink) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.sink = s
 }
 
 // Poll removes and returns the oldest received message, if any.
@@ -137,6 +154,9 @@ func (ep *TCPEndpoint) Poll() (wire.Message, bool) {
 	}
 	m := ep.queue[0]
 	ep.queue = ep.queue[1:]
+	if ep.sink != nil {
+		ep.sink.SetGauge(obs.MBacklog, "tcp", float64(len(ep.queue)))
+	}
 	return m, true
 }
 

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/wire"
 )
 
@@ -22,12 +23,14 @@ type UDPEndpoint struct {
 	conn  *net.UDPConn
 	depth int
 
-	mu     sync.Mutex
-	queue  []wire.Message
-	recv   int
-	errs   int
-	closed bool
-	done   chan struct{}
+	mu          sync.Mutex
+	queue       []wire.Message
+	recv        int
+	errs        int
+	overwritten int // frames displaced by newer arrivals before Poll saw them
+	closed      bool
+	done        chan struct{}
+	sink        obs.Sink // nil when telemetry is off
 }
 
 // ListenUDP opens an endpoint on the given address ("127.0.0.1:0" for an
@@ -52,6 +55,14 @@ func ListenUDP(addr string, depth int) (*UDPEndpoint, error) {
 // Addr returns the endpoint's bound address.
 func (ep *UDPEndpoint) Addr() *net.UDPAddr { return ep.conn.LocalAddr().(*net.UDPAddr) }
 
+// SetSink attaches a telemetry sink for live frame/error/overwrite
+// counters (nil detaches).
+func (ep *UDPEndpoint) SetSink(s obs.Sink) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.sink = s
+}
+
 // SendTo encodes and transmits a message to the given peer address.
 func (ep *UDPEndpoint) SendTo(peer *net.UDPAddr, m wire.Message) error {
 	frame := wire.EncodeFrame(m)
@@ -71,11 +82,21 @@ func (ep *UDPEndpoint) readLoop() {
 		ep.mu.Lock()
 		if err != nil {
 			ep.errs++
+			if ep.sink != nil {
+				ep.sink.Count(obs.MDecodeErrors, "udp", 1)
+			}
 		} else {
 			ep.recv++
+			if ep.sink != nil {
+				ep.sink.Count(obs.MFrames, "udp", 1)
+			}
 			if len(ep.queue) >= ep.depth {
 				drop := len(ep.queue) - ep.depth + 1
 				ep.queue = ep.queue[drop:]
+				ep.overwritten += drop
+				if ep.sink != nil {
+					ep.sink.Count(obs.MOverwrites, "udp", float64(drop))
+				}
 			}
 			ep.queue = append(ep.queue, m)
 		}
@@ -107,6 +128,15 @@ func (ep *UDPEndpoint) DecodeErrors() int {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	return ep.errs
+}
+
+// Overwritten returns how many decoded frames the bounded receive queue
+// displaced before any Poll consumed them — previously these vanished
+// silently, hiding how much uplink work the freshness policy discards.
+func (ep *UDPEndpoint) Overwritten() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.overwritten
 }
 
 // Close shuts the socket down and waits for the read loop to exit.

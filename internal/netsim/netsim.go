@@ -19,6 +19,7 @@ import (
 
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/mw"
+	"lgvoffload/internal/obs"
 )
 
 // LinkConfig parameterizes the wireless link.
@@ -92,6 +93,8 @@ type Link struct {
 	lastDrain float64 // virtual time of last drain update
 
 	sent, dropped int
+
+	sink obs.Sink // nil when telemetry is off (the default)
 }
 
 // NewLink creates a link with deterministic randomness.
@@ -101,6 +104,10 @@ func NewLink(cfg LinkConfig, rng *rand.Rand) *Link {
 
 // Config returns the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetSink attaches a telemetry sink; pass nil to detach. Every metric
+// write is guarded so the nil (default) path adds one branch per Send.
+func (l *Link) SetSink(s obs.Sink) { l.sink = s }
 
 // SetRobotPos updates the robot position (called every control tick) and
 // refreshes the signal-direction estimate: positive when the robot is
@@ -171,6 +178,10 @@ func (l *Link) Direction() float64 { return l.direction }
 func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
 	l.sent++
 	s := l.SignalAt(now)
+	if l.sink != nil {
+		l.sink.Count(obs.MLinkSent, "", 1)
+		l.sink.SetGauge(obs.MLinkSignal, "", s)
+	}
 
 	// Drain the kernel buffer for the time elapsed since the last send.
 	if now > l.lastDrain {
@@ -186,6 +197,9 @@ func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
 		// Driver holds packets: join the kernel buffer or overflow.
 		if l.buffered >= float64(l.cfg.KernelBuf) {
 			l.dropped++
+			if l.sink != nil {
+				l.sink.Count(obs.MLinkDropped, "", 1)
+			}
 			return 0, true // silent discard: sender never learns
 		}
 		l.buffered++
@@ -197,6 +211,9 @@ func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
 	pLoss := math.Pow(1-s, 3)
 	if l.rng.Float64() < pLoss {
 		l.dropped++
+		if l.sink != nil {
+			l.sink.Count(obs.MLinkDropped, "", 1)
+		}
 		return 0, true
 	}
 
@@ -205,6 +222,9 @@ func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
 		lat += math.Abs(l.rng.NormFloat64()) * l.cfg.JitterSec
 	}
 	lat += float64(size) / l.cfg.UplinkBytesPerSec
+	if l.sink != nil {
+		l.sink.Observe(obs.MLinkLatencySeconds, "", lat)
+	}
 	return now + lat, false
 }
 

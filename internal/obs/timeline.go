@@ -1,0 +1,132 @@
+package obs
+
+import "sync"
+
+// Kind classifies a timeline event.
+type Kind string
+
+// Event kinds emitted by the instrumented subsystems.
+const (
+	// KindTick spans one control-pipeline pass (engine controlTick).
+	KindTick Kind = "tick"
+	// KindNodeExec spans one work-node execution on a host.
+	KindNodeExec Kind = "node_exec"
+	// KindSwitch marks a placement switch with the Algorithm 1/2 inputs
+	// that produced it.
+	KindSwitch Kind = "switch"
+	// KindAlg2 marks an Algorithm 2 decision flip (remote gating).
+	KindAlg2 Kind = "alg2"
+	// KindProbe records one heartbeat round trip.
+	KindProbe Kind = "probe"
+	// KindTransfer spans one message crossing hosts.
+	KindTransfer Kind = "transfer"
+	// KindDrop marks a message lost in the network or overwritten in a
+	// bounded queue.
+	KindDrop Kind = "drop"
+)
+
+// Event is one structured timeline record. T0/T1 are virtual-time start
+// and end (equal for instantaneous events). The remaining fields are
+// kind-specific; unused ones stay zero and are omitted from JSONL.
+//
+// Field semantics per kind:
+//
+//	tick:      T0..T1 = control tick span; Value = pipeline latency (s)
+//	node_exec: T0..T1 = execution span; Node, Host; Value = proc time (s);
+//	           Bytes = acceleration threads used
+//	switch:    Bandwidth/Direction = Algorithm 2 inputs; Remote = remote
+//	           execution enabled after the switch; Detail = "from -> to";
+//	           Value = state bytes migrated
+//	alg2:      Bandwidth/Direction = r_t, d_t; Remote = new decision
+//	probe:     Value = measured RTT (s)
+//	transfer:  T0 = send, T1 = arrival; Node = topic; Host = destination;
+//	           Bytes = encoded size
+//	drop:      Node = topic; Detail = where ("uplink", "fabric", ...)
+type Event struct {
+	Seq       uint64  `json:"seq"`
+	Kind      Kind    `json:"kind"`
+	T0        float64 `json:"t0"`
+	T1        float64 `json:"t1"`
+	Host      string  `json:"host,omitempty"`
+	Node      string  `json:"node,omitempty"`
+	Phase     string  `json:"phase,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Bytes     int     `json:"bytes,omitempty"`
+	Bandwidth float64 `json:"bw,omitempty"`
+	Direction float64 `json:"dir,omitempty"`
+	Remote    bool    `json:"remote,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Timeline is a bounded ring buffer of events: long missions stay O(1)
+// in memory, keeping the newest events and counting evictions. Safe for
+// concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int    // index of the oldest event
+	n     int    // events currently held
+	total uint64 // events ever appended (assigns Seq)
+}
+
+// DefaultTimelineCap bounds the ring when no capacity is given: at the
+// sim's ~10 events per 0.2 s control tick this holds the last several
+// minutes of mission activity.
+const DefaultTimelineCap = 16384
+
+// NewTimeline returns a ring buffer holding at most capacity events
+// (<= 0 means DefaultTimelineCap).
+func NewTimeline(capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Timeline{buf: make([]Event, capacity)}
+}
+
+// Append stores one event, assigning its sequence number and evicting
+// the oldest event when full. It never allocates.
+func (t *Timeline) Append(ev Event) {
+	t.mu.Lock()
+	t.total++
+	ev.Seq = t.total
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = ev
+		t.n++
+	} else {
+		t.buf[t.start] = ev
+		t.start = (t.start + 1) % len(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the held events oldest-first.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len returns how many events are currently held.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Total returns how many events were ever appended.
+func (t *Timeline) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Evicted returns how many events the ring has discarded.
+func (t *Timeline) Evicted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(t.n)
+}

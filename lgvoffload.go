@@ -35,6 +35,8 @@ import (
 	"lgvoffload/internal/energy"
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/grid"
+	"lgvoffload/internal/netsim"
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/world"
 )
 
@@ -56,6 +58,16 @@ type (
 	Map = grid.Map
 	// EnergyComponent identifies one energy-consuming subsystem.
 	EnergyComponent = energy.Component
+	// Telemetry is the mission telemetry sink (see internal/obs): set
+	// MissionConfig.Telemetry to one to collect the event timeline and
+	// metrics; leave it nil (the default) for zero overhead.
+	Telemetry = obs.Telemetry
+	// TelemetryEvent is one structured timeline event.
+	TelemetryEvent = obs.Event
+	// MetricPoint is one exported metric sample.
+	MetricPoint = obs.MetricPoint
+	// AdaptDecision is one entry of a mission's adaptation decision log.
+	AdaptDecision = core.AdaptDecision
 )
 
 // EnergyComponents lists the Eq. 1a components in presentation order.
@@ -84,6 +96,17 @@ const (
 // Run executes a mission to completion.
 func Run(cfg MissionConfig) (*Result, error) { return core.Run(cfg) }
 
+// NewTelemetry builds an enabled telemetry sink whose timeline holds at
+// most eventCap events (<= 0 means the default capacity).
+func NewTelemetry(eventCap int) *Telemetry { return obs.NewTelemetry(eventCap) }
+
+// WritePostMortem renders a mission's human-readable post-mortem report
+// (per-node latency histograms, host occupancy, network summary and the
+// adaptation decision log) to w. Nil-safe on t.
+func WritePostMortem(w io.Writer, t *Telemetry, missionTime float64) error {
+	return obs.WritePostMortem(w, t, missionTime)
+}
+
 // Deployment constructors.
 var (
 	// DeployLocal runs everything on the vehicle (the baseline).
@@ -105,6 +128,16 @@ var (
 	// EmptyRoomMap builds a walled empty room.
 	EmptyRoomMap = world.EmptyRoomMap
 )
+
+// DeadZoneLink builds a short-range WAP link (good to 3 m, faded out by
+// 8 m) for missions that deliberately drive out of coverage; assign its
+// address to MissionConfig.LinkCfg.
+func DeadZoneLink(wap geom.Vec2) netsim.LinkConfig {
+	link := netsim.DefaultEdgeLink(wap)
+	link.GoodRange = 3
+	link.FadeRange = 8
+	return link
+}
 
 // Pose builds a robot pose (x, y in meters, theta in radians).
 func Pose(x, y, theta float64) geom.Pose { return geom.P(x, y, theta) }
