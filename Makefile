@@ -1,7 +1,13 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check vet build test bench reproduce
+.PHONY: check fmt vet build test chaos bench reproduce
 
-check: vet build test
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	go vet ./...
@@ -11,6 +17,12 @@ build:
 
 test:
 	go test -race ./...
+
+# Fault-injection suite twice over: the chaos tests assert that the same
+# seed + schedule reproduce the same decisions, so -count=2 shakes out
+# hidden wall-clock or global-rand dependencies.
+chaos:
+	go test -race -run Chaos -count=2 ./...
 
 bench:
 	go test -bench=. -benchmem ./...

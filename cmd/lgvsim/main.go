@@ -10,6 +10,7 @@
 //	lgvsim -deploy local -seed 7
 //	lgvsim -deploy adaptive -goal ec -trace  # with a velocity trace
 //	lgvsim -deploy adaptive -telemetry out.jsonl -postmortem
+//	lgvsim -faults "wap:20-35;server:60-80"  # scripted disturbances
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the velocity/bandwidth trace")
 	telemetry := flag.String("telemetry", "", "write the mission event timeline to this JSONL file")
 	postmortem := flag.Bool("postmortem", false, "print the telemetry post-mortem report")
+	faultSpec := flag.String("faults", "", `fault schedule, e.g. "wap:10-20;server:30-45;burst:50-52:0.9"`)
 	flag.Parse()
 
 	var d lgvoffload.Deployment
@@ -84,6 +86,14 @@ func main() {
 	case "coverage":
 		cfg.Workload = lgvoffload.CoverageWithMap
 	}
+	if *faultSpec != "" {
+		sched, err := lgvoffload.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faults:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &sched
+	}
 
 	var tel *lgvoffload.Telemetry
 	if *telemetry != "" || *postmortem {
@@ -121,6 +131,10 @@ func main() {
 	}
 	fmt.Printf("\nnetwork:   %d msgs sent, %d dropped, %d overwritten, %.1f KB uplinked, %d placement switches\n",
 		res.MsgsSent, res.MsgsDropped, res.MsgsOverwritten, res.BytesUplinked/1024, res.Switches)
+	if *faultSpec != "" {
+		fmt.Printf("faults:    %d injected, %d watchdog stops, %d failovers\n",
+			res.FaultsInjected, res.WatchdogStops, res.Failovers)
+	}
 
 	if *telemetry != "" {
 		f, err := os.Create(*telemetry)

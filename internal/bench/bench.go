@@ -48,6 +48,7 @@ func All() []Experiment {
 		{ID: "dvfs", Title: "DVFS ablation: local frequency scaling vs offloading (extension)", Run: RunDVFS},
 		{ID: "vision", Title: "Vision-based LGV: tracking losses vs speed (extension, §IX)", Run: RunVision},
 		{ID: "apsel", Title: "AP-selection baseline vs Algorithm 2 (related work, §X)", Run: RunAPSel},
+		{ID: "chaos", Title: "Chaos: scripted faults — watchdog, failover, degradation (extension)", Run: RunChaos},
 	}
 }
 

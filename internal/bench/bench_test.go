@@ -33,8 +33,8 @@ func runQuick(t *testing.T, id string) string {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(ids))
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Error("bogus ID resolved")
@@ -325,5 +325,14 @@ func TestAPSelControlGap(t *testing.T) {
 	}
 	if baseCtrl > 0.9 {
 		t.Errorf("single-AP baseline availability = %.2f — dead zone should bite", baseCtrl)
+	}
+}
+
+func TestChaosExperimentOutput(t *testing.T) {
+	out := runQuick(t, "chaos")
+	for _, want := range []string{"wap:4-12", "server:20-26", "failover", "stops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos missing %q", want)
+		}
 	}
 }

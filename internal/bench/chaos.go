@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/faults"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/world"
+)
+
+// RunChaos is the robustness experiment: the same scripted fault
+// schedule — a total WAP outage followed by a server crash (full mode
+// adds a lossy interference burst) — is replayed against the static and
+// adaptive deployments. The WAP sits at the goal so the robot approaches
+// it for the whole drive and Algorithm 2's weak-and-receding rule never
+// fires: surviving the outage is entirely down to the watchdog safety
+// stop and the consecutive-miss failover, which is the point.
+func RunChaos(w io.Writer, quick bool) error {
+	spec := "wap:4-12;server:20-26"
+	if !quick {
+		spec += ";burst:30-40:0.5"
+	}
+	sched, err := faults.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+
+	base := core.MissionConfig{
+		Workload:   core.NavigationWithMap,
+		Map:        world.EmptyRoomMap(6, 4, 0.05),
+		Start:      geom.P(0.8, 2, 0),
+		Goal:       geom.V(5.2, 2),
+		WAP:        geom.V(5.2, 2),
+		Seed:       3,
+		MaxSimTime: 300,
+		Faults:     &sched,
+	}
+
+	hr(w, "Chaos — scripted faults vs deployments ("+spec+")")
+	fmt.Fprintf(w, "%-24s %8s %9s %9s %6s %10s %7s %9s\n",
+		"policy", "success", "time(s)", "stdby(s)", "stops", "failovers", "faults", "switches")
+	var adaptive []core.AdaptDecision
+	for _, d := range []core.Deployment{
+		core.DeployAdaptive(core.HostEdge, 8, core.GoalMCT),
+		core.DeployEdge(8),
+		core.DeployLocal(),
+	} {
+		cfg := base
+		cfg.Deployment = d
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-24s %8v %9.1f %9.1f %6d %10d %7d %9d\n",
+			d.Name, res.Success, res.TotalTime, res.StandbyTime,
+			res.WatchdogStops, res.Failovers, res.FaultsInjected, res.Switches)
+		if cfg.Deployment.Mode == core.Adaptive {
+			adaptive = res.Decisions
+		}
+	}
+	if len(adaptive) > 0 {
+		fmt.Fprintln(w, "\nadaptive decision log (failover entries are the miss-counter trips):")
+		writeDecisionLog(w, adaptive)
+	}
+	fmt.Fprintln(w, "\nReading: every offloading policy parks on the watchdog when the blackout")
+	fmt.Fprintln(w, "starts, but only the adaptive one fails over and resumes driving mid-outage,")
+	fmt.Fprintln(w, "bounding its standby time; static offloading stays parked until the window")
+	fmt.Fprintln(w, "closes (a cost that grows with outage length, here ~8 s of it). Same seed +")
+	fmt.Fprintln(w, "same schedule reproduces the identical decision log.")
+	return nil
+}

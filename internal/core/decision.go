@@ -14,7 +14,7 @@ import (
 // mission offloaded or retreated, not just how often.
 type AdaptDecision struct {
 	T      float64 // virtual time of the switch
-	Reason string  // "alg2-gate" (network veto) or "alg1-EC"/"alg1-MCT"
+	Reason string  // "alg2-gate" (network veto), "alg1-EC"/"alg1-MCT", or "failover" (miss-counter trip)
 
 	// Algorithm 2 inputs at decision time.
 	Bandwidth float64 // r_t, messages/s

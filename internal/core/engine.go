@@ -10,6 +10,7 @@ import (
 	"lgvoffload/internal/coverage"
 	"lgvoffload/internal/energy"
 	"lgvoffload/internal/explore"
+	"lgvoffload/internal/faults"
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/grid"
 	"lgvoffload/internal/hostsim"
@@ -143,6 +144,17 @@ type MissionConfig struct {
 	// Algorithm 2 threshold (messages/s, default 4 for the 5 Hz probe).
 	NetThreshold float64
 
+	// Faults, when non-nil and non-empty, attaches a deterministic
+	// fault-injection schedule to the wireless link (see internal/faults).
+	Faults *faults.Config
+
+	// Graceful-degradation knobs (see SafetyController). Zero values take
+	// defaults; WatchdogDeadline < 0 disables the watchdog and
+	// FailoverMisses < 0 disables the failover path.
+	WatchdogDeadline float64 // base command-staleness deadline, s (default max(1.2, 6·ControlPeriod))
+	FailoverMisses   int     // consecutive missed remote ticks before pulling home (default 15)
+	FailoverHoldSec  float64 // post-failover hold-down vetoing remote (default 20)
+
 	// ShedParallelism enables the §VIII-E adaptivity controller: when the
 	// real velocity persistently falls short of the Eq. 2c cap (obstacle
 	// phases, Fig. 14), the engine halves the paid acceleration threads —
@@ -197,6 +209,22 @@ func (c *MissionConfig) fillDefaults() {
 	if c.NetThreshold == 0 {
 		c.NetThreshold = 4
 	}
+	if c.WatchdogDeadline == 0 {
+		// Below the navigation source's mux timeout (≥ 1.5 s) so the
+		// safety stop preempts a stale command instead of merely
+		// coinciding with its expiry.
+		c.WatchdogDeadline = math.Max(1.2, 6*c.ControlPeriod)
+	}
+	if c.FailoverMisses == 0 {
+		// 15 ticks = 3 s at the default 5 Hz: long enough that a periodic
+		// interference burst (a couple of seconds) does not flap
+		// placement, short enough that a real outage fails over before
+		// the mission times out.
+		c.FailoverMisses = 15
+	}
+	if c.FailoverHoldSec == 0 {
+		c.FailoverHoldSec = 20
+	}
 	if (c.WAP == geom.Vec2{}) {
 		c.WAP = c.Start.Pos
 	}
@@ -242,6 +270,10 @@ type Result struct {
 	MsgsOverwritten int
 	BytesUplinked   float64
 	Switches        int
+	// Graceful-degradation accounting.
+	WatchdogStops  int // zero-velocity safety stops on stale commands
+	Failovers      int // remote→local pulls forced by consecutive misses
+	FaultsInjected int // disturbances injected by the fault schedule
 	// Decisions is the adaptation decision log: one entry per placement
 	// switch with the Algorithm 1/2 inputs behind it.
 	Decisions []AdaptDecision
@@ -289,6 +321,8 @@ type engine struct {
 	placement Placement
 	prof      *Profiler
 	netctl    *NetController
+	safety    *SafetyController
+	schedule  *faults.Schedule // nil when no fault schedule is attached
 	strategy  Strategy
 	meter     *energy.Meter
 	clock     *timing.Clock
@@ -401,6 +435,24 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 		// hot path branch-predictable and allocation-free.
 		link.SetSink(cfg.Telemetry)
 		e.tel.SetPhase(cfg.Workload.String())
+	}
+	missLimit := cfg.FailoverMisses
+	if missLimit < 0 {
+		missLimit = 0 // sentinel: failover disabled
+	}
+	e.netctl.MissLimit = missLimit
+	e.safety = NewSafetyController(cfg.WatchdogDeadline, missLimit, cfg.FailoverHoldSec)
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		// The schedule gets its own rng stream so attaching faults never
+		// perturbs the link/sensor randomness of the underlying mission.
+		e.schedule = faults.New(*cfg.Faults, rand.New(rand.NewSource(cfg.Seed+6)))
+		if cfg.Telemetry != nil {
+			e.schedule.SetSink(cfg.Telemetry)
+		}
+		link.SetImpairment(e.schedule)
 	}
 	applyLocalFreq(e.platforms, cfg.LocalFreqGHz)
 	e.strategy = Strategy{
@@ -540,6 +592,20 @@ func (e *engine) run() (*Result, error) {
 		// Deliver matured remote velocity commands.
 		e.deliverPending(now)
 
+		// Command-staleness watchdog: hold a zero-velocity safety stop
+		// while no fresh VDP output reaches the multiplexer. The deadline
+		// stretches with the profiled makespan so a slow-but-alive local
+		// pipeline is not mistaken for a dead link.
+		if cfg.WatchdogDeadline >= 0 {
+			deadline := math.Max(cfg.WatchdogDeadline, 3*e.prof.VDP(e.placement).Total())
+			if stalled, first := e.safety.CheckStall(now, deadline); stalled {
+				e.mx.Offer(muxer.SourceSafety, geom.Twist{}, now)
+				if first {
+					e.tel.Watchdog(now, e.safety.Staleness(now))
+				}
+			}
+		}
+
 		// Fixed-rate heartbeat for Algorithm 2, independent of the
 		// pipeline's pacing.
 		if now >= nextProbe {
@@ -594,6 +660,11 @@ func (e *engine) run() (*Result, error) {
 	res.BytesUplinked = e.bytesUp
 	res.Switches = e.switches
 	res.Decisions = e.decisions
+	res.WatchdogStops = e.safety.Stops()
+	res.Failovers = e.safety.Failovers()
+	if e.schedule != nil {
+		res.FaultsInjected = e.schedule.Injected()
+	}
 	if e.vmaxCount > 0 {
 		res.AvgMaxVel = e.vmaxSum / float64(e.vmaxCount)
 	}
@@ -618,6 +689,7 @@ func (e *engine) deliverPending(now float64) {
 	for _, pc := range e.pendingCmds {
 		if pc.at <= now {
 			e.mx.Offer(muxer.SourceNavigation, pc.cmd, now)
+			e.safety.CommandDelivered(now)
 		} else {
 			kept = append(kept, pc)
 		}

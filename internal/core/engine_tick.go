@@ -8,6 +8,7 @@ import (
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/hostsim"
 	"lgvoffload/internal/msg"
+	"lgvoffload/internal/netsim"
 	"lgvoffload/internal/sensor"
 	"lgvoffload/internal/slam"
 	"lgvoffload/internal/timing"
@@ -44,7 +45,7 @@ func (e *engine) controlTick(now float64) {
 	if anyRemote {
 		scanFrame := len(wire.EncodeFrame(msg.FromSensor(scan, e.seq))) + 60 // + odom piggyback
 		e.seq++
-		arrive, drop := e.link.Send(now, scanFrame)
+		arrive, drop := e.link.SendDir(now, scanFrame, netsim.DirUp)
 		e.msgsSent++
 		e.bytesUp += float64(scanFrame)
 		e.meter.AddTransmit(float64(scanFrame))
@@ -77,6 +78,7 @@ func (e *engine) controlTick(now float64) {
 
 	// --- A dropped uplink starves the remote VDP: no command this tick. ----
 	if vdpRemote && upDropped {
+		e.noteMiss(now)
 		e.nextControl = now + cfg.ControlPeriod
 		e.finishTick(now, localWork, 0)
 		return
@@ -169,17 +171,19 @@ func (e *engine) controlTick(now float64) {
 	if vdpRemote {
 		// The velocity command rides the wireless link back down.
 		readyAt := now + upLat + remoteProc
-		arrive, drop := e.link.Send(readyAt, cmdBytes)
+		arrive, drop := e.link.SendDir(readyAt, cmdBytes, netsim.DirDown)
 		e.msgsSent++
 		if drop {
 			e.msgsDropped++
 			e.tel.Drop(readyAt, "cmd_vel", "downlink")
+			e.noteMiss(now)
 		} else {
 			downLat = arrive - readyAt
 			e.prof.RecordRTT(upLat + downLat)
 			e.tel.Transfer(readyAt, arrive, "cmd_vel", string(HostLGV), cmdBytes)
 			e.pendingCmds = append(e.pendingCmds,
 				pendingCmd{at: arrive + robotProc, cmd: cmd})
+			e.safety.RemoteHit()
 		}
 	} else {
 		e.pendingCmds = append(e.pendingCmds,
@@ -310,7 +314,7 @@ func (e *engine) updateGoalAndPath(now float64, localWork *hostsim.Work) {
 	w := ExploreWork(res.Ops)
 	e.counter.Account(NodeExploration, w)
 	*localWork = localWork.Add(w) // exploration is T2: stays local
-	if e.tel != nil { // exec time is computed for telemetry only
+	if e.tel != nil {             // exec time is computed for telemetry only
 		e.tel.NodeExec(NodeExploration, string(HostLGV), now,
 			e.platforms[HostLGV].ExecTime(w, 1), 1)
 	}
@@ -441,13 +445,13 @@ func (e *engine) blacklist(g geom.Vec2) {
 // failing network.
 func (e *engine) sendProbe(now float64) {
 	e.prof.RecordDirection(e.link.Direction())
-	upArrive, upDrop := e.link.Send(now, probeBytes)
+	upArrive, upDrop := e.link.SendDir(now, probeBytes, netsim.DirUp)
 	e.meter.AddTransmit(probeBytes)
 	if upDrop {
 		e.tel.Drop(now, "probe", "uplink")
 		return
 	}
-	downArrive, downDrop := e.link.Send(upArrive, probeBytes)
+	downArrive, downDrop := e.link.SendDir(upArrive, probeBytes, netsim.DirDown)
 	if downDrop {
 		e.tel.Drop(upArrive, "probe", "downlink")
 		return
@@ -490,6 +494,56 @@ func (e *engine) finishTick(now float64, localWork hostsim.Work, pipelineLat flo
 	}
 }
 
+// noteMiss records one missed remote VDP tick (scan lost uplink or
+// command lost downlink) and trips the failover once the consecutive-miss
+// limit is reached. It runs before finishTick's adapt pass so the pull
+// home is attributed to the failover path, not the Algorithm 2 gate.
+func (e *engine) noteMiss(now float64) {
+	if e.cfg.Deployment.Mode != Adaptive || e.netctl.MissLimit <= 0 {
+		return
+	}
+	e.safety.Miss()
+	if e.safety.ShouldFailover() {
+		e.failover(now)
+	}
+}
+
+// failover pulls every remote node home and re-executes locally: the
+// cloud VDP has stalled for FailoverMisses consecutive ticks, which
+// Algorithm 2 alone cannot see when the watchdog-stopped robot's signal
+// direction has decayed to zero. A hold-down window then vetoes going
+// remote again so one failover is not immediately reversed.
+func (e *engine) failover(now float64) {
+	misses := e.safety.Misses()
+	e.safety.TripFailover(now)
+
+	nodes := make([]string, 0, len(e.placement.Host))
+	for n := range e.placement.Host {
+		nodes = append(nodes, n)
+	}
+	desired := NewPlacement(nodes)
+	desired.Remote = e.placement.Remote
+	desired.Threads = e.placement.Threads
+	if placementEqual(desired, e.placement) {
+		return
+	}
+
+	bw := e.prof.Bandwidth(now)
+	dir := e.prof.Direction()
+	from, to := remoteSetDesc(e.placement), remoteSetDesc(desired)
+	e.placement = desired
+	e.switches++
+	e.pauseUntil = now + 0.3
+	e.lastRemoteOK = false
+	e.decisions = append(e.decisions, AdaptDecision{
+		T: now, Reason: "failover",
+		Bandwidth: bw, Direction: dir, RemoteOK: false,
+		From: from, To: to,
+	})
+	e.tel.Failover(now, misses, from+" -> "+to)
+	e.tel.Switch(now, bw, dir, 0, false, from+" -> "+to)
+}
+
 // adapt applies Algorithm 2 (network gating) and Algorithm 1 (node
 // selection) and performs migrations with their state-transfer cost.
 func (e *engine) adapt(now float64) {
@@ -501,7 +555,12 @@ func (e *engine) adapt(now float64) {
 	}
 	bw := e.prof.Bandwidth(now)
 	dir := e.prof.Direction()
-	remoteOK := e.netctl.Update(bw, dir)
+	remoteOK := e.netctl.UpdateEx(bw, dir, e.safety.Misses())
+	if remoteOK && e.safety.HoldActive(now) {
+		// Post-failover hold-down: the bandwidth estimate may still be
+		// optimistic right after a pull home; hysteresis wins.
+		remoteOK = false
+	}
 	if remoteOK != e.lastRemoteOK {
 		e.tel.Alg2(now, bw, dir, remoteOK)
 		e.lastRemoteOK = remoteOK

@@ -25,6 +25,17 @@ import (
 // produces a velocity command (the remote half of the VDP).
 type WorkerFunc func(scan *msg.Scan) (*msg.Twist, error)
 
+// Liveness timing for the real-socket pair. The worker beats about ten
+// times per control period so the switcher detects a kill within a few
+// beats; sends carry a short deadline so a wedged socket cannot stall
+// the serving loop.
+const (
+	workerBeatPeriod = 100 * time.Millisecond
+	sendDeadline     = 50 * time.Millisecond
+	helloBackoffMin  = 50 * time.Millisecond
+	helloBackoffMax  = 2 * time.Second
+)
+
 // Worker is the remote WORKER module: it serves scan messages over UDP,
 // invokes the offloaded node, and replies with the command followed by a
 // Profile record carrying the measured processing time.
@@ -78,26 +89,50 @@ func (w *Worker) Close() error {
 
 func (w *Worker) loop() {
 	defer close(w.done)
+	lastBeat := time.Now()
 	for {
 		select {
 		case <-w.stop:
 			return
 		default:
 		}
-		m, ok := w.ep.Poll()
-		if !ok {
-			time.Sleep(200 * time.Microsecond)
-			continue
+		// Block until traffic or the next beat is due — an idle worker
+		// parks on the endpoint's notify channel instead of spinning.
+		m, from, ok := w.ep.PollWaitFrom(workerBeatPeriod)
+		if ok {
+			switch mm := m.(type) {
+			case *msg.Scan:
+				// Replies go to the registered peer: a scan alone does not
+				// name a robot (the paper's switcher holds a connection).
+				w.handleScan(mm)
+			case *msg.Heartbeat:
+				// A hello probe is the control plane: adopt its sender —
+				// this is how a restarted switcher, or a switcher probing
+				// a restarted worker, re-binds without manual wiring —
+				// and echo immediately so the probe round-trips.
+				w.Register(from)
+				w.sendBeat()
+				lastBeat = time.Now()
+			}
 		}
-		scan, isScan := m.(*msg.Scan)
-		if !isScan {
-			continue
+		if time.Since(lastBeat) >= workerBeatPeriod {
+			w.sendBeat()
+			lastBeat = time.Now()
 		}
-		// The scan frame carries the robot's reply address in SentAt's
-		// companion — the paper's switcher holds a connection; over UDP
-		// we reply to the configured peer below via handleScan.
-		w.handleScan(scan)
 	}
+}
+
+// sendBeat emits one liveness beacon to the registered peer, if any.
+func (w *Worker) sendBeat() {
+	w.mu.Lock()
+	peer := w.peerAddr
+	served := w.served
+	w.mu.Unlock()
+	if peer == nil {
+		return
+	}
+	hb := &msg.Heartbeat{From: string(w.Host), Served: int64(served)}
+	_ = w.ep.SendToDeadline(peer, hb, sendDeadline)
 }
 
 func (w *Worker) handleScan(scan *msg.Scan) {
@@ -117,14 +152,14 @@ func (w *Worker) handleScan(scan *msg.Scan) {
 	cmd.Seq = scan.Seq
 	cmd.Stamp = scan.Stamp
 	cmd.SentAt = scan.SentAt // echoed so the robot can compute RTT
-	_ = w.ep.SendTo(peer, cmd)
+	_ = w.ep.SendToDeadline(peer, cmd, sendDeadline)
 	prof := &msg.Profile{
 		Header:   msg.Header{Seq: scan.Seq, Stamp: scan.Stamp, SentAt: scan.SentAt},
 		Node:     NodeTracking,
 		Host:     string(w.Host),
 		ProcTime: proc,
 	}
-	_ = w.ep.SendTo(peer, prof)
+	_ = w.ep.SendToDeadline(peer, prof, sendDeadline)
 }
 
 // Register tells the worker where to send replies.
@@ -143,12 +178,23 @@ type Switcher struct {
 	prof *Profiler
 	sink obs.Sink // nil when telemetry is off
 
+	// HealthTimeout is how long the worker may stay silent before the
+	// switcher declares it dead and degrades to local execution.
+	// Defaults to five worker beat periods; set before first use.
+	HealthTimeout time.Duration
+
 	epoch time.Time
 	seq   uint64
 
-	mu       sync.Mutex
-	lastCmd  *msg.Twist
-	received int
+	mu         sync.Mutex
+	lastCmd    *msg.Twist
+	received   int
+	lastHeard  time.Time     // wall time of the last frame from the worker
+	degraded   bool          // worker currently considered dead
+	downSince  time.Time     // when the current outage was declared
+	reconnects int           // outages recovered from
+	backoff    time.Duration // current hello-probe backoff
+	nextHello  time.Time     // next hello probe not before this time
 }
 
 // NewSwitcher opens the robot-side endpoint and binds it to the worker.
@@ -157,7 +203,10 @@ func NewSwitcher(worker *net.UDPAddr, prof *Profiler) (*Switcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Switcher{ep: ep, peer: worker, prof: prof, epoch: time.Now()}, nil
+	return &Switcher{ep: ep, peer: worker, prof: prof,
+		HealthTimeout: 5 * workerBeatPeriod,
+		epoch:         time.Now(), lastHeard: time.Now(),
+		backoff: helloBackoffMin}, nil
 }
 
 // Addr returns the robot-side address (give it to Worker.Register).
@@ -173,12 +222,36 @@ func (s *Switcher) SetSink(sk obs.Sink) { s.sink = sk }
 // of the engine's virtual time.
 func (s *Switcher) now() float64 { return time.Since(s.epoch).Seconds() }
 
-// SendScan uplinks one scan, stamping the temporal header.
+// SendScan uplinks one scan, stamping the temporal header. The send
+// carries a deadline so a wedged socket errors instead of blocking the
+// control loop.
 func (s *Switcher) SendScan(scan *msg.Scan) error {
 	s.seq++
 	scan.Seq = s.seq
 	scan.SentAt = s.now()
-	return s.ep.SendTo(s.peer, scan)
+	return s.ep.SendToDeadline(s.peer, scan, sendDeadline)
+}
+
+// markAlive records evidence of a live worker, closing any declared
+// outage and counting the reconnection.
+func (s *Switcher) markAlive() {
+	now := time.Now()
+	s.mu.Lock()
+	s.lastHeard = now
+	wasDown := s.degraded
+	var outage time.Duration
+	if wasDown {
+		s.degraded = false
+		outage = now.Sub(s.downSince)
+		s.reconnects++
+		s.backoff = helloBackoffMin
+	}
+	s.mu.Unlock()
+	if wasDown && s.sink != nil {
+		s.sink.Count(obs.MReconnects, "worker", 1)
+		s.sink.Emit(obs.Event{Kind: obs.KindReconnect, T0: s.now(), T1: s.now(),
+			Value: outage.Seconds(), Detail: s.peer.String()})
+	}
 }
 
 // Pump drains received messages: commands update the latest command and
@@ -193,6 +266,7 @@ func (s *Switcher) Pump() int {
 		}
 		n++
 		now := s.now()
+		s.markAlive()
 		switch mm := m.(type) {
 		case *msg.Twist:
 			s.mu.Lock()
@@ -207,7 +281,13 @@ func (s *Switcher) Pump() int {
 			}
 		case *msg.Profile:
 			s.prof.RecordProc(mm.Node, mm.ProcTime)
+			// Clock jitter between stamping and receipt can push the
+			// subtraction below zero; a negative RTT would poison the
+			// profiler's EWMA (and Algorithm 1's cloud VDP estimate).
 			rtt := (now - mm.SentAt) - mm.ProcTime
+			if rtt < 0 {
+				rtt = 0
+			}
 			s.prof.RecordRTT(rtt)
 			if s.sink != nil {
 				s.sink.Observe(obs.MNodeExecSeconds, mm.Node, mm.ProcTime)
@@ -217,8 +297,64 @@ func (s *Switcher) Pump() int {
 					T0: mm.SentAt, T1: now, Node: mm.Node, Host: mm.Host,
 					Value: mm.ProcTime})
 			}
+		case *msg.Heartbeat:
+			// Liveness only: markAlive above already refreshed the health
+			// clock and closed any outage.
+			_ = mm
 		}
 	}
+}
+
+// Maintain runs the switcher's health check; the demo driver calls it
+// periodically (any rate comparable to the control period works). When
+// the worker has been silent past HealthTimeout, the switcher declares
+// it dead — Degraded() flips true, telling the caller to execute the
+// offloaded node locally — and probes with hello heartbeats under
+// exponential backoff until the worker (restarted on the same port, or
+// a fresh one at the same address) echoes and Pump marks it alive.
+func (s *Switcher) Maintain() {
+	now := time.Now()
+	s.mu.Lock()
+	silent := now.Sub(s.lastHeard)
+	if silent <= s.HealthTimeout {
+		s.mu.Unlock()
+		return
+	}
+	if !s.degraded {
+		s.degraded = true
+		s.downSince = now
+		s.backoff = helloBackoffMin
+		s.nextHello = now // probe immediately
+	}
+	probe := !now.Before(s.nextHello)
+	if probe {
+		s.nextHello = now.Add(s.backoff)
+		s.backoff *= 2
+		if s.backoff > helloBackoffMax {
+			s.backoff = helloBackoffMax
+		}
+	}
+	s.mu.Unlock()
+	if probe {
+		hb := &msg.Heartbeat{From: "switcher"}
+		hb.SentAt = s.now()
+		_ = s.ep.SendToDeadline(s.peer, hb, sendDeadline)
+	}
+}
+
+// Degraded reports whether the worker is currently considered dead; the
+// caller should fail over to local execution while it holds.
+func (s *Switcher) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Reconnects returns how many declared outages have been recovered.
+func (s *Switcher) Reconnects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
 }
 
 // LastCommand returns the most recent velocity command, if any.

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/netsim"
+	"lgvoffload/internal/obs"
+)
+
+func testLink(imp netsim.Impairment) *netsim.Link {
+	cfg := netsim.DefaultEdgeLink(geom.V(0, 0))
+	cfg.JitterSec = 0
+	l := netsim.NewLink(cfg, rand.New(rand.NewSource(1)))
+	l.SetRobotPos(geom.V(1, 0)) // full signal
+	l.SetImpairment(imp)
+	return l
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "wap:10-20;server:30-45;burst:50-52:0.9;corrupt:60-70:0.3;partup:80-90;partdown:95-100"
+	cfg, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Windows) != 6 {
+		t.Fatalf("parsed %d windows, want 6", len(cfg.Windows))
+	}
+	kinds := []Kind{WAPOutage, ServerCrash, BurstLoss, Corruption, PartitionUp, PartitionDown}
+	for i, k := range kinds {
+		if cfg.Windows[i].Kind != k {
+			t.Errorf("window %d kind = %v, want %v", i, cfg.Windows[i].Kind, k)
+		}
+	}
+	if cfg.Windows[2].P != 0.9 {
+		t.Errorf("burst P = %v, want 0.9", cfg.Windows[2].P)
+	}
+	back, err := ParseSpec(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", cfg.String(), err)
+	}
+	if len(back.Windows) != len(cfg.Windows) {
+		t.Errorf("round trip lost windows: %q", cfg.String())
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"wap", "wap:10", "wap:20-10", "oven:1-2", "wap:a-b", "burst:1-2:x", "wap:1-2:0.5:9",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestWAPOutageBlackholesTheWindow(t *testing.T) {
+	s := New(Config{Windows: []Window{{Kind: WAPOutage, T0: 10, T1: 20}}},
+		rand.New(rand.NewSource(7)))
+	l := testLink(s)
+
+	if _, dropped := l.Send(5, 100); dropped {
+		t.Fatal("packet before the window must pass at full signal")
+	}
+	// Signal forced to 0 inside the window: (1-s)^3 loss is certain.
+	for now := 10.0; now < 20; now += 1.0 {
+		if _, dropped := l.Send(now, 100); !dropped {
+			t.Fatalf("packet at %.1f survived a WAP outage", now)
+		}
+	}
+	if _, dropped := l.Send(25, 100); dropped {
+		t.Fatal("packet after the window must pass again")
+	}
+	if s.Injected() == 0 {
+		t.Error("no disturbances counted")
+	}
+}
+
+func TestOneWayPartitions(t *testing.T) {
+	s := New(Config{Windows: []Window{
+		{Kind: PartitionUp, T0: 0, T1: 10},
+		{Kind: PartitionDown, T0: 20, T1: 30},
+	}}, rand.New(rand.NewSource(7)))
+	l := testLink(s)
+
+	if _, dropped := l.SendDir(5, 64, netsim.DirUp); !dropped {
+		t.Error("uplink must be blackholed during partup")
+	}
+	if _, dropped := l.SendDir(5, 64, netsim.DirDown); dropped {
+		t.Error("downlink must pass during partup")
+	}
+	if _, dropped := l.SendDir(25, 64, netsim.DirDown); !dropped {
+		t.Error("downlink must be blackholed during partdown")
+	}
+	if _, dropped := l.SendDir(25, 64, netsim.DirUp); dropped {
+		t.Error("uplink must pass during partdown")
+	}
+}
+
+func TestCorruptionCountsAsLoss(t *testing.T) {
+	s := New(Config{Windows: []Window{{Kind: Corruption, T0: 0, T1: 100}}},
+		rand.New(rand.NewSource(7))) // P 0 = always
+	l := testLink(s)
+	for i := 0; i < 10; i++ {
+		if _, dropped := l.Send(float64(i), 64); !dropped {
+			t.Fatalf("corrupted packet %d delivered", i)
+		}
+	}
+	if got := s.InjectedByKind()[Corruption]; got != 10 {
+		t.Errorf("corruption injections = %d, want 10", got)
+	}
+}
+
+func TestBurstLossIsSeedReproducible(t *testing.T) {
+	run := func() (drops int, injected int) {
+		s := New(Config{Windows: []Window{{Kind: BurstLoss, T0: 0, T1: 50, P: 0.5}}},
+			rand.New(rand.NewSource(99)))
+		l := testLink(s)
+		for i := 0; i < 200; i++ {
+			if _, dropped := l.Send(float64(i)*0.25, 64); dropped {
+				drops++
+			}
+		}
+		return drops, s.Injected()
+	}
+	d1, i1 := run()
+	d2, i2 := run()
+	if d1 != d2 || i1 != i2 {
+		t.Errorf("same seed diverged: drops %d vs %d, injected %d vs %d", d1, d2, i1, i2)
+	}
+	if i1 == 0 || i1 == 200 {
+		t.Errorf("p=0.5 burst injected %d of 200 — not probabilistic", i1)
+	}
+}
+
+func TestScheduleEmitsOneFaultEventPerWindow(t *testing.T) {
+	tel := obs.NewTelemetry(256)
+	s := New(Config{Windows: []Window{
+		{Kind: WAPOutage, T0: 0, T1: 5},
+		{Kind: ServerCrash, T0: 10, T1: 15},
+	}}, rand.New(rand.NewSource(7)))
+	s.SetSink(tel)
+	l := testLink(s)
+	for now := 0.0; now < 20; now += 0.5 {
+		l.Send(now, 64)
+	}
+	var faultEvents int
+	for _, ev := range tel.Events() {
+		if ev.Kind == obs.KindFault {
+			faultEvents++
+		}
+	}
+	if faultEvents != 2 {
+		t.Errorf("fault events = %d, want exactly 1 per window", faultEvents)
+	}
+	if !s.ActiveAt(2, WAPOutage) || s.ActiveAt(7, WAPOutage) {
+		t.Error("ActiveAt window arithmetic wrong")
+	}
+}

@@ -21,6 +21,7 @@ const (
 	KindGridPatch
 	KindProfile
 	KindOdom
+	KindHeartbeat
 )
 
 func init() {
@@ -32,6 +33,7 @@ func init() {
 	wire.Register(KindGridPatch, func() wire.Message { return &GridPatch{} })
 	wire.Register(KindProfile, func() wire.Message { return &Profile{} })
 	wire.Register(KindOdom, func() wire.Message { return &Odom{} })
+	wire.Register(KindHeartbeat, func() wire.Message { return &Heartbeat{} })
 }
 
 // Header carries per-message sequencing and the temporal information the
@@ -295,6 +297,31 @@ func (m *GridPatch) UnmarshalWire(d *wire.Decoder) error {
 	m.OriginX = d.Float64()
 	m.OriginY = d.Float64()
 	m.Cells = d.Int8Slice()
+	return d.Err()
+}
+
+// Heartbeat is the liveness beacon exchanged by the real-socket Switcher
+// and Worker: the worker beats periodically (and echoes the switcher's
+// hello probes) so a killed worker is detected by silence rather than by
+// the absence of replies to real work.
+type Heartbeat struct {
+	Header
+	From   string // sender identity (host name)
+	Served int64  // scans served so far: monotone worker progress
+}
+
+func (*Heartbeat) Kind() uint16 { return KindHeartbeat }
+
+func (m *Heartbeat) MarshalWire(e *wire.Encoder) {
+	m.Header.marshal(e)
+	e.String(m.From)
+	e.Varint(m.Served)
+}
+
+func (m *Heartbeat) UnmarshalWire(d *wire.Decoder) error {
+	m.Header.unmarshal(d)
+	m.From = d.String()
+	m.Served = d.Varint()
 	return d.Err()
 }
 

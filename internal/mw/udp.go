@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"lgvoffload/internal/obs"
 	"lgvoffload/internal/wire"
@@ -24,13 +25,21 @@ type UDPEndpoint struct {
 	depth int
 
 	mu          sync.Mutex
-	queue       []wire.Message
+	queue       []inFrame
 	recv        int
 	errs        int
 	overwritten int // frames displaced by newer arrivals before Poll saw them
 	closed      bool
 	done        chan struct{}
-	sink        obs.Sink // nil when telemetry is off
+	notify      chan struct{} // cap-1 wakeup for PollWaitFrom blockers
+	sink        obs.Sink      // nil when telemetry is off
+}
+
+// inFrame is one decoded frame with the peer address it came from, so
+// consumers can auto-register a reconnecting sender.
+type inFrame struct {
+	m    wire.Message
+	from *net.UDPAddr
 }
 
 // ListenUDP opens an endpoint on the given address ("127.0.0.1:0" for an
@@ -47,7 +56,8 @@ func ListenUDP(addr string, depth int) (*UDPEndpoint, error) {
 	if depth <= 0 {
 		depth = 1
 	}
-	ep := &UDPEndpoint{conn: conn, depth: depth, done: make(chan struct{})}
+	ep := &UDPEndpoint{conn: conn, depth: depth,
+		done: make(chan struct{}), notify: make(chan struct{}, 1)}
 	go ep.readLoop()
 	return ep, nil
 }
@@ -70,11 +80,26 @@ func (ep *UDPEndpoint) SendTo(peer *net.UDPAddr, m wire.Message) error {
 	return err
 }
 
+// SendToDeadline is SendTo with a write deadline: a blocked socket (full
+// send buffer, vanished interface) errors out after d instead of
+// wedging the caller. d <= 0 means no deadline.
+func (ep *UDPEndpoint) SendToDeadline(peer *net.UDPAddr, m wire.Message, d time.Duration) error {
+	frame := wire.EncodeFrame(m)
+	if d > 0 {
+		if err := ep.conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+		defer ep.conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := ep.conn.WriteToUDP(frame, peer)
+	return err
+}
+
 func (ep *UDPEndpoint) readLoop() {
 	defer close(ep.done)
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := ep.conn.ReadFromUDP(buf)
+		n, from, err := ep.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
@@ -98,22 +123,62 @@ func (ep *UDPEndpoint) readLoop() {
 					ep.sink.Count(obs.MOverwrites, "udp", float64(drop))
 				}
 			}
-			ep.queue = append(ep.queue, m)
+			ep.queue = append(ep.queue, inFrame{m: m, from: from})
 		}
 		ep.mu.Unlock()
+		if err == nil {
+			// Wake one blocked PollWaitFrom; a full token already means a
+			// wakeup is pending, so never block here.
+			select {
+			case ep.notify <- struct{}{}:
+			default:
+			}
+		}
 	}
 }
 
 // Poll removes and returns the oldest received message, if any.
 func (ep *UDPEndpoint) Poll() (wire.Message, bool) {
+	m, _, ok := ep.PollFrom()
+	return m, ok
+}
+
+// PollFrom is Poll plus the sender's address, so a server endpoint can
+// adopt whichever live peer is actually talking to it.
+func (ep *UDPEndpoint) PollFrom() (wire.Message, *net.UDPAddr, bool) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if len(ep.queue) == 0 {
-		return nil, false
+		return nil, nil, false
 	}
-	m := ep.queue[0]
+	f := ep.queue[0]
 	ep.queue = ep.queue[1:]
-	return m, true
+	return f.m, f.from, true
+}
+
+// PollWaitFrom blocks until a message arrives, the timeout elapses, or
+// the endpoint closes. It replaces busy-poll loops: an idle consumer
+// parks on a channel instead of burning a core.
+func (ep *UDPEndpoint) PollWaitFrom(timeout time.Duration) (wire.Message, *net.UDPAddr, bool) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		if m, from, ok := ep.PollFrom(); ok {
+			return m, from, true
+		}
+		select {
+		case <-ep.notify:
+			// Re-check the queue; stale tokens just loop once more.
+		case <-timer.C:
+			return nil, nil, false
+		case <-ep.done:
+			// Drain anything that raced the socket close, then report.
+			if m, from, ok := ep.PollFrom(); ok {
+				return m, from, true
+			}
+			return nil, nil, false
+		}
+	}
 }
 
 // Received returns the count of successfully decoded frames.

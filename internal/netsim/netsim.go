@@ -16,11 +16,52 @@ package netsim
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/mw"
 	"lgvoffload/internal/obs"
 )
+
+// Dir distinguishes uplink (robot → server) from downlink (server →
+// robot) traffic so impairments can model one-way partitions.
+type Dir int
+
+const (
+	// DirUp is robot-to-server traffic (scans, probes out).
+	DirUp Dir = iota
+	// DirDown is server-to-robot traffic (cmd_vel, probe echoes).
+	DirDown
+)
+
+func (d Dir) String() string {
+	if d == DirDown {
+		return "down"
+	}
+	return "up"
+}
+
+// Verdict is an impairment's ruling on one packet. The zero value with
+// SignalCap 1 passes the packet through untouched.
+type Verdict struct {
+	// SignalCap caps the effective signal in [0, 1]; 1 means no cap. A
+	// cap of 0 models a blacked-out WAP: the packet joins the kernel
+	// buffer (or overflows it) exactly as deep mobility fade would.
+	SignalCap float64
+	// Drop discards the packet outright (crashed server, blackholed
+	// route) — it never touches the kernel buffer.
+	Drop bool
+	// Corrupt delivers the packet on time but flags it damaged; the
+	// link treats it as lost since the receiver's decoder discards it.
+	Corrupt bool
+}
+
+// Impairment is an external fault source consulted on every Send. The
+// internal/faults package implements it; the hook lives here so netsim
+// never imports faults.
+type Impairment interface {
+	Impair(now float64, dir Dir) Verdict
+}
 
 // LinkConfig parameterizes the wireless link.
 type LinkConfig struct {
@@ -94,7 +135,8 @@ type Link struct {
 
 	sent, dropped int
 
-	sink obs.Sink // nil when telemetry is off (the default)
+	sink   obs.Sink   // nil when telemetry is off (the default)
+	impair Impairment // nil when no fault schedule is attached
 }
 
 // NewLink creates a link with deterministic randomness.
@@ -108,6 +150,10 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 // SetSink attaches a telemetry sink; pass nil to detach. Every metric
 // write is guarded so the nil (default) path adds one branch per Send.
 func (l *Link) SetSink(s obs.Sink) { l.sink = s }
+
+// SetImpairment attaches a fault source consulted on every Send; pass
+// nil to detach. The nil (default) path costs one branch per packet.
+func (l *Link) SetImpairment(imp Impairment) { l.impair = imp }
 
 // SetRobotPos updates the robot position (called every control tick) and
 // refreshes the signal-direction estimate: positive when the robot is
@@ -174,10 +220,34 @@ func (l *Link) Direction() float64 { return l.direction }
 // Send models one packet transmission at virtual time now. It returns the
 // arrival time at the peer and whether the packet was lost. Size affects
 // only serialization delay (negligible at these payloads) — loss and
-// latency are signal-driven, as on a real WLAN.
+// latency are signal-driven, as on a real WLAN. Send assumes uplink
+// direction; use SendDir when an attached Impairment must distinguish
+// directions (one-way partitions, server crashes on the return path).
 func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
+	return l.SendDir(now, size, DirUp)
+}
+
+// SendDir is Send with an explicit traffic direction.
+func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, dropped bool) {
 	l.sent++
 	s := l.SignalAt(now)
+	corrupt := false
+	if l.impair != nil {
+		v := l.impair.Impair(now, dir)
+		if v.Drop {
+			// Blackholed before the radio: the packet vanishes without
+			// occupying the kernel buffer.
+			l.dropped++
+			if l.sink != nil {
+				l.sink.Count(obs.MLinkDropped, "", 1)
+			}
+			return 0, true
+		}
+		if v.SignalCap < s {
+			s = v.SignalCap
+		}
+		corrupt = v.Corrupt
+	}
 	if l.sink != nil {
 		l.sink.Count(obs.MLinkSent, "", 1)
 		l.sink.SetGauge(obs.MLinkSignal, "", s)
@@ -217,6 +287,16 @@ func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
 		return 0, true
 	}
 
+	if corrupt {
+		// The frame crossed the air (it occupied buffer and spectrum)
+		// but the receiver's decoder rejects it: an effective loss.
+		l.dropped++
+		if l.sink != nil {
+			l.sink.Count(obs.MLinkDropped, "", 1)
+		}
+		return 0, true
+	}
+
 	lat := l.cfg.BaseLatSec/math.Max(s, 0.15) + l.cfg.WANLatSec + queueDelay
 	if l.cfg.JitterSec > 0 {
 		lat += math.Abs(l.rng.NormFloat64()) * l.cfg.JitterSec
@@ -236,6 +316,11 @@ func (l *Link) Counters() (sent, dropped int) { return l.sent, l.dropped }
 // are instant.
 type Fabric struct {
 	Link *Link
+	// Robot, when set, identifies the vehicle host so cross-host
+	// transfers carry a direction (uplink when the robot sends,
+	// downlink otherwise). Empty means every transfer counts as uplink,
+	// preserving the direction-blind behaviour.
+	Robot mw.HostID
 }
 
 // Transfer implements mw.Fabric.
@@ -243,7 +328,11 @@ func (f Fabric) Transfer(from, to mw.HostID, size int, now float64) (float64, bo
 	if from == to {
 		return now, false
 	}
-	return f.Link.Send(now, size)
+	dir := DirUp
+	if f.Robot != "" && from != f.Robot {
+		dir = DirDown
+	}
+	return f.Link.SendDir(now, size, dir)
 }
 
 // BandwidthMeter computes the paper's "packet bandwidth" metric: the
@@ -305,12 +394,7 @@ func (m *LatencyMeter) Quantile(q float64) (float64, bool) {
 	}
 	sorted := make([]float64, n)
 	copy(sorted, m.samples)
-	// Insertion sort is fine at the sample counts missions produce.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
+	sort.Float64s(sorted)
 	idx := int(q * float64(n-1))
 	return sorted[idx], true
 }

@@ -322,3 +322,90 @@ func TestInterferenceDisabledByDefault(t *testing.T) {
 		t.Error("no interference configured, SignalAt must equal Signal")
 	}
 }
+
+// Satellite coverage for ISSUE: interference bursts interacting with the
+// kernel buffer. An in-burst floor below BlockSignal forces the driver to
+// hold packets even when mobility signal is perfect, so the Fig. 7 buffer
+// semantics and the burst model compose.
+
+func burstLink(seed int64) (*Link, LinkConfig) {
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.JitterSec = 0
+	cfg.InterferencePeriod = 10
+	cfg.InterferenceDuty = 0.3  // bursts cover [0, 3) of every period
+	cfg.InterferenceFloor = 0.4 // below BlockSignal: the driver holds packets
+	cfg.DrainRate = 2           // slow drain so occupancy stays observable
+	l := NewLink(cfg, rand.New(rand.NewSource(seed)))
+	l.SetRobotPos(geom.V(1, 0)) // full mobility signal; only bursts degrade it
+	return l, cfg
+}
+
+func TestKernelBufferDrainsDuringInterferenceBurst(t *testing.T) {
+	l, cfg := burstLink(5)
+
+	// Burst-fill at t=0: the first KernelBuf packets join the buffer, the
+	// rest overflow at the same instant (Fig. 7 silent discard).
+	overflow := 0
+	for i := 0; i < cfg.KernelBuf+5; i++ {
+		if _, dropped := l.Send(0, 64); dropped {
+			overflow++
+		}
+	}
+	if overflow < 5 {
+		t.Fatalf("same-instant burst dropped %d packets, want >= 5 overflows", overflow)
+	}
+
+	// Still inside the burst at t=2.5 the buffer has drained at the floor
+	// rate (2 pkt/s * 0.4 = 0.8 pkt/s -> 2 packets gone), so exactly two
+	// slots are free: two sends join, a third overflows.
+	var delays []float64
+	for i := 0; i < 2; i++ {
+		if at, dropped := l.Send(2.5, 64); !dropped {
+			delays = append(delays, at-2.5)
+		}
+	}
+	if _, dropped := l.Send(2.5, 64); !dropped {
+		t.Error("third in-burst send found buffer space: occupancy was lost")
+	}
+	if len(delays) == 0 {
+		t.Fatal("both in-burst joins dropped by random fade (seed-dependent); expected a delivery")
+	}
+	for _, d := range delays {
+		// Joining behind >= 3 buffered packets costs several seconds at
+		// the floor drain rate -- visibly queued, not fresh.
+		if d < 2.0 {
+			t.Errorf("in-burst queue delay = %.2fs, want >= 2s behind a part-full buffer", d)
+		}
+	}
+}
+
+func TestKernelBufferRecoversAfterInterferenceBurst(t *testing.T) {
+	l, cfg := burstLink(3)
+
+	// Overflow the buffer during the burst.
+	for i := 0; i < cfg.KernelBuf+3; i++ {
+		l.Send(0.5, 64)
+	}
+
+	// The instant the burst ends the signal is back above BlockSignal, so
+	// new sends bypass the still-draining buffer: no queue delay, no loss.
+	at, dropped := l.Send(3.1, 64)
+	if dropped {
+		t.Fatal("post-burst send dropped at full signal")
+	}
+	if lat := at - 3.1; lat > 0.01 {
+		t.Errorf("post-burst latency = %.3fs, want ~BaseLat: residual occupancy must not delay unblocked sends", lat)
+	}
+
+	// By the next burst the leftover occupancy has fully drained: the
+	// first in-burst send joins an otherwise empty buffer, paying one
+	// packet of queue delay at the floor drain rate rather than
+	// overflowing a still-full one.
+	at, dropped = l.Send(10.1, 64)
+	if dropped {
+		t.Fatal("first send of the next burst dropped: buffer never recovered")
+	}
+	if d := at - 10.1; d < 1.0 || d > 2.0 {
+		t.Errorf("next-burst queue delay = %.2fs, want ~1.25s (single packet at floor drain)", d)
+	}
+}

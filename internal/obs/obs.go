@@ -76,6 +76,17 @@ const (
 	// MBacklog gauges frames queued but not yet polled — the stale-data
 	// backlog a reliable transport accumulates. Label: transport.
 	MBacklog = "endpoint_backlog"
+	// MFaultsInjected counts disturbances injected by the fault
+	// schedule. Label: fault kind.
+	MFaultsInjected = "faults_injected"
+	// MWatchdogStops counts command-staleness safety stops. No label.
+	MWatchdogStops = "watchdog_stops"
+	// MFailovers counts remote→local failovers forced by consecutive
+	// missed control ticks. No label.
+	MFailovers = "failovers"
+	// MReconnects counts worker links re-established after being
+	// declared dead. Label: transport or peer.
+	MReconnects = "reconnects"
 )
 
 // Telemetry bundles a registry and a timeline and implements Sink plus
@@ -238,6 +249,37 @@ func (t *Telemetry) Drop(now float64, topic, where string) {
 	}
 	t.Reg.Add(MDrops, topic, 1)
 	t.Emit(Event{Kind: KindDrop, T0: now, T1: now, Node: topic, Detail: where})
+}
+
+// Watchdog records one command-staleness safety stop.
+func (t *Telemetry) Watchdog(now, staleness float64) {
+	if t == nil {
+		return
+	}
+	t.Reg.Add(MWatchdogStops, "", 1)
+	t.Emit(Event{Kind: KindWatchdog, T0: now, T1: now, Value: staleness})
+}
+
+// Failover records the safety controller pulling execution home after
+// misses consecutive missed control ticks.
+func (t *Telemetry) Failover(now float64, misses int, detail string) {
+	if t == nil {
+		return
+	}
+	t.Reg.Add(MFailovers, "", 1)
+	t.Emit(Event{Kind: KindFailover, T0: now, T1: now,
+		Value: float64(misses), Detail: detail})
+}
+
+// Reconnect records a worker link re-established after an outage of
+// outageSec wall seconds.
+func (t *Telemetry) Reconnect(now, outageSec float64, peer string) {
+	if t == nil {
+		return
+	}
+	t.Reg.Add(MReconnects, peer, 1)
+	t.Emit(Event{Kind: KindReconnect, T0: now, T1: now,
+		Value: outageSec, Detail: peer})
 }
 
 // Events returns the timeline's events (nil-safe, oldest first).

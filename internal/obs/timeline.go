@@ -23,6 +23,18 @@ const (
 	// KindDrop marks a message lost in the network or overwritten in a
 	// bounded queue.
 	KindDrop Kind = "drop"
+	// KindFault marks the first disturbance injected by a scheduled
+	// fault window (internal/faults).
+	KindFault Kind = "fault"
+	// KindWatchdog marks a command-staleness safety stop: the engine
+	// zeroed cmd_vel because no fresh VDP output arrived in time.
+	KindWatchdog Kind = "watchdog_stop"
+	// KindFailover marks the safety controller pulling remote nodes
+	// home after consecutive missed control ticks.
+	KindFailover Kind = "failover"
+	// KindReconnect marks the real-socket switcher re-establishing a
+	// worker after it was declared dead.
+	KindReconnect Kind = "reconnect"
 )
 
 // Event is one structured timeline record. T0/T1 are virtual-time start
@@ -42,6 +54,10 @@ const (
 //	transfer:  T0 = send, T1 = arrival; Node = topic; Host = destination;
 //	           Bytes = encoded size
 //	drop:      Node = topic; Detail = where ("uplink", "fabric", ...)
+//	fault:     T0..T1 = scheduled window; Node = fault kind
+//	watchdog_stop: Value = command staleness (s) when the stop fired
+//	failover:  Value = consecutive misses; Detail = "remote -> local ..."
+//	reconnect: Value = outage duration (wall seconds); Detail = peer
 type Event struct {
 	Seq       uint64  `json:"seq"`
 	Kind      Kind    `json:"kind"`

@@ -33,6 +33,7 @@ import (
 	"lgvoffload/internal/bench"
 	"lgvoffload/internal/core"
 	"lgvoffload/internal/energy"
+	"lgvoffload/internal/faults"
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/grid"
 	"lgvoffload/internal/netsim"
@@ -68,6 +69,11 @@ type (
 	MetricPoint = obs.MetricPoint
 	// AdaptDecision is one entry of a mission's adaptation decision log.
 	AdaptDecision = core.AdaptDecision
+	// FaultConfig is a deterministic fault-injection schedule; assign
+	// one to MissionConfig.Faults to replay scripted disturbances.
+	FaultConfig = faults.Config
+	// FaultWindow is one scripted disturbance window.
+	FaultWindow = faults.Window
 )
 
 // EnergyComponents lists the Eq. 1a components in presentation order.
@@ -138,6 +144,12 @@ func DeadZoneLink(wap geom.Vec2) netsim.LinkConfig {
 	link.FadeRange = 8
 	return link
 }
+
+// ParseFaultSpec parses a compact fault-schedule spec such as
+// "wap:10-20;server:30-45;burst:50-52:0.9" into a FaultConfig (kinds:
+// wap, server, burst, corrupt, partup, partdown; times in seconds,
+// optional third field is a probability).
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
 
 // Pose builds a robot pose (x, y in meters, theta in radians).
 func Pose(x, y, theta float64) geom.Pose { return geom.P(x, y, theta) }
