@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check fmt vet build test chaos bench reproduce
+.PHONY: check fmt vet build test chaos bench reproduce trace-demo
 
 check: fmt vet build test
 
@@ -29,3 +29,11 @@ bench:
 
 reproduce:
 	go run ./cmd/reproduce -exp all
+
+# End-to-end tracing proof: run a short traced mission, then validate the
+# exported Chrome JSON (well-formed, monotonic timestamps, every parent
+# span present) with tracecheck. Artifacts land in /tmp.
+trace-demo:
+	go run ./cmd/lgvsim -deploy adaptive -map deadzone -maxtime 120 \
+		-trace /tmp/lgv-trace.json -spans /tmp/lgv-spans.jsonl
+	go run ./cmd/tracecheck /tmp/lgv-trace.json

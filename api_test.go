@@ -81,7 +81,7 @@ func TestPublicAPIDeployments(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
+	if len(exps) != 18 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	var buf bytes.Buffer

@@ -252,6 +252,39 @@ func benchMissionTelemetry(b *testing.B, enabled bool) {
 	}
 }
 
+// --- Tracing overhead ---------------------------------------------------------
+
+// The tracing pair mirrors the telemetry one: disabled (nil *Tracer,
+// every instrumented call a no-op) vs enabled (span ring on). The unit
+// proof that the disabled path allocates nothing per tick lives in
+// internal/spans (TestDisabledZeroAlloc); this pair shows the
+// whole-mission cost of both settings.
+func BenchmarkMissionTracingOff(b *testing.B) { benchMissionTracing(b, false) }
+func BenchmarkMissionTracingOn(b *testing.B)  { benchMissionTracing(b, true) }
+
+func benchMissionTracing(b *testing.B, enabled bool) {
+	cfg := MissionConfig{
+		Workload:   NavigationWithMap,
+		Map:        EmptyRoomMap(6, 4, 0.05),
+		Start:      Pose(0.8, 2, 0),
+		Goal:       Point(5.2, 2),
+		WAP:        Point(3, 2),
+		Deployment: DeployAdaptive(HostEdge, 8, GoalMCT),
+		Seed:       3,
+		MaxSimTime: 300,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if enabled {
+			cfg.Tracer = NewTracer(1 << 16)
+		}
+		res, err := Run(cfg)
+		if err != nil || !res.Success {
+			b.Fatalf("mission failed: %v", err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) -------------------------------------------------
 
 // Partitioning strategy for the parallel scan matcher: block (Fig. 6)

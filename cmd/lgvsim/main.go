@@ -8,14 +8,18 @@
 //	lgvsim                                   # adaptive navigation in the lab
 //	lgvsim -workload explore -deploy cloud -threads 12
 //	lgvsim -deploy local -seed 7
-//	lgvsim -deploy adaptive -goal ec -trace  # with a velocity trace
+//	lgvsim -deploy adaptive -goal ec -veltrace   # with a velocity trace
 //	lgvsim -deploy adaptive -telemetry out.jsonl -postmortem
-//	lgvsim -faults "wap:20-35;server:60-80"  # scripted disturbances
+//	lgvsim -trace trace.json -spans spans.jsonl  # causal VDP trace
+//	lgvsim -http :8080                           # live inspection endpoint
+//	lgvsim -faults "wap:20-35;server:60-80"      # scripted disturbances
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"lgvoffload"
@@ -29,7 +33,10 @@ func main() {
 	goal := flag.String("goal", "mct", "Algorithm 1 goal for adaptive mode: ec | mct")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	maxTime := flag.Float64("maxtime", 1800, "simulated-time budget (s)")
-	trace := flag.Bool("trace", false, "print the velocity/bandwidth trace")
+	velTrace := flag.Bool("veltrace", false, "print the velocity/bandwidth trace")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
+	spansOut := flag.String("spans", "", "write the raw span stream to this JSONL file")
+	httpAddr := flag.String("http", "", `serve the live inspection endpoint on this address (e.g. ":8080") and keep serving after the mission`)
 	telemetry := flag.String("telemetry", "", "write the mission event timeline to this JSONL file")
 	postmortem := flag.Bool("postmortem", false, "print the telemetry post-mortem report")
 	faultSpec := flag.String("faults", "", `fault schedule, e.g. "wap:10-20;server:30-45;burst:50-52:0.9"`)
@@ -62,7 +69,7 @@ func main() {
 		Deployment:  d,
 		Seed:        *seed,
 		MaxSimTime:  *maxTime,
-		RecordTrace: *trace,
+		RecordTrace: *velTrace,
 	}
 	switch *mapName {
 	case "lab":
@@ -96,11 +103,16 @@ func main() {
 	}
 
 	var tel *lgvoffload.Telemetry
-	if *telemetry != "" || *postmortem {
+	if *telemetry != "" || *postmortem || *httpAddr != "" {
 		// A long mission at 5 Hz emits several events per tick; a roomy
 		// ring keeps the early adaptation decisions from being evicted.
 		tel = lgvoffload.NewTelemetry(1 << 16)
 		cfg.Telemetry = tel
+	}
+	var tracer *lgvoffload.Tracer
+	if *traceOut != "" || *spansOut != "" || *httpAddr != "" {
+		tracer = lgvoffload.NewTracer(0)
+		cfg.Tracer = tracer
 	}
 
 	res, err := lgvoffload.Run(cfg)
@@ -160,7 +172,35 @@ func main() {
 		}
 	}
 
-	if *trace {
+	if tracer != nil {
+		writeFile := func(path string, write func(io.Writer) error, what string) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = write(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+				os.Exit(1)
+			}
+		}
+		if *traceOut != "" {
+			writeFile(*traceOut, tracer.WriteChrome, "trace")
+			fmt.Printf("trace:     %d spans written to %s (chrome://tracing or https://ui.perfetto.dev)\n",
+				tracer.Len(), *traceOut)
+		}
+		if *spansOut != "" {
+			writeFile(*spansOut, tracer.WriteJSONL, "spans")
+			fmt.Printf("spans:     %d spans written to %s\n", tracer.Len(), *spansOut)
+		}
+		paths := lgvoffload.AnalyzeTicks(tracer.Spans())
+		fmt.Println("\nVDP critical path (per-tick decomposition):")
+		lgvoffload.WriteCritPathTable(os.Stdout, paths, 20)
+	}
+
+	if *velTrace {
 		fmt.Println("\ntrace (t, vmax, vreal, bw, remote):")
 		step := len(res.Trace) / 40
 		if step < 1 {
@@ -170,6 +210,16 @@ func main() {
 			tp := res.Trace[i]
 			fmt.Printf("  %6.1f  %.3f  %.3f  %5.1f  %v\n",
 				tp.T, tp.MaxVel, tp.RealVel, tp.Bandwidth, tp.RemoteOn)
+		}
+	}
+
+	if *httpAddr != "" {
+		// Keep serving after the mission so the recorded trace, metrics
+		// and timeline stay inspectable; ^C to quit.
+		fmt.Printf("\ninspect:   serving http://%s/ (metrics, timeline, trace, pprof)\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, lgvoffload.NewInspector(tel, tracer)); err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,45 @@
+// Command tracecheck validates an exported Chrome trace-event JSON file
+// (as written by lgvsim -trace or reproduce): the document must parse,
+// every event needs a non-negative timestamp, complete events must be
+// time-ordered, and every referenced parent span must be present. Exits
+// nonzero on the first violation, so it slots into CI (`make trace-demo`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lgvoffload"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracecheck trace.json [...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			ok = false
+			continue
+		}
+		n, err := lgvoffload.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("%s: ok (%d complete events)\n", path, n)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -4,9 +4,12 @@
 // once and replay it deterministically — the same role the paper's
 // Intel Research Lab logs play for its cloud-acceleration benchmarks.
 //
-// Format: the magic line "LGVBAG1\n", then length-prefixed records,
-// each encoding {stamp float64, topic string, frame bytes} where frame
-// is a wire.EncodeFrame of the message.
+// Format: a magic line, then length-prefixed records, each encoding
+// {stamp float64, topic string, frame bytes} where frame is a
+// wire.EncodeFrame of the message. The magic doubles as the header
+// version marker: "LGVBAG1\n" bags carry wire.HeaderV1 frames (before
+// the trace context landed in msg.Header), "LGVBAG2\n" the current
+// encoding; the reader accepts both and decodes accordingly.
 package bag
 
 import (
@@ -20,8 +23,12 @@ import (
 	"lgvoffload/internal/wire"
 )
 
-// Magic identifies a bag stream.
-const Magic = "LGVBAG1\n"
+// Magic identifies a bag stream written by this build (header v2).
+// MagicV1 is the pre-tracing format, still accepted for reading.
+const (
+	Magic   = "LGVBAG2\n"
+	MagicV1 = "LGVBAG1\n"
+)
 
 // ErrBadMagic means the stream is not a bag.
 var ErrBadMagic = errors.New("bag: bad magic")
@@ -85,21 +92,30 @@ type Record struct {
 
 // Reader replays a bag stream.
 type Reader struct {
-	br *bufio.Reader
+	br     *bufio.Reader
+	hdrVer int
 }
 
-// NewReader validates the header and returns a reader.
+// NewReader validates the header and returns a reader. Both the current
+// and the v1 magic are accepted; the per-frame header version follows
+// from it.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("bag: reading magic: %w", err)
 	}
-	if string(head) != Magic {
-		return nil, ErrBadMagic
+	switch string(head) {
+	case Magic:
+		return &Reader{br: br, hdrVer: wire.HeaderVersion}, nil
+	case MagicV1:
+		return &Reader{br: br, hdrVer: wire.HeaderV1}, nil
 	}
-	return &Reader{br: br}, nil
+	return nil, ErrBadMagic
 }
+
+// HeaderVersion reports the wire header version of the stream's frames.
+func (r *Reader) HeaderVersion() int { return r.hdrVer }
 
 // Next returns the next record, or io.EOF at the end of the stream.
 func (r *Reader) Next() (Record, error) {
@@ -123,7 +139,7 @@ func (r *Reader) Next() (Record, error) {
 	if dec.Err() != nil {
 		return Record{}, fmt.Errorf("bag: corrupt record: %w", dec.Err())
 	}
-	m, err := wire.DecodeFrame(frame)
+	m, err := wire.DecodeFrameVersion(frame, r.hdrVer)
 	if err != nil {
 		return Record{}, fmt.Errorf("bag: record payload: %w", err)
 	}

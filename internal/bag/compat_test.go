@@ -1,0 +1,140 @@
+package bag
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/wire"
+)
+
+// encodeV1Frame hand-rolls a pre-tracing (header v1) Twist frame: kind
+// uvarint, then Seq/Stamp/SentAt with NO trace-context uvarints. This is
+// byte-for-byte what builds before the v2 header wrote, so the test is a
+// fixture against the archived format, not against today's encoder.
+func encodeV1Frame(seq uint64, stamp, sentAt, v, w float64) []byte {
+	e := wire.NewEncoder(64)
+	e.Uvarint(uint64(msg.KindTwist))
+	e.Uvarint(seq)
+	e.Float64(stamp)
+	e.Float64(sentAt)
+	e.Float64(v)
+	e.Float64(w)
+	return e.Bytes()
+}
+
+// writeV1Bag hand-rolls a v1 bag container around the given frames.
+func writeV1Bag(stamps []float64, topics []string, frames [][]byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(MagicV1)
+	for i, frame := range frames {
+		e := wire.NewEncoder(64)
+		e.Float64(stamps[i])
+		e.String(topics[i])
+		e.BytesField(frame)
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(e.Len()))
+		buf.Write(lenBuf[:n])
+		buf.Write(e.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// TestV1BagStillLoads is the backward-compatibility satellite: bags
+// recorded before the trace context landed in msg.Header must keep
+// replaying, with every pre-existing field intact and the new trace
+// fields zero.
+func TestV1BagStillLoads(t *testing.T) {
+	data := writeV1Bag(
+		[]float64{0.1, 0.3},
+		[]string{"cmd_vel", "cmd_vel"},
+		[][]byte{
+			encodeV1Frame(1, 0.1, 0.11, 0.5, -0.2),
+			encodeV1Frame(2, 0.3, 0.31, 0.6, 0.1),
+		})
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeaderVersion() != wire.HeaderV1 {
+		t.Fatalf("header version = %d, want %d", r.HeaderVersion(), wire.HeaderV1)
+	}
+	recs, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	tw := recs[1].Msg.(*msg.Twist)
+	if tw.Seq != 2 || tw.Stamp != 0.3 || tw.SentAt != 0.31 || tw.V != 0.6 || tw.W != 0.1 {
+		t.Errorf("v1 fields corrupted: %+v", tw)
+	}
+	if tw.TraceID != 0 || tw.ParentSpan != 0 {
+		t.Errorf("v1 frame decoded with nonzero trace context: %+v", tw.Header)
+	}
+}
+
+// TestV2RoundTripCarriesTraceContext checks the current container
+// round-trips the new header fields.
+func TestV2RoundTripCarriesTraceContext(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &msg.Twist{V: 0.5}
+	tw.Seq, tw.Stamp, tw.SentAt = 3, 1.0, 1.01
+	tw.TraceID, tw.ParentSpan = 99, 100
+	if err := w.Write(1.0, "cmd_vel", tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeaderVersion() != wire.HeaderVersion {
+		t.Fatalf("header version = %d, want %d", r.HeaderVersion(), wire.HeaderVersion)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Msg.(*msg.Twist)
+	if got.TraceID != 99 || got.ParentSpan != 100 {
+		t.Errorf("trace context lost in v2 bag: %+v", got.Header)
+	}
+	if got.Seq != 3 || got.V != 0.5 {
+		t.Errorf("payload corrupted: %+v", got)
+	}
+}
+
+// TestV1FrameMatchesCurrentMinusTrace pins the relationship between the
+// two encodings: a current frame of an untraced message is exactly the
+// v1 frame plus two zero uvarint bytes, inserted after the v1 header.
+func TestV1FrameMatchesCurrentMinusTrace(t *testing.T) {
+	tw := &msg.Twist{V: 0.5, W: -0.2}
+	tw.Seq, tw.Stamp, tw.SentAt = 1, 0.1, 0.11
+	cur := wire.EncodeFrame(tw)
+	v1 := encodeV1Frame(1, 0.1, 0.11, 0.5, -0.2)
+	if len(cur) != len(v1)+2 {
+		t.Fatalf("v2 frame %dB, v1 %dB: expected exactly +2 bytes", len(cur), len(v1))
+	}
+	// v1 prefix: kind + Seq uvarints and the two header floats.
+	split := len(v1) - 16 // payload = V, W floats
+	if !bytes.Equal(cur[:split], v1[:split]) {
+		t.Error("header prefix diverged from the v1 layout")
+	}
+	if !bytes.Equal(cur[split+2:], v1[split:]) {
+		t.Error("payload bytes shifted incorrectly")
+	}
+	if cur[split] != 0 || cur[split+1] != 0 {
+		t.Errorf("trace uvarints = %v, want two zero bytes", cur[split:split+2])
+	}
+}

@@ -49,6 +49,7 @@ func All() []Experiment {
 		{ID: "vision", Title: "Vision-based LGV: tracking losses vs speed (extension, §IX)", Run: RunVision},
 		{ID: "apsel", Title: "AP-selection baseline vs Algorithm 2 (related work, §X)", Run: RunAPSel},
 		{ID: "chaos", Title: "Chaos: scripted faults — watchdog, failover, degradation (extension)", Run: RunChaos},
+		{ID: "critpath", Title: "Critical path: per-tick VDP decomposition via causal tracing (extension)", Run: RunCritPath},
 	}
 }
 

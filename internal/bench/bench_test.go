@@ -33,8 +33,8 @@ func runQuick(t *testing.T, id string) string {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(ids))
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Error("bogus ID resolved")
@@ -330,9 +330,24 @@ func TestAPSelControlGap(t *testing.T) {
 
 func TestChaosExperimentOutput(t *testing.T) {
 	out := runQuick(t, "chaos")
-	for _, want := range []string{"wap:4-12", "server:20-26", "failover", "stops"} {
+	for _, want := range []string{"wap:4-12", "server:20-26", "failover", "stops",
+		"critical path", "before [0,4)", "during [4,26)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("chaos missing %q", want)
 		}
+	}
+}
+
+func TestCritPathExperimentOutput(t *testing.T) {
+	out := runQuick(t, "critpath")
+	for _, want := range []string{"local", "edge+8T", "cloud+12T", "compute p50/p95", "transport"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("critpath missing %q", want)
+		}
+	}
+	// The all-local row must be pure compute; the offloaded rows must
+	// show a nonzero transport leg. Cheap shape check on the table text.
+	if !strings.Contains(out, "Reading:") {
+		t.Error("critpath missing reading")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"lgvoffload/internal/core"
 	"lgvoffload/internal/faults"
 	"lgvoffload/internal/geom"
+	"lgvoffload/internal/spans"
 	"lgvoffload/internal/world"
 )
 
@@ -42,6 +43,8 @@ func RunChaos(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "%-24s %8s %9s %9s %6s %10s %7s %9s\n",
 		"policy", "success", "time(s)", "stdby(s)", "stops", "failovers", "faults", "switches")
 	var adaptive []core.AdaptDecision
+	var adaptivePaths []spans.TickPath
+	var adaptiveEnd float64
 	for _, d := range []core.Deployment{
 		core.DeployAdaptive(core.HostEdge, 8, core.GoalMCT),
 		core.DeployEdge(8),
@@ -49,6 +52,11 @@ func RunChaos(w io.Writer, quick bool) error {
 	} {
 		cfg := base
 		cfg.Deployment = d
+		if cfg.Deployment.Mode == core.Adaptive {
+			// Trace the adaptive run so the fault windows below can show
+			// how the VDP critical path reshapes around the blackout.
+			cfg.Tracer = spans.NewTracer(0)
+		}
 		res, err := core.Run(cfg)
 		if err != nil {
 			return err
@@ -58,6 +66,28 @@ func RunChaos(w io.Writer, quick bool) error {
 			res.WatchdogStops, res.Failovers, res.FaultsInjected, res.Switches)
 		if cfg.Deployment.Mode == core.Adaptive {
 			adaptive = res.Decisions
+			adaptivePaths = spans.AnalyzeTicks(cfg.Tracer.Spans())
+			adaptiveEnd = res.TotalTime
+		}
+	}
+	if len(adaptivePaths) > 0 {
+		// The fault schedule opens at t=4 and the last scripted window
+		// closes at t=26 (quick and full agree on these two).
+		fmt.Fprintln(w, "\nadaptive critical path around the faults:")
+		for _, win := range []struct {
+			name   string
+			t0, t1 float64
+		}{
+			{"before [0,4)", 0, 4},
+			{"during [4,26)", 4, 26},
+			{"after  [26,end)", 26, adaptiveEnd + 1},
+		} {
+			s := spans.Summarize(spans.Window(adaptivePaths, win.t0, win.t1))
+			if s.Ticks == 0 {
+				fmt.Fprintf(w, "  %-16s (no ticks — the mission ended inside the previous window)\n", win.name)
+				continue
+			}
+			fmt.Fprintf(w, "  %-16s %s\n", win.name, s.OneLine())
 		}
 	}
 	if len(adaptive) > 0 {

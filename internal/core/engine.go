@@ -21,6 +21,7 @@ import (
 	"lgvoffload/internal/planner"
 	"lgvoffload/internal/sensor"
 	"lgvoffload/internal/slam"
+	"lgvoffload/internal/spans"
 	"lgvoffload/internal/timing"
 	"lgvoffload/internal/tracker"
 	"lgvoffload/internal/world"
@@ -167,6 +168,12 @@ type MissionConfig struct {
 	// and metrics (see internal/obs). Nil — the default — keeps every
 	// instrumented hot path allocation-free.
 	Telemetry *obs.Telemetry
+
+	// Tracer, when non-nil, records every control tick as a causal span
+	// tree (see internal/spans): compute/queue/transport segments of the
+	// VDP makespan, plus watchdog/failover/fault episodes. Nil — the
+	// default — keeps the tick hot path allocation-free.
+	Tracer *spans.Tracer
 }
 
 func (c *MissionConfig) fillDefaults() {
@@ -353,6 +360,9 @@ type engine struct {
 
 	// Telemetry (nil when disabled; every hook on it is nil-safe).
 	tel          *obs.Telemetry
+	tr           *spans.Tracer // causal tracing (nil when disabled; nil-safe)
+	stallOpen    bool          // a watchdog outage episode is in progress
+	stallStart   float64       // when the open episode began
 	decisions    []AdaptDecision
 	lastRemoteOK bool // previous Algorithm 2 verdict, for flip detection
 
@@ -376,6 +386,10 @@ type engine struct {
 type pendingCmd struct {
 	at  time64
 	cmd geom.Twist
+	// Trace context of the tick that produced the command, so the muxer
+	// can account the slot wait on the right trace.
+	trace  uint64
+	parent uint64
 }
 
 type time64 = float64
@@ -428,6 +442,7 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 		exCfg:     explore.DefaultConfig(),
 
 		tel:          cfg.Telemetry,
+		tr:           cfg.Tracer,
 		lastRemoteOK: true, // adaptive deployments start offloaded
 	}
 	if cfg.Telemetry != nil {
@@ -469,6 +484,9 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 	tcfg := trackerConfigFor(cfg.TrackerSamples, cfg.VCeil)
 	e.tk = tracker.New(tcfg)
 	e.mx = muxer.New(muxSources(cfg))
+	if cfg.Tracer != nil {
+		e.mx.SetTracer(cfg.Tracer)
+	}
 	e.gp = planner.New(planner.AStar)
 
 	nodes := []string{NodeCostmap, NodePlanner, NodeTracking, NodeMux}
@@ -602,6 +620,10 @@ func (e *engine) run() (*Result, error) {
 				e.mx.Offer(muxer.SourceSafety, geom.Twist{}, now)
 				if first {
 					e.tel.Watchdog(now, e.safety.Staleness(now))
+					if !e.stallOpen {
+						e.stallOpen = true
+						e.stallStart = now
+					}
 				}
 			}
 		}
@@ -641,6 +663,23 @@ func (e *engine) run() (*Result, error) {
 	}
 	if res.Reason == "" {
 		res.Reason = "timeout"
+	}
+
+	// Close out episode spans and stamp the injected fault windows so a
+	// chaos trace shows each outage inline with the tick trees.
+	if e.stallOpen {
+		e.tr.Add(e.tr.NewTrace(), 0, "watchdog_stall", string(HostLGV), "safety",
+			spans.Mark, e.stallStart, e.w.Time)
+		e.stallOpen = false
+	}
+	if e.tr != nil && cfg.Faults != nil {
+		for _, fw := range cfg.Faults.Windows {
+			if fw.T0 > e.w.Time {
+				continue
+			}
+			e.tr.Add(e.tr.NewTrace(), 0, "fault:"+fw.Kind.String(), "", "faults",
+				spans.Mark, fw.T0, math.Min(fw.T1, e.w.Time))
+		}
 	}
 
 	// Aggregate.
@@ -688,8 +727,14 @@ func (e *engine) deliverPending(now float64) {
 	kept := e.pendingCmds[:0]
 	for _, pc := range e.pendingCmds {
 		if pc.at <= now {
-			e.mx.Offer(muxer.SourceNavigation, pc.cmd, now)
+			e.mx.OfferTraced(muxer.SourceNavigation, pc.cmd, now, pc.trace, pc.parent)
 			e.safety.CommandDelivered(now)
+			if e.stallOpen {
+				// Fresh VDP output ends the watchdog outage episode.
+				e.tr.Add(e.tr.NewTrace(), 0, "watchdog_stall", string(HostLGV), "safety",
+					spans.Mark, e.stallStart, now)
+				e.stallOpen = false
+			}
 		} else {
 			kept = append(kept, pc)
 		}

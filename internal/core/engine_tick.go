@@ -8,9 +8,12 @@ import (
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/hostsim"
 	"lgvoffload/internal/msg"
+	"lgvoffload/internal/mw"
 	"lgvoffload/internal/netsim"
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/sensor"
 	"lgvoffload/internal/slam"
+	"lgvoffload/internal/spans"
 	"lgvoffload/internal/timing"
 	"lgvoffload/internal/tracker"
 	"lgvoffload/internal/wire"
@@ -29,6 +32,26 @@ const (
 func (e *engine) controlTick(now float64) {
 	cfg := e.cfg
 
+	// --- Causal trace for this tick. ---------------------------------------
+	// Both ids are 0 when tracing is off; every span call below then
+	// no-ops without allocating, mirroring the nil-Telemetry contract.
+	// The root span is recorded last, once the command delivery time —
+	// the end of the VDP makespan — is known; its id is reserved now so
+	// children can reference it.
+	tr := e.tr
+	tickTrace := tr.NewTrace()
+	tickRoot := tr.NextID()
+
+	// VDP segment collection for the trace layout. Fixed-size arrays:
+	// the hot path must not allocate whether or not tracing is on.
+	type vdpSeg struct {
+		node string
+		host mw.HostID
+		dur  float64
+	}
+	var localSegs, remoteSegs [3]vdpSeg
+	nLocal, nRemote := 0, 0
+
 	// --- Sense. -----------------------------------------------------------
 	scan := e.laser.Sense(cfg.Map, e.w.Robot.Pose, now)
 	odomEst := e.odo.Update(e.w.Robot.Pose)
@@ -40,12 +63,12 @@ func (e *engine) controlTick(now float64) {
 	slamRemote := e.slm != nil && e.placement.Of(NodeSLAM) != HostLGV
 	anyRemote := vdpRemote || slamRemote
 
-	var upLat float64
+	var upLat, upQueue float64
 	upDropped := false
 	if anyRemote {
 		scanFrame := len(wire.EncodeFrame(msg.FromSensor(scan, e.seq))) + 60 // + odom piggyback
 		e.seq++
-		arrive, drop := e.link.SendDir(now, scanFrame, netsim.DirUp)
+		arrive, drop, qd := e.link.SendDirDetail(now, scanFrame, netsim.DirUp)
 		e.msgsSent++
 		e.bytesUp += float64(scanFrame)
 		e.meter.AddTransmit(float64(scanFrame))
@@ -53,9 +76,25 @@ func (e *engine) controlTick(now float64) {
 			e.msgsDropped++
 			upDropped = true
 			e.tel.Drop(now, "scan", "uplink")
+			tr.Add(tickTrace, tickRoot, "uplink_drop", string(HostLGV), "net",
+				spans.Mark, now, now)
 		} else {
 			upLat = arrive - now
+			upQueue = qd
 			e.tel.Transfer(now, arrive, "scan", string(e.placement.Remote), scanFrame)
+			// Kernel-buffer queueing and the air/WAN hop as distinct net
+			// spans. A SLAM-only uplink is causally in the tick but off
+			// the command path, so it degrades to Aux.
+			upQ, upT := spans.Queue, spans.Transport
+			if !vdpRemote {
+				upQ, upT = spans.Aux, spans.Aux
+			}
+			if qd > 0 {
+				tr.Add(tickTrace, tickRoot, "uplink_queue", string(HostLGV), "net",
+					upQ, now, now+qd)
+			}
+			tr.Add(tickTrace, tickRoot, "uplink", string(e.placement.Remote), "net",
+				upT, now+qd, arrive)
 		}
 	}
 
@@ -68,18 +107,24 @@ func (e *engine) controlTick(now float64) {
 		e.counter.Account(NodeLocalization, w)
 		localWork = localWork.Add(w) // localization is T2: stays on the LGV
 		e.pose = e.loc.Estimate()
-		if e.tel != nil { // exec time is computed for telemetry only
-			e.tel.NodeExec(NodeLocalization, string(HostLGV), now,
-				e.platforms[HostLGV].ExecTime(w, 1), 1)
+		if e.tel != nil || tickTrace != 0 { // exec time is computed for observability only
+			tLoc := e.platforms[HostLGV].ExecTime(w, 1)
+			e.tel.NodeExec(NodeLocalization, string(HostLGV), now, tLoc, 1)
+			tr.Add(tickTrace, tickRoot, NodeLocalization, string(HostLGV),
+				NodeLocalization, spans.Aux, now, now+tLoc)
 		}
 	case ExplorationNoMap:
-		e.pose = e.stepSLAM(now, delta, scan, slamRemote, upDropped, &localWork)
+		e.pose = e.stepSLAM(now, delta, scan, slamRemote, upDropped, &localWork, tickTrace, tickRoot)
 	}
 
 	// --- A dropped uplink starves the remote VDP: no command this tick. ----
 	if vdpRemote && upDropped {
 		e.noteMiss(now)
 		e.nextControl = now + cfg.ControlPeriod
+		// Zero-makespan root: the tick produced no command, so it has no
+		// critical path; the analyzer skips it.
+		tr.Record(spans.Span{Trace: tickTrace, ID: tickRoot, Name: "tick",
+			Host: string(HostLGV), Kind: spans.Tick, Start: now, End: now})
 		e.finishTick(now, localWork, 0)
 		return
 	}
@@ -98,6 +143,11 @@ func (e *engine) controlTick(now float64) {
 	e.tel.NodeExec(NodeCostmap, string(cmHost), now, tCost, 1)
 	if cmHost == HostLGV {
 		localWork = localWork.Add(cmWork)
+		localSegs[nLocal] = vdpSeg{NodeCostmap, cmHost, tCost}
+		nLocal++
+	} else {
+		remoteSegs[nRemote] = vdpSeg{NodeCostmap, cmHost, tCost}
+		nRemote++
 	}
 
 	// --- Goal selection and global planning. -------------------------------
@@ -143,6 +193,11 @@ func (e *engine) controlTick(now float64) {
 	e.tel.NodeExec(NodeTracking, string(tkHost), now, tTrack, threads)
 	if tkHost == HostLGV {
 		localWork = localWork.Add(tkWork)
+		localSegs[nLocal] = vdpSeg{NodeTracking, tkHost, tTrack}
+		nLocal++
+	} else {
+		remoteSegs[nRemote] = vdpSeg{NodeTracking, tkHost, tTrack}
+		nRemote++
 	}
 
 	// --- Velocity Multiplexer (always on the LGV: it owns the motors). -----
@@ -152,6 +207,8 @@ func (e *engine) controlTick(now float64) {
 	e.prof.RecordProc(NodeMux, tMux)
 	e.tel.NodeExec(NodeMux, string(HostLGV), now, tMux, 1)
 	localWork = localWork.Add(muxWork)
+	localSegs[nLocal] = vdpSeg{NodeMux, HostLGV, tMux}
+	nLocal++
 
 	// --- Deliver the command along the VDP. --------------------------------
 	robotProc := tMux
@@ -167,27 +224,91 @@ func (e *engine) controlTick(now float64) {
 		remoteProc += tTrack
 	}
 
-	var downLat float64
+	var downLat, downQueue float64
+	delivered := false
+	tickEnd := now
 	if vdpRemote {
 		// The velocity command rides the wireless link back down.
 		readyAt := now + upLat + remoteProc
-		arrive, drop := e.link.SendDir(readyAt, cmdBytes, netsim.DirDown)
+		arrive, drop, dqd := e.link.SendDirDetail(readyAt, cmdBytes, netsim.DirDown)
 		e.msgsSent++
 		if drop {
 			e.msgsDropped++
 			e.tel.Drop(readyAt, "cmd_vel", "downlink")
 			e.noteMiss(now)
+			tr.Add(tickTrace, tickRoot, "downlink_drop", string(HostLGV), "net",
+				spans.Mark, readyAt, readyAt)
+			tickEnd = readyAt // the makespan ends where the command was lost
 		} else {
 			downLat = arrive - readyAt
+			downQueue = dqd
 			e.prof.RecordRTT(upLat + downLat)
 			e.tel.Transfer(readyAt, arrive, "cmd_vel", string(HostLGV), cmdBytes)
 			e.pendingCmds = append(e.pendingCmds,
-				pendingCmd{at: arrive + robotProc, cmd: cmd})
+				pendingCmd{at: arrive + robotProc, cmd: cmd, trace: tickTrace, parent: tickRoot})
 			e.safety.RemoteHit()
+			if dqd > 0 {
+				tr.Add(tickTrace, tickRoot, "downlink_queue", string(e.placement.Remote), "net",
+					spans.Queue, readyAt, readyAt+dqd)
+			}
+			tr.Add(tickTrace, tickRoot, "downlink", string(HostLGV), "net",
+				spans.Transport, readyAt+dqd, arrive)
+			delivered = true
+			tickEnd = arrive + robotProc
+		}
+		if tickTrace != 0 {
+			// Remote VDP compute runs between uplink arrival and the
+			// downlink send; robot-side compute after command arrival.
+			cursor := now + upLat
+			for i := 0; i < nRemote; i++ {
+				sg := remoteSegs[i]
+				tr.Add(tickTrace, tickRoot, sg.node, string(sg.host), sg.node,
+					spans.Compute, cursor, cursor+sg.dur)
+				cursor += sg.dur
+			}
+			if delivered {
+				cursor = tickEnd - robotProc
+				for i := 0; i < nLocal; i++ {
+					sg := localSegs[i]
+					tr.Add(tickTrace, tickRoot, sg.node, string(sg.host), sg.node,
+						spans.Compute, cursor, cursor+sg.dur)
+					cursor += sg.dur
+				}
+			}
 		}
 	} else {
 		e.pendingCmds = append(e.pendingCmds,
-			pendingCmd{at: now + robotProc, cmd: cmd})
+			pendingCmd{at: now + robotProc, cmd: cmd, trace: tickTrace, parent: tickRoot})
+		delivered = true
+		tickEnd = now + robotProc
+		if tickTrace != 0 {
+			cursor := now
+			for i := 0; i < nLocal; i++ {
+				sg := localSegs[i]
+				tr.Add(tickTrace, tickRoot, sg.node, string(sg.host), sg.node,
+					spans.Compute, cursor, cursor+sg.dur)
+				cursor += sg.dur
+			}
+		}
+	}
+	// Root span: [tick start, command delivery] — the VDP makespan. Its
+	// compute/queue/transport children sum to it by construction.
+	tr.Record(spans.Span{Trace: tickTrace, ID: tickRoot, Name: "tick",
+		Host: string(HostLGV), Kind: spans.Tick, Start: now, End: tickEnd})
+
+	// Surface the same decomposition through the obs registry so p50/p95
+	// per segment show up in snapshots and the post-mortem.
+	if e.tel != nil && delivered {
+		e.tel.Observe(obs.MCritComputeSeconds, string(HostLGV), robotProc)
+		if remoteProc > 0 {
+			e.tel.Observe(obs.MCritComputeSeconds, string(e.placement.Remote), remoteProc)
+		}
+		if vdpRemote {
+			e.tel.Observe(obs.MCritQueueSeconds, "up", upQueue)
+			e.tel.Observe(obs.MCritTransportSeconds, "up", upLat-upQueue)
+			e.tel.Observe(obs.MCritQueueSeconds, "down", downQueue)
+			e.tel.Observe(obs.MCritTransportSeconds, "down", downLat-downQueue)
+		}
 	}
 
 	// --- Pacing: a busy on-board pipeline delays the next tick; an -------
@@ -252,7 +373,7 @@ func (e *engine) adjustParallelism(now float64) {
 // a busy (slow, local) SLAM skips scans and the robot dead-reckons on
 // odometry meanwhile — exactly the stale-pose failure mode the paper's
 // cloud acceleration addresses.
-func (e *engine) stepSLAM(now float64, delta geom.Pose, scan *sensor.Scan, remote, upDropped bool, localWork *hostsim.Work) geom.Pose {
+func (e *engine) stepSLAM(now float64, delta geom.Pose, scan *sensor.Scan, remote, upDropped bool, localWork *hostsim.Work, tickTrace, tickRoot uint64) geom.Pose {
 	if now < e.slamBusyUntil || (remote && upDropped) {
 		e.pendingSlamDelta = e.pendingSlamDelta.Compose(delta)
 		return e.pose.Compose(delta) // dead-reckon while SLAM is unavailable
@@ -276,6 +397,8 @@ func (e *engine) stepSLAM(now float64, delta geom.Pose, scan *sensor.Scan, remot
 	exec := e.platforms[host].ExecTime(w, threads)
 	e.prof.RecordProc(NodeSLAM, exec)
 	e.tel.NodeExec(NodeSLAM, string(host), now, exec, threads)
+	e.tr.Add(tickTrace, tickRoot, NodeSLAM, string(host), NodeSLAM,
+		spans.Aux, now, now+exec)
 	if host == HostLGV {
 		*localWork = localWork.Add(w)
 		e.slamBusyUntil = now + exec
@@ -542,6 +665,8 @@ func (e *engine) failover(now float64) {
 	})
 	e.tel.Failover(now, misses, from+" -> "+to)
 	e.tel.Switch(now, bw, dir, 0, false, from+" -> "+to)
+	e.tr.Add(e.tr.NewTrace(), 0, "failover", string(HostLGV), "safety",
+		spans.Mark, now, now)
 }
 
 // adapt applies Algorithm 2 (network gating) and Algorithm 1 (node

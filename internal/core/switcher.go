@@ -8,6 +8,7 @@ import (
 	"lgvoffload/internal/msg"
 	"lgvoffload/internal/mw"
 	"lgvoffload/internal/obs"
+	"lgvoffload/internal/spans"
 )
 
 // This file implements the §VII data plane with real sockets: the
@@ -42,12 +43,14 @@ const (
 type Worker struct {
 	Host mw.HostID
 
-	ep   *mw.UDPEndpoint
-	fn   WorkerFunc
-	stop chan struct{}
-	done chan struct{}
+	ep    *mw.UDPEndpoint
+	fn    WorkerFunc
+	stop  chan struct{}
+	done  chan struct{}
+	epoch time.Time
 
 	mu       sync.Mutex
+	tracer   *spans.Tracer // written by SetTracer after the loop started
 	served   int
 	peerAddr *net.UDPAddr
 }
@@ -59,7 +62,7 @@ func NewWorker(addr string, host mw.HostID, fn WorkerFunc) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{Host: host, ep: ep, fn: fn,
+	w := &Worker{Host: host, ep: ep, fn: fn, epoch: time.Now(),
 		stop: make(chan struct{}), done: make(chan struct{})}
 	go w.loop()
 	return w, nil
@@ -67,6 +70,20 @@ func NewWorker(addr string, host mw.HostID, fn WorkerFunc) (*Worker, error) {
 
 // Addr returns the worker's UDP address.
 func (w *Worker) Addr() *net.UDPAddr { return w.ep.Addr() }
+
+// SetTracer attaches a span tracer; the worker then records its own view
+// of each offloaded execution on the scan's trace. The span is Aux, not
+// Compute: worker and switcher clocks share no epoch, so the remote
+// observation annotates the trace but stays off the validated critical
+// path (the switcher derives the Compute segment from the echoed
+// ProcTime in its own clock). It is also recorded parentless — the
+// reply that would close the parent "offload" root can be lost in
+// flight, and the span set must stay structurally valid under loss.
+func (w *Worker) SetTracer(tr *spans.Tracer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tracer = tr
+}
 
 // Served returns how many scans the worker has processed.
 func (w *Worker) Served() int {
@@ -143,18 +160,25 @@ func (w *Worker) handleScan(scan *msg.Scan) {
 		return
 	}
 	w.mu.Lock()
+	tracer := w.tracer
 	peer := w.peerAddr
 	w.served++
 	w.mu.Unlock()
+	t0 := start.Sub(w.epoch).Seconds()
+	tracer.Add(scan.TraceID, 0, "worker_exec", string(w.Host),
+		NodeTracking, spans.Aux, t0, t0+proc)
 	if peer == nil {
 		return
 	}
 	cmd.Seq = scan.Seq
 	cmd.Stamp = scan.Stamp
-	cmd.SentAt = scan.SentAt // echoed so the robot can compute RTT
+	cmd.SentAt = scan.SentAt   // echoed so the robot can compute RTT
+	cmd.TraceID = scan.TraceID // trace context rides back with the result
+	cmd.ParentSpan = scan.ParentSpan
 	_ = w.ep.SendToDeadline(peer, cmd, sendDeadline)
 	prof := &msg.Profile{
-		Header:   msg.Header{Seq: scan.Seq, Stamp: scan.Stamp, SentAt: scan.SentAt},
+		Header: msg.Header{Seq: scan.Seq, Stamp: scan.Stamp, SentAt: scan.SentAt,
+			TraceID: scan.TraceID, ParentSpan: scan.ParentSpan},
 		Node:     NodeTracking,
 		Host:     string(w.Host),
 		ProcTime: proc,
@@ -173,10 +197,11 @@ func (w *Worker) Register(robot *net.UDPAddr) {
 // temporal information attached and collects the returning commands and
 // profiles, feeding the Profiler exactly as §VII describes.
 type Switcher struct {
-	ep   *mw.UDPEndpoint
-	peer *net.UDPAddr
-	prof *Profiler
-	sink obs.Sink // nil when telemetry is off
+	ep     *mw.UDPEndpoint
+	peer   *net.UDPAddr
+	prof   *Profiler
+	sink   obs.Sink      // nil when telemetry is off
+	tracer *spans.Tracer // nil when tracing is off
 
 	// HealthTimeout is how long the worker may stay silent before the
 	// switcher declares it dead and degrades to local execution.
@@ -218,6 +243,13 @@ func (s *Switcher) Addr() *net.UDPAddr { return s.ep.Addr() }
 // sharing a Profiler never double-counts.
 func (s *Switcher) SetSink(sk obs.Sink) { s.sink = sk }
 
+// SetTracer attaches a span tracer. Each uplinked scan is then stamped
+// with a fresh trace context that the worker echoes back, and every
+// returning Profile closes an "offload" root span decomposed into
+// transport (RTT) and compute (the worker's subscribed ProcTime mapped
+// into the switcher's clock).
+func (s *Switcher) SetTracer(tr *spans.Tracer) { s.tracer = tr }
+
 // now returns seconds since the switcher started — the wall-clock analog
 // of the engine's virtual time.
 func (s *Switcher) now() float64 { return time.Since(s.epoch).Seconds() }
@@ -229,6 +261,10 @@ func (s *Switcher) SendScan(scan *msg.Scan) error {
 	s.seq++
 	scan.Seq = s.seq
 	scan.SentAt = s.now()
+	if s.tracer.Enabled() {
+		scan.TraceID = s.tracer.NewTrace()
+		scan.ParentSpan = s.tracer.NextID()
+	}
 	return s.ep.SendToDeadline(s.peer, scan, sendDeadline)
 }
 
@@ -247,10 +283,14 @@ func (s *Switcher) markAlive() {
 		s.backoff = helloBackoffMin
 	}
 	s.mu.Unlock()
-	if wasDown && s.sink != nil {
-		s.sink.Count(obs.MReconnects, "worker", 1)
-		s.sink.Emit(obs.Event{Kind: obs.KindReconnect, T0: s.now(), T1: s.now(),
-			Value: outage.Seconds(), Detail: s.peer.String()})
+	if wasDown {
+		if s.sink != nil {
+			s.sink.Count(obs.MReconnects, "worker", 1)
+			s.sink.Emit(obs.Event{Kind: obs.KindReconnect, T0: s.now(), T1: s.now(),
+				Value: outage.Seconds(), Detail: s.peer.String()})
+		}
+		s.tracer.Add(s.tracer.NewTrace(), 0, "worker_outage", "lgv",
+			"switcher", spans.Mark, s.now()-outage.Seconds(), s.now())
 	}
 }
 
@@ -289,6 +329,23 @@ func (s *Switcher) Pump() int {
 				rtt = 0
 			}
 			s.prof.RecordRTT(rtt)
+			if mm.TraceID != 0 && s.tracer.Enabled() {
+				// Close the offload root this scan opened in SendScan: the
+				// round trip [SentAt, now] decomposes into transport (the
+				// RTT remainder) and compute (the subscribed ProcTime laid
+				// back from receipt, clamped against clock jitter).
+				cStart := now - mm.ProcTime
+				if cStart < mm.SentAt {
+					cStart = mm.SentAt
+				}
+				s.tracer.Record(spans.Span{Trace: mm.TraceID, ID: mm.ParentSpan,
+					Name: "offload", Host: "lgv", Kind: spans.Tick,
+					Start: mm.SentAt, End: now})
+				s.tracer.Add(mm.TraceID, mm.ParentSpan, "rtt", "lgv", "net",
+					spans.Transport, mm.SentAt, cStart)
+				s.tracer.Add(mm.TraceID, mm.ParentSpan, mm.Node, mm.Host, mm.Node,
+					spans.Compute, cStart, now)
+			}
 			if s.sink != nil {
 				s.sink.Observe(obs.MNodeExecSeconds, mm.Node, mm.ProcTime)
 				s.sink.Count(obs.MNodeExecs, mm.Node, 1)

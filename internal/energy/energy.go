@@ -175,11 +175,14 @@ func (mt *Meter) AddTransmit(bytes float64) {
 // Component returns the accumulated joules for one component.
 func (mt *Meter) Component(c Component) float64 { return mt.joules[c] }
 
-// Total returns the mission's total energy (Eq. 1a).
+// Total returns the mission's total energy (Eq. 1a). The sum runs in
+// fixed Components order: float addition is not associative, and a map
+// iteration here would make the last ulp of the total depend on
+// iteration order, breaking run-to-run determinism.
 func (mt *Meter) Total() float64 {
 	var t float64
-	for _, j := range mt.joules {
-		t += j
+	for _, c := range Components {
+		t += mt.joules[c]
 	}
 	return t
 }

@@ -39,23 +39,41 @@ func init() {
 // Header carries per-message sequencing and the temporal information the
 // Switcher attaches (paper §VII): when the message was created in
 // simulation time and when it was sent, enabling RTT and VDP makespan
-// accounting at the Profiler.
+// accounting at the Profiler. Since header v2 it also carries the
+// causal trace context (internal/spans): a worker that echoes the
+// header back hands the reply's spans to the sender's trace tree.
 type Header struct {
 	Seq    uint64
 	Stamp  float64 // creation time of the carried data
 	SentAt float64 // transmission time, set by the switcher
+
+	// Trace context (header v2). Zero values mean "untraced"; the two
+	// extra uvarints then cost one byte each on the wire.
+	TraceID    uint64 // spans.Tracer trace id this message belongs to
+	ParentSpan uint64 // span the receiver should parent its spans under
+}
+
+// TraceContext implements wire.Traced.
+func (h Header) TraceContext() (traceID, parentSpan uint64) {
+	return h.TraceID, h.ParentSpan
 }
 
 func (h *Header) marshal(e *wire.Encoder) {
 	e.Uvarint(h.Seq)
 	e.Float64(h.Stamp)
 	e.Float64(h.SentAt)
+	e.Uvarint(h.TraceID)
+	e.Uvarint(h.ParentSpan)
 }
 
 func (h *Header) unmarshal(d *wire.Decoder) {
 	h.Seq = d.Uvarint()
 	h.Stamp = d.Float64()
 	h.SentAt = d.Float64()
+	if d.HeaderVersion() >= wire.HeaderV2 {
+		h.TraceID = d.Uvarint()
+		h.ParentSpan = d.Uvarint()
+	}
 }
 
 // Twist is a velocity command (the paper's 48-byte example payload).

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"lgvoffload/internal/geom"
+	"lgvoffload/internal/spans"
 )
 
 // Source describes one velocity input channel.
@@ -43,6 +44,12 @@ type slot struct {
 	stamp    float64
 	hasData  bool
 	consumed bool // the held command won a Select at least once
+
+	// Trace context of the held command (see internal/spans): the wait
+	// between Offer and the first winning Select is recorded as a
+	// "mux_wait" span on the command's tick trace.
+	trace  uint64
+	parent uint64
 }
 
 // Mux is the multiplexer state.
@@ -52,6 +59,8 @@ type Mux struct {
 	selected    string // name of the source that won the last Select
 	forwarded   int    // commands forwarded so far
 	overwritten int    // commands replaced before the motors ever saw them
+
+	tracer *spans.Tracer // nil when tracing is off (the default)
 }
 
 // New builds a multiplexer with the given sources.
@@ -63,9 +72,21 @@ func New(sources []Source) *Mux {
 	return m
 }
 
+// SetTracer attaches a span tracer; pass nil to detach. Only commands
+// offered with trace context (OfferTraced) produce spans.
+func (m *Mux) SetTracer(t *spans.Tracer) { m.tracer = t }
+
 // Offer submits a command from a named source at virtual time now.
 // Unknown sources are rejected with an error.
 func (m *Mux) Offer(source string, cmd geom.Twist, now float64) error {
+	return m.OfferTraced(source, cmd, now, 0, 0)
+}
+
+// OfferTraced is Offer carrying the command's causal trace context, so
+// the time the command waits in its slot before the motors consume it
+// shows up on the tick's trace (as post-decision latency, outside the
+// VDP makespan).
+func (m *Mux) OfferTraced(source string, cmd geom.Twist, now float64, trace, parent uint64) error {
 	sl, ok := m.slots[source]
 	if !ok {
 		return fmt.Errorf("muxer: unknown source %q", source)
@@ -79,6 +100,8 @@ func (m *Mux) Offer(source string, cmd geom.Twist, now float64) error {
 	sl.stamp = now
 	sl.hasData = true
 	sl.consumed = false
+	sl.trace = trace
+	sl.parent = parent
 	return nil
 }
 
@@ -103,6 +126,10 @@ func (m *Mux) Select(now float64) (geom.Twist, bool) {
 	}
 	m.selected = best.src.Name
 	m.forwarded++
+	if !best.consumed && best.trace != 0 {
+		m.tracer.Add(best.trace, best.parent, "mux_wait", "lgv", "velocity_mux",
+			spans.Aux, best.stamp, now)
+	}
 	best.consumed = true
 	return best.cmd, true
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"lgvoffload/internal/obs"
+	"lgvoffload/internal/spans"
 	"lgvoffload/internal/wire"
 )
 
@@ -156,7 +157,8 @@ type Bus struct {
 	topics   map[string]*topicState
 	inflight []Envelope // messages waiting for their arrival time
 	seq      uint64
-	sink     obs.Sink // nil when telemetry is off (the default)
+	sink     obs.Sink      // nil when telemetry is off (the default)
+	tracer   *spans.Tracer // nil when tracing is off (the default)
 }
 
 // NewBus creates a bus over the given fabric (nil means LocalFabric).
@@ -174,6 +176,15 @@ func (b *Bus) SetSink(s obs.Sink) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sink = s
+}
+
+// SetTracer attaches a span tracer (nil detaches): cross-host transfers
+// of messages carrying trace context (wire.Traced headers) are recorded
+// as transport spans on the sender's trace.
+func (b *Bus) SetTracer(t *spans.Tracer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracer = t
 }
 
 func (b *Bus) topic(name string) *topicState {
@@ -242,6 +253,13 @@ func (b *Bus) Publish(topic string, from HostID, m wire.Message, now float64) {
 			b.sink.Count(obs.MTransferBytes, topic, float64(size))
 			b.sink.Emit(obs.Event{Kind: obs.KindTransfer, T0: now, T1: arrive,
 				Node: topic, Host: string(sub.host), Bytes: size, Value: arrive - now})
+		}
+		if remote && b.tracer != nil {
+			if tm, ok := m.(wire.Traced); ok {
+				trace, parent := tm.TraceContext()
+				b.tracer.Add(trace, parent, "net:"+topic, string(sub.host), topic,
+					spans.Transport, now, arrive)
+			}
 		}
 		env := Envelope{Msg: m, Topic: topic, From: from, Size: size, SentAt: now, ArriveAt: arrive}
 		if arrive <= now {

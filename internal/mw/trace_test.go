@@ -1,0 +1,99 @@
+package mw
+
+import (
+	"testing"
+	"time"
+
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/spans"
+)
+
+// TestTraceContextSurvivesUDP round-trips a header's trace context
+// through a real UDP socket: the v2 wire encoding must carry it intact.
+func TestTraceContextSurvivesUDP(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	tw := &msg.Twist{V: 0.7, W: 0.1}
+	tw.TraceID = 0xDEADBEEF
+	tw.ParentSpan = 42
+	if err := a.SendTo(b.Addr(), tw); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m, ok := b.Poll(); ok {
+			got := m.(*msg.Twist)
+			if got.TraceID != 0xDEADBEEF || got.ParentSpan != 42 {
+				t.Fatalf("trace context lost over UDP: %+v", got.Header)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTraceContextSurvivesTCP does the same over the reliable transport.
+func TestTraceContextSurvivesTCP(t *testing.T) {
+	c, s := tcpPair(t)
+	tw := &msg.Twist{V: 0.3}
+	tw.TraceID = 7
+	tw.ParentSpan = 8
+	if err := c.Send(tw); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 1)
+	m, ok := s.Poll()
+	if !ok {
+		t.Fatal("no message")
+	}
+	got := m.(*msg.Twist)
+	if got.TraceID != 7 || got.ParentSpan != 8 {
+		t.Fatalf("trace context lost over TCP: %+v", got.Header)
+	}
+}
+
+// TestBusRecordsTransportSpans checks the simulated bus stitches a
+// transport span onto the sender's trace for cross-host deliveries of
+// traced messages — and stays silent for local or untraced ones.
+func TestBusRecordsTransportSpans(t *testing.T) {
+	tr := spans.NewTracer(64)
+	b := NewBus(delayFabric{delay: 0.05})
+	b.SetTracer(tr)
+	b.Subscribe("cmd_vel", "cloud", 1)
+	b.Subscribe("cmd_vel", "lgv", 1)
+
+	traced := &msg.Twist{V: 1}
+	traced.TraceID = tr.NewTrace()
+	traced.ParentSpan = 0
+	b.Publish("cmd_vel", "lgv", traced, 1.0)
+
+	untraced := &msg.Twist{V: 2}
+	b.Publish("cmd_vel", "lgv", untraced, 2.0)
+
+	sp := tr.Spans()
+	if len(sp) != 1 {
+		t.Fatalf("%d spans recorded, want 1 (remote traced delivery only): %+v", len(sp), sp)
+	}
+	s := sp[0]
+	if s.Name != "net:cmd_vel" || s.Kind != spans.Transport {
+		t.Errorf("span = %+v", s)
+	}
+	if s.Start != 1.0 || s.End != 1.05 {
+		t.Errorf("span interval [%g, %g], want [1, 1.05]", s.Start, s.End)
+	}
+	if s.Trace != traced.TraceID {
+		t.Errorf("span trace %d, want %d", s.Trace, traced.TraceID)
+	}
+}

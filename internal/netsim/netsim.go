@@ -229,6 +229,15 @@ func (l *Link) Send(now float64, size int) (arriveAt float64, dropped bool) {
 
 // SendDir is Send with an explicit traffic direction.
 func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, dropped bool) {
+	arriveAt, dropped, _ = l.SendDirDetail(now, size, dir)
+	return arriveAt, dropped
+}
+
+// SendDirDetail is SendDir exposing the kernel-buffer queueing delay
+// separately from the air/WAN transport latency, so the tracing layer
+// can record queue and transport as distinct critical-path spans:
+// arriveAt - now = queueDelay + transport.
+func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, dropped bool, queueDelay float64) {
 	l.sent++
 	s := l.SignalAt(now)
 	corrupt := false
@@ -241,7 +250,7 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 			if l.sink != nil {
 				l.sink.Count(obs.MLinkDropped, "", 1)
 			}
-			return 0, true
+			return 0, true, 0
 		}
 		if v.SignalCap < s {
 			s = v.SignalCap
@@ -262,7 +271,6 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 	}
 	l.lastDrain = now
 
-	queueDelay := 0.0
 	if s < l.cfg.BlockSignal {
 		// Driver holds packets: join the kernel buffer or overflow.
 		if l.buffered >= float64(l.cfg.KernelBuf) {
@@ -270,7 +278,7 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 			if l.sink != nil {
 				l.sink.Count(obs.MLinkDropped, "", 1)
 			}
-			return 0, true // silent discard: sender never learns
+			return 0, true, 0 // silent discard: sender never learns
 		}
 		l.buffered++
 		drain := l.cfg.DrainRate * math.Max(s, 0.05)
@@ -284,7 +292,7 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 		if l.sink != nil {
 			l.sink.Count(obs.MLinkDropped, "", 1)
 		}
-		return 0, true
+		return 0, true, 0
 	}
 
 	if corrupt {
@@ -294,7 +302,7 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 		if l.sink != nil {
 			l.sink.Count(obs.MLinkDropped, "", 1)
 		}
-		return 0, true
+		return 0, true, 0
 	}
 
 	lat := l.cfg.BaseLatSec/math.Max(s, 0.15) + l.cfg.WANLatSec + queueDelay
@@ -305,7 +313,7 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 	if l.sink != nil {
 		l.sink.Observe(obs.MLinkLatencySeconds, "", lat)
 	}
-	return now + lat, false
+	return now + lat, false, queueDelay
 }
 
 // Counters returns total packets offered and dropped since creation.

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotExportDeterministic: two WriteJSON calls over the same
+// registry state must produce identical bytes — the export is part of
+// the repro story, so map-order nondeterminism may not leak into it.
+func TestSnapshotExportDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Add("net_transfers", "scan", 12)
+	r.Add("net_transfers", "cmd_vel", 7)
+	r.Set("alg2_bandwidth", "", 4.2)
+	for i := 0; i < 50; i++ {
+		r.Observe("node_exec_seconds", "path_tracking", 0.01+float64(i)*1e-4)
+	}
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("snapshot export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if _, ok := doc["net_transfers{scan}"]; !ok {
+		t.Errorf("labeled counter key missing: %v", doc)
+	}
+	hist, ok := doc["node_exec_seconds{path_tracking}"].(map[string]any)
+	if !ok || hist["count"].(float64) != 50 {
+		t.Errorf("histogram export wrong: %v", doc["node_exec_seconds{path_tracking}"])
+	}
+}
+
+// TestEmptyRegistryExportsEmptyObject: a fresh registry must export "{}"
+// (the inspector serves this for missions with telemetry off).
+func TestEmptyRegistryExportsEmptyObject(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "{}" {
+		t.Errorf("empty registry exports %q, want {}", got)
+	}
+}
+
+// TestTimelineJSONLNilAndRoundTrip: nil telemetry writes nothing; a live
+// timeline round-trips every event through JSONL.
+func TestTimelineJSONLNilAndRoundTrip(t *testing.T) {
+	var nilT *Telemetry
+	var buf bytes.Buffer
+	if err := nilT.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil telemetry wrote %q", buf.String())
+	}
+
+	tel := NewTelemetry(16)
+	tel.NodeExec("path_tracking", "edge", 1.0, 0.02, 8)
+	tel.Drop(2.0, "scan", "uplink")
+	if err := tel.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != KindNodeExec || ev.Node != "path_tracking" {
+		t.Errorf("event corrupted: %+v", ev)
+	}
+}
+
+// TestTimelineTruncationSurfacesInPostMortem: when the event ring
+// evicts, the post-mortem must say so instead of silently presenting a
+// partial timeline as complete.
+func TestTimelineTruncationSurfacesInPostMortem(t *testing.T) {
+	tel := NewTelemetry(4)
+	for i := 0; i < 10; i++ {
+		tel.Drop(float64(i), "scan", "uplink")
+	}
+	if tel.Timeline.Evicted() != 6 {
+		t.Fatalf("evicted = %d, want 6", tel.Timeline.Evicted())
+	}
+	var buf bytes.Buffer
+	if err := WritePostMortem(&buf, tel, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "evicted 6 older events") {
+		t.Errorf("post-mortem hides truncation:\n%s", buf.String())
+	}
+}
+
+// TestPostMortemNilTelemetry: the report degrades gracefully.
+func TestPostMortemNilTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePostMortem(&buf, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not enabled") {
+		t.Errorf("nil post-mortem = %q", buf.String())
+	}
+}
+
+// TestPostMortemShowsCriticalPath: the decomposition section appears
+// exactly when critpath metrics were observed.
+func TestPostMortemShowsCriticalPath(t *testing.T) {
+	tel := NewTelemetry(16)
+	var buf bytes.Buffer
+	if err := WritePostMortem(&buf, tel, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "critical path") {
+		t.Error("critical-path section shown with no critpath samples")
+	}
+
+	tel.Observe(MCritComputeSeconds, "lgv", 0.004)
+	tel.Observe(MCritQueueSeconds, "up", 0.001)
+	tel.Observe(MCritTransportSeconds, "up", 0.008)
+	buf.Reset()
+	if err := WritePostMortem(&buf, tel, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"critical path", "compute{lgv}", "queue{up}", "transport{up}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, out)
+		}
+	}
+}

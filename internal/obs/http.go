@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// TraceSource is what the inspector needs from the tracing layer
+// (satisfied by *spans.Tracer; obs must not import spans). All three
+// methods must be nil-receiver-safe, matching the rest of the
+// observability surface.
+type TraceSource interface {
+	// WriteChrome writes the buffered spans as Chrome trace-event JSON.
+	WriteChrome(w io.Writer) error
+	// WriteJSONL writes the buffered spans one JSON object per line.
+	WriteJSONL(w io.Writer) error
+	// Len reports how many spans are buffered.
+	Len() int
+}
+
+// NewInspector returns the live inspection endpoint for real-socket or
+// long simulated missions: a metrics snapshot, the recent event
+// timeline, the causal trace (Perfetto-loadable), expvar, and pprof.
+// Both arguments may be nil (or hold nil pointers); the affected routes
+// then report that the source is disabled.
+//
+//	/            index and quick status
+//	/metrics     registry snapshot, JSON ("name{label}" keys)
+//	/timeline    recent timeline events, JSONL (?n=200 tail length)
+//	/trace       Chrome trace-event JSON of the span buffer
+//	/spans       span buffer as JSONL
+//	/debug/vars  expvar
+//	/debug/pprof net/http/pprof
+func NewInspector(t *Telemetry, trace TraceSource) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "lgvoffload inspection endpoint")
+		fmt.Fprintln(w, "  /metrics      metrics snapshot (JSON)")
+		fmt.Fprintln(w, "  /timeline     recent events (JSONL, ?n=tail)")
+		fmt.Fprintln(w, "  /trace        Chrome trace-event JSON (load in Perfetto)")
+		fmt.Fprintln(w, "  /spans        span stream (JSONL)")
+		fmt.Fprintln(w, "  /debug/vars   expvar")
+		fmt.Fprintln(w, "  /debug/pprof  profiling")
+		if t != nil {
+			fmt.Fprintf(w, "phase: %s, timeline events: %d\n", t.Phase(), len(t.Events()))
+		} else {
+			fmt.Fprintln(w, "telemetry: disabled")
+		}
+		if trace != nil {
+			fmt.Fprintf(w, "spans buffered: %d\n", trace.Len())
+		} else {
+			fmt.Fprintln(w, "tracing: disabled")
+		}
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if t == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		t.Reg.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if t == nil {
+			return
+		}
+		events := t.Events()
+		n := 200
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v >= 0 {
+				n = v
+			}
+		}
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		WriteJSONL(w, events)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if trace == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		trace.WriteChrome(w)
+	})
+
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if trace == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		trace.WriteJSONL(w)
+	})
+
+	// expvar and pprof are mounted explicitly rather than relying on
+	// their init-time DefaultServeMux registrations, so the inspector
+	// works on any listener.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeTrace satisfies TraceSource for inspector tests.
+type fakeTrace struct{ n int }
+
+func (f *fakeTrace) WriteChrome(w io.Writer) error {
+	_, err := io.WriteString(w, `{"traceEvents":[]}`)
+	return err
+}
+func (f *fakeTrace) WriteJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"name\":\"tick\"}\n")
+	return err
+}
+func (f *fakeTrace) Len() int { return f.n }
+
+func get(t *testing.T, h *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestInspectorRoutes(t *testing.T) {
+	tel := NewTelemetry(16)
+	tel.Drop(1.0, "scan", "uplink")
+	srv := httptest.NewServer(NewInspector(tel, &fakeTrace{n: 3}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, "spans buffered: 3") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "net_drops{scan}") {
+		t.Errorf("metrics: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/timeline")
+	if code != 200 || !strings.Contains(body, `"drop"`) {
+		t.Errorf("timeline: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/trace")
+	if code != 200 || !strings.Contains(body, "traceEvents") {
+		t.Errorf("trace: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/spans")
+	if code != 200 || !strings.Contains(body, "tick") {
+		t.Errorf("spans: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/debug/vars")
+	if code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("expvar: %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("pprof: %d", code)
+	}
+	code, _ = get(t, srv, "/nope")
+	if code != 404 {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+func TestInspectorDisabledSources(t *testing.T) {
+	srv := httptest.NewServer(NewInspector(nil, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, "disabled") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/metrics")
+	if code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Errorf("metrics: %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/trace")
+	if code != 404 {
+		t.Errorf("trace with tracing off: %d, want 404", code)
+	}
+}

@@ -87,6 +87,13 @@ const (
 	// MReconnects counts worker links re-established after being
 	// declared dead. Label: transport or peer.
 	MReconnects = "reconnects"
+	// Critical-path decomposition of the per-tick VDP makespan (fed by
+	// the tracing layer, internal/spans): compute seconds labelled by
+	// host, queue/transport seconds labelled by link direction. The
+	// three segments of one tick sum to that tick's makespan.
+	MCritComputeSeconds   = "critpath_compute_seconds"   // label: host
+	MCritQueueSeconds     = "critpath_queue_seconds"     // label: up|down
+	MCritTransportSeconds = "critpath_transport_seconds" // label: up|down
 )
 
 // Telemetry bundles a registry and a timeline and implements Sink plus

@@ -71,6 +71,22 @@ func WritePostMortem(w io.Writer, t *Telemetry, missionTime float64) error {
 			p50.Count, p50.P50*1000, p50.P95*1000, p50.P99*1000)
 	}
 
+	// --- Critical-path decomposition (present when tracing was on). ----------
+	anyCrit := false
+	for _, p := range snap {
+		switch p.Name {
+		case MCritComputeSeconds, MCritQueueSeconds, MCritTransportSeconds:
+			if !anyCrit {
+				fmt.Fprintf(w, "\nVDP critical path per tick (ms):\n")
+				fmt.Fprintf(w, "  %-24s %8s %9s %9s %9s\n", "segment", "ticks", "mean", "p50", "p95")
+				anyCrit = true
+			}
+			fmt.Fprintf(w, "  %-24s %8d %9.2f %9.2f %9.2f\n",
+				p.Name[len("critpath_"):len(p.Name)-len("_seconds")]+"{"+p.Label+"}",
+				p.Count, p.Value*1000, p.P50*1000, p.P95*1000)
+		}
+	}
+
 	// --- Adaptation decision log. --------------------------------------------
 	fmt.Fprintf(w, "\nadaptation decision log:\n")
 	any := false

@@ -1,0 +1,46 @@
+package spans
+
+import "testing"
+
+// tickCallPattern issues the same tracer calls one instrumented control
+// tick makes (trace + root id, net spans, compute segments, root record)
+// so the disabled-path cost is measured against the real call shape.
+func tickCallPattern(tr *Tracer) {
+	trace := tr.NewTrace()
+	root := tr.NextID()
+	tr.Add(trace, root, "uplink_queue", "lgv", "net", Queue, 0, 0.002)
+	tr.Add(trace, root, "uplink", "edge", "net", Transport, 0.002, 0.010)
+	tr.Add(trace, root, "localization", "lgv", "localization", Aux, 0, 0.008)
+	tr.Add(trace, root, "costmap_generation", "edge", "costmap_generation", Compute, 0.010, 0.030)
+	tr.Add(trace, root, "path_tracking", "edge", "path_tracking", Compute, 0.030, 0.060)
+	tr.Add(trace, root, "downlink", "lgv", "net", Transport, 0.060, 0.066)
+	tr.Add(trace, root, "velocity_mux", "lgv", "velocity_mux", Compute, 0.066, 0.068)
+	tr.Record(Span{Trace: trace, ID: root, Name: "tick", Host: "lgv",
+		Kind: Tick, Start: 0, End: 0.068})
+}
+
+// TestDisabledZeroAlloc pins the satellite acceptance bar: with tracing
+// off (nil tracer) a fully instrumented tick allocates nothing.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() { tickCallPattern(tr) })
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per tick, want 0", allocs)
+	}
+}
+
+func BenchmarkTickPatternDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tickCallPattern(tr)
+	}
+}
+
+func BenchmarkTickPatternEnabled(b *testing.B) {
+	tr := NewTracer(DefaultCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tickCallPattern(tr)
+	}
+}

@@ -1,0 +1,181 @@
+package spans
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TickPath is the critical-path decomposition of one tick trace: the
+// VDP makespan split into its compute, queue and transport segments.
+// By construction (the engine records segment spans from the same
+// quantities it schedules delivery with) Compute+Queue+Transport equals
+// Makespan for every tick that produced a command.
+type TickPath struct {
+	Trace    uint64
+	Start    float64
+	End      float64
+	Makespan float64 // root span duration, seconds
+
+	Compute   float64
+	Queue     float64
+	Transport float64
+
+	// ComputeByHost attributes the compute segment: "lgv" vs "edge"/"cloud".
+	ComputeByHost map[string]float64
+
+	Marks []string // episode names that touched this trace (drops etc.)
+}
+
+// Sum returns the total of the three critical-path segments.
+func (p TickPath) Sum() float64 { return p.Compute + p.Queue + p.Transport }
+
+// AnalyzeTicks groups spans by trace, keeps the traces rooted in a
+// Tick span, and returns their decompositions ordered by start time.
+func AnalyzeTicks(sp []Span) []TickPath {
+	roots := map[uint64]Span{}
+	for _, s := range sp {
+		if s.Kind == Tick {
+			roots[s.Trace] = s
+		}
+	}
+	paths := map[uint64]*TickPath{}
+	for trace, root := range roots {
+		paths[trace] = &TickPath{
+			Trace: trace, Start: root.Start, End: root.End,
+			Makespan:      root.Duration(),
+			ComputeByHost: map[string]float64{},
+		}
+	}
+	for _, s := range sp {
+		p, ok := paths[s.Trace]
+		if !ok || s.Kind == Tick {
+			continue
+		}
+		switch s.Kind {
+		case Compute:
+			p.Compute += s.Duration()
+			p.ComputeByHost[s.Host] += s.Duration()
+		case Queue:
+			p.Queue += s.Duration()
+		case Transport:
+			p.Transport += s.Duration()
+		case Mark:
+			p.Marks = append(p.Marks, s.Name)
+		}
+	}
+	out := make([]TickPath, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Summary aggregates tick decompositions into the p50/p95 view the
+// paper-style tables use. All values are seconds.
+type Summary struct {
+	Ticks int
+
+	MakespanP50, MakespanP95   float64
+	ComputeP50, ComputeP95     float64
+	QueueP50, QueueP95         float64
+	TransportP50, TransportP95 float64
+}
+
+// Summarize computes segment quantiles over the given tick paths.
+// Ticks with zero makespan (starved by an uplink drop) are excluded:
+// they delivered no command, so they have no critical path.
+func Summarize(paths []TickPath) Summary {
+	var mk, cp, qu, tr []float64
+	for _, p := range paths {
+		if p.Makespan <= 0 {
+			continue
+		}
+		mk = append(mk, p.Makespan)
+		cp = append(cp, p.Compute)
+		qu = append(qu, p.Queue)
+		tr = append(tr, p.Transport)
+	}
+	s := Summary{Ticks: len(mk)}
+	s.MakespanP50, s.MakespanP95 = quantile(mk, 0.50), quantile(mk, 0.95)
+	s.ComputeP50, s.ComputeP95 = quantile(cp, 0.50), quantile(cp, 0.95)
+	s.QueueP50, s.QueueP95 = quantile(qu, 0.50), quantile(qu, 0.95)
+	s.TransportP50, s.TransportP95 = quantile(tr, 0.50), quantile(tr, 0.95)
+	return s
+}
+
+// Window returns the subset of paths whose tick started in [t0, t1).
+func Window(paths []TickPath, t0, t1 float64) []TickPath {
+	var out []TickPath
+	for _, p := range paths {
+		if p.Start >= t0 && p.Start < t1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	idx := q * float64(len(s)-1)
+	lo := int(idx)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// WriteTable prints the per-tick decomposition (milliseconds), sampling
+// evenly down to maxRows rows when the mission has more ticks, then a
+// quantile summary footer.
+func WriteTable(w io.Writer, paths []TickPath, maxRows int) {
+	fmt.Fprintf(w, "%-9s %9s %9s %9s %9s %9s  %s\n",
+		"t(s)", "makespan", "compute", "queue", "transprt", "sum(ms)", "compute by host")
+	stride := 1
+	if maxRows > 0 && len(paths) > maxRows {
+		stride = (len(paths) + maxRows - 1) / maxRows
+	}
+	for i := 0; i < len(paths); i += stride {
+		p := paths[i]
+		hosts := ""
+		for _, h := range sortedHosts(p.ComputeByHost) {
+			if hosts != "" {
+				hosts += " "
+			}
+			hosts += fmt.Sprintf("%s=%.1f", h, p.ComputeByHost[h]*1e3)
+		}
+		fmt.Fprintf(w, "%-9.2f %9.2f %9.2f %9.2f %9.2f %9.2f  %s\n",
+			p.Start, p.Makespan*1e3, p.Compute*1e3, p.Queue*1e3,
+			p.Transport*1e3, p.Sum()*1e3, hosts)
+	}
+	if stride > 1 {
+		fmt.Fprintf(w, "(%d ticks sampled 1-in-%d)\n", len(paths), stride)
+	}
+	s := Summarize(paths)
+	fmt.Fprintf(w, "ticks=%d  p50/p95 (ms): makespan %.2f/%.2f  compute %.2f/%.2f  queue %.2f/%.2f  transport %.2f/%.2f\n",
+		s.Ticks, s.MakespanP50*1e3, s.MakespanP95*1e3,
+		s.ComputeP50*1e3, s.ComputeP95*1e3,
+		s.QueueP50*1e3, s.QueueP95*1e3,
+		s.TransportP50*1e3, s.TransportP95*1e3)
+}
+
+// OneLine formats a summary as a single compact line (chaos windows).
+func (s Summary) OneLine() string {
+	return fmt.Sprintf("ticks=%-4d p50 ms compute/queue/transport %.1f/%.1f/%.1f (makespan %.1f)",
+		s.Ticks, s.ComputeP50*1e3, s.QueueP50*1e3, s.TransportP50*1e3, s.MakespanP50*1e3)
+}
+
+func sortedHosts(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for h := range m {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

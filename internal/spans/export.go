@@ -1,0 +1,129 @@
+package spans
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL streams the buffered spans as one JSON object per line,
+// matching the obs telemetry export style (jq/pandas-friendly).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON
+// Object Format"), which Perfetto and chrome://tracing both load.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the buffered spans as Chrome trace-event JSON:
+// each host becomes a process lane, each node (or span name, for net
+// and event spans) a thread lane, and every span a complete ("X")
+// event carrying its trace/span/parent ids in args. Events are sorted
+// by start time so the ts column is monotonic. Load the file at
+// https://ui.perfetto.dev or chrome://tracing.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Spans())
+}
+
+// WriteChrome exports an explicit span slice; see Tracer.WriteChrome.
+func WriteChrome(w io.Writer, sp []Span) error {
+	sp = append([]Span(nil), sp...)
+	sort.SliceStable(sp, func(i, j int) bool { return sp[i].Start < sp[j].Start })
+
+	// Stable pid per host, tid per lane within the host.
+	pids := map[string]int{}
+	type lane struct {
+		host string
+		name string
+	}
+	tids := map[lane]int{}
+	var meta []chromeEvent
+	pidOf := func(host string) int {
+		if host == "" {
+			host = "events"
+		}
+		if id, ok := pids[host]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[host] = id
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: id,
+			Args: map[string]interface{}{"name": host},
+		})
+		return id
+	}
+	tidOf := func(host, name string) int {
+		l := lane{host, name}
+		if id, ok := tids[l]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[l] = id
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidOf(host), Tid: id,
+			Args: map[string]interface{}{"name": name},
+		})
+		return id
+	}
+
+	events := make([]chromeEvent, 0, len(sp))
+	for _, s := range sp {
+		laneName := s.Node
+		if laneName == "" {
+			laneName = s.Name
+		}
+		args := map[string]interface{}{
+			"trace": s.Trace, "id": s.ID, "kind": s.Kind.String(),
+		}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  s.Start * 1e6,
+			Dur: s.Duration() * 1e6,
+			Pid: pidOf(s.Host), Tid: tidOf(s.Host, laneName),
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// WriteSummary prints a one-screen overview of the tracer state.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	if t == nil {
+		fmt.Fprintln(w, "tracing disabled")
+		return
+	}
+	fmt.Fprintf(w, "spans buffered=%d recorded=%d evicted=%d\n",
+		t.Len(), t.Total(), t.Dropped())
+}

@@ -1,0 +1,303 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsValidNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if id := tr.NewTrace(); id != 0 {
+		t.Errorf("nil NewTrace = %d, want 0", id)
+	}
+	if id := tr.NextID(); id != 0 {
+		t.Errorf("nil NextID = %d, want 0", id)
+	}
+	if id := tr.Add(1, 0, "x", "lgv", "n", Compute, 0, 1); id != 0 {
+		t.Errorf("nil Add = %d, want 0", id)
+	}
+	if id := tr.Record(Span{Trace: 1}); id != 0 {
+		t.Errorf("nil Record = %d, want 0", id)
+	}
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil Spans = %v, want nil", got)
+	}
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer counters nonzero")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil WriteJSONL: %v", err)
+	}
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	tr.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("nil summary = %q", buf.String())
+	}
+}
+
+func TestZeroTraceIDIsDiscarded(t *testing.T) {
+	tr := NewTracer(8)
+	// Producers blindly propagate trace ids from disabled peers; a zero
+	// trace must never land in the buffer.
+	if id := tr.Add(0, 7, "x", "", "", Compute, 0, 1); id != 0 {
+		t.Errorf("Add with trace 0 = %d, want 0", id)
+	}
+	if id := tr.Record(Span{Trace: 0, Name: "x"}); id != 0 {
+		t.Errorf("Record with trace 0 = %d, want 0", id)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("buffered %d spans, want 0", tr.Len())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.Add(trace, 0, "s", "lgv", "", Aux, float64(i), float64(i)+0.5)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Errorf("total/dropped = %d/%d, want 10/6", tr.Total(), tr.Dropped())
+	}
+	sp := tr.Spans()
+	// Oldest-first order with the oldest six evicted.
+	for i, s := range sp {
+		if want := float64(6 + i); s.Start != want {
+			t.Errorf("span %d start = %g, want %g", i, s.Start, want)
+		}
+	}
+}
+
+func TestIDsUniqueAcrossTraceAndSpan(t *testing.T) {
+	tr := NewTracer(16)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		id := tr.NewTrace()
+		if seen[id] {
+			t.Fatalf("trace id %d reused", id)
+		}
+		seen[id] = true
+		sid := tr.Add(id, 0, "s", "", "", Aux, 0, 1)
+		if seen[sid] {
+			t.Fatalf("span id %d collides", sid)
+		}
+		seen[sid] = true
+	}
+}
+
+func makeTickTrace(tr *Tracer) {
+	trace := tr.NewTrace()
+	root := tr.NextID()
+	tr.Add(trace, root, "uplink_queue", "lgv", "net", Queue, 0, 0.002)
+	tr.Add(trace, root, "uplink", "edge", "net", Transport, 0.002, 0.010)
+	tr.Add(trace, root, "costmap_generation", "edge", "costmap_generation", Compute, 0.010, 0.030)
+	tr.Add(trace, root, "path_tracking", "edge", "path_tracking", Compute, 0.030, 0.060)
+	tr.Add(trace, root, "downlink", "lgv", "net", Transport, 0.060, 0.066)
+	tr.Add(trace, root, "velocity_mux", "lgv", "velocity_mux", Compute, 0.066, 0.068)
+	tr.Add(trace, root, "localization", "lgv", "localization", Aux, 0, 0.080)
+	tr.Record(Span{Trace: trace, ID: root, Name: "tick", Host: "lgv",
+		Kind: Tick, Start: 0, End: 0.068})
+}
+
+func TestValidateAcceptsWellFormedTrace(t *testing.T) {
+	tr := NewTracer(64)
+	makeTickTrace(tr)
+	if err := Validate(tr.Spans()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   []Span
+		want string
+	}{
+		{"negative duration",
+			[]Span{{Trace: 1, ID: 2, Name: "x", Start: 5, End: 4}},
+			"negative duration"},
+		{"zero id",
+			[]Span{{Trace: 1, Name: "x", Start: 0, End: 1}},
+			"zero id"},
+		{"duplicate id",
+			[]Span{{Trace: 1, ID: 2, Name: "x", Start: 0, End: 1},
+				{Trace: 1, ID: 2, Name: "y", Start: 0, End: 1}},
+			"duplicate"},
+		{"missing parent",
+			[]Span{{Trace: 1, ID: 2, Parent: 9, Name: "x", Start: 0, End: 1}},
+			"parent 9 missing"},
+		{"segment escapes parent",
+			[]Span{{Trace: 1, ID: 2, Name: "root", Kind: Tick, Start: 0, End: 1},
+				{Trace: 1, ID: 3, Parent: 2, Name: "seg", Kind: Compute, Start: 0.5, End: 1.5}},
+			"escapes parent"},
+	}
+	for _, c := range cases {
+		err := Validate(c.sp)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+	// An Aux span outlasting its parent is fine (localization does this).
+	ok := []Span{
+		{Trace: 1, ID: 2, Name: "root", Kind: Tick, Start: 0, End: 1},
+		{Trace: 1, ID: 3, Parent: 2, Name: "loc", Kind: Aux, Start: 0, End: 2},
+	}
+	if err := Validate(ok); err != nil {
+		t.Errorf("Aux escaping parent rejected: %v", err)
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	tr := NewTracer(256)
+	for i := 0; i < 5; i++ {
+		makeTickTrace(tr)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+	if want := tr.Len(); n != want {
+		t.Errorf("chrome events = %d, want %d", n, want)
+	}
+	// Hosts become named process lanes.
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, want := range []string{"process_name", "thread_name", `"lgv"`, `"edge"`} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("chrome export missing %q", want)
+		}
+	}
+}
+
+func TestValidateChromeCatchesDefects(t *testing.T) {
+	if _, err := ValidateChrome([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	bad := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":5,"pid":1,"tid":1,"args":{"trace":1,"id":1}},
+		{"name":"b","ph":"X","ts":3,"pid":1,"tid":1,"args":{"trace":1,"id":2}}]}`
+	if _, err := ValidateChrome([]byte(bad)); err == nil ||
+		!strings.Contains(err.Error(), "monotonic") {
+		t.Errorf("non-monotonic ts: err = %v", err)
+	}
+	orphan := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":1,"pid":1,"tid":1,"args":{"trace":1,"id":3,"parent":9}}]}`
+	if _, err := ValidateChrome([]byte(orphan)); err == nil ||
+		!strings.Contains(err.Error(), "parent") {
+		t.Errorf("orphan parent: err = %v", err)
+	}
+}
+
+func TestJSONLRoundTrips(t *testing.T) {
+	tr := NewTracer(64)
+	makeTickTrace(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != tr.Len() {
+		t.Fatalf("%d JSONL lines, want %d", len(lines), tr.Len())
+	}
+	for _, ln := range lines {
+		var s Span
+		if err := json.Unmarshal([]byte(ln), &s); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		if s.Trace == 0 || s.ID == 0 {
+			t.Errorf("line %q lost ids", ln)
+		}
+	}
+}
+
+func TestAnalyzeTicksDecomposition(t *testing.T) {
+	tr := NewTracer(256)
+	makeTickTrace(tr)
+	paths := AnalyzeTicks(tr.Spans())
+	if len(paths) != 1 {
+		t.Fatalf("%d tick paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Makespan != 0.068 {
+		t.Errorf("makespan = %g, want 0.068", p.Makespan)
+	}
+	// 2+8 net, 20+30+2 compute, all milliseconds.
+	if got := p.Sum(); !approx(got, p.Makespan, 1e-12) {
+		t.Errorf("segments sum %g != makespan %g", got, p.Makespan)
+	}
+	if !approx(p.Compute, 0.052, 1e-12) || !approx(p.Queue, 0.002, 1e-12) ||
+		!approx(p.Transport, 0.014, 1e-12) {
+		t.Errorf("decomposition = %g/%g/%g", p.Compute, p.Queue, p.Transport)
+	}
+	if !approx(p.ComputeByHost["edge"], 0.050, 1e-12) ||
+		!approx(p.ComputeByHost["lgv"], 0.002, 1e-12) {
+		t.Errorf("compute by host = %v", p.ComputeByHost)
+	}
+}
+
+func TestSummarizeExcludesStarvedTicks(t *testing.T) {
+	paths := []TickPath{
+		{Makespan: 0.040, Compute: 0.030, Queue: 0.002, Transport: 0.008},
+		{Makespan: 0}, // starved: uplink drop
+		{Makespan: 0.060, Compute: 0.050, Queue: 0.002, Transport: 0.008},
+	}
+	s := Summarize(paths)
+	if s.Ticks != 2 {
+		t.Errorf("Ticks = %d, want 2", s.Ticks)
+	}
+	if !approx(s.MakespanP50, 0.050, 1e-12) {
+		t.Errorf("p50 = %g, want 0.050", s.MakespanP50)
+	}
+	if !strings.Contains(s.OneLine(), "ticks=2") {
+		t.Errorf("OneLine = %q", s.OneLine())
+	}
+}
+
+func TestWindowFiltersByStart(t *testing.T) {
+	paths := []TickPath{{Start: 1}, {Start: 2}, {Start: 3}}
+	got := Window(paths, 1.5, 3)
+	if len(got) != 1 || got[0].Start != 2 {
+		t.Errorf("Window = %v", got)
+	}
+}
+
+func TestWriteTableSamples(t *testing.T) {
+	var paths []TickPath
+	for i := 0; i < 100; i++ {
+		paths = append(paths, TickPath{Start: float64(i), Makespan: 0.05,
+			Compute: 0.04, Queue: 0.004, Transport: 0.006,
+			ComputeByHost: map[string]float64{"lgv": 0.04}})
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, paths, 10)
+	out := buf.String()
+	if !strings.Contains(out, "sampled 1-in-10") {
+		t.Errorf("table missing sampling note:\n%s", out)
+	}
+	if !strings.Contains(out, "ticks=100") {
+		t.Errorf("table missing summary footer:\n%s", out)
+	}
+}
+
+func approx(a, b, eps float64) bool {
+	d := a - b
+	return d < eps && d > -eps
+}

@@ -1,0 +1,109 @@
+package spans
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Validate checks structural invariants over a span set: non-negative
+// durations, unique ids, resolvable parents within the same trace, and
+// — for the critical-path kinds (Compute/Queue/Transport) — interval
+// containment inside the parent span. Aux and Mark spans only need a
+// resolvable parent: localization may legitimately outlast the VDP
+// makespan, and mux-wait extends past command delivery.
+func Validate(sp []Span) error {
+	const eps = 1e-9
+	type key struct {
+		trace, id uint64
+	}
+	byID := make(map[key]Span, len(sp))
+	for _, s := range sp {
+		if s.End < s.Start-eps {
+			return fmt.Errorf("span %d (%s): negative duration [%g, %g]", s.ID, s.Name, s.Start, s.End)
+		}
+		if s.ID == 0 {
+			return fmt.Errorf("span %q: zero id", s.Name)
+		}
+		k := key{s.Trace, s.ID}
+		if _, dup := byID[k]; dup {
+			return fmt.Errorf("span %d (%s): duplicate id in trace %d", s.ID, s.Name, s.Trace)
+		}
+		byID[k] = s
+	}
+	for _, s := range sp {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[key{s.Trace, s.Parent}]
+		if !ok {
+			return fmt.Errorf("span %d (%s): parent %d missing from trace %d", s.ID, s.Name, s.Parent, s.Trace)
+		}
+		switch s.Kind {
+		case Compute, Queue, Transport:
+			if s.Start < p.Start-eps || s.End > p.End+eps {
+				return fmt.Errorf("span %d (%s): [%g, %g] escapes parent %d (%s) [%g, %g]",
+					s.ID, s.Name, s.Start, s.End, p.ID, p.Name, p.Start, p.End)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateChrome checks an exported Chrome trace-event JSON document:
+// well-formed JSON of the object form, every event a metadata ("M") or
+// complete ("X") event, non-negative ts/dur, ts monotonic across the
+// complete events, and every span's parent id present in the document.
+// It returns the number of complete events.
+func ValidateChrome(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  float64  `json:"dur"`
+			Args struct {
+				ID     uint64 `json:"id"`
+				Parent uint64 `json:"parent"`
+				Trace  uint64 `json:"trace"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("malformed trace JSON: %w", err)
+	}
+	type key struct{ trace, id uint64 }
+	ids := map[key]bool{}
+	lastTs := 0.0
+	n := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return 0, fmt.Errorf("event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil {
+			return 0, fmt.Errorf("event %d (%s): missing ts", i, ev.Name)
+		}
+		if *ev.Ts < 0 || ev.Dur < 0 {
+			return 0, fmt.Errorf("event %d (%s): negative ts/dur", i, ev.Name)
+		}
+		if n > 0 && *ev.Ts < lastTs {
+			return 0, fmt.Errorf("event %d (%s): ts %g < previous %g (not monotonic)", i, ev.Name, *ev.Ts, lastTs)
+		}
+		lastTs = *ev.Ts
+		ids[key{ev.Args.Trace, ev.Args.ID}] = true
+		n++
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Args.Parent == 0 {
+			continue
+		}
+		if !ids[key{ev.Args.Trace, ev.Args.Parent}] {
+			return 0, fmt.Errorf("event %d (%s): parent span %d absent from trace %d",
+				i, ev.Name, ev.Args.Parent, ev.Args.Trace)
+		}
+	}
+	return n, nil
+}

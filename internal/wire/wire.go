@@ -96,18 +96,52 @@ var (
 	ErrTooLong     = errors.New("wire: declared length exceeds buffer")
 )
 
+// Header encoding versions. The message header is a prefix of every
+// payload, so growing it shifts all following fields: old captures
+// (bags) must be decoded with the version they were written under. The
+// version travels out-of-band — live traffic is always current, and the
+// bag container magic identifies the version of archived frames.
+const (
+	// HeaderV1 is the pre-tracing header: Seq, Stamp, SentAt.
+	HeaderV1 = 1
+	// HeaderV2 adds the causal trace context: TraceID, ParentSpan.
+	HeaderV2 = 2
+	// HeaderVersion is the version written by this build.
+	HeaderVersion = HeaderV2
+)
+
+// Traced is implemented by messages that carry causal trace context in
+// their header (see internal/spans); the middleware uses it to stitch
+// transport spans onto the sender's trace without knowing the concrete
+// message type.
+type Traced interface {
+	TraceContext() (traceID, parentSpan uint64)
+}
+
 // Decoder reads primitive values from a byte buffer. The first error
 // sticks: once a read fails, all subsequent reads return zero values and
 // Err reports the failure, letting callers decode whole structs and check
 // the error once.
 type Decoder struct {
-	buf []byte
-	off int
-	err error
+	buf    []byte
+	off    int
+	err    error
+	hdrVer int
 }
 
-// NewDecoder returns a decoder over the buffer.
-func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+// NewDecoder returns a decoder over the buffer, expecting the current
+// header version.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b, hdrVer: HeaderVersion} }
+
+// NewDecoderVersion returns a decoder over a buffer whose message
+// headers were written under an older encoding version.
+func NewDecoderVersion(b []byte, hdrVer int) *Decoder {
+	return &Decoder{buf: b, hdrVer: hdrVer}
+}
+
+// HeaderVersion reports the header encoding version the buffer was
+// written under; header unmarshalers branch on it.
+func (d *Decoder) HeaderVersion() int { return d.hdrVer }
 
 // Err returns the first decode error, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -294,7 +328,13 @@ func EncodeFrame(m Message) []byte {
 // DecodeFrame parses a frame produced by EncodeFrame, dispatching on the
 // registered kind.
 func DecodeFrame(b []byte) (Message, error) {
-	d := NewDecoder(b)
+	return DecodeFrameVersion(b, HeaderVersion)
+}
+
+// DecodeFrameVersion parses a frame written under an older header
+// encoding version (archived bags); live traffic uses DecodeFrame.
+func DecodeFrameVersion(b []byte, hdrVer int) (Message, error) {
+	d := NewDecoderVersion(b, hdrVer)
 	kind := uint16(d.Uvarint())
 	if d.Err() != nil {
 		return nil, d.Err()

@@ -29,6 +29,7 @@ package lgvoffload
 
 import (
 	"io"
+	"net/http"
 
 	"lgvoffload/internal/bench"
 	"lgvoffload/internal/core"
@@ -38,6 +39,7 @@ import (
 	"lgvoffload/internal/grid"
 	"lgvoffload/internal/netsim"
 	"lgvoffload/internal/obs"
+	"lgvoffload/internal/spans"
 	"lgvoffload/internal/world"
 )
 
@@ -74,6 +76,16 @@ type (
 	FaultConfig = faults.Config
 	// FaultWindow is one scripted disturbance window.
 	FaultWindow = faults.Window
+	// Tracer is the causal tracing collector (see internal/spans): set
+	// MissionConfig.Tracer to one to record every control tick as a span
+	// tree; leave it nil (the default) for zero overhead.
+	Tracer = spans.Tracer
+	// Span is one completed trace interval.
+	Span = spans.Span
+	// TickPath is the critical-path decomposition of one traced tick.
+	TickPath = spans.TickPath
+	// CritPathSummary aggregates tick decompositions into p50/p95 form.
+	CritPathSummary = spans.Summary
 )
 
 // EnergyComponents lists the Eq. 1a components in presentation order.
@@ -111,6 +123,39 @@ func NewTelemetry(eventCap int) *Telemetry { return obs.NewTelemetry(eventCap) }
 // adaptation decision log) to w. Nil-safe on t.
 func WritePostMortem(w io.Writer, t *Telemetry, missionTime float64) error {
 	return obs.WritePostMortem(w, t, missionTime)
+}
+
+// NewTracer builds a causal-trace collector holding at most capacity
+// spans (<= 0 means the default, about 20 minutes of 5 Hz mission).
+func NewTracer(capacity int) *Tracer { return spans.NewTracer(capacity) }
+
+// AnalyzeTicks decomposes recorded spans into per-tick critical paths.
+func AnalyzeTicks(sp []Span) []TickPath { return spans.AnalyzeTicks(sp) }
+
+// SummarizeTicks aggregates tick decompositions into p50/p95 quantiles.
+func SummarizeTicks(paths []TickPath) CritPathSummary { return spans.Summarize(paths) }
+
+// WriteCritPathTable prints the per-tick VDP decomposition (sampling
+// down to maxRows rows) followed by a quantile summary footer.
+func WriteCritPathTable(w io.Writer, paths []TickPath, maxRows int) {
+	spans.WriteTable(w, paths, maxRows)
+}
+
+// ValidateTrace checks structural invariants over a recorded span set.
+func ValidateTrace(sp []Span) error { return spans.Validate(sp) }
+
+// ValidateChromeTrace checks an exported Chrome trace-event JSON
+// document and returns its complete-event count.
+func ValidateChromeTrace(data []byte) (int, error) { return spans.ValidateChrome(data) }
+
+// NewInspector returns the live HTTP inspection endpoint: metrics
+// snapshot, recent timeline, Chrome trace, expvar and pprof. Either
+// argument may be nil.
+func NewInspector(t *Telemetry, tr *Tracer) http.Handler {
+	if tr == nil {
+		return obs.NewInspector(t, nil)
+	}
+	return obs.NewInspector(t, tr)
 }
 
 // Deployment constructors.
