@@ -24,8 +24,14 @@ test:
 chaos:
 	go test -race -run Chaos -count=2 ./...
 
+# Benchmark trajectory: enforce the steady-state allocation bounds (the
+# TestAlloc* tests are !race-tagged — the race detector's allocation
+# instrumentation would distort them), then run the full benchmark sweep
+# and record ns/op, B/op, allocs/op into BENCH_PR4.json's `current`
+# section (the pinned `baseline` section is preserved).
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run 'TestAlloc' -count=1 .
+	go run ./cmd/benchjson -out BENCH_PR4.json
 
 reproduce:
 	go run ./cmd/reproduce -exp all

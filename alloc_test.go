@@ -1,0 +1,101 @@
+//go:build !race
+
+package lgvoffload
+
+// Steady-state allocation bounds for the pooled hot paths. These run via
+// `make bench` (no race detector: -race instruments allocations and
+// would both distort the counts and fail the bounds), while `make check`
+// excludes them through the build tag above.
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/costmap"
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/msg"
+	"lgvoffload/internal/slam"
+	"lgvoffload/internal/trace"
+	"lgvoffload/internal/tracker"
+	"lgvoffload/internal/wire"
+	"lgvoffload/internal/world"
+)
+
+// TestAllocTrackerPlanSteadyState: after warm-up, a parallel plan on the
+// persistent pool reuses its closure, result slots and staging struct —
+// no per-tick allocations.
+func TestAllocTrackerPlanSteadyState(t *testing.T) {
+	m := world.LabMap()
+	ccfg := costmap.DefaultConfig(m.Width, m.Height, m.Resolution, m.Origin)
+	cm := costmap.New(ccfg)
+	cm.SetStatic(m)
+	tcfg := tracker.DefaultConfig()
+	tcfg.WSamples = 40
+	tcfg.VSamples = 25
+	tk := tracker.New(tcfg)
+	in := tracker.Input{
+		Pose: geom.P(1, 1, 0), Vel: geom.Twist{V: 0.1},
+		Path:    []geom.Vec2{geom.V(1, 1), geom.V(5, 1)},
+		Costmap: cm,
+	}
+	for i := 0; i < 3; i++ { // warm the pool and the result slots
+		if _, err := tk.PlanParallel(in, 4, tracker.Block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := tk.PlanParallel(in, 4, tracker.Block); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("PlanParallel steady state allocates %.1f/op, want <= 2", allocs)
+	}
+}
+
+// TestAllocSLAMUpdateSteadyState: with resampling disabled (no clones)
+// and the tile working set warmed, a parallel update allocates nothing —
+// scratch, results and the worker closure are all reused.
+func TestAllocSLAMUpdateSteadyState(t *testing.T) {
+	ds := trace.LabDataset(11, 4)
+	cfg := slam.DefaultConfig(ds.Map.Width, ds.Map.Height, ds.Map.Resolution, ds.Map.Origin)
+	cfg.NumParticles = 8
+	cfg.ResampleNeff = 0 // isolate the update path from COW clone traffic
+	s := slam.New(cfg, rand.New(rand.NewSource(7)))
+	s.SetInitialPose(ds.Start)
+	e := ds.Entries[0]
+	still := geom.Pose{}
+	for i := 0; i < 3; i++ { // allocate the beam's tiles once
+		s.UpdateParallel(still, e.Scan, 4, slam.Block)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.UpdateParallel(still, e.Scan, 4, slam.Block)
+	})
+	if allocs > 2 {
+		t.Errorf("UpdateParallel steady state allocates %.1f/op, want <= 2", allocs)
+	}
+}
+
+// TestAllocWireEncodeSteadyState: the pooled encoder plane encodes a
+// scan-sized frame and reports frame sizes without allocating.
+func TestAllocWireEncodeSteadyState(t *testing.T) {
+	scan := &msg.Scan{
+		AngleMin: -3.14, AngleInc: 0.0174, MaxRange: 3.5,
+		Ranges: make([]float64, 360),
+	}
+	wire.EncodedSize(scan) // warm the pool with a scan-sized buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		e := wire.GetEncoder()
+		wire.EncodeFrameTo(e, scan)
+		wire.PutEncoder(e)
+	})
+	if allocs > 0 {
+		t.Errorf("pooled encode allocates %.1f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		_ = wire.EncodedSize(scan)
+	})
+	if allocs > 0 {
+		t.Errorf("EncodedSize allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,139 @@
+// Command benchjson runs the repo's key benchmarks and records the
+// results as JSON, growing the benchmark trajectory the ROADMAP calls
+// for. The output file keeps two sections: a pinned `baseline` (the
+// numbers before an optimization PR) and `current` (the numbers after),
+// so a reviewer can diff ns/op, B/op and allocs/op per benchmark without
+// re-running anything.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_PR4.json                 # run + record current
+//	go run ./cmd/benchjson -input old.txt -baseline -label pre # import a captured run as baseline
+//	go run ./cmd/benchjson -bench 'Fig9|Fig10'                 # restrict the benchmark set
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"b_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Run is one labelled benchmark sweep.
+type Run struct {
+	Label   string   `json:"label"`
+	Results []Result `json:"results"`
+}
+
+// File is the on-disk layout.
+type File struct {
+	Benchtime string `json:"benchtime"`
+	Count     int    `json:"count"`
+	Baseline  *Run   `json:"baseline,omitempty"`
+	Current   *Run   `json:"current,omitempty"`
+}
+
+// benchLine matches `go test -bench` output with -benchmem, stripping
+// the GOMAXPROCS suffix (`BenchmarkFoo-8`).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func parse(out string) []Result {
+	var rs []Result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var b, allocs int64
+		if m[4] != "" {
+			b, _ = strconv.ParseInt(m[4], 10, 64)
+			allocs, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rs = append(rs, Result{Name: m[1], Iters: iters, NsPerOp: ns, BPerOp: b, AllocsOp: allocs})
+	}
+	return rs
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_PR4.json", "output JSON file")
+		input     = flag.String("input", "", "parse an existing `go test -bench` output file instead of running")
+		baseline  = flag.Bool("baseline", false, "record results into the baseline section instead of current")
+		label     = flag.String("label", "", "label for the recorded run")
+		benchRe   = flag.String("bench", ".", "benchmark regexp passed to go test")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark time")
+		count     = flag.Int("count", 1, "runs per benchmark")
+	)
+	flag.Parse()
+
+	var raw string
+	if *input != "" {
+		b, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		raw = string(b)
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *benchRe, "-benchmem",
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), ".")
+		cmd.Stderr = os.Stderr
+		b, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go test -bench: %w", err))
+		}
+		raw = string(b)
+	}
+	results := parse(raw)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed"))
+	}
+
+	// Merge into the existing file so the pinned section survives.
+	f := &File{Benchtime: *benchtime, Count: *count}
+	if b, err := os.ReadFile(*out); err == nil {
+		_ = json.Unmarshal(b, f)
+	}
+	run := &Run{Label: *label, Results: results}
+	if *baseline {
+		if run.Label == "" {
+			run.Label = "baseline"
+		}
+		f.Baseline = run
+	} else {
+		if run.Label == "" {
+			run.Label = "current"
+		}
+		f.Current = run
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -54,10 +54,14 @@ func (w *Writer) Write(stamp float64, topic string, m wire.Message) error {
 	if w.err != nil {
 		return w.err
 	}
-	enc := wire.NewEncoder(64)
+	enc := wire.GetEncoder()
+	defer wire.PutEncoder(enc)
 	enc.Float64(stamp)
 	enc.String(topic)
-	enc.BytesField(wire.EncodeFrame(m))
+	fr := wire.GetEncoder()
+	wire.EncodeFrameTo(fr, m)
+	enc.BytesField(fr.Bytes())
+	wire.PutEncoder(fr)
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(enc.Len()))
 	if _, err := w.bw.Write(lenBuf[:n]); err != nil {

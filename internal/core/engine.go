@@ -14,6 +14,7 @@ import (
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/grid"
 	"lgvoffload/internal/hostsim"
+	"lgvoffload/internal/msg"
 	"lgvoffload/internal/muxer"
 	"lgvoffload/internal/mw"
 	"lgvoffload/internal/netsim"
@@ -342,6 +343,7 @@ type engine struct {
 	nextReplan  float64
 	pauseUntil  float64 // migration pause
 	seq         uint64
+	scanMsg     msg.Scan // reused per-tick scan message for size accounting
 
 	slamBusyUntil    float64   // SLAM node busy processing a scan
 	pendingSlamDelta geom.Pose // odometry accumulated while SLAM was busy

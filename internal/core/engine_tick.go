@@ -66,7 +66,7 @@ func (e *engine) controlTick(now float64) {
 	var upLat, upQueue float64
 	upDropped := false
 	if anyRemote {
-		scanFrame := len(wire.EncodeFrame(msg.FromSensor(scan, e.seq))) + 60 // + odom piggyback
+		scanFrame := wire.EncodedSize(msg.FromSensorInto(&e.scanMsg, scan, e.seq)) + 60 // + odom piggyback
 		e.seq++
 		arrive, drop, qd := e.link.SendDirDetail(now, scanFrame, netsim.DirUp)
 		e.msgsSent++

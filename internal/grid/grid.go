@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lgvoffload/internal/geom"
 )
@@ -155,29 +157,205 @@ func (m *Map) KnownFraction() float64 {
 // ---------------------------------------------------------------------------
 // Log-odds probabilistic grid (SLAM mapping layer).
 
+// Tile geometry for the copy-on-write storage below. 32×32 cells × 8 B
+// = 8 KB per tile: small enough that a scan's dirty set is a handful of
+// tiles, big enough that the tile table stays tiny.
+const (
+	tileShift = 5
+	tileDim   = 1 << tileShift
+	tileMask  = tileDim - 1
+	// TileCells is the cell count of one COW tile; CopyOps accounting in
+	// the SLAM filter charges this much copy work per duplicated tile.
+	TileCells = tileDim * tileDim
+)
+
+// tile is one reference-counted block of log-odds values. The refcount
+// is atomic because tiles shared between particles are copy-on-written
+// from the parallel section of the SLAM update: a writer that observes
+// ref > 1 copies the tile and release-decrements, so an in-place write
+// (ref == 1) can only happen after every other owner has already
+// detached.
+type tile struct {
+	ref atomic.Int32
+	l   [TileCells]float64
+}
+
+// tilePool recycles tiles across COW copies and released grids, so the
+// steady-state filter (resample → clone → dirty-tile copies → drop)
+// churns through the free list instead of the allocator.
+var tilePool = sync.Pool{New: func() any { return new(tile) }}
+
+// newTileZero returns an exclusively-owned all-zero tile.
+func newTileZero() *tile {
+	t := tilePool.Get().(*tile)
+	clear(t.l[:])
+	t.ref.Store(1)
+	return t
+}
+
+// newTileCopy returns an exclusively-owned copy of src's cells.
+func newTileCopy(src *tile) *tile {
+	t := tilePool.Get().(*tile)
+	t.l = src.l
+	t.ref.Store(1)
+	return t
+}
+
 // LogOdds is a probabilistic occupancy grid storing per-cell log odds.
-// It shares geometry with Map.
+// It shares geometry with Map. Storage is tiled with reference-counted
+// copy-on-write sharing (the classic RBPF map-sharing optimization):
+// Clone shares every tile with the original, and writes copy only the
+// tiles they touch, so resampling M particles costs O(dirty tiles)
+// instead of O(M · map).
 type LogOdds struct {
 	Width, Height int
 	Resolution    float64
 	Origin        geom.Vec2
-	L             []float64
 
 	// Update increments and clamping bounds, in log-odds units.
 	LOcc, LFree, LMin, LMax float64
+
+	tilesW, tilesH int
+	tiles          []*tile
+	copied         int // cells duplicated by COW since the last TakeCopied
 }
 
 // NewLogOdds allocates a log-odds grid with standard update parameters
 // (p_occ = 0.7, p_free = 0.4 per observation, clamped to [-4, 4]).
+// Tiles are allocated eagerly (drawn from the free list when possible) so
+// the steady-state update path never hits the allocator: writes into an
+// exclusively-owned grid are pure stores, and only COW detaches copy.
 func NewLogOdds(w, h int, res float64, origin geom.Vec2) *LogOdds {
-	return &LogOdds{
+	tw := (w + tileMask) >> tileShift
+	th := (h + tileMask) >> tileShift
+	g := &LogOdds{
 		Width: w, Height: h, Resolution: res, Origin: origin,
-		L:    make([]float64, w*h),
 		LOcc: logit(0.7), LFree: logit(0.4), LMin: -4, LMax: 4,
+		tilesW: tw, tilesH: th, tiles: make([]*tile, tw*th),
 	}
+	for i := range g.tiles {
+		g.tiles[i] = newTileZero()
+	}
+	return g
 }
 
 func logit(p float64) float64 { return math.Log(p / (1 - p)) }
+
+// tileIndex splits an in-bounds cell into its tile and inner indices.
+func (g *LogOdds) tileIndex(c geom.Cell) (ti, inner int) {
+	return (c.Y>>tileShift)*g.tilesW + c.X>>tileShift,
+		(c.Y&tileMask)<<tileShift | c.X&tileMask
+}
+
+// At returns the raw log-odds value of a cell (0 when untouched or out
+// of bounds).
+func (g *LogOdds) At(c geom.Cell) float64 {
+	if !g.InBounds(c) {
+		return 0
+	}
+	ti, inner := g.tileIndex(c)
+	t := g.tiles[ti]
+	if t == nil {
+		return 0
+	}
+	return t.l[inner]
+}
+
+// writable returns the tile at ti ready for in-place writes, allocating
+// an untouched tile or copying a shared one first (copy-on-write).
+func (g *LogOdds) writable(ti int) *tile {
+	t := g.tiles[ti]
+	if t == nil {
+		t = newTileZero()
+		g.tiles[ti] = t
+		return t
+	}
+	if t.ref.Load() > 1 {
+		nt := newTileCopy(t)
+		// Release after the copy: a peer observing the decremented count
+		// is guaranteed to see our reads complete, so its in-place writes
+		// (once it is the sole owner) cannot race the copy above.
+		t.ref.Add(-1)
+		g.tiles[ti] = nt
+		g.copied += TileCells
+		return nt
+	}
+	return t
+}
+
+// Clone returns a copy-on-write duplicate: both grids share every tile
+// until one of them writes. The duplicate's work is O(tiles), not
+// O(cells) — TileCount is the matching op count for work accounting.
+func (g *LogOdds) Clone() *LogOdds {
+	c := *g
+	c.copied = 0
+	c.tiles = make([]*tile, len(g.tiles))
+	copy(c.tiles, g.tiles)
+	for _, t := range c.tiles {
+		if t != nil {
+			t.ref.Add(1)
+		}
+	}
+	return &c
+}
+
+// TileCount returns the size of the tile table (allocated or not).
+func (g *LogOdds) TileCount() int { return len(g.tiles) }
+
+// NewShell returns a grid with g's geometry and parameters but an empty
+// tile table (every slot nil, meaning untouched). Shells are cheap —
+// no tile data — and exist to pre-size CloneInto destinations, e.g.
+// spare particle shells for resampling.
+func (g *LogOdds) NewShell() *LogOdds {
+	c := *g
+	c.copied = 0
+	c.tiles = make([]*tile, len(g.tiles))
+	return &c
+}
+
+// CloneInto turns dst — a released shell, typically a particle dropped by
+// an earlier resample — into a copy-on-write duplicate of g, reusing
+// dst's tile table so steady-state resampling allocates nothing. Falls
+// back to allocating a table when the geometry differs.
+func (g *LogOdds) CloneInto(dst *LogOdds) {
+	tiles := dst.tiles
+	if len(tiles) != len(g.tiles) {
+		tiles = make([]*tile, len(g.tiles))
+	}
+	*dst = *g
+	dst.copied = 0
+	dst.tiles = tiles
+	copy(tiles, g.tiles)
+	for _, t := range tiles {
+		if t != nil {
+			t.ref.Add(1)
+		}
+	}
+}
+
+// Release drops this grid's reference on every tile and recycles the ones
+// it owned exclusively into the free list. Call it when a grid is being
+// discarded (e.g. a particle dropped at resampling) — the grid must not
+// be read or written afterward. Tiles still shared with live clones stay
+// untouched: only a refcount that reaches zero is recycled.
+func (g *LogOdds) Release() {
+	for i, t := range g.tiles {
+		if t != nil && t.ref.Add(-1) == 0 {
+			tilePool.Put(t)
+		}
+		g.tiles[i] = nil
+	}
+}
+
+// TakeCopied returns the number of cells duplicated by copy-on-write
+// since the last call, and resets the counter. The SLAM filter folds
+// this into UpdateStats.CopyOps so cycle accounting still reflects the
+// real copy work performed.
+func (g *LogOdds) TakeCopied() int {
+	n := g.copied
+	g.copied = 0
+	return n
+}
 
 // InBounds reports whether the cell is inside the grid.
 func (g *LogOdds) InBounds(c geom.Cell) bool {
@@ -203,41 +381,52 @@ func (g *LogOdds) CellToWorld(c geom.Cell) geom.Vec2 {
 // Prob returns the occupancy probability of a cell (0.5 when untouched or
 // out of bounds).
 func (g *LogOdds) Prob(c geom.Cell) float64 {
-	if !g.InBounds(c) {
-		return 0.5
-	}
-	return 1 / (1 + math.Exp(-g.L[c.Y*g.Width+c.X]))
+	return 1 / (1 + math.Exp(-g.At(c)))
 }
 
 // Touched reports whether the cell has received any observation.
 func (g *LogOdds) Touched(c geom.Cell) bool {
-	return g.InBounds(c) && g.L[c.Y*g.Width+c.X] != 0
+	return g.At(c) != 0
 }
 
 // IntegrateBeam updates the grid along one laser beam: cells between the
 // sensor and the endpoint are observed free; the endpoint cell is observed
 // occupied when the beam actually hit something (hit=true).
 // The number of cells updated is returned so callers can account work.
+// Only tiles actually written are allocated or copy-on-written, so a beam
+// through already-exclusive tiles costs no allocation.
 func (g *LogOdds) IntegrateBeam(from geom.Vec2, theta, dist float64, hit bool) int {
 	end := from.Add(geom.V(dist, 0).Rotate(theta))
 	a := g.WorldToCell(from)
 	b := g.WorldToCell(end)
 	n := 0
+	// Bresenham walks cross tile borders every ≤32 steps; cache the last
+	// writable tile so the common in-tile step is compare-and-store with
+	// no table lookup (and no tile-row multiply).
+	curTx, curTy := -1, -1
+	var cur *tile
 	geom.Bresenham(a, b, func(c geom.Cell) bool {
 		if !g.InBounds(c) {
 			return false
 		}
-		i := c.Y*g.Width + c.X
+		tx, ty := c.X>>tileShift, c.Y>>tileShift
+		inner := (c.Y&tileMask)<<tileShift | c.X&tileMask
 		if c == b {
 			if hit {
-				g.L[i] = math.Min(g.L[i]+g.LOcc, g.LMax)
+				if tx != curTx || ty != curTy {
+					cur, curTx, curTy = g.writable(ty*g.tilesW+tx), tx, ty
+				}
+				cur.l[inner] = math.Min(cur.l[inner]+g.LOcc, g.LMax)
 			}
 			// A max-range miss leaves the endpoint untouched: the beam
 			// only proves freeness up to (not at) max range.
 			n++
 			return false
 		}
-		g.L[i] = math.Max(g.L[i]+g.LFree, g.LMin)
+		if tx != curTx || ty != curTy {
+			cur, curTx, curTy = g.writable(ty*g.tilesW+tx), tx, ty
+		}
+		cur.l[inner] = math.Max(cur.l[inner]+g.LFree, g.LMin)
 		n++
 		return true
 	})
@@ -248,18 +437,29 @@ func (g *LogOdds) IntegrateBeam(from geom.Vec2, theta, dist float64, hit bool) i
 // is Occupied, prob < freeThresh is Free, untouched cells are Unknown.
 func (g *LogOdds) ToMap(freeThresh, occThresh float64) *Map {
 	m := NewMap(g.Width, g.Height, g.Resolution, g.Origin, Unknown)
-	for y := 0; y < g.Height; y++ {
-		for x := 0; x < g.Width; x++ {
-			c := geom.Cell{X: x, Y: y}
-			if !g.Touched(c) {
+	for ty := 0; ty < g.tilesH; ty++ {
+		for tx := 0; tx < g.tilesW; tx++ {
+			t := g.tiles[ty*g.tilesW+tx]
+			if t == nil {
 				continue
 			}
-			p := g.Prob(c)
-			switch {
-			case p > occThresh:
-				m.Set(c, Occupied)
-			case p < freeThresh:
-				m.Set(c, Free)
+			ymax := min((ty+1)<<tileShift, g.Height)
+			xmax := min((tx+1)<<tileShift, g.Width)
+			for y := ty << tileShift; y < ymax; y++ {
+				for x := tx << tileShift; x < xmax; x++ {
+					l := t.l[(y&tileMask)<<tileShift|x&tileMask]
+					if l == 0 {
+						continue
+					}
+					p := 1 / (1 + math.Exp(-l))
+					c := geom.Cell{X: x, Y: y}
+					switch {
+					case p > occThresh:
+						m.Set(c, Occupied)
+					case p < freeThresh:
+						m.Set(c, Free)
+					}
+				}
 			}
 		}
 	}

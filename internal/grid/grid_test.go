@@ -204,13 +204,118 @@ func TestLogOddsClamping(t *testing.T) {
 		g.IntegrateBeam(from, 0, 1.0, true)
 	}
 	endCell := g.WorldToCell(from.Add(geom.V(1, 0)))
-	l := g.L[endCell.Y*g.Width+endCell.X]
+	l := g.At(endCell)
 	if l > g.LMax+1e-9 {
 		t.Errorf("log odds %v exceeded max %v", l, g.LMax)
 	}
 	midCell := g.WorldToCell(from.Add(geom.V(0.5, 0)))
-	if lm := g.L[midCell.Y*g.Width+midCell.X]; lm < g.LMin-1e-9 {
+	if lm := g.At(midCell); lm < g.LMin-1e-9 {
 		t.Errorf("log odds %v under min %v", lm, g.LMin)
+	}
+}
+
+// TestLogOddsCloneSharesUntilWrite pins the copy-on-write contract:
+// clones observe the original's data without copying it, diverge only in
+// tiles they write, and never leak writes back to the source.
+func TestLogOddsCloneSharesUntilWrite(t *testing.T) {
+	g := NewLogOdds(100, 100, 0.1, geom.V(0, 0))
+	from := geom.V(0.55, 5.05)
+	for i := 0; i < 2; i++ { // stay well under the LMax clamp
+		g.IntegrateBeam(from, 0, 3.0, true)
+	}
+	c := g.Clone()
+	endCell := g.WorldToCell(from.Add(geom.V(3, 0)))
+	if c.At(endCell) != g.At(endCell) {
+		t.Fatal("clone does not see original's data")
+	}
+	if n := c.TakeCopied(); n != 0 {
+		t.Fatalf("clone copied %d cells before any write", n)
+	}
+
+	// Writing through the clone must not disturb the original.
+	before := g.At(endCell)
+	c.IntegrateBeam(from, 0, 3.0, true)
+	if g.At(endCell) != before {
+		t.Error("clone write leaked into original")
+	}
+	if c.At(endCell) <= before {
+		t.Error("clone write had no effect")
+	}
+	// The write dirtied only the beam's tiles, charged in whole tiles.
+	n := c.TakeCopied()
+	if n == 0 || n%TileCells != 0 {
+		t.Errorf("copied %d cells, want a positive multiple of %d", n, TileCells)
+	}
+	if n > 4*TileCells {
+		t.Errorf("copied %d cells for a 3 m beam, want at most 4 tiles", n)
+	}
+
+	// Writing through the original must likewise not disturb the clone.
+	cEnd := c.At(endCell)
+	g.IntegrateBeam(from, 0, 3.0, true)
+	if c.At(endCell) != cEnd {
+		t.Error("original write leaked into clone")
+	}
+}
+
+// TestLogOddsCloneChain checks refcounts survive multi-way sharing: the
+// same tile shared by three grids is detached independently by each.
+func TestLogOddsCloneChain(t *testing.T) {
+	g := NewLogOdds(64, 64, 0.1, geom.V(0, 0))
+	from := geom.V(0.35, 3.15)
+	g.IntegrateBeam(from, 0, 2.0, true)
+	a, b := g.Clone(), g.Clone()
+	end := g.WorldToCell(from.Add(geom.V(2, 0)))
+	base := g.At(end)
+	a.IntegrateBeam(from, 0, 2.0, true)
+	b.IntegrateBeam(from, 0, 2.0, true)
+	b.IntegrateBeam(from, 0, 2.0, true)
+	if g.At(end) != base {
+		t.Error("source changed by clone writes")
+	}
+	if a.At(end) == b.At(end) || a.At(end) <= base {
+		t.Errorf("clones not independent: src=%v a=%v b=%v", base, a.At(end), b.At(end))
+	}
+	// After everyone detached, writes to g are in-place again (no copy).
+	g.TakeCopied()
+	g.IntegrateBeam(from, 0, 2.0, true)
+	if n := g.TakeCopied(); n != 0 {
+		t.Errorf("sole-owner write copied %d cells, want 0", n)
+	}
+}
+
+// TestLogOddsReleaseKeepsSharedTiles pins the free-list contract: a
+// released grid recycles only tiles it owned exclusively, so a surviving
+// clone keeps reading its shared tiles unharmed, even after the recycled
+// tiles are handed out again and overwritten.
+func TestLogOddsReleaseKeepsSharedTiles(t *testing.T) {
+	g := NewLogOdds(64, 64, 0.1, geom.V(0, 0))
+	from := geom.V(0.35, 3.15)
+	for i := 0; i < 2; i++ {
+		g.IntegrateBeam(from, 0, 2.0, true)
+	}
+	c := g.Clone()
+	end := g.WorldToCell(from.Add(geom.V(2, 0)))
+	want := c.At(end)
+	g.Release()
+	// Churn the free list: fresh grids must come back zeroed and writes to
+	// them must not alias the survivor's tiles.
+	for i := 0; i < 3; i++ {
+		f := NewLogOdds(64, 64, 0.1, geom.V(0, 0))
+		if l := f.At(end); l != 0 {
+			t.Fatalf("recycled tile not zeroed: At = %v", l)
+		}
+		f.IntegrateBeam(from, 0, 2.0, true)
+		f.Release()
+	}
+	if got := c.At(end); got != want {
+		t.Errorf("surviving clone corrupted after Release: At = %v, want %v", got, want)
+	}
+	// The survivor is now sole owner: its writes are in-place, not copies.
+	c.TakeCopied()
+	c.IntegrateBeam(from, 0, 2.0, true)
+	if n := c.TakeCopied(); n != 0 {
+		t.Errorf("sole-owner write after Release copied %d cells, want 0", n)
 	}
 }
 

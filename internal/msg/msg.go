@@ -113,13 +113,21 @@ func (*Scan) Kind() uint16 { return KindScan }
 
 // FromSensor builds a Scan message from a sensor sweep.
 func FromSensor(s *sensor.Scan, seq uint64) *Scan {
-	return &Scan{
+	return FromSensorInto(&Scan{}, s, seq)
+}
+
+// FromSensorInto fills dst from a sensor sweep and returns it, letting
+// per-tick senders reuse one message value instead of allocating. The
+// Ranges slice is shared with the sweep, exactly as FromSensor does.
+func FromSensorInto(dst *Scan, s *sensor.Scan, seq uint64) *Scan {
+	*dst = Scan{
 		Header:   Header{Seq: seq, Stamp: s.Stamp},
 		AngleMin: s.AngleMin,
 		AngleInc: s.AngleInc,
 		MaxRange: s.MaxRange,
 		Ranges:   s.Ranges,
 	}
+	return dst
 }
 
 // ToSensor converts back to the sensor type.
@@ -146,7 +154,9 @@ func (m *Scan) UnmarshalWire(d *wire.Decoder) error {
 	m.AngleMin = d.Float64()
 	m.AngleInc = d.Float64()
 	m.MaxRange = d.Float64()
-	m.Ranges = d.Float64Slice()
+	// Decode into the existing backing array when re-unmarshaling into a
+	// retained message (transport read loops), allocating only on growth.
+	m.Ranges = d.Float64SliceInto(m.Ranges[:0])
 	return d.Err()
 }
 
@@ -274,8 +284,8 @@ func (m *Path) MarshalWire(e *wire.Encoder) {
 
 func (m *Path) UnmarshalWire(d *wire.Decoder) error {
 	m.Header.unmarshal(d)
-	m.Xs = d.Float64Slice()
-	m.Ys = d.Float64Slice()
+	m.Xs = d.Float64SliceInto(m.Xs[:0])
+	m.Ys = d.Float64SliceInto(m.Ys[:0])
 	return d.Err()
 }
 
@@ -314,7 +324,7 @@ func (m *GridPatch) UnmarshalWire(d *wire.Decoder) error {
 	m.Resolution = d.Float64()
 	m.OriginX = d.Float64()
 	m.OriginY = d.Float64()
-	m.Cells = d.Int8Slice()
+	m.Cells = d.Int8SliceInto(m.Cells[:0])
 	return d.Err()
 }
 

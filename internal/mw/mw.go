@@ -226,7 +226,7 @@ func (b *Bus) Unsubscribe(s *Subscription) {
 // now. Each subscriber receives its own fabric-scheduled copy; remote
 // copies may be dropped by the fabric. The encoded size is computed once.
 func (b *Bus) Publish(topic string, from HostID, m wire.Message, now float64) {
-	size := len(wire.EncodeFrame(m))
+	size := wire.EncodedSize(m)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.seq++

@@ -90,7 +90,7 @@ func (r *ServiceRegistry) Call(name string, from HostID, req wire.Message, now f
 		return nil, 0, fmt.Errorf("mw: unknown service %q", name)
 	}
 
-	reqSize := len(wire.EncodeFrame(req))
+	reqSize := wire.EncodedSize(req)
 	reqArrive, dropped := r.fabric.Transfer(from, s.host, reqSize, now)
 	if dropped {
 		r.fail()
@@ -104,7 +104,7 @@ func (r *ServiceRegistry) Call(name string, from HostID, req wire.Message, now f
 	if proc < 0 {
 		proc = 0
 	}
-	respSize := len(wire.EncodeFrame(resp))
+	respSize := wire.EncodedSize(resp)
 	doneAt, dropped = r.fabric.Transfer(s.host, from, respSize, reqArrive+proc)
 	if dropped {
 		r.fail()

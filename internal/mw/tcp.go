@@ -81,7 +81,10 @@ func newTCPEndpoint(conn net.Conn) *TCPEndpoint {
 // (or buffers) rather than dropping — reliability is the point and the
 // problem.
 func (ep *TCPEndpoint) Send(m wire.Message) error {
-	frame := wire.EncodeFrame(m)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	wire.EncodeFrameTo(e, m)
+	frame := e.Bytes()
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(frame)))
 	ep.mu.Lock()

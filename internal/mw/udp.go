@@ -73,10 +73,14 @@ func (ep *UDPEndpoint) SetSink(s obs.Sink) {
 	ep.sink = s
 }
 
-// SendTo encodes and transmits a message to the given peer address.
+// SendTo encodes and transmits a message to the given peer address. The
+// frame is built in a pooled buffer released after the write, so the
+// steady-state scan/cmd stream does not allocate per datagram.
 func (ep *UDPEndpoint) SendTo(peer *net.UDPAddr, m wire.Message) error {
-	frame := wire.EncodeFrame(m)
-	_, err := ep.conn.WriteToUDP(frame, peer)
+	e := wire.GetEncoder()
+	wire.EncodeFrameTo(e, m)
+	_, err := ep.conn.WriteToUDP(e.Bytes(), peer)
+	wire.PutEncoder(e)
 	return err
 }
 
@@ -84,14 +88,16 @@ func (ep *UDPEndpoint) SendTo(peer *net.UDPAddr, m wire.Message) error {
 // send buffer, vanished interface) errors out after d instead of
 // wedging the caller. d <= 0 means no deadline.
 func (ep *UDPEndpoint) SendToDeadline(peer *net.UDPAddr, m wire.Message, d time.Duration) error {
-	frame := wire.EncodeFrame(m)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	wire.EncodeFrameTo(e, m)
 	if d > 0 {
 		if err := ep.conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
 			return err
 		}
 		defer ep.conn.SetWriteDeadline(time.Time{})
 	}
-	_, err := ep.conn.WriteToUDP(frame, peer)
+	_, err := ep.conn.WriteToUDP(e.Bytes(), peer)
 	return err
 }
 

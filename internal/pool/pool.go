@@ -1,0 +1,135 @@
+// Package pool provides the persistent worker pool behind the paper's
+// Fig. 5/6 acceleration. The paper's server keeps a thread pool alive
+// across control ticks; the original Go port instead spawned fresh
+// goroutines inside every PlanParallel/UpdateParallel call, so the 5 Hz
+// steady state paid fork/join churn on each tick. A Pool pins a fixed
+// set of workers that park on per-worker channels between calls: Run
+// hands the same closure to workers 0..threads-1 and blocks until all
+// finish, so a caller that pre-builds its closure and reuses per-worker
+// result slots runs the whole parallel section without allocating.
+//
+// Determinism: work is assigned by worker *index*, never by which
+// goroutine grabs a queue first. Partition.Bounds gives worker w a fixed
+// index set for any (n, threads), and reductions iterate results in
+// worker order, so a pooled kernel is byte-identical to its serial
+// counterpart for any thread count — the documented guarantee of the
+// parallel SLAM and tracking kernels.
+package pool
+
+import "sync"
+
+// Partition selects how n work items are split across workers. It is the
+// shared definition behind slam.Partition and tracker.Partition.
+type Partition int
+
+const (
+	// Block assigns each worker a contiguous index range (Fig. 5/6).
+	Block Partition = iota
+	// Interleaved strides indices across workers (ablation).
+	Interleaved
+)
+
+// Bounds returns worker w's iteration over [0, n) as a start/end/step
+// triple: `for i := start; i < end; i += step`. Every index is covered by
+// exactly one worker, and the assignment depends only on (n, threads, w).
+func (p Partition) Bounds(n, threads, w int) (start, end, step int) {
+	if p == Interleaved {
+		return w, n, threads
+	}
+	return w * n / threads, (w + 1) * n / threads, 1
+}
+
+// Pool is a set of persistent pinned workers. The zero value is ready to
+// use: workers are spawned lazily the first time Run needs them and then
+// reused across calls. Run serializes callers, so a Pool may be shared
+// between kernels (the engine's tracker and SLAM share one), but a Run
+// closure must never re-enter Run on the same pool.
+type Pool struct {
+	mu   sync.Mutex
+	work []chan func(int)
+	wg   sync.WaitGroup
+}
+
+// New returns a pool with capacity for the given number of workers
+// (grown later if a Run asks for more).
+func New(threads int) *Pool {
+	p := &Pool{}
+	p.mu.Lock()
+	p.grow(threads)
+	p.mu.Unlock()
+	return p
+}
+
+// Size returns the current worker count.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.work)
+}
+
+// grow spawns workers until the pool has n. Caller holds p.mu.
+func (p *Pool) grow(n int) {
+	for len(p.work) < n {
+		w := len(p.work)
+		ch := make(chan func(int), 1)
+		p.work = append(p.work, ch)
+		go p.worker(w, ch)
+	}
+}
+
+func (p *Pool) worker(w int, ch chan func(int)) {
+	for fn := range ch {
+		fn(w)
+		p.wg.Done()
+	}
+}
+
+// Run executes fn(w) for every worker index w in [0, threads) and
+// returns when all have finished. threads <= 1 runs fn(0) on the calling
+// goroutine without touching the pool, so serial paths stay free of any
+// synchronization. fn must not call Run on the same pool.
+func (p *Pool) Run(threads int, fn func(w int)) {
+	if threads <= 1 {
+		fn(0)
+		return
+	}
+	p.mu.Lock()
+	p.grow(threads)
+	p.wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		p.work[w] <- fn
+	}
+	p.wg.Wait()
+	p.mu.Unlock()
+}
+
+// Close stops the pool's workers. A later Run respawns them, so Close is
+// an idle-resource release, not an end-of-life.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	for _, ch := range p.work {
+		close(ch)
+	}
+	p.work = nil
+	p.mu.Unlock()
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   *Pool
+)
+
+// Shared returns the process-wide pool that the SLAM and tracking
+// kernels (and through them the engine and the offload worker) use by
+// default. Sharing one pool bounds the goroutine count no matter how
+// many filters or missions a process creates, at the cost of
+// serializing overlapping parallel sections — which preserves
+// correctness and determinism, since work assignment is positional.
+func Shared() *Pool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = &Pool{}
+	}
+	return shared
+}

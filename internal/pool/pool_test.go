@@ -1,0 +1,131 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBoundsCoverEveryIndexOnce(t *testing.T) {
+	for _, part := range []Partition{Block, Interleaved} {
+		for _, n := range []int{0, 1, 2, 7, 16, 100, 101} {
+			for _, threads := range []int{1, 2, 3, 4, 8} {
+				if threads > n && n > 0 {
+					continue
+				}
+				seen := make([]int, n)
+				for w := 0; w < threads; w++ {
+					start, end, step := part.Bounds(n, threads, w)
+					for i := start; i < end; i += step {
+						if i < 0 || i >= n {
+							t.Fatalf("part=%v n=%d threads=%d w=%d: index %d out of range", part, n, threads, w, i)
+						}
+						seen[i]++
+					}
+				}
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("part=%v n=%d threads=%d: index %d covered %d times", part, n, threads, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunExecutesEveryWorker(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var hits [8]atomic.Int64
+	p.Run(8, func(w int) { hits[w].Add(1) })
+	for w := range hits {
+		if hits[w].Load() != 1 {
+			t.Errorf("worker %d ran %d times", w, hits[w].Load())
+		}
+	}
+	if p.Size() != 8 {
+		t.Errorf("pool grew to %d, want 8", p.Size())
+	}
+}
+
+func TestRunSerialInline(t *testing.T) {
+	var p Pool // zero value, no workers
+	ran := false
+	p.Run(1, func(w int) {
+		if w != 0 {
+			t.Errorf("serial worker index = %d", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("fn not run")
+	}
+	if p.Size() != 0 {
+		t.Errorf("serial Run spawned %d workers", p.Size())
+	}
+}
+
+// TestReuseAcrossTicks drives the pool the way the engine does — one Run
+// per control tick, same closure, thread count varying as the adaptive
+// controller sheds and restores parallelism — under -race.
+func TestReuseAcrossTicks(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	sums := make([]int, 8)
+	var tick int
+	fn := func(w int) { sums[w] += tick }
+	for tick = 1; tick <= 200; tick++ {
+		threads := 1 << (tick % 4) // 1, 2, 4, 8
+		for w := range sums[:threads] {
+			sums[w] = 0
+		}
+		p.Run(threads, fn)
+		for w := 0; w < threads; w++ {
+			if sums[w] != tick {
+				t.Fatalf("tick %d worker %d: sum %d", tick, w, sums[w])
+			}
+		}
+	}
+}
+
+// TestConcurrentRuns checks that a shared pool serializes overlapping
+// parallel sections without losing or duplicating work.
+func TestConcurrentRuns(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				p.Run(4, func(w int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*50*4 {
+		t.Fatalf("total = %d, want %d", got, 8*50*4)
+	}
+}
+
+func TestCloseThenRunRespawns(t *testing.T) {
+	p := New(2)
+	p.Close()
+	if p.Size() != 0 {
+		t.Fatalf("size after close = %d", p.Size())
+	}
+	var n atomic.Int64
+	p.Run(3, func(w int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("ran %d workers after close", n.Load())
+	}
+	p.Close()
+}
+
+func TestSharedIsSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned different pools")
+	}
+}

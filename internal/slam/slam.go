@@ -10,19 +10,21 @@
 // surviving particle's map.
 //
 // UpdateParallel is the paper's Fig. 6 algorithm: a pool of N workers
-// each scan-matches M/N particles. Because scan matching is deterministic
-// given the particle state (all randomness is drawn serially before the
-// parallel section), the parallel filter produces byte-identical results
-// to the serial one for any thread count.
+// each scan-matches M/N particles. The workers are persistent (see
+// internal/pool) — pinned goroutines reused across control ticks rather
+// than spawned per update — and work is assigned positionally, so the
+// parallel filter produces byte-identical results to the serial one for
+// any thread count (all randomness is drawn serially before the parallel
+// section).
 package slam
 
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/grid"
+	"lgvoffload/internal/pool"
 	"lgvoffload/internal/sensor"
 )
 
@@ -73,12 +75,16 @@ type UpdateStats struct {
 	MatchOps     int // beam probes during scan matching (parallel section)
 	IntegrateOps int // map cells updated (parallel section)
 	WeightOps    int // per-particle normalization/resampling work (serial)
-	CopyOps      int // map cells copied by resampling duplicates (serial, cheap)
-	Resampled    bool
+	// CopyOps is map-copy work: tile-table entries shared when resampling
+	// clones a duplicate, plus cells actually duplicated when a write
+	// copy-on-writes a shared tile. With COW maps this is O(dirty tiles),
+	// not O(M · map) as the pre-COW deep copies were.
+	CopyOps   int
+	Resampled bool
 }
 
 // SLAM is the filter state. Not safe for concurrent use; the parallel
-// update manages its own workers internally.
+// update borrows workers from the shared persistent pool internally.
 type SLAM struct {
 	cfg       Config
 	rng       *rand.Rand
@@ -86,6 +92,24 @@ type SLAM struct {
 	neff      float64
 	started   bool
 	updates   int
+
+	// Steady-state machinery: the persistent worker pool, the one
+	// closure handed to it every tick, and scratch reused across calls
+	// so an update allocates nothing beyond COW tile copies.
+	pl      *pool.Pool
+	runFn   func(w int)
+	results []UpdateStats
+	ws      []float64   // normalize scratch
+	rsW     []float64   // resample weights scratch
+	rsUsed  []bool      // resample first-use marks
+	rsNext  []*Particle // resample ping-pong particle buffer
+	rsFree  []*Particle // released shells reused for duplicates
+	cur     struct {    // per-update parameters read by pool workers
+		scan       *sensor.Scan
+		m, threads int
+		part       Partition
+		first      bool
+	}
 }
 
 // New builds the filter with all particles at the origin pose.
@@ -101,6 +125,15 @@ func New(cfg Config, rng *rand.Rand) *SLAM {
 		s.particles = append(s.particles, &Particle{
 			Map: grid.NewLogOdds(cfg.MapW, cfg.MapH, cfg.Resolution, cfg.Origin),
 		})
+	}
+	s.pl = pool.Shared()
+	s.runFn = func(w int) { s.results[w] = s.processSpan(w) }
+	// Pre-seed the duplicate shells: every resample drops exactly as many
+	// particles as it duplicates, so rsFree holds a steady M-1 shells and
+	// resampling never allocates — not even the first time.
+	proto := s.particles[0].Map
+	for i := 1; i < cfg.NumParticles; i++ {
+		s.rsFree = append(s.rsFree, &Particle{Map: proto.NewShell()})
 	}
 	return s
 }
@@ -124,14 +157,14 @@ func (s *SLAM) Update(odomDelta geom.Pose, scan *sensor.Scan) UpdateStats {
 	return s.update(odomDelta, scan, 1, Block)
 }
 
-// Partition selects how particles are split across workers.
-type Partition int
+// Partition selects how particles are split across workers. It is the
+// shared pool.Partition scheme: Block assigns each worker a contiguous
+// range of particles (Fig. 6), Interleaved strides them (ablation).
+type Partition = pool.Partition
 
 const (
-	// Block assigns each worker a contiguous range of particles (Fig. 6).
-	Block Partition = iota
-	// Interleaved strides particles across workers (ablation).
-	Interleaved
+	Block       = pool.Block
+	Interleaved = pool.Interleaved
 )
 
 // UpdateParallel runs one filter step with the scanMatch and map
@@ -162,42 +195,22 @@ func (s *SLAM) update(odomDelta geom.Pose, scan *sensor.Scan, threads int, part 
 		pt.Pose = pt.Pose.Compose(noisy)
 	}
 
-	// 2+5. Scan match and integrate, parallel over particles (Fig. 6).
-	results := make([]UpdateStats, threads)
-	firstScan := !s.started
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var r UpdateStats
-			process := func(i int) {
-				pt := s.particles[i]
-				if !firstScan {
-					score, ops := s.scanMatch(pt, scan)
-					r.MatchOps += ops
-					pt.LogWeight += s.cfg.LikelihoodK * score
-				}
-				r.IntegrateOps += s.integrate(pt, scan)
-			}
-			switch part {
-			case Interleaved:
-				for i := w; i < m; i += threads {
-					process(i)
-				}
-			default:
-				lo, hi := w*m/threads, (w+1)*m/threads
-				for i := lo; i < hi; i++ {
-					process(i)
-				}
-			}
-			results[w] = r
-		}(w)
+	// 2+5. Scan match and integrate, parallel over particles (Fig. 6),
+	// on the persistent pool. Parameters travel through s.cur and per-
+	// worker results land in s.results, so the steady state reuses one
+	// pre-built closure and allocates nothing.
+	if cap(s.results) < threads {
+		s.results = make([]UpdateStats, threads)
 	}
-	wg.Wait()
-	for _, r := range results {
+	s.results = s.results[:threads]
+	s.cur.scan, s.cur.m, s.cur.threads, s.cur.part = scan, m, threads, part
+	s.cur.first = !s.started
+	s.pl.Run(threads, s.runFn)
+	s.cur.scan = nil
+	for _, r := range s.results {
 		st.MatchOps += r.MatchOps
 		st.IntegrateOps += r.IntegrateOps
+		st.CopyOps += r.CopyOps
 	}
 	s.started = true
 	s.updates++
@@ -213,6 +226,26 @@ func (s *SLAM) update(odomDelta geom.Pose, scan *sensor.Scan, threads int, part 
 		st.Resampled = true
 	}
 	return st
+}
+
+// processSpan runs scan matching and map integration for worker w's
+// particle span. Work is assigned positionally via Partition.Bounds, so
+// results are independent of goroutine scheduling. COW tile copies
+// triggered by integration are drained into CopyOps per particle.
+func (s *SLAM) processSpan(w int) UpdateStats {
+	var r UpdateStats
+	start, end, step := s.cur.part.Bounds(s.cur.m, s.cur.threads, w)
+	for i := start; i < end; i += step {
+		pt := s.particles[i]
+		if !s.cur.first {
+			score, ops := s.scanMatch(pt, s.cur.scan)
+			r.MatchOps += ops
+			pt.LogWeight += s.cfg.LikelihoodK * score
+		}
+		r.IntegrateOps += s.integrate(pt, s.cur.scan)
+		r.CopyOps += pt.Map.TakeCopied()
+	}
+	return r
 }
 
 // scanMatch hill-climbs the particle pose to maximize the match score of
@@ -265,10 +298,11 @@ func (s *SLAM) matchScore(m *grid.LogOdds, pose geom.Pose, scan *sensor.Scan) (f
 			score -= 0.1
 			continue
 		}
-		if !m.Touched(cell) {
+		l := m.At(cell)
+		if l == 0 {
 			continue // unexplored: neutral
 		}
-		p := m.Prob(cell)
+		p := 1 / (1 + math.Exp(-l))
 		score += 2*p - 1 // +1 for certain occupied, -1 for certain free
 	}
 	return score, ops
@@ -294,7 +328,10 @@ func (s *SLAM) normalize() int {
 		}
 	}
 	sum := 0.0
-	ws := make([]float64, len(s.particles))
+	if cap(s.ws) < len(s.particles) {
+		s.ws = make([]float64, len(s.particles))
+	}
+	ws := s.ws[:len(s.particles)]
 	for i, pt := range s.particles {
 		ws[i] = math.Exp(pt.LogWeight - maxLW)
 		sum += ws[i]
@@ -314,22 +351,31 @@ func (s *SLAM) normalize() int {
 	return 3 * len(s.particles)
 }
 
-// resample performs systematic resampling, deep-copying maps of
-// duplicated particles. Returns the number of map cells copied.
+// resample performs systematic resampling. Duplicated particles get a
+// copy-on-write clone of the source map — O(tiles) pointer copies now,
+// cell copies deferred to the tiles a future update actually writes.
+// Returns the op count for the clone work (tile-table entries shared).
 func (s *SLAM) resample() int {
 	m := len(s.particles)
-	weights := make([]float64, m)
+	if cap(s.rsW) < m {
+		s.rsW = make([]float64, m)
+		s.rsUsed = make([]bool, m)
+	}
+	weights, used := s.rsW[:m], s.rsUsed[:m]
 	total := 0.0
 	for i, pt := range s.particles {
 		weights[i] = math.Exp(pt.LogWeight)
 		total += weights[i]
+		used[i] = false
 	}
 	ops := 0
-	next := make([]*Particle, 0, m)
+	if cap(s.rsNext) < m {
+		s.rsNext = make([]*Particle, 0, m)
+	}
+	next := s.rsNext[:0]
 	u := s.rng.Float64() * total / float64(m)
 	cum := 0.0
 	idx := 0
-	used := make(map[int]bool, m)
 	for i := 0; i < m; i++ {
 		target := u + float64(i)*total/float64(m)
 		for cum+weights[idx] < target && idx < m-1 {
@@ -338,9 +384,19 @@ func (s *SLAM) resample() int {
 		}
 		src := s.particles[idx]
 		if used[idx] {
-			// Deep copy for duplicates.
-			cp := &Particle{Pose: src.Pose, Map: cloneLogOdds(src.Map)}
-			ops += len(src.Map.L)
+			// COW clone for duplicates: shares every tile with src. Shells
+			// dropped by earlier resamples are reused so the steady state
+			// allocates neither particles nor tile tables.
+			var cp *Particle
+			if n := len(s.rsFree); n > 0 {
+				cp, s.rsFree[n-1] = s.rsFree[n-1], nil
+				s.rsFree = s.rsFree[:n-1]
+				src.Map.CloneInto(cp.Map)
+				cp.Pose, cp.LogWeight = src.Pose, 0
+			} else {
+				cp = &Particle{Pose: src.Pose, Map: src.Map.Clone()}
+			}
+			ops += src.Map.TileCount()
 			next = append(next, cp)
 		} else {
 			used[idx] = true
@@ -351,15 +407,25 @@ func (s *SLAM) resample() int {
 	for _, pt := range next {
 		pt.LogWeight = 0
 	}
+	// Dropped particles (never selected) release their maps — tiles they
+	// owned exclusively return to the free list for upcoming COW copies —
+	// and their shells queue up for the next resample's duplicates.
+	for i, pt := range s.particles {
+		if !used[i] {
+			pt.Map.Release()
+			s.rsFree = append(s.rsFree, pt)
+		}
+	}
+	// Ping-pong the particle slices: the old backing array becomes the
+	// next resample's scratch, cleared so dropped particles' maps are
+	// released to the GC rather than pinned by stale pointers.
+	old := s.particles
 	s.particles = next
+	for i := range old {
+		old[i] = nil
+	}
+	s.rsNext = old[:0]
 	return ops
-}
-
-func cloneLogOdds(g *grid.LogOdds) *grid.LogOdds {
-	c := *g
-	c.L = make([]float64, len(g.L))
-	copy(c.L, g.L)
-	return &c
 }
 
 // bestIndex returns the particle with the highest weight.

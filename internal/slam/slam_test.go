@@ -91,7 +91,7 @@ func TestSLAMBuildsMap(t *testing.T) {
 }
 
 func TestParallelIdenticalToSerial(t *testing.T) {
-	for _, threads := range []int{2, 4, 8} {
+	for _, threads := range []int{1, 2, 3, 4, 8} {
 		for _, part := range []Partition{Block, Interleaved} {
 			a, _ := driveAndMap(t, smallCfg(), 1, Block, 99)
 			b, _ := driveAndMap(t, smallCfg(), threads, part, 99)

@@ -21,6 +21,7 @@ import (
 
 	"lgvoffload/internal/costmap"
 	"lgvoffload/internal/geom"
+	"lgvoffload/internal/pool"
 )
 
 // Config parameterizes the tracker.
@@ -79,9 +80,25 @@ type Output struct {
 // should stop and rotate toward the path (recovery behaviour).
 var ErrAllBlocked = errors.New("tracker: all trajectories infeasible")
 
-// Tracker holds the configuration.
+// Tracker holds the configuration plus the persistent-pool plumbing
+// that lets the steady-state planning loop run allocation-free: one
+// pre-built worker closure, reusable per-worker result slots, and the
+// current invocation's parameters staged in a struct field. plan guards
+// that staging area with a mutex, so a Tracker is safe to call from
+// multiple goroutines (invocations serialize).
 type Tracker struct {
 	cfg Config
+
+	mu      sync.Mutex
+	pl      *pool.Pool
+	runFn   func(w int)
+	results []workerResult
+	cur     struct {
+		in         Input
+		carrot     geom.Vec2
+		m, threads int
+		part       Partition
+	}
 }
 
 // New returns a tracker.
@@ -89,7 +106,9 @@ func New(cfg Config) *Tracker {
 	if cfg.VSamples < 1 || cfg.WSamples < 1 {
 		panic(fmt.Sprintf("tracker: bad sample counts %dx%d", cfg.VSamples, cfg.WSamples))
 	}
-	return &Tracker{cfg: cfg}
+	t := &Tracker{cfg: cfg, pl: pool.Shared()}
+	t.runFn = func(w int) { t.results[w] = t.scoreSpan(w) }
+	return t
 }
 
 // Config returns the tracker configuration.
@@ -207,13 +226,13 @@ func (t *Tracker) Plan(in Input) (Output, error) {
 }
 
 // Partition selects how PlanParallel splits trajectories over workers.
-type Partition int
+// It is the shared pool.Partition scheme: Block gives each worker a
+// contiguous chunk (the paper's Fig. 5), Interleaved strides (ablation).
+type Partition = pool.Partition
 
 const (
-	// Block gives each worker a contiguous chunk (the paper's Fig. 5).
-	Block Partition = iota
-	// Interleaved strides trajectories across workers (ablation).
-	Interleaved
+	Block       = pool.Block
+	Interleaved = pool.Interleaved
 )
 
 // PlanParallel scores trajectories with a pool of `threads` workers,
@@ -242,47 +261,23 @@ func (t *Tracker) plan(in Input, threads int, part Partition) (Output, error) {
 	if threads > m {
 		threads = m
 	}
-	carrot := t.carrot(in.Pose, in.Path)
-
-	results := make([]workerResult, threads)
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			r := workerResult{bestIdx: -1, bestCost: math.Inf(1)}
-			visit := func(i int) {
-				cost, steps := t.scoreOne(i, in, carrot)
-				r.steps += steps
-				r.eval++
-				if math.IsInf(cost, 1) {
-					r.discard++
-					return
-				}
-				if cost < r.bestCost || (cost == r.bestCost && i < r.bestIdx) {
-					r.bestCost, r.bestIdx = cost, i
-				}
-			}
-			switch part {
-			case Interleaved:
-				for i := w; i < m; i += threads {
-					visit(i)
-				}
-			default: // Block
-				lo := w * m / threads
-				hi := (w + 1) * m / threads
-				for i := lo; i < hi; i++ {
-					visit(i)
-				}
-			}
-			results[w] = r
-		}(w)
+	// Stage this invocation and fan out on the persistent pool. The
+	// mutex makes the staged fields (cur, results) safe when callers
+	// overlap; workers see them via the one pre-built closure.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cap(t.results) < threads {
+		t.results = make([]workerResult, threads)
 	}
-	wg.Wait()
+	t.results = t.results[:threads]
+	t.cur.in, t.cur.carrot = in, t.carrot(in.Pose, in.Path)
+	t.cur.m, t.cur.threads, t.cur.part = m, threads, part
+	t.pl.Run(threads, t.runFn)
+	t.cur.in = Input{} // drop references to the caller's path/costmap
 
 	out := Output{Score: math.Inf(1)}
 	bestIdx := -1
-	for _, r := range results {
+	for _, r := range t.results {
 		out.Ops += r.steps
 		out.Evaluated += r.eval
 		out.Discarded += r.discard
@@ -302,6 +297,27 @@ func (t *Tracker) plan(in Input, threads int, part Partition) (Output, error) {
 	}
 	out.Cmd = t.candidate(bestIdx, in.Vel, maxV)
 	return out, nil
+}
+
+// scoreSpan simulates and scores worker w's trajectory span, reducing to
+// the span's arg-min. Assignment is positional (Partition.Bounds), so the
+// final reduction over workers is deterministic for any thread count.
+func (t *Tracker) scoreSpan(w int) workerResult {
+	r := workerResult{bestIdx: -1, bestCost: math.Inf(1)}
+	start, end, step := t.cur.part.Bounds(t.cur.m, t.cur.threads, w)
+	for i := start; i < end; i += step {
+		cost, steps := t.scoreOne(i, t.cur.in, t.cur.carrot)
+		r.steps += steps
+		r.eval++
+		if math.IsInf(cost, 1) {
+			r.discard++
+			continue
+		}
+		if cost < r.bestCost || (cost == r.bestCost && i < r.bestIdx) {
+			r.bestCost, r.bestIdx = cost, i
+		}
+	}
+	return r
 }
 
 // RecoveryCmd returns the in-place rotation used when all trajectories

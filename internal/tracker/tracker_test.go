@@ -54,7 +54,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, threads := range []int{2, 3, 4, 8, 16} {
+	for _, threads := range []int{1, 2, 3, 4, 8, 16} {
 		for _, part := range []Partition{Block, Interleaved} {
 			par, err := tr.PlanParallel(in, threads, part)
 			if err != nil {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Encoder appends primitive values to a byte buffer.
@@ -127,6 +128,7 @@ type Decoder struct {
 	off    int
 	err    error
 	hdrVer int
+	borrow bool
 }
 
 // NewDecoder returns a decoder over the buffer, expecting the current
@@ -145,6 +147,32 @@ func (d *Decoder) HeaderVersion() int { return d.hdrVer }
 
 // Err returns the first decode error, if any.
 func (d *Decoder) Err() error { return d.err }
+
+// Borrow switches the decoder to borrow mode: BytesField returns
+// subslices of the input buffer instead of copies. Hot paths that decode,
+// act, and drop the message before reusing the receive buffer (e.g. a
+// transport read loop dispatching inline) skip the copy; anything that
+// retains the decoded message must not borrow. Returns d for chaining.
+func (d *Decoder) Borrow() *Decoder {
+	d.borrow = true
+	return d
+}
+
+// sliceLen reads a length prefix and validates it against the remaining
+// bytes assuming elemSize bytes per element. The comparison divides
+// Remaining rather than multiplying the untrusted count, so adversarial
+// lengths near MaxInt cannot wrap the check.
+func (d *Decoder) sliceLen(elemSize int) (int, bool) {
+	v := d.Uvarint()
+	if d.err != nil {
+		return 0, false
+	}
+	if v > uint64(d.Remaining()/elemSize) {
+		d.fail(ErrTooLong)
+		return 0, false
+	}
+	return int(v), true
+}
 
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -231,12 +259,8 @@ func (d *Decoder) Bool() bool {
 
 // String reads a length-prefixed string.
 func (d *Decoder) String() string {
-	n := int(d.Uvarint())
-	if d.err != nil {
-		return ""
-	}
-	if n < 0 || n > d.Remaining() {
-		d.fail(ErrTooLong)
+	n, ok := d.sliceLen(1)
+	if !ok {
 		return ""
 	}
 	s := string(d.buf[d.off : d.off+n])
@@ -244,15 +268,18 @@ func (d *Decoder) String() string {
 	return s
 }
 
-// BytesField reads a length-prefixed byte slice (copied).
+// BytesField reads a length-prefixed byte slice. The bytes are copied
+// unless the decoder is in Borrow mode, in which case a capacity-capped
+// subslice of the input buffer is returned.
 func (d *Decoder) BytesField() []byte {
-	n := int(d.Uvarint())
-	if d.err != nil {
+	n, ok := d.sliceLen(1)
+	if !ok {
 		return nil
 	}
-	if n < 0 || n > d.Remaining() {
-		d.fail(ErrTooLong)
-		return nil
+	if d.borrow {
+		b := d.buf[d.off : d.off+n : d.off+n]
+		d.off += n
+		return b
 	}
 	b := make([]byte, n)
 	copy(b, d.buf[d.off:d.off+n])
@@ -262,37 +289,48 @@ func (d *Decoder) BytesField() []byte {
 
 // Float64Slice reads a length-prefixed []float64.
 func (d *Decoder) Float64Slice() []float64 {
-	n := int(d.Uvarint())
-	if d.err != nil {
+	return d.Float64SliceInto(nil)
+}
+
+// Float64SliceInto reads a length-prefixed []float64 into dst's backing
+// array when it has the capacity, allocating only when it doesn't. Pass
+// buf[:0] to reuse a scratch slice across decodes.
+func (d *Decoder) Float64SliceInto(dst []float64) []float64 {
+	n, ok := d.sliceLen(8)
+	if !ok {
 		return nil
 	}
-	if n < 0 || n*8 > d.Remaining() {
-		d.fail(ErrTooLong)
-		return nil
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	v := make([]float64, n)
-	for i := range v {
-		v[i] = d.Float64()
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.Float64()
 	}
-	return v
+	return dst
 }
 
 // Int8Slice reads a length-prefixed []int8.
 func (d *Decoder) Int8Slice() []int8 {
-	n := int(d.Uvarint())
-	if d.err != nil {
+	return d.Int8SliceInto(nil)
+}
+
+// Int8SliceInto reads a length-prefixed []int8 into dst's backing array
+// when it has the capacity, allocating only when it doesn't.
+func (d *Decoder) Int8SliceInto(dst []int8) []int8 {
+	n, ok := d.sliceLen(1)
+	if !ok {
 		return nil
 	}
-	if n < 0 || n > d.Remaining() {
-		d.fail(ErrTooLong)
-		return nil
+	if cap(dst) < n {
+		dst = make([]int8, n)
 	}
-	v := make([]int8, n)
-	for i := range v {
-		v[i] = int8(d.buf[d.off+i])
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int8(d.buf[d.off+i])
 	}
 	d.off += n
-	return v
+	return dst
 }
 
 // ---------------------------------------------------------------------------
@@ -317,12 +355,48 @@ func Register(kind uint16, factory func() Message) {
 	registry[kind] = factory
 }
 
-// EncodeFrame serializes a message with its kind header.
-func EncodeFrame(m Message) []byte {
-	e := NewEncoder(64)
+// encPool recycles Encoders across frame encodes. Scan frames grow the
+// buffer to ~3 KB once; after warm-up the steady-state message plane
+// encodes without allocating.
+var encPool = sync.Pool{New: func() any { return NewEncoder(64) }}
+
+// GetEncoder borrows a reset Encoder from the process-wide pool. Return
+// it with PutEncoder once the encoded bytes have been consumed; the
+// buffer returned by Bytes is invalid after that.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns a borrowed Encoder to the pool.
+func PutEncoder(e *Encoder) { encPool.Put(e) }
+
+// EncodeFrameTo serializes a message with its kind header into e,
+// appending to its current contents.
+func EncodeFrameTo(e *Encoder, m Message) {
 	e.Uvarint(uint64(m.Kind()))
 	m.MarshalWire(e)
+}
+
+// EncodeFrame serializes a message with its kind header into a fresh
+// buffer. Hot paths that can scope the buffer's lifetime should prefer
+// GetEncoder + EncodeFrameTo + PutEncoder to reuse buffers instead.
+func EncodeFrame(m Message) []byte {
+	e := NewEncoder(64)
+	EncodeFrameTo(e, m)
 	return e.Bytes()
+}
+
+// EncodedSize returns the frame size of a message without retaining any
+// buffer, using a pooled encoder. Callers that only need the size (queue
+// accounting, radio models) avoid EncodeFrame's per-call allocation.
+func EncodedSize(m Message) int {
+	e := GetEncoder()
+	EncodeFrameTo(e, m)
+	n := e.Len()
+	PutEncoder(e)
+	return n
 }
 
 // DecodeFrame parses a frame produced by EncodeFrame, dispatching on the

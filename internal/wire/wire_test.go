@@ -120,6 +120,113 @@ func TestDecoderHostileLength(t *testing.T) {
 	}
 }
 
+// TestDecoderOverflowingLength feeds length prefixes whose byte size
+// computation would wrap a naive `n*8 > Remaining()` check. Every slice
+// reader must reject them with ErrTooLong instead of allocating or
+// reading out of bounds.
+func TestDecoderOverflowingLength(t *testing.T) {
+	hostile := []uint64{
+		1 << 61,   // n*8 wraps to 0 on 64-bit int
+		1<<63 - 1, // int(n) would be huge but positive
+		1<<64 - 8, // int(n) negative
+		1<<62 + 1, // n*8 wraps negative
+		uint64(1<<63) + 7,
+	}
+	for _, n := range hostile {
+		for _, read := range []struct {
+			name string
+			do   func(d *Decoder) bool // true when zero value returned
+		}{
+			{"Float64Slice", func(d *Decoder) bool { return d.Float64Slice() == nil }},
+			{"Int8Slice", func(d *Decoder) bool { return d.Int8Slice() == nil }},
+			{"BytesField", func(d *Decoder) bool { return d.BytesField() == nil }},
+			{"String", func(d *Decoder) bool { return d.String() == "" }},
+		} {
+			e := NewEncoder(0)
+			e.Uvarint(n)
+			e.Float64(1) // a few real bytes so Remaining() > 0
+			d := NewDecoder(e.Bytes())
+			if !read.do(d) || d.Err() != ErrTooLong {
+				t.Errorf("%s(n=%d): value leaked or err = %v", read.name, n, d.Err())
+			}
+		}
+	}
+}
+
+func TestDecoderBorrowBytesField(t *testing.T) {
+	e := NewEncoder(0)
+	payload := []byte{1, 2, 3, 4}
+	e.BytesField(payload)
+	buf := e.Bytes()
+
+	// Borrow mode returns a subslice of the input buffer.
+	b := NewDecoder(buf).Borrow().BytesField()
+	if len(b) != 4 || &b[0] != &buf[1] {
+		t.Error("borrowed field should alias the input buffer")
+	}
+	if cap(b) != len(b) {
+		t.Error("borrowed field must be capacity-capped")
+	}
+	// Default mode copies.
+	c := NewDecoder(buf).BytesField()
+	if len(c) != 4 || &c[0] == &buf[1] {
+		t.Error("default BytesField must copy")
+	}
+}
+
+func TestFloat64SliceIntoReuses(t *testing.T) {
+	e := NewEncoder(0)
+	e.Float64Slice([]float64{1, 2, 3})
+	scratch := make([]float64, 0, 8)
+	got := NewDecoder(e.Bytes()).Float64SliceInto(scratch)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("decoded %v", got)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("Into should reuse the scratch backing array")
+	}
+	// Capacity too small: allocates.
+	small := make([]float64, 0, 1)
+	got2 := NewDecoder(e.Bytes()).Float64SliceInto(small)
+	if len(got2) != 3 {
+		t.Fatalf("decoded %v", got2)
+	}
+}
+
+func TestInt8SliceIntoReuses(t *testing.T) {
+	e := NewEncoder(0)
+	e.Int8Slice([]int8{-1, 2, -3})
+	scratch := make([]int8, 0, 4)
+	got := NewDecoder(e.Bytes()).Int8SliceInto(scratch)
+	if len(got) != 3 || got[0] != -1 || got[2] != -3 {
+		t.Fatalf("decoded %v", got)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("Into should reuse the scratch backing array")
+	}
+}
+
+func TestEncoderPoolRoundtrip(t *testing.T) {
+	e := GetEncoder()
+	if e.Len() != 0 {
+		t.Fatal("pooled encoder not reset")
+	}
+	e.Float64(42)
+	PutEncoder(e)
+	e2 := GetEncoder()
+	defer PutEncoder(e2)
+	if e2.Len() != 0 {
+		t.Error("reused encoder must come back reset")
+	}
+}
+
+func TestEncodedSizeMatchesEncodeFrame(t *testing.T) {
+	m := &fakeMsg{A: 12345, B: "hello"}
+	if got, want := EncodedSize(m), len(EncodeFrame(m)); got != want {
+		t.Errorf("EncodedSize = %d, len(EncodeFrame) = %d", got, want)
+	}
+}
+
 func TestEncoderReset(t *testing.T) {
 	e := NewEncoder(16)
 	e.Float64(1)
