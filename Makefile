@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check fmt vet build test chaos bench reproduce trace-demo
+.PHONY: check fmt vet build test chaos bench reproduce trace-demo hunt fuzz-smoke
 
 check: fmt vet build test
 
@@ -15,8 +15,11 @@ vet:
 build:
 	go build ./...
 
+# -shuffle=on randomizes test order within each package so hidden
+# order dependencies (package-level singletons, registry state) fail
+# here instead of in a future refactor.
 test:
-	go test -race ./...
+	go test -race -shuffle=on ./...
 
 # Fault-injection suite twice over: the chaos tests assert that the same
 # seed + schedule reproduce the same decisions, so -count=2 shakes out
@@ -35,6 +38,26 @@ bench:
 
 reproduce:
 	go run ./cmd/reproduce -exp all
+
+# Scenario-matrix hunt (internal/simtest): generate SEEDS missions
+# across worlds × faults × goals × fleets × threads × links, check the
+# paper-invariant library on each, and shrink any violation into a JSON
+# repro under internal/simtest/testdata/repros/ (replayed by tier-1
+# tests from then on). START offsets the seed range for fresh coverage.
+SEEDS ?= 200
+START ?= 0
+hunt:
+	go run ./cmd/scenhunt -seeds $(SEEDS) -start $(START) -matrix-every 25 \
+		-repros internal/simtest/testdata/repros
+
+# 30-second fuzz smoke over every fuzz target (wire decode, grid
+# parser, msg header): quick enough for CI, long enough to catch
+# shallow regressions against the committed corpora.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
+	go test -run '^$$' -fuzz FuzzRoundtrip -fuzztime 10s ./internal/wire
+	go test -run '^$$' -fuzz FuzzParseText -fuzztime 10s ./internal/grid
+	go test -run '^$$' -fuzz FuzzHeaderDecode -fuzztime 30s ./internal/msg
 
 # End-to-end tracing proof: run a short traced mission, then validate the
 # exported Chrome JSON (well-formed, monotonic timestamps, every parent

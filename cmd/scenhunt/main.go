@@ -1,0 +1,153 @@
+// Command scenhunt drives an N-seed scenario-matrix campaign: it
+// generates missions across worlds × faults × goals × fleets × threads
+// × link profiles (internal/simtest), runs each headlessly, checks the
+// paper-derived invariant library, and shrinks any violation to a
+// minimal JSON repro. Exit status: 0 all green, 1 violations found,
+// 2 usage or infrastructure error. `make hunt` runs it with 200 seeds;
+// the nightly CI job uploads any repros it writes.
+//
+//	scenhunt -seeds 200 -repros internal/simtest/testdata/repros
+//	scenhunt -seeds 1 -start 31337 -v          # re-run one campaign seed
+//	scenhunt -seeds 50 -matrix-every 10        # heavy determinism sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lgvoffload/internal/simtest"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 200, "number of campaign seeds to hunt")
+	start := flag.Int64("start", 0, "first campaign seed")
+	matrixEvery := flag.Int("matrix-every", 25, "run the thread×partition determinism matrix every Nth seed (0 = never)")
+	reproDir := flag.String("repros", "", "directory for shrunk violation repros (empty = don't write)")
+	shrinkBudget := flag.Int("shrink-budget", 48, "max mission runs spent minimizing each violation")
+	workers := flag.Int("workers", runtime.NumCPU(), "campaign shards evaluated concurrently")
+	jsonOut := flag.String("json", "", "write the aggregated campaign stats to this file")
+	verbose := flag.Bool("v", false, "log every scenario")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stats := hunt(*seeds, *start, *matrixEvery, *reproDir, *shrinkBudget, *workers, *verbose)
+
+	fmt.Printf("scenhunt: %d seeds, %d mission runs\n", stats.Seeds, stats.Runs)
+	names := make([]string, 0, len(stats.Checked))
+	for name := range stats.Checked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-24s checked %5d  skipped %5d\n", name, stats.Checked[name], stats.Skipped[name])
+	}
+	for name, n := range stats.Skipped {
+		if stats.Checked[name] == 0 {
+			fmt.Printf("  %-24s checked %5d  skipped %5d\n", name, 0, n)
+		}
+	}
+	for _, e := range stats.Errors {
+		fmt.Printf("  setup error: %s\n", e)
+	}
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(stats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenhunt: writing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+	}
+	if len(stats.Violations) > 0 {
+		for _, r := range stats.Violations {
+			fmt.Printf("VIOLATION %s (campaign seed %d): %s\n", r.Invariant, r.CampaignSeed, r.Error)
+			fmt.Printf("  minimized: %s\n", r.Scenario.Label())
+		}
+		fmt.Printf("scenhunt: %d violation(s)\n", len(stats.Violations))
+		os.Exit(1)
+	}
+	fmt.Println("scenhunt: all invariants green")
+}
+
+// hunt shards the seed range across workers; each shard is its own
+// deterministic Campaign, and the aggregate is order-independent.
+func hunt(seeds int, start int64, matrixEvery int, reproDir string, shrinkBudget, workers int, verbose bool) *simtest.CampaignStats {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > seeds {
+		workers = seeds
+	}
+	total := &simtest.CampaignStats{Checked: map[string]int{}, Skipped: map[string]int{}}
+	if workers <= 1 {
+		opts := simtest.CampaignOpts{
+			Seeds: seeds, StartSeed: start, MatrixEvery: matrixEvery,
+			ReproDir: reproDir, ShrinkBudget: shrinkBudget,
+		}
+		if verbose {
+			opts.Logf = logf
+		}
+		return simtest.Campaign(opts)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := (seeds + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > seeds {
+			hi = seeds
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			opts := simtest.CampaignOpts{
+				Seeds: hi - lo, StartSeed: start + int64(lo), MatrixEvery: matrixEvery,
+				ReproDir: reproDir, ShrinkBudget: shrinkBudget,
+			}
+			if verbose {
+				opts.Logf = logf
+			}
+			st := simtest.Campaign(opts)
+			mu.Lock()
+			total.Seeds += st.Seeds
+			total.Runs += st.Runs
+			for k, v := range st.Checked {
+				total.Checked[k] += v
+			}
+			for k, v := range st.Skipped {
+				total.Skipped[k] += v
+			}
+			total.Violations = append(total.Violations, st.Violations...)
+			total.ReproPaths = append(total.ReproPaths, st.ReproPaths...)
+			total.Errors = append(total.Errors, st.Errors...)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	sort.Slice(total.Violations, func(i, j int) bool {
+		return total.Violations[i].CampaignSeed < total.Violations[j].CampaignSeed
+	})
+	return total
+}
+
+var logMu sync.Mutex
+
+func logf(format string, args ...any) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Printf(format+"\n", args...)
+}

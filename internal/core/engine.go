@@ -20,6 +20,7 @@ import (
 	"lgvoffload/internal/netsim"
 	"lgvoffload/internal/obs"
 	"lgvoffload/internal/planner"
+	"lgvoffload/internal/pool"
 	"lgvoffload/internal/sensor"
 	"lgvoffload/internal/slam"
 	"lgvoffload/internal/spans"
@@ -163,6 +164,24 @@ type MissionConfig struct {
 	// the robot cannot exploit them — and restores them on straights.
 	ShedParallelism bool
 
+	// KernelThreads, when > 0, overrides the *execution* thread count of
+	// the pooled SLAM/tracking kernels without touching the modeled
+	// (billed) thread count from Deployment.Threads. KernelPartition
+	// selects the pool partition scheme. Work assignment in internal/pool
+	// is positional, so any KernelThreads × KernelPartition combination
+	// must yield a byte-identical mission Result — the determinism
+	// invariant internal/simtest sweeps across {1,2,4,8} × {Block,
+	// Interleaved}.
+	KernelThreads   int
+	KernelPartition pool.Partition
+
+	// CmdTap, when non-nil, observes every motor command the multiplexer
+	// emits: the virtual time, the selected twist, and whether the
+	// command-staleness watchdog holds a safety stop at that instant.
+	// The scenario harness uses it to prove the watchdog never lets a
+	// nonzero velocity through while a stall episode is open.
+	CmdTap func(now float64, cmd geom.Twist, stalled bool)
+
 	RecordTrace bool
 
 	// Telemetry, when non-nil, receives the full mission event timeline
@@ -269,6 +288,11 @@ type Result struct {
 
 	// Workload cycles per node (Table II).
 	Cycles *hostsim.CycleCounter
+
+	// Net is the wireless link's full packet ledger: every offered
+	// packet (pipeline messages AND Algorithm 2 probes) is delivered or
+	// dropped, with each drop attributed to one cause.
+	Net netsim.Stats
 
 	// Network and adaptation.
 	MsgsSent, MsgsDropped int
@@ -616,9 +640,11 @@ func (e *engine) run() (*Result, error) {
 		// while no fresh VDP output reaches the multiplexer. The deadline
 		// stretches with the profiled makespan so a slow-but-alive local
 		// pipeline is not mistaken for a dead link.
+		stalledNow := false
 		if cfg.WatchdogDeadline >= 0 {
 			deadline := math.Max(cfg.WatchdogDeadline, 3*e.prof.VDP(e.placement).Total())
 			if stalled, first := e.safety.CheckStall(now, deadline); stalled {
+				stalledNow = true
 				e.mx.Offer(muxer.SourceSafety, geom.Twist{}, now)
 				if first {
 					e.tel.Watchdog(now, e.safety.Staleness(now))
@@ -646,6 +672,9 @@ func (e *engine) run() (*Result, error) {
 		cmd, ok := e.mx.Select(now)
 		if !ok {
 			cmd = geom.Twist{}
+		}
+		if cfg.CmdTap != nil {
+			cfg.CmdTap(now, cmd, stalledNow)
 		}
 		e.w.SetCommand(cmd)
 
@@ -695,6 +724,7 @@ func (e *engine) run() (*Result, error) {
 	res.TotalEnergy = e.meter.Total()
 	res.CoreSeconds = e.coreSeconds
 	res.ThreadAdjustments = e.threadAdj
+	res.Net = e.link.Stats()
 	res.MsgsSent = e.msgsSent
 	res.MsgsDropped = e.msgsDropped
 	res.MsgsOverwritten = e.mx.Overwritten()

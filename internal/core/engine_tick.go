@@ -171,12 +171,20 @@ func (e *engine) controlTick(now float64) {
 	if tkHost != HostLGV && e.threadsNow > 1 {
 		threads = e.threadsNow
 	}
+	// Execution threads may be overridden independently of the modeled
+	// (billed) thread count: pooled kernels are positionally partitioned,
+	// so any KernelThreads × KernelPartition choice must not perturb the
+	// mission — the determinism invariant depends on exactly that.
+	execThreads := threads
+	if cfg.KernelThreads > 0 {
+		execThreads = cfg.KernelThreads
+	}
 	var cmd geom.Twist
 	var out tracker.Output
 	var err error
 	if e.havePth {
-		if threads > 1 {
-			out, err = e.tk.PlanParallel(in, threads, tracker.Block)
+		if execThreads > 1 {
+			out, err = e.tk.PlanParallel(in, execThreads, cfg.KernelPartition)
 		} else {
 			out, err = e.tk.Plan(in)
 		}
@@ -385,9 +393,13 @@ func (e *engine) stepSLAM(now float64, delta geom.Pose, scan *sensor.Scan, remot
 	if remote && e.threadsNow > 1 {
 		threads = e.threadsNow
 	}
+	execThreads := threads
+	if e.cfg.KernelThreads > 0 {
+		execThreads = e.cfg.KernelThreads
+	}
 	var st slam.UpdateStats
-	if threads > 1 {
-		st = e.slm.UpdateParallel(fullDelta, scan, threads, slam.Block)
+	if execThreads > 1 {
+		st = e.slm.UpdateParallel(fullDelta, scan, execThreads, e.cfg.KernelPartition)
 	} else {
 		st = e.slm.Update(fullDelta, scan)
 	}

@@ -1,0 +1,72 @@
+package msg
+
+import (
+	"math"
+	"testing"
+
+	"lgvoffload/internal/wire"
+)
+
+// headerBytes renders a header the way archived V1 bags did (no trace
+// uvarints) or the live V2 encoder does, for seeding the corpus.
+func headerBytes(h Header, v2 bool) []byte {
+	e := wire.NewEncoder(0)
+	e.Uvarint(h.Seq)
+	e.Float64(h.Stamp)
+	e.Float64(h.SentAt)
+	if v2 {
+		e.Uvarint(h.TraceID)
+		e.Uvarint(h.ParentSpan)
+	}
+	return e.Bytes()
+}
+
+// FuzzHeaderDecode drives Header.unmarshal over arbitrary buffers under
+// both header encoding versions: it must never panic, and any header it
+// accepts must survive a marshal→unmarshal round trip bit-for-bit.
+func FuzzHeaderDecode(f *testing.F) {
+	// Seeds: the bag-fixture headers (internal/bag's archived-format
+	// tests use Seq 1/2, Stamp ~0.1/0.3), a trace-carrying V2 header,
+	// truncated and corrupt shapes, and uvarint edge cases.
+	f.Add(headerBytes(Header{Seq: 1, Stamp: 0.1, SentAt: 0.11}, false), false)
+	f.Add(headerBytes(Header{Seq: 2, Stamp: 0.3, SentAt: 0.31}, false), false)
+	f.Add(headerBytes(Header{Seq: 7, Stamp: 1.5, SentAt: 1.6, TraceID: 42, ParentSpan: 9}, true), true)
+	f.Add(headerBytes(Header{Seq: math.MaxUint64, Stamp: math.Inf(1), SentAt: math.NaN()}, true), true)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0x80}, false)                                                      // unterminated uvarint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}, true) // uvarint overflow
+	f.Add(headerBytes(Header{Seq: 3, Stamp: 2, SentAt: 2.1}, true)[:10], true)      // truncated float
+
+	f.Fuzz(func(t *testing.T, data []byte, v2 bool) {
+		ver := wire.HeaderV1
+		if v2 {
+			ver = wire.HeaderV2
+		}
+		d := wire.NewDecoderVersion(data, ver)
+		var h Header
+		h.unmarshal(d)
+		if d.Err() != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		if !v2 && (h.TraceID != 0 || h.ParentSpan != 0) {
+			t.Fatalf("V1 decode populated trace context: %+v", h)
+		}
+		// Round trip under the live (V2) encoding.
+		e := wire.NewEncoder(0)
+		h.marshal(e)
+		d2 := wire.NewDecoder(e.Bytes())
+		var h2 Header
+		h2.unmarshal(d2)
+		if d2.Err() != nil {
+			t.Fatalf("re-decode of marshaled header failed: %v", d2.Err())
+		}
+		if h2.Seq != h.Seq || h2.TraceID != h.TraceID || h2.ParentSpan != h.ParentSpan ||
+			math.Float64bits(h2.Stamp) != math.Float64bits(h.Stamp) ||
+			math.Float64bits(h2.SentAt) != math.Float64bits(h.SentAt) {
+			t.Fatalf("header round trip mismatch: %+v vs %+v", h, h2)
+		}
+		if d2.Remaining() != 0 {
+			t.Fatalf("marshaled header has %d trailing bytes", d2.Remaining())
+		}
+	})
+}

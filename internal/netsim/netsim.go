@@ -118,6 +118,28 @@ func DefaultCloudLink(wap geom.Vec2) LinkConfig {
 	return c
 }
 
+// Stats is the link's full packet ledger: every packet offered to Send
+// is either delivered or dropped, and every drop is attributed to
+// exactly one cause. Invariant checkers (internal/simtest) assert
+// Sent == Delivered + Dropped and Dropped == sum of the cause columns,
+// and that the fault-attributed causes are zero when no fault schedule
+// is attached.
+type Stats struct {
+	Sent      int // packets offered to Send
+	Delivered int // packets that arrived at the peer
+
+	// Drop causes, disjoint; they sum to the total drop count.
+	DroppedImpair   int // blackholed by an Impairment verdict (fault window)
+	DroppedOverflow int // kernel-buffer overflow under weak signal
+	DroppedLoss     int // random signal-driven loss
+	DroppedCorrupt  int // corrupted in a fault window, rejected by decoder
+}
+
+// Dropped returns the total packets lost to any cause.
+func (s Stats) Dropped() int {
+	return s.DroppedImpair + s.DroppedOverflow + s.DroppedLoss + s.DroppedCorrupt
+}
+
 // Link is the stateful wireless channel. It is not safe for concurrent
 // use; the mission engine owns it and drives it from one goroutine.
 type Link struct {
@@ -134,6 +156,7 @@ type Link struct {
 	lastDrain float64 // virtual time of last drain update
 
 	sent, dropped int
+	stats         Stats
 
 	sink   obs.Sink   // nil when telemetry is off (the default)
 	impair Impairment // nil when no fault schedule is attached
@@ -239,6 +262,7 @@ func (l *Link) SendDir(now float64, size int, dir Dir) (arriveAt float64, droppe
 // arriveAt - now = queueDelay + transport.
 func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, dropped bool, queueDelay float64) {
 	l.sent++
+	l.stats.Sent++
 	s := l.SignalAt(now)
 	corrupt := false
 	if l.impair != nil {
@@ -247,6 +271,7 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 			// Blackholed before the radio: the packet vanishes without
 			// occupying the kernel buffer.
 			l.dropped++
+			l.stats.DroppedImpair++
 			if l.sink != nil {
 				l.sink.Count(obs.MLinkDropped, "", 1)
 			}
@@ -275,6 +300,7 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 		// Driver holds packets: join the kernel buffer or overflow.
 		if l.buffered >= float64(l.cfg.KernelBuf) {
 			l.dropped++
+			l.stats.DroppedOverflow++
 			if l.sink != nil {
 				l.sink.Count(obs.MLinkDropped, "", 1)
 			}
@@ -289,6 +315,7 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 	pLoss := math.Pow(1-s, 3)
 	if l.rng.Float64() < pLoss {
 		l.dropped++
+		l.stats.DroppedLoss++
 		if l.sink != nil {
 			l.sink.Count(obs.MLinkDropped, "", 1)
 		}
@@ -299,6 +326,7 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 		// The frame crossed the air (it occupied buffer and spectrum)
 		// but the receiver's decoder rejects it: an effective loss.
 		l.dropped++
+		l.stats.DroppedCorrupt++
 		if l.sink != nil {
 			l.sink.Count(obs.MLinkDropped, "", 1)
 		}
@@ -313,11 +341,15 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 	if l.sink != nil {
 		l.sink.Observe(obs.MLinkLatencySeconds, "", lat)
 	}
+	l.stats.Delivered++
 	return now + lat, false, queueDelay
 }
 
 // Counters returns total packets offered and dropped since creation.
 func (l *Link) Counters() (sent, dropped int) { return l.sent, l.dropped }
+
+// Stats returns the full packet ledger with per-cause drop attribution.
+func (l *Link) Stats() Stats { return l.stats }
 
 // Fabric adapts a Link to the middleware's Fabric interface: transfers
 // between distinct hosts traverse the wireless link; same-host transfers

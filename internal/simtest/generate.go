@@ -1,0 +1,238 @@
+package simtest
+
+import (
+	"math"
+	"math/rand"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/grid"
+	"lgvoffload/internal/world"
+)
+
+// Generate samples one scenario from the matrix, deterministically from
+// the campaign seed: the same seed always yields the same scenario, and
+// the mission itself is seeded from it, so a whole campaign is
+// reproducible from its starting seed alone.
+//
+// The sampler covers the cross-product the tentpole asks for: worlds
+// (lab / obstacle course / generated empty / generated clutter), fault
+// schedules over all six internal/faults kinds, goals EC and MCT, fleet
+// sizes through fleet.ShareServer, thread counts, and bandwidth/velocity
+// profiles. Start and goal poses are rejection-sampled against the
+// robot footprint so every scenario is at least physically placeable.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed}
+
+	// Workload mix: navigation dominates (it is the paper's primary
+	// pipeline), exploration and coverage keep SLAM and boustrophedon
+	// planning in the loop.
+	switch p := rng.Float64(); {
+	case p < 0.55:
+		sc.Workload = "navigation"
+	case p < 0.80:
+		sc.Workload = "coverage"
+	default:
+		sc.Workload = "exploration"
+	}
+
+	sc.World = sampleWorld(rng, sc.Workload)
+	m, err := sc.World.Build()
+	if err != nil {
+		panic("simtest: generator built invalid world: " + err.Error())
+	}
+	samplePoses(rng, m, &sc)
+
+	sc.Deploy = sampleDeploy(rng)
+	if sc.Deploy.Mode != "local" && rng.Float64() < 0.35 {
+		sc.Fleet = []int{2, 3, 5, 9, 24}[rng.Intn(5)]
+	} else {
+		sc.Fleet = 1
+	}
+
+	sc.Link = sampleLink(rng, m, sc)
+	sc.Faults = sampleFaults(rng, sc.MaxSimTime)
+
+	// Velocity and pipeline-size profiles.
+	sc.VCeil = []float64{0, 0.5, 0.8}[rng.Intn(3)] // 0 = default 1.0
+	sc.TrackerSamples = []int{200, 500, 1000}[rng.Intn(3)]
+	if sc.Workload == "exploration" {
+		sc.SlamParticles = []int{10, 20, 30}[rng.Intn(3)]
+	}
+	return sc
+}
+
+func sampleWorld(rng *rand.Rand, workload string) WorldSpec {
+	if workload == "exploration" {
+		// Exploration maps the world from scratch; keep rooms small so
+		// the SLAM loop terminates well inside MaxSimTime.
+		w := WorldSpec{Kind: "empty", W: 5 + rng.Float64()*2, H: 4 + rng.Float64(), Res: 0.05}
+		if rng.Float64() < 0.5 {
+			w.Kind = "clutter"
+			w.Obstacles = 2 + rng.Intn(4)
+			w.Seed = rng.Int63()
+		}
+		return w
+	}
+	switch p := rng.Float64(); {
+	case p < 0.30:
+		return WorldSpec{Kind: "lab"}
+	case p < 0.40:
+		return WorldSpec{Kind: "course"}
+	case p < 0.65:
+		return WorldSpec{Kind: "empty", W: 6 + rng.Float64()*4, H: 4 + rng.Float64()*2, Res: 0.05}
+	default:
+		return WorldSpec{
+			Kind: "clutter", W: 6 + rng.Float64()*4, H: 4 + rng.Float64()*2,
+			Res: 0.05, Obstacles: 3 + rng.Intn(6), Seed: rng.Int63(),
+		}
+	}
+}
+
+// samplePoses fills start/goal (and sometimes patrol waypoints) with
+// collision-free positions a useful distance apart.
+func samplePoses(rng *rand.Rand, m *grid.Map, sc *Scenario) {
+	radius := world.Turtlebot3().Radius + 0.1 // margin over the footprint
+	start := sampleFree(rng, m, radius, geom.Vec2{}, 0)
+	goal := sampleFree(rng, m, radius, start, 2.5)
+	sc.StartX, sc.StartY = start.X, start.Y
+	sc.StartTheta = rng.Float64() * 6.28
+	sc.GoalX, sc.GoalY = goal.X, goal.Y
+	if sc.Workload == "navigation" && rng.Float64() < 0.25 {
+		// Patrol mission: one or two intermediate stops.
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			wp := sampleFree(rng, m, radius, start, 1.0)
+			sc.Waypoints = append(sc.Waypoints, [2]float64{wp.X, wp.Y})
+		}
+	}
+	sc.MaxSimTime = sampleSimTime(rng, sc.Workload)
+}
+
+func sampleSimTime(rng *rand.Rand, workload string) float64 {
+	base := 60.0
+	if workload != "navigation" {
+		base = 90 // coverage/exploration visit the whole map
+	}
+	return base + float64(rng.Intn(4))*15
+}
+
+// sampleFree rejection-samples a footprint-clear position at least
+// minDist from ref. It always terminates: after a bounded number of
+// tries it falls back to the best (farthest) candidate seen, collision
+// checked or not — the engine itself rejects truly invalid poses and
+// the evaluator treats that as a skip, not a violation.
+func sampleFree(rng *rand.Rand, m *grid.Map, radius float64, ref geom.Vec2, minDist float64) geom.Vec2 {
+	wMeters := float64(m.Width) * m.Resolution
+	hMeters := float64(m.Height) * m.Resolution
+	best := geom.V(wMeters/2, hMeters/2)
+	bestDist := -1.0
+	for i := 0; i < 200; i++ {
+		p := geom.V(0.4+rng.Float64()*(wMeters-0.8), 0.4+rng.Float64()*(hMeters-0.8))
+		if world.FootprintCollides(m, p, radius) {
+			continue
+		}
+		d := dist(p, ref)
+		if d >= minDist {
+			return p
+		}
+		if d > bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best
+}
+
+func dist(a, b geom.Vec2) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func sampleDeploy(rng *rand.Rand) DeploySpec {
+	threads := []int{1, 2, 4, 8}[rng.Intn(4)]
+	switch p := rng.Float64(); {
+	case p < 0.15:
+		return DeploySpec{Mode: "local", Threads: 1}
+	case p < 0.28:
+		return DeploySpec{Mode: "edge", Threads: threads}
+	case p < 0.40:
+		return DeploySpec{Mode: "cloud", Threads: threads}
+	default:
+		d := DeploySpec{Mode: "adaptive", Remote: "edge", Goal: "mct", Threads: threads}
+		if rng.Float64() < 0.4 {
+			d.Remote = "cloud"
+		}
+		if rng.Float64() < 0.5 {
+			d.Goal = "ec"
+		}
+		return d
+	}
+}
+
+func sampleLink(rng *rand.Rand, m *grid.Map, sc Scenario) LinkSpec {
+	profile := []string{"good", "good", "fade", "fade", "deadzone", "interference"}[rng.Intn(6)]
+	// WAP near the start keeps fade profiles interesting (signal decays
+	// as the mission progresses); an occasional far corner stresses the
+	// whole-mission weak-signal regime.
+	wx, wy := sc.StartX, sc.StartY
+	if rng.Float64() < 0.3 {
+		wMeters := float64(m.Width) * m.Resolution
+		hMeters := float64(m.Height) * m.Resolution
+		wx, wy = wMeters*rng.Float64(), hMeters*rng.Float64()
+	}
+	return LinkSpec{Profile: profile, WAPX: roundCm(wx), WAPY: roundCm(wy)}
+}
+
+func roundCm(v float64) float64 { return float64(int(v*100)) / 100 }
+
+// sampleFaults renders a fault spec string with 0–3 windows across all
+// six kinds. Roughly half of all scenarios run fault-free so the
+// clean-path invariants (EC dominance, zero fault-attributed drops) get
+// steady coverage.
+func sampleFaults(rng *rand.Rand, maxSimTime float64) string {
+	if rng.Float64() < 0.45 {
+		return ""
+	}
+	kinds := []string{"wap", "server", "burst", "corrupt", "partup", "partdown"}
+	n := 1 + rng.Intn(3)
+	spec := ""
+	for i := 0; i < n; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		t0 := 3 + rng.Float64()*maxSimTime*0.5
+		dur := 2 + rng.Float64()*8
+		s := kind + ":" + trimFloat(t0) + "-" + trimFloat(t0+dur)
+		if (kind == "burst" || kind == "corrupt") && rng.Float64() < 0.7 {
+			s += ":" + trimFloat(0.3+rng.Float64()*0.6)
+		}
+		if spec != "" {
+			spec += ";"
+		}
+		spec += s
+	}
+	return spec
+}
+
+// trimFloat renders a time with 0.1 s resolution so specs stay short
+// and round-trip exactly through ParseSpec/String.
+func trimFloat(v float64) string {
+	i := int(v * 10)
+	whole, frac := i/10, i%10
+	if frac == 0 {
+		return itoa(whole)
+	}
+	return itoa(whole) + "." + itoa(frac)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

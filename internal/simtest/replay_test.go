@@ -1,0 +1,36 @@
+package simtest
+
+import (
+	"testing"
+)
+
+// TestReplayReproCorpus replays every committed repro under
+// testdata/repros/ against the current invariant library. Each file is
+// a scenario that once violated an invariant (or demonstrated the
+// pipeline); after the fix it must run clean, so the corpus is a
+// regression suite that grows with every hunt.
+func TestReplayReproCorpus(t *testing.T) {
+	repros, paths, err := LoadCorpus("testdata/repros")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(repros) == 0 {
+		t.Skip("no committed repros")
+	}
+	for i, r := range repros {
+		r, path := r, paths[i]
+		t.Run(r.Filename(), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Evaluate(r.Scenario, Options{})
+			if err != nil {
+				t.Fatalf("%s: replay errored: %v", path, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("%s: invariant %s still violated: %s", path, v.Invariant, v.Error)
+			}
+			if len(rep.Checked) == 0 {
+				t.Errorf("%s: no invariants applied to the repro scenario", path)
+			}
+		})
+	}
+}

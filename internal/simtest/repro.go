@@ -1,0 +1,118 @@
+package simtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ReproFormatVersion is bumped on incompatible Scenario/Repro schema
+// changes; LoadRepro rejects files from a different major format so a
+// stale corpus fails loudly instead of silently testing nothing.
+const ReproFormatVersion = 1
+
+// Repro is a self-contained, committed record of an invariant
+// violation: the minimized scenario plus enough context to understand
+// what failed. Tier-1 tests replay every repro under testdata/repros/.
+type Repro struct {
+	Format    int    `json:"format"`
+	Invariant string `json:"invariant"`
+	// Error is the violation message observed when the repro was
+	// captured (informational; replay re-derives the current verdict).
+	Error string `json:"error"`
+	// CampaignSeed is the generator seed that first hit the violation.
+	CampaignSeed int64 `json:"campaign_seed"`
+	// ShrinkSteps/ShrinkRuns record how much the shrinker reduced it.
+	ShrinkSteps int      `json:"shrink_steps"`
+	ShrinkRuns  int      `json:"shrink_runs"`
+	Scenario    Scenario `json:"scenario"`
+}
+
+// Filename derives the canonical corpus filename for the repro.
+func (r Repro) Filename() string {
+	inv := strings.Map(func(c rune) rune {
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' {
+			return c
+		}
+		return '-'
+	}, r.Invariant)
+	return fmt.Sprintf("repro-%s-seed%d.json", inv, r.CampaignSeed)
+}
+
+// SaveRepro writes the repro into dir (created if needed) and returns
+// the path.
+func SaveRepro(dir string, r Repro) (string, error) {
+	if r.Format == 0 {
+		r.Format = ReproFormatVersion
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, r.Filename())
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRepro reads and validates one repro file. Unknown fields are
+// rejected so schema drift in the committed corpus is caught.
+func LoadRepro(path string) (Repro, error) {
+	var r Repro
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Format != ReproFormatVersion {
+		return r, fmt.Errorf("%s: format %d, want %d", path, r.Format, ReproFormatVersion)
+	}
+	if r.Invariant == "" {
+		return r, fmt.Errorf("%s: missing invariant name", path)
+	}
+	return r, nil
+}
+
+// LoadCorpus loads every *.json repro under dir, sorted by filename.
+// A missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]Repro, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var repros []Repro
+	var paths []string
+	for _, n := range names {
+		p := filepath.Join(dir, n)
+		r, err := LoadRepro(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		repros = append(repros, r)
+		paths = append(paths, p)
+	}
+	return repros, paths, nil
+}
