@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check fmt vet build test chaos bench reproduce trace-demo hunt fuzz-smoke
+.PHONY: check fmt vet build test chaos bench reproduce trace-demo hunt fuzz-smoke dash-smoke
 
 check: fmt vet build test
 
@@ -58,6 +58,12 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzRoundtrip -fuzztime 10s ./internal/wire
 	go test -run '^$$' -fuzz FuzzParseText -fuzztime 10s ./internal/grid
 	go test -run '^$$' -fuzz FuzzHeaderDecode -fuzztime 30s ./internal/msg
+
+# Dashboard smoke: short mission with the mission store and HTTP
+# inspector attached, probed from outside with curl (/missions, /fleet,
+# /dash, the first /live SSE event) and read back with cmd/lgvstore.
+dash-smoke:
+	sh scripts/dash_smoke.sh
 
 # End-to-end tracing proof: run a short traced mission, then validate the
 # exported Chrome JSON (well-formed, monotonic timestamps, every parent

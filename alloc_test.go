@@ -15,6 +15,7 @@ import (
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/msg"
 	"lgvoffload/internal/slam"
+	"lgvoffload/internal/store"
 	"lgvoffload/internal/trace"
 	"lgvoffload/internal/tracker"
 	"lgvoffload/internal/wire"
@@ -97,5 +98,27 @@ func TestAllocWireEncodeSteadyState(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("EncodedSize allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocStoreRecorderDisabled: with recording disabled (the default
+// nil *store.Recorder in MissionConfig.Store), the engine's per-tick
+// record hooks must cost nothing — every Recorder method is a nil-safe
+// no-op and the flat recItem union never escapes.
+func TestAllocStoreRecorderDisabled(t *testing.T) {
+	var rec *store.Recorder
+	tick := store.Tick{T: 1, VDP: 0.04, EnergyJ: 12, Bandwidth: 80, MaxVel: 0.3}
+	dec := store.Decision{T: 1, Reason: "alg1", From: "lgv", To: "edge"}
+	sr := store.SpanRow{T: 1, Makespan: 0.04, Compute: 0.03}
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Tick(tick)
+		rec.Decision(dec)
+		rec.SpanRow(sr)
+		rec.Fault(store.Fault{Kind: "wap", T0: 1, T1: 2})
+		_ = rec.Dropped()
+		_ = rec.ID()
+	})
+	if allocs > 0 {
+		t.Errorf("disabled recorder allocates %.1f/op, want 0", allocs)
 	}
 }

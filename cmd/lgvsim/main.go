@@ -11,16 +11,21 @@
 //	lgvsim -deploy adaptive -goal ec -veltrace   # with a velocity trace
 //	lgvsim -deploy adaptive -telemetry out.jsonl -postmortem
 //	lgvsim -trace trace.json -spans spans.jsonl  # causal VDP trace
-//	lgvsim -http :8080                           # live inspection endpoint
+//	lgvsim -http :8080                           # live dashboard + inspection
+//	lgvsim -store missions.lgvstore -http :8080  # persist + browse history
 //	lgvsim -faults "wap:20-35;server:60-80"      # scripted disturbances
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"time"
 
 	"lgvoffload"
 )
@@ -36,9 +41,11 @@ func main() {
 	velTrace := flag.Bool("veltrace", false, "print the velocity/bandwidth trace")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
 	spansOut := flag.String("spans", "", "write the raw span stream to this JSONL file")
-	httpAddr := flag.String("http", "", `serve the live inspection endpoint on this address (e.g. ":8080") and keep serving after the mission`)
+	httpAddr := flag.String("http", "", `serve the inspection endpoint and fleet dashboard on this address (e.g. ":8080"); starts before the mission, so /live streams it, and keeps serving after`)
 	telemetry := flag.String("telemetry", "", "write the mission event timeline to this JSONL file")
 	postmortem := flag.Bool("postmortem", false, "print the telemetry post-mortem report")
+	postmortemOut := flag.String("postmortem-out", "", "also write the post-mortem report into this directory, under a unique timestamped, mission-suffixed filename")
+	storePath := flag.String("store", "", "record the mission into this embedded mission store file (created if absent; served by -http)")
 	faultSpec := flag.String("faults", "", `fault schedule, e.g. "wap:10-20;server:30-45;burst:50-52:0.9"`)
 	flag.Parse()
 
@@ -103,22 +110,88 @@ func main() {
 	}
 
 	var tel *lgvoffload.Telemetry
-	if *telemetry != "" || *postmortem || *httpAddr != "" {
+	if *telemetry != "" || *postmortem || *postmortemOut != "" || *httpAddr != "" {
 		// A long mission at 5 Hz emits several events per tick; a roomy
 		// ring keeps the early adaptation decisions from being evicted.
 		tel = lgvoffload.NewTelemetry(1 << 16)
 		cfg.Telemetry = tel
 	}
 	var tracer *lgvoffload.Tracer
-	if *traceOut != "" || *spansOut != "" || *httpAddr != "" {
+	if *traceOut != "" || *spansOut != "" || *httpAddr != "" || *storePath != "" {
 		tracer = lgvoffload.NewTracer(0)
 		cfg.Tracer = tracer
+	}
+
+	// Mission store: open before the run so the dashboard can serve
+	// history from previous runs while this mission records live.
+	var st *lgvoffload.Store
+	var rec *lgvoffload.MissionRecorder
+	if *storePath != "" {
+		var err error
+		st, err = lgvoffload.OpenStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "store:", err)
+			os.Exit(1)
+		}
+		rec, err = st.Begin(lgvoffload.MissionStart{
+			Unix:       time.Now().Unix(),
+			Label:      "lgvsim",
+			Seed:       *seed,
+			Workload:   cfg.Workload.String(),
+			Deploy:     d.Name,
+			Goal:       g.String(),
+			Threads:    *threads,
+			FaultSpec:  *faultSpec,
+			MaxSimTime: *maxTime,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "store:", err)
+			os.Exit(1)
+		}
+		cfg.Store = rec
+	}
+
+	// HTTP inspector: listen BEFORE the mission so /live streams the run
+	// as it happens (and CI smoke tests can probe mid-mission).
+	var hub *lgvoffload.LiveHub
+	if *httpAddr != "" {
+		hub = lgvoffload.NewLiveHub(0)
+		tel.Tee(hub)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(1)
+		}
+		handler := lgvoffload.NewInspectorWith(lgvoffload.InspectorConfig{
+			Telemetry: tel, Trace: tracer, Store: st, Live: hub,
+		})
+		fmt.Printf("inspect:   serving http://%s/ (dashboard at /dash, live SSE at /live)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, handler); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	res, err := lgvoffload.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mission error:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		id := rec.ID()
+		if err := rec.Finish(lgvoffload.StoreSummary(res)); err != nil {
+			fmt.Fprintln(os.Stderr, "store:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("store:     mission %s recorded in %s\n", id, *storePath)
+		if hub != nil {
+			frame, _ := json.Marshal(map[string]any{
+				"id": id, "success": res.Success, "reason": res.Reason,
+			})
+			hub.Publish("mission", frame)
+		}
 	}
 
 	fmt.Printf("mission:   %s on %s (seed %d)\n", cfg.Workload, d.Name, *seed)
@@ -171,6 +244,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *postmortemOut != "" {
+		path, err := writePostMortemFile(*postmortemOut, cfg.Workload.String(), d.Name, *seed, tel, res.TotalTime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "post-mortem:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("post-mortem: written to %s\n", path)
+	}
 
 	if tracer != nil {
 		writeFile := func(path string, write func(io.Writer) error, what string) {
@@ -214,12 +295,40 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		// Keep serving after the mission so the recorded trace, metrics
-		// and timeline stay inspectable; ^C to quit.
-		fmt.Printf("\ninspect:   serving http://%s/ (metrics, timeline, trace, pprof)\n", *httpAddr)
-		if err := http.ListenAndServe(*httpAddr, lgvoffload.NewInspector(tel, tracer)); err != nil {
-			fmt.Fprintln(os.Stderr, "http:", err)
-			os.Exit(1)
+		// Keep serving so the recorded mission, store history and live
+		// stream stay inspectable; ^C to quit.
+		fmt.Printf("\ninspect:   still serving (dashboard, metrics, timeline, trace, pprof); ^C to quit\n")
+		select {}
+	}
+}
+
+// writePostMortemFile renders the post-mortem into dir under a unique
+// timestamped, mission-suffixed name, so repeated runs never overwrite
+// an earlier report. On a filename collision (two runs in the same
+// second with identical parameters) a numeric suffix disambiguates.
+func writePostMortemFile(dir, workload, deploy string, seed int64, tel *lgvoffload.Telemetry, missionTime float64) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	stamp := time.Now().UTC().Format("20060102-150405")
+	base := fmt.Sprintf("postmortem-%s-%s-seed%d-%s", workload, deploy, seed, stamp)
+	for i := 0; ; i++ {
+		name := base + ".txt"
+		if i > 0 {
+			name = fmt.Sprintf("%s.%d.txt", base, i)
 		}
+		path := filepath.Join(dir, name)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		if err := lgvoffload.WritePostMortem(f, tel, missionTime); err != nil {
+			f.Close()
+			return "", err
+		}
+		return path, f.Close()
 	}
 }

@@ -1,0 +1,305 @@
+// Command lgvstore inspects an embedded mission store file produced by
+// lgvsim -store, reproduce -store or any program using
+// lgvoffload.OpenStore.
+//
+// Usage:
+//
+//	lgvstore ls [filter flags] <store>           list missions
+//	lgvstore show [-ticks] <store> <mission-id>  one mission in detail
+//	lgvstore stats [filter flags] <store>        fleet aggregates + file stats
+//	lgvstore export [-o out.json] <store> <id>   full mission record dump (JSON)
+//	lgvstore compact [filter flags] <store> <dst>  rewrite keeping matches
+//
+// Filter flags (ls, stats, compact): -outcome success|failure|unfinished,
+// -seed N, -fault <substring>, -workload <name>, -limit N.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"lgvoffload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "lgvstore: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lgvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  lgvstore ls [filter flags] <store>
+  lgvstore show [-ticks] <store> <mission-id>
+  lgvstore stats [filter flags] <store>
+  lgvstore export [-o file] <store> <mission-id>
+  lgvstore compact [filter flags] <store> <dst>
+
+filter flags: -outcome success|failure|unfinished  -seed N
+              -fault <substring>  -workload <name>  -limit N
+`)
+}
+
+// filterFlags registers the shared mission-filter flags on fs and
+// returns a closure assembling the StoreFilter after parsing.
+func filterFlags(fs *flag.FlagSet) func() lgvoffload.StoreFilter {
+	outcome := fs.String("outcome", "", "filter by outcome: success | failure | unfinished")
+	seed := fs.Int64("seed", 0, "filter by mission seed")
+	fault := fs.String("fault", "", "filter by fault-spec substring")
+	workload := fs.String("workload", "", "filter by workload name")
+	limit := fs.Int("limit", 0, "cap result count (most recent win)")
+	return func() lgvoffload.StoreFilter {
+		f := lgvoffload.StoreFilter{
+			Outcome: *outcome, FaultSpec: *fault, Workload: *workload, Limit: *limit,
+		}
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "seed" {
+				f.Seed, f.HasSeed = *seed, true
+			}
+		})
+		return f
+	}
+}
+
+func openArg(fs *flag.FlagSet, args []string, want int) (*lgvoffload.Store, []string, error) {
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	rest := fs.Args()
+	if len(rest) != want {
+		return nil, nil, fmt.Errorf("expected %d positional argument(s), got %d", want, len(rest))
+	}
+	if _, err := os.Stat(rest[0]); err != nil {
+		return nil, nil, err // don't silently create a store on a typo'd path
+	}
+	st, err := lgvoffload.OpenStore(rest[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, rest, nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	filter := filterFlags(fs)
+	st, _, err := openArg(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	missions := st.List(filter())
+	if len(missions) == 0 {
+		fmt.Println("no missions match")
+		return nil
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tWHEN\tWORKLOAD\tDEPLOY\tSEED\tFAULTS\tOUTCOME\tTIME\tENERGY\tTICKS")
+	for _, m := range missions {
+		when := "-"
+		if m.Start.Unix != 0 {
+			when = time.Unix(m.Start.Unix, 0).UTC().Format("2006-01-02 15:04")
+		}
+		tm, energy, ticks := "-", "-", "-"
+		if m.End != nil {
+			tm = fmt.Sprintf("%.1fs", m.End.TotalTime)
+			energy = fmt.Sprintf("%.0fJ", m.End.TotalEnergy)
+			ticks = fmt.Sprintf("%d", m.End.Ticks)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			m.Start.ID, when, m.Start.Workload, m.Start.Deploy, m.Start.Seed,
+			orDash(m.Start.FaultSpec), m.Outcome(), tm, energy, ticks)
+	}
+	return tw.Flush()
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	ticks := fs.Bool("ticks", false, "also print the per-tick telemetry series")
+	st, rest, err := openArg(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	md, err := st.ReadMission(rest[1])
+	if err != nil {
+		return err
+	}
+	s := md.Start
+	fmt.Printf("mission %s  (%s on %s, seed %d", s.ID, s.Workload, s.Deploy, s.Seed)
+	if s.FaultSpec != "" {
+		fmt.Printf(", faults %q", s.FaultSpec)
+	}
+	fmt.Println(")")
+	if s.Unix != 0 {
+		fmt.Printf("  started  %s\n", time.Unix(s.Unix, 0).UTC().Format(time.RFC3339))
+	}
+	if md.End == nil {
+		fmt.Printf("  outcome  unfinished (%d ticks, %d decisions recorded)\n",
+			len(md.Ticks), len(md.Decisions))
+		return nil
+	}
+	e := md.End
+	fmt.Printf("  outcome  success=%v (%s)\n", e.Success, e.Reason)
+	fmt.Printf("  time     total %.1f s = moving %.1f s + standby %.1f s\n",
+		e.TotalTime, e.MovingTime, e.StandbyTime)
+	fmt.Printf("  motion   %.2f m, avg velocity cap %.3f m/s\n", e.Distance, e.AvgMaxVel)
+	fmt.Printf("  energy   %.1f J total\n", e.TotalEnergy)
+	fmt.Printf("  vdp      mean %.1f ms  p50 %.1f  p95 %.1f  p99 %.1f  (%d ticks",
+		e.VDPMean*1e3, e.VDPP50*1e3, e.VDPP95*1e3, e.VDPP99*1e3, e.Ticks)
+	if e.Dropped > 0 {
+		fmt.Printf(", %d records dropped", e.Dropped)
+	}
+	fmt.Println(")")
+	fmt.Printf("  network  %d msgs, %d dropped, %d switches, %d failovers, %d watchdog stops\n",
+		e.MsgsSent, e.MsgsDropped, e.Switches, e.Failovers, e.WatchdogStops)
+	if len(md.Faults) > 0 {
+		fmt.Println("  faults")
+		for _, f := range md.Faults {
+			fmt.Printf("    %-10s %.1f – %.1f s\n", f.Kind, f.T0, f.T1)
+		}
+	}
+	if len(md.Decisions) > 0 {
+		fmt.Println("  decisions")
+		for _, d := range md.Decisions {
+			fmt.Printf("    %7.1fs  %s -> %s  (%s, bw %.1f Mbps)\n",
+				d.T, d.From, d.To, d.Reason, d.Bandwidth)
+		}
+	}
+	if *ticks {
+		fmt.Println("  ticks (t, vdp_ms, energy_J, bw, vmax, v, remote)")
+		for _, tk := range md.Ticks {
+			fmt.Printf("    %7.1f  %7.2f  %8.1f  %5.1f  %.3f  %.3f  %v\n",
+				tk.T, tk.VDP*1e3, tk.EnergyJ, tk.Bandwidth, tk.MaxVel, tk.RealVel, tk.RemoteOn)
+		}
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	filter := filterFlags(fs)
+	asJSON := fs.Bool("json", false, "emit the aggregates as JSON")
+	st, _, err := openArg(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	fleet, err := st.FleetStats(filter())
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			File  lgvoffload.StoreStats `json:"file"`
+			Fleet lgvoffload.FleetStats `json:"fleet"`
+		}{st.Stats(), fleet})
+	}
+	fst := st.Stats()
+	fmt.Printf("file     %s: %d bytes, %d records", fst.Path, fst.Bytes, fst.Records)
+	if fst.TruncatedBytes > 0 {
+		fmt.Printf(" (%d torn tail bytes truncated on open)", fst.TruncatedBytes)
+	}
+	fmt.Println()
+	fmt.Printf("fleet    %d missions: %d success, %d failure, %d unfinished (%.0f%% success)\n",
+		fleet.Missions, fleet.Successes, fleet.Failures, fleet.Unfinished, fleet.SuccessRate*100)
+	if fleet.Finished == 0 {
+		return nil
+	}
+	fmt.Printf("mission  mean %.1f s, mean energy %.1f J (total %.1f J)\n",
+		fleet.MeanMission, fleet.MeanEnergy, fleet.TotalEnergy)
+	fmt.Printf("vdp      mean %.1f ms  p50 %.1f  p95 %.1f  p99 %.1f  (pooled over %d ticks)\n",
+		fleet.VDPMean*1e3, fleet.VDPP50*1e3, fleet.VDPP95*1e3, fleet.VDPP99*1e3, fleet.Ticks)
+	fmt.Printf("adapt    %d decisions, %.2f flips/mission-minute mean\n",
+		fleet.Decisions, fleet.MeanFlipRate)
+	if len(fleet.FlipRates) > 1 {
+		fmt.Print("trend    flips/min by mission:")
+		for _, p := range fleet.FlipRates {
+			fmt.Printf("  %s=%.2f", p.ID, p.Rate)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "", "write to this file instead of stdout")
+	st, rest, err := openArg(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	md, err := st.ReadMission(rest[1])
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(md)
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	filter := filterFlags(fs)
+	st, rest, err := openArg(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if _, err := os.Stat(rest[1]); err == nil {
+		return fmt.Errorf("destination %s already exists", rest[1])
+	}
+	kept, err := st.Compact(rest[1], filter())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kept %d of %d missions in %s\n", kept, st.Stats().Missions, rest[1])
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -9,6 +9,7 @@
 //	reproduce -exp fig13 -quick   # shrunken workload (seconds)
 //	reproduce -list               # list experiment IDs
 //	reproduce -exp all -figdir out/   # also write SVG figures
+//	reproduce -exp chaos -store runs.lgvstore  # record every mission
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"lgvoffload/internal/bench"
+	"lgvoffload/internal/store"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	figdir := flag.String("figdir", "", "also render SVG figures into this directory")
+	storePath := flag.String("store", "", "record every mission the campaign runs into this mission store file (query with cmd/lgvstore)")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +35,21 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RecordInto(st, "reproduce/"+*exp)
+		defer func() {
+			bench.RecordInto(nil, "")
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			}
+		}()
 	}
 
 	var todo []bench.Experiment

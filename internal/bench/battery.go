@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"lgvoffload/internal/core"
 	"lgvoffload/internal/energy"
 )
 
@@ -20,7 +19,7 @@ func RunBattery(w io.Writer, quick bool) error {
 	b := energy.Turtlebot3Battery()
 	var localMissions float64
 	for _, d := range deployments() {
-		res, err := core.Run(labNav(d, quick))
+		res, err := run(labNav(d, quick))
 		if err != nil {
 			return err
 		}

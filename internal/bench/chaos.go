@@ -57,7 +57,7 @@ func RunChaos(w io.Writer, quick bool) error {
 			// how the VDP critical path reshapes around the blackout.
 			cfg.Tracer = spans.NewTracer(0)
 		}
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}

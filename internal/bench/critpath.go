@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"lgvoffload/internal/core"
 	"lgvoffload/internal/spans"
 )
 
@@ -24,7 +23,7 @@ func RunCritPath(w io.Writer, quick bool) error {
 		tr := spans.NewTracer(0)
 		cfg := labNav(d, quick)
 		cfg.Tracer = tr
-		if _, err := core.Run(cfg); err != nil {
+		if _, err := run(cfg); err != nil {
 			return err
 		}
 		s := spans.Summarize(spans.AnalyzeTicks(tr.Spans()))

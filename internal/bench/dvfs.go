@@ -24,7 +24,7 @@ func RunDVFS(w io.Writer, quick bool) error {
 	for _, f := range freqs {
 		cfg := labNav(core.DeployLocal(), quick)
 		cfg.LocalFreqGHz = f
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -32,7 +32,7 @@ func RunDVFS(w io.Writer, quick bool) error {
 			f, res.Success, res.TotalTime, res.TotalEnergy,
 			res.Energy[energy.Computer]/res.TotalTime, res.AvgMaxVel)
 	}
-	res, err := core.Run(labNav(core.DeployEdge(8), quick))
+	res, err := run(labNav(core.DeployEdge(8), quick))
 	if err != nil {
 		return err
 	}

@@ -25,7 +25,7 @@ func RunFig12(w io.Writer, quick bool) error {
 	for _, d := range deployments() {
 		cfg := labNav(d, quick)
 		cfg.RecordTrace = true
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -72,7 +72,7 @@ func RunFig12(w io.Writer, quick bool) error {
 func Fig12AvgVmax(quick bool) (map[string]float64, error) {
 	out := make(map[string]float64)
 	for _, d := range deployments() {
-		res, err := core.Run(labNav(d, quick))
+		res, err := run(labNav(d, quick))
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +99,7 @@ func runFig13Workload(wl core.Workload, quick bool) ([]fig13Summary, error) {
 		} else {
 			cfg = labExplore(d, quick)
 		}
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +215,7 @@ func RunFig14(w io.Writer, quick bool) error {
 			VCeil:       p.vceil,
 			RecordTrace: true,
 		}
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -247,7 +247,7 @@ func RunFig14(w io.Writer, quick bool) error {
 			WAP: geom.V(7, 3), Deployment: core.DeployEdge(8), Seed: 21,
 			MaxSimTime: 900, VCeil: 0.6, ShedParallelism: shed,
 		}
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -283,7 +283,7 @@ func Fig14Gaps(quick bool) (lowGap, highGap float64, err error) {
 			WAP: geom.V(7, 3), Deployment: core.DeployEdge(8), Seed: 21,
 			MaxSimTime: 900, VCeil: vceil, RecordTrace: true,
 		}
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -339,7 +339,7 @@ func RunAlg1(w io.Writer, quick bool) error {
 				cfg.LinkCfg = lc
 				name = "congested WAN"
 			}
-			res, err := core.Run(cfg)
+			res, err := run(cfg)
 			if err != nil {
 				return err
 			}

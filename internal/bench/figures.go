@@ -163,7 +163,7 @@ func writeFig12SVG(dir string, quick bool) error {
 	for _, d := range deployments() {
 		cfg := labNav(d, quick)
 		cfg.RecordTrace = true
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -231,7 +231,7 @@ func writeFig14SVG(dir string, quick bool) error {
 		cfg.Start, cfg.Goal, cfg.WAP = geom.P(0.8, 2.0, 0), geom.V(7, 2), geom.V(4, 2)
 		cfg.MaxSimTime = 300
 	}
-	res, err := core.Run(cfg)
+	res, err := run(cfg)
 	if err != nil {
 		return err
 	}
@@ -255,7 +255,7 @@ func writeMapSVG(dir string, quick bool) error {
 	m := world.LabMap()
 	cfg := labNav(core.DeployEdge(8), quick)
 	cfg.RecordTrace = true
-	res, err := core.Run(cfg)
+	res, err := run(cfg)
 	if err != nil {
 		return err
 	}

@@ -162,7 +162,7 @@ func RunAlg2(w io.Writer, quick bool) error {
 	} {
 		cfg := base
 		cfg.Deployment = d
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}

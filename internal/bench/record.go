@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"sync"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/store"
+)
+
+// The harness can mirror every mission it runs into a mission store, so
+// a full `reproduce` campaign leaves a queryable history behind (e.g.
+// cross-mission p99 VDP after the chaos sweep, via cmd/lgvstore). The
+// hook is process-global because experiments thread nothing but
+// (w, quick) through their Run signature; reproduce sets it once before
+// the campaign. Recording failures never fail an experiment — the store
+// is a side channel, the report is the product.
+
+var recMu sync.Mutex
+var recStore *store.Store
+var recLabel string
+
+// RecordInto routes every mission the harness subsequently runs into
+// st, tagging each MissionStart with label ("" just clears st). Pass
+// nil to stop recording.
+func RecordInto(st *store.Store, label string) {
+	recMu.Lock()
+	recStore, recLabel = st, label
+	recMu.Unlock()
+}
+
+// run is the harness's core.Run: identical semantics, plus optional
+// mission recording when RecordInto armed a store. Experiments call it
+// instead of core.Run so campaigns are replayable from disk.
+func run(cfg core.MissionConfig) (*core.Result, error) {
+	recMu.Lock()
+	st, label := recStore, recLabel
+	recMu.Unlock()
+	if st == nil {
+		return core.Run(cfg)
+	}
+	start := store.MissionStart{
+		Label:      label,
+		Seed:       cfg.Seed,
+		Workload:   cfg.Workload.String(),
+		Deploy:     cfg.Deployment.Name,
+		Goal:       cfg.Deployment.Goal.String(),
+		Threads:    cfg.Deployment.Threads,
+		MaxSimTime: cfg.MaxSimTime,
+	}
+	if cfg.Faults != nil {
+		start.FaultSpec = cfg.Faults.String()
+	}
+	rec, err := st.Begin(start)
+	if err != nil {
+		return core.Run(cfg) // recording is best-effort; the mission is not
+	}
+	cfg.Store = rec
+	res, err := core.Run(cfg)
+	if err != nil || res == nil {
+		rec.Abandon()
+		return res, err
+	}
+	_ = rec.Finish(core.StoreSummary(res))
+	return res, err
+}

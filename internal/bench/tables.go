@@ -47,7 +47,7 @@ var paperTable2 = map[string]map[string]float64{
 // and report each node's cycles and share, next to the paper's shares.
 func RunTable2(w io.Writer, quick bool) error {
 	run := func(label string, cfg core.MissionConfig) error {
-		res, err := core.Run(cfg)
+		res, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -88,7 +88,7 @@ func RunTable2(w io.Writer, quick bool) error {
 // Table2Shares runs the with-map workload and returns each node's cycle
 // share — used by integration tests to assert the Table II shape.
 func Table2Shares(quick bool) (map[string]float64, error) {
-	res, err := core.Run(labNav(core.DeployEdge(8), quick))
+	res, err := run(labNav(core.DeployEdge(8), quick))
 	if err != nil {
 		return nil, err
 	}

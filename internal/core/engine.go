@@ -24,6 +24,7 @@ import (
 	"lgvoffload/internal/sensor"
 	"lgvoffload/internal/slam"
 	"lgvoffload/internal/spans"
+	"lgvoffload/internal/store"
 	"lgvoffload/internal/timing"
 	"lgvoffload/internal/tracker"
 	"lgvoffload/internal/world"
@@ -194,6 +195,15 @@ type MissionConfig struct {
 	// VDP makespan, plus watchdog/failover/fault episodes. Nil — the
 	// default — keeps the tick hot path allocation-free.
 	Tracer *spans.Tracer
+
+	// Store, when non-nil, persists the mission into an embedded mission
+	// store (see internal/store): per-tick telemetry snapshots, the
+	// adaptation decision log, fault windows and critical-path rows.
+	// Obtain one with Store.Begin; the engine only appends records — the
+	// caller closes the mission with Recorder.Finish(StoreSummary(res))
+	// after Run returns. Nil — the default — records nothing and keeps
+	// the tick hot path allocation-free.
+	Store *store.Recorder
 }
 
 func (c *MissionConfig) fillDefaults() {
@@ -386,9 +396,10 @@ type engine struct {
 
 	// Telemetry (nil when disabled; every hook on it is nil-safe).
 	tel          *obs.Telemetry
-	tr           *spans.Tracer // causal tracing (nil when disabled; nil-safe)
-	stallOpen    bool          // a watchdog outage episode is in progress
-	stallStart   float64       // when the open episode began
+	tr           *spans.Tracer   // causal tracing (nil when disabled; nil-safe)
+	rec          *store.Recorder // mission store recorder (nil when disabled)
+	stallOpen    bool            // a watchdog outage episode is in progress
+	stallStart   float64         // when the open episode began
 	decisions    []AdaptDecision
 	lastRemoteOK bool // previous Algorithm 2 verdict, for flip detection
 
@@ -469,6 +480,7 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 
 		tel:          cfg.Telemetry,
 		tr:           cfg.Tracer,
+		rec:          cfg.Store,
 		lastRemoteOK: true, // adaptive deployments start offloaded
 	}
 	if cfg.Telemetry != nil {
@@ -712,6 +724,7 @@ func (e *engine) run() (*Result, error) {
 				spans.Mark, fw.T0, math.Min(fw.T1, e.w.Time))
 		}
 	}
+	e.recordRunEnd()
 
 	// Aggregate.
 	res.TotalTime = e.clock.Total()

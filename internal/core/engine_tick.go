@@ -607,6 +607,7 @@ func (e *engine) finishTick(now float64, localWork hostsim.Work, pipelineLat flo
 	e.meter.AddCycles(math.Min(localWork.Total(), budget))
 
 	e.tel.TickSpan(now, e.nextControl, pipelineLat)
+	e.recordTick(now, pipelineLat)
 
 	if e.cfg.Deployment.Mode == Adaptive {
 		e.adapt(now)
@@ -675,6 +676,7 @@ func (e *engine) failover(now float64) {
 		Bandwidth: bw, Direction: dir, RemoteOK: false,
 		From: from, To: to,
 	})
+	e.recordDecision(e.decisions[len(e.decisions)-1])
 	e.tel.Failover(now, misses, from+" -> "+to)
 	e.tel.Switch(now, bw, dir, 0, false, from+" -> "+to)
 	e.tr.Add(e.tr.NewTrace(), 0, "failover", string(HostLGV), "safety",
@@ -749,6 +751,7 @@ func (e *engine) adapt(now float64) {
 		LocalVDP: localVDP, CloudVDP: cloudVDP,
 		From: from, To: to, StateBytes: stateBytes,
 	})
+	e.recordDecision(e.decisions[len(e.decisions)-1])
 	e.tel.Switch(now, bw, dir, stateBytes,
 		len(desired.RemoteNodes()) > 0, from+" -> "+to)
 }

@@ -1,0 +1,139 @@
+package obs
+
+// dashHTML is the minimal single-file fleet dashboard served at /dash.
+// It is deliberately dependency-free (no frameworks, no CDN): plain
+// fetch() against /missions, /missions/{id} and /fleet, an EventSource
+// on /live, and inline SVG sparklines for the tick series and the
+// critical-path waterfall.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>lgvoffload fleet</title>
+<style>
+ body{font:13px/1.45 system-ui,sans-serif;margin:0;background:#10141a;color:#d7dce2}
+ header{padding:10px 16px;background:#161c26;display:flex;gap:24px;align-items:baseline}
+ header h1{font-size:15px;margin:0;color:#7fd1b9}
+ header span{color:#8a93a1}
+ main{display:grid;grid-template-columns:minmax(340px,1fr) 2fr;gap:12px;padding:12px}
+ section{background:#161c26;border-radius:6px;padding:10px 12px;overflow:auto}
+ h2{font-size:12px;text-transform:uppercase;letter-spacing:.08em;color:#8a93a1;margin:2px 0 8px}
+ table{border-collapse:collapse;width:100%}
+ td,th{padding:3px 8px;text-align:left;white-space:nowrap}
+ th{color:#8a93a1;font-weight:normal;border-bottom:1px solid #2a3240}
+ tr.m{cursor:pointer}
+ tr.m:hover{background:#1d2533}
+ .ok{color:#7fd1b9}.bad{color:#e07b7b}.run{color:#e0c97b}
+ #fleet b{color:#d7dce2;font-weight:600}
+ #fleet div{margin:2px 0}
+ svg{display:block;margin:4px 0;background:#10141a;border-radius:4px}
+ #livelog{font:11px/1.5 ui-monospace,monospace;max-height:200px;overflow:auto;color:#8a93a1}
+ #livelog .k{color:#7fa6d1}
+</style>
+</head>
+<body>
+<header><h1>lgvoffload fleet</h1><span id="status">loading…</span></header>
+<main>
+ <section>
+  <h2>Missions <small>(click one)</small></h2>
+  <table id="missions"><thead><tr>
+   <th>id</th><th>seed</th><th>workload</th><th>outcome</th><th>time&nbsp;s</th><th>p99&nbsp;VDP&nbsp;s</th><th>energy&nbsp;J</th>
+  </tr></thead><tbody></tbody></table>
+  <h2>Fleet</h2><div id="fleet"></div>
+  <h2>Live</h2><div id="livelog"></div>
+ </section>
+ <section id="detail"><h2>Mission</h2><div id="mbody">select a mission</div></section>
+</main>
+<script>
+"use strict";
+const $=s=>document.querySelector(s);
+const fmt=(v,d=2)=>v==null?"":(+v).toFixed(d);
+
+function spark(xs,ys,w,h,color){
+ if(!ys.length)return "";
+ const ymax=Math.max(...ys)||1,xmax=Math.max(...xs)||1;
+ const pts=xs.map((x,i)=>(x/xmax*(w-4)+2).toFixed(1)+","+((1-ys[i]/ymax)*(h-4)+2).toFixed(1)).join(" ");
+ return '<svg width="'+w+'" height="'+h+'"><polyline points="'+pts+
+  '" fill="none" stroke="'+color+'" stroke-width="1.2"/></svg>';
+}
+
+function waterfall(rows,w){
+ if(!rows.length)return "";
+ const mk=Math.max(...rows.map(r=>r.mk))||1,rh=4,h=rows.length*rh+4;
+ let s='<svg width="'+w+'" height="'+h+'">';
+ rows.forEach((r,i)=>{
+  let x=2;const y=2+i*rh;
+  for(const[seg,c]of[["cp","#7fd1b9"],["qu","#e0c97b"],["tr","#7fa6d1"]]){
+   const len=(r[seg]||0)/mk*(w-4);
+   if(len>0)s+='<rect x="'+x.toFixed(1)+'" y="'+y+'" width="'+len.toFixed(1)+'" height="'+(rh-1)+'" fill="'+c+'"/>';
+   x+=len;
+  }
+ });
+ return s+"</svg>";
+}
+
+async function loadMissions(){
+ const ms=await (await fetch("missions")).json();
+ const tb=$("#missions tbody");tb.innerHTML="";
+ (ms||[]).slice().reverse().forEach(m=>{
+  const end=m.end,tr=document.createElement("tr");
+  tr.className="m";
+  const outcome=!end?"running":(end.success?"success":"failure");
+  const cls=!end?"run":(end.success?"ok":"bad");
+  tr.innerHTML="<td>"+m.start.id+"</td><td>"+m.start.seed+"</td><td>"+(m.start.workload||"")+
+   "</td><td class="+cls+">"+outcome+"</td><td>"+(end?fmt(end.time,1):"")+
+   "</td><td>"+(end?fmt(end.vdp_p99,3):"")+"</td><td>"+(end?fmt(end.total_energy,0):"")+"</td>";
+  tr.onclick=()=>loadMission(m.start.id);
+  tb.appendChild(tr);
+ });
+ $("#status").textContent=(ms||[]).length+" missions";
+}
+
+async function loadFleet(){
+ const f=await (await fetch("fleet")).json();
+ $("#fleet").innerHTML=
+  "<div><b>"+f.missions+"</b> missions, <b>"+fmt(100*f.success_rate,0)+"%</b> success</div>"+
+  "<div>VDP p50 <b>"+fmt(f.vdp_p50,3)+"</b> · p95 <b>"+fmt(f.vdp_p95,3)+"</b> · p99 <b>"+fmt(f.vdp_p99,3)+"</b> s</div>"+
+  "<div>mean energy <b>"+fmt(f.mean_energy_j,0)+"</b> J · flip rate <b>"+fmt(f.mean_flip_rate,2)+"</b>/min</div>"+
+  spark((f.flip_rates||[]).map((_,i)=>i+1),(f.flip_rates||[]).map(p=>p.rate),280,40,"#e0c97b");
+}
+
+async function loadMission(id){
+ const m=await (await fetch("missions/"+encodeURIComponent(id))).json();
+ const ticks=m.ticks||[],spans=m.spans||[],end=m.end;
+ let h="<h2>Mission "+id+"</h2>";
+ if(end)h+="<div>"+(end.success?'<span class="ok">success</span>':'<span class="bad">failure</span>')+
+  " — "+end.reason+" · "+fmt(end.time,1)+" s · "+fmt(end.total_energy,0)+" J · "+
+  end.switches+" switches · "+end.failovers+" failovers · VDP p99 "+fmt(end.vdp_p99,3)+" s</div>";
+ h+="<h2>VDP (s)</h2>"+spark(ticks.map(t=>t.t),ticks.map(t=>t.vdp),560,80,"#7fd1b9");
+ h+="<h2>Energy (J)</h2>"+spark(ticks.map(t=>t.t),ticks.map(t=>t.e),560,60,"#e07b7b");
+ h+="<h2>Bandwidth (msg/s)</h2>"+spark(ticks.map(t=>t.t),ticks.map(t=>t.bw),560,60,"#7fa6d1");
+ if(spans.length)h+="<h2>Critical-path waterfall (compute/queue/transport)</h2>"+waterfall(spans,560);
+ if((m.decisions||[]).length){
+  h+="<h2>Decisions</h2><table><tr><th>t</th><th>reason</th><th>from→to</th><th>bw</th></tr>"+
+   m.decisions.map(d=>"<tr><td>"+fmt(d.t,1)+"</td><td>"+d.reason+"</td><td>"+d.from+"→"+d.to+
+    "</td><td>"+fmt(d.bw,1)+"</td></tr>").join("")+"</table>";
+ }
+ $("#detail").innerHTML=h;
+}
+
+function startLive(){
+ const log=$("#livelog");
+ const es=new EventSource("live");
+ const add=(k,d)=>{
+  const div=document.createElement("div");
+  div.innerHTML='<span class="k">'+k+"</span> "+d;
+  log.prepend(div);
+  while(log.children.length>60)log.lastChild.remove();
+ };
+ for(const k of["hello","tick","switch","alg2","fault","failover","watchdog_stop","drop","mission"])
+  es.addEventListener(k,e=>add(k,e.data));
+ es.onerror=()=>{es.close();add("live","stream closed")};
+}
+
+loadMissions();loadFleet();startLive();
+setInterval(()=>{loadMissions();loadFleet()},5000);
+</script>
+</body>
+</html>
+`

@@ -14,7 +14,10 @@
 // allocation when telemetry is off.
 package obs
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Sink receives telemetry from instrumented components (the mission
 // engine, the middleware bus and endpoints, the wireless link, the
@@ -107,7 +110,16 @@ type Telemetry struct {
 
 	mu    sync.Mutex
 	phase string
+
+	// tee holds an optional secondary Sink (a teeBox) every emitted
+	// event is forwarded to — the live SSE hub attaches here. An atomic
+	// keeps the common no-tee path at one load, no lock.
+	tee atomic.Value
 }
+
+// teeBox wraps the teed Sink so atomic.Value always stores one concrete
+// type (and can represent "detached" as a box holding nil).
+type teeBox struct{ s Sink }
 
 // NewTelemetry builds an enabled telemetry sink whose timeline holds at
 // most eventCap events (<= 0 means DefaultTimelineCap).
@@ -162,8 +174,18 @@ func (t *Telemetry) Observe(name, label string, v float64) {
 	t.Reg.Observe(name, label, v)
 }
 
-// Emit implements Sink: it stamps the current phase and appends to the
-// timeline.
+// Tee forwards every subsequently emitted event to s as well as the
+// timeline (pass nil to detach). The live SSE hub attaches here so
+// running missions stream without touching the engine. Nil-safe.
+func (t *Telemetry) Tee(s Sink) {
+	if t == nil {
+		return
+	}
+	t.tee.Store(teeBox{s: s})
+}
+
+// Emit implements Sink: it stamps the current phase, appends to the
+// timeline and forwards to the teed sink, if any.
 func (t *Telemetry) Emit(ev Event) {
 	if t == nil {
 		return
@@ -172,6 +194,9 @@ func (t *Telemetry) Emit(ev Event) {
 		ev.Phase = t.Phase()
 	}
 	t.Timeline.Append(ev)
+	if box, ok := t.tee.Load().(teeBox); ok && box.s != nil {
+		box.s.Emit(ev)
+	}
 }
 
 // ---------------------------------------------------------------------------

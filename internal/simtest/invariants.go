@@ -68,6 +68,12 @@ func Invariants() []Invariant {
 			Check:     checkECDominance,
 		},
 		{
+			Name:      "store-roundtrip",
+			Desc:      "a recorded mission is bit-identical to an unrecorded one, and its stored records replay to the identical summary",
+			ExtraRuns: 1,
+			Check:     checkStoreRoundTrip,
+		},
+		{
 			Name:      "replay-determinism",
 			Desc:      "identical seeds yield byte-identical Results across repeated runs",
 			ExtraRuns: 1,

@@ -11,6 +11,7 @@ import (
 	"lgvoffload/internal/energy"
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/spans"
+	"lgvoffload/internal/store"
 )
 
 // CmdViolation records a nonzero velocity command observed while the
@@ -45,7 +46,12 @@ type Outcome struct {
 
 // RunScenario executes the scenario headlessly with tracing and the
 // safety command tap attached.
-func RunScenario(sc Scenario) (*Outcome, error) {
+func RunScenario(sc Scenario) (*Outcome, error) { return runScenario(sc, nil) }
+
+// runScenario is RunScenario with an optional mission recorder attached
+// (the store-roundtrip invariant uses it to prove recording is
+// non-invasive). The caller owns rec: Finish/Abandon it afterwards.
+func runScenario(sc Scenario, rec *store.Recorder) (*Outcome, error) {
 	cfg, err := sc.Mission()
 	if err != nil {
 		return nil, err
@@ -60,6 +66,7 @@ func RunScenario(sc Scenario) (*Outcome, error) {
 	tracer := spans.NewTracer(int(maxT/0.2)*32 + 4096)
 	cfg.Tracer = tracer
 	cfg.RecordTrace = true
+	cfg.Store = rec
 
 	out := &Outcome{Scenario: sc}
 	cfg.CmdTap = func(now float64, cmd geom.Twist, stalled bool) {

@@ -1,0 +1,148 @@
+package simtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lgvoffload/internal/core"
+	"lgvoffload/internal/store"
+)
+
+// checkStoreRoundTrip is the persistence invariant: recording a mission
+// into the store must be non-invasive (the recorded re-run is
+// byte-identical to the unrecorded primary), and what comes back off
+// disk must be exactly what went in — the scenario JSON, the Result
+// summary, and bookkeeping consistent with the persisted tick series.
+// Costs one extra full run (the recorded replay).
+func checkStoreRoundTrip(o *Outcome) error {
+	dir, err := os.MkdirTemp("", "lgv-storeinv-")
+	if err != nil {
+		return fmt.Errorf("temp dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	scJSON, err := json.Marshal(o.Scenario)
+	if err != nil {
+		return fmt.Errorf("scenario marshal: %w", err)
+	}
+	path := filepath.Join(dir, "mission.lgvstore")
+	st, err := store.Open(path)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	rec, err := st.Begin(store.MissionStart{
+		Label:      "simtest",
+		Seed:       o.Scenario.Seed,
+		Workload:   o.Scenario.Workload,
+		Deploy:     o.Scenario.Deploy.Mode,
+		Goal:       o.Scenario.Deploy.Goal,
+		Threads:    o.Scenario.Deploy.Threads,
+		FaultSpec:  o.Scenario.Faults,
+		MaxSimTime: o.Scenario.MaxSimTime,
+		Scenario:   scJSON,
+	})
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("begin: %w", err)
+	}
+	id := rec.ID()
+
+	o2, err := runScenario(o.Scenario, rec)
+	if err != nil {
+		rec.Abandon()
+		st.Close()
+		return fmt.Errorf("recorded re-run errored: %w", err)
+	}
+	if !bytes.Equal(o.Canon, o2.Canon) {
+		rec.Abandon()
+		st.Close()
+		return fmt.Errorf("recording perturbed the mission: %s", firstDiff(o.Canon, o2.Canon))
+	}
+	want := core.StoreSummary(o2.Res)
+	if err := rec.Finish(want); err != nil {
+		st.Close()
+		return fmt.Errorf("finish: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+
+	// Reopen cold — everything below must survive the disk round trip.
+	st2, err := store.Open(path)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer st2.Close()
+	if tb := st2.Stats().TruncatedBytes; tb != 0 {
+		return fmt.Errorf("clean close left a torn tail: %d bytes truncated on reopen", tb)
+	}
+	md, err := st2.ReadMission(id)
+	if err != nil {
+		return fmt.Errorf("read mission %s: %w", id, err)
+	}
+	if md.End == nil {
+		return fmt.Errorf("mission %s came back unfinished after Finish", id)
+	}
+	if !bytes.Equal([]byte(md.Start.Scenario), scJSON) {
+		return fmt.Errorf("stored scenario JSON diverged: %s",
+			firstDiff([]byte(md.Start.Scenario), scJSON))
+	}
+
+	// Summary round trip: the stored MissionEnd minus recorder
+	// bookkeeping (and the store-assigned ID) must equal the summary the
+	// producer handed to Finish.
+	got := md.End.WithoutBookkeeping()
+	got.ID = ""
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		return fmt.Errorf("stored summary diverged: %s", firstDiff(gotJSON, wantJSON))
+	}
+
+	// Bookkeeping consistency: the index entry's counts and quantiles
+	// must describe exactly the bulk records persisted next to it.
+	if md.End.Ticks != len(md.Ticks) || md.End.Decisions != len(md.Decisions) ||
+		md.End.Faults != len(md.Faults) || md.End.SpanRows != len(md.Spans) {
+		return fmt.Errorf("index counts (ticks %d, decisions %d, faults %d, spans %d) != stored records (%d, %d, %d, %d)",
+			md.End.Ticks, md.End.Decisions, md.End.Faults, md.End.SpanRows,
+			len(md.Ticks), len(md.Decisions), len(md.Faults), len(md.Spans))
+	}
+	if len(md.Ticks) > 0 {
+		vdps := make([]float64, len(md.Ticks))
+		var sum float64
+		for i, tk := range md.Ticks {
+			vdps[i] = tk.VDP
+			sum += tk.VDP
+		}
+		sort.Float64s(vdps)
+		mean := sum / float64(len(vdps))
+		for _, q := range []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"mean", md.End.VDPMean, mean},
+			{"p50", md.End.VDPP50, store.Quantile(vdps, 0.50)},
+			{"p95", md.End.VDPP95, store.Quantile(vdps, 0.95)},
+			{"p99", md.End.VDPP99, store.Quantile(vdps, 0.99)},
+		} {
+			if math.Abs(q.got-q.want) > 1e-12 {
+				return fmt.Errorf("index VDP %s = %g but recomputing from %d stored ticks gives %g",
+					q.name, q.got, len(vdps), q.want)
+			}
+		}
+	}
+	// The engine writes one decision record per Result log entry; the
+	// bounded queue may drop under pathological I/O stalls, but then
+	// Dropped must say so.
+	if md.End.Dropped == 0 && len(md.Decisions) != len(o2.Res.Decisions) {
+		return fmt.Errorf("stored %d decisions but the Result logged %d (and Dropped=0)",
+			len(md.Decisions), len(o2.Res.Decisions))
+	}
+	return nil
+}

@@ -21,6 +21,36 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// WriteJSONLPage streams one bounded page of spans: up to limit spans
+// with ID > after, ascending by ID, one JSON object per line. It
+// returns how many spans were written; the caller pages by passing the
+// last span's ID back as after. limit <= 0 writes nothing. Nil-safe.
+func (t *Tracer) WriteJSONLPage(w io.Writer, after uint64, limit int) (int, error) {
+	if t == nil || limit <= 0 {
+		return 0, nil
+	}
+	page := make([]Span, 0, limit)
+	for _, s := range t.Spans() {
+		if s.ID > after {
+			page = append(page, s)
+		}
+	}
+	// Spans land in the ring in completion order; IDs are assigned at
+	// creation, so sort to make the cursor well-defined.
+	sort.Slice(page, func(i, j int) bool { return page[i].ID < page[j].ID })
+	if len(page) > limit {
+		page = page[:limit]
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range page {
+		if err := enc.Encode(s); err != nil {
+			return 0, err
+		}
+	}
+	return len(page), bw.Flush()
+}
+
 // chromeEvent is one entry of the Chrome trace-event format ("JSON
 // Object Format"), which Perfetto and chrome://tracing both load.
 type chromeEvent struct {

@@ -40,6 +40,7 @@ import (
 	"lgvoffload/internal/netsim"
 	"lgvoffload/internal/obs"
 	"lgvoffload/internal/spans"
+	"lgvoffload/internal/store"
 	"lgvoffload/internal/world"
 )
 
@@ -86,6 +87,36 @@ type (
 	TickPath = spans.TickPath
 	// CritPathSummary aggregates tick decompositions into p50/p95 form.
 	CritPathSummary = spans.Summary
+	// Store is the embedded mission store (see internal/store): an
+	// append-only, crash-safe record log of missions with a query layer.
+	Store = store.Store
+	// MissionRecorder persists one running mission into a Store; assign
+	// one (from Store.Begin) to MissionConfig.Store. Nil — the default —
+	// records nothing at zero cost.
+	MissionRecorder = store.Recorder
+	// MissionStart is the metadata record opening a stored mission.
+	MissionStart = store.MissionStart
+	// MissionSummary is the closing summary record of a stored mission
+	// (also the store's in-file index entry).
+	MissionSummary = store.MissionEnd
+	// MissionInfo is one mission listing row from Store.List.
+	MissionInfo = store.MissionInfo
+	// StoreFilter selects missions for Store.List and Store.FleetStats.
+	StoreFilter = store.Filter
+	// MissionData is one fully decoded stored mission (metadata, summary
+	// and every tick/decision/fault/span record), from Store.ReadMission.
+	MissionData = store.MissionData
+	// StoreStats reports a store file's size, record and mission counts.
+	StoreStats = store.Stats
+	// FleetStats aggregates stored missions (success rates, pooled VDP
+	// quantiles, decision flip-rate trends).
+	FleetStats = store.Fleet
+	// LiveHub broadcasts live mission events to SSE subscribers; attach
+	// one with Telemetry.Tee and serve it via InspectorConfig.Live.
+	LiveHub = obs.LiveHub
+	// InspectorConfig configures NewInspectorWith (the dashboard-capable
+	// HTTP inspector).
+	InspectorConfig = obs.InspectorConfig
 )
 
 // EnergyComponents lists the Eq. 1a components in presentation order.
@@ -157,6 +188,32 @@ func NewInspector(t *Telemetry, tr *Tracer) http.Handler {
 	}
 	return obs.NewInspector(t, tr)
 }
+
+// NewInspectorWith returns the full HTTP inspection endpoint including
+// the persistent-mission dashboard (/missions, /missions/{id}, /fleet,
+// /dash) and the live SSE stream (/live). Every config field may be
+// nil; note that a *Tracer must be assigned via a typed non-nil value
+// (use NewInspector for the tracer-only case).
+func NewInspectorWith(cfg InspectorConfig) http.Handler { return obs.NewInspectorWith(cfg) }
+
+// OpenStore opens (creating if needed) an embedded mission store. A
+// torn or corrupt tail left by a crash is truncated on open, never
+// fatal. Typical recording flow:
+//
+//	st, _ := lgvoffload.OpenStore("missions.lgvstore")
+//	rec, _ := st.Begin(lgvoffload.MissionStart{Seed: cfg.Seed})
+//	cfg.Store = rec
+//	res, _ := lgvoffload.Run(cfg)
+//	rec.Finish(lgvoffload.StoreSummary(res))
+func OpenStore(path string) (*Store, error) { return store.Open(path) }
+
+// StoreSummary projects a mission Result onto the store's closing
+// summary record for MissionRecorder.Finish.
+func StoreSummary(res *Result) MissionSummary { return core.StoreSummary(res) }
+
+// NewLiveHub builds an SSE broadcast hub whose replay ring holds
+// replayCap recent frames (<= 0 means the default).
+func NewLiveHub(replayCap int) *LiveHub { return obs.NewLiveHub(replayCap) }
 
 // Deployment constructors.
 var (

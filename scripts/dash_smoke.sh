@@ -1,0 +1,56 @@
+#!/bin/sh
+# Dashboard smoke: run a short mission with the store and HTTP
+# inspector attached, then probe the fleet-dashboard surface from the
+# outside — missions listing, fleet aggregates, dashboard page, and the
+# first SSE event off /live — and finally read the store back with
+# cmd/lgvstore. Exercises exactly what a user gets from
+# `lgvsim -store ... -http ...`.
+set -eu
+
+ADDR="${DASH_ADDR:-127.0.0.1:8321}"
+STORE="${DASH_STORE:-/tmp/lgv-dash.lgvstore}"
+BIN="${DASH_BIN:-/tmp/lgv-dash-bin}"
+
+rm -f "$STORE"
+mkdir -p "$BIN"
+go build -o "$BIN/lgvsim" ./cmd/lgvsim
+go build -o "$BIN/lgvstore" ./cmd/lgvstore
+
+"$BIN/lgvsim" -maxtime 120 -map deadzone -faults "wap:20-35" \
+    -store "$STORE" -http "$ADDR" >"$BIN/lgvsim.log" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# The listener opens before the mission runs; give it a moment.
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.2
+done
+[ "$ok" = 1 ] || { echo "dash-smoke: inspector never came up"; cat "$BIN/lgvsim.log"; exit 1; }
+
+# Wait for the mission to finish and land in the store index.
+ok=0
+for _ in $(seq 1 150); do
+    if curl -sf "http://$ADDR/missions" | grep -q '"end"'; then ok=1; break; fi
+    sleep 0.2
+done
+[ "$ok" = 1 ] || { echo "dash-smoke: mission never finished in the store"; cat "$BIN/lgvsim.log"; exit 1; }
+
+curl -sf "http://$ADDR/missions" | grep -q '"id": "m1"'
+curl -sf "http://$ADDR/missions/m1" | grep -q '"ticks"'
+curl -sf "http://$ADDR/fleet" | grep -q '"missions": 1'
+curl -sf "http://$ADDR/dash" | grep -qi '<html'
+curl -sf "http://$ADDR/timeline?limit=5" >/dev/null
+# /live must hand every subscriber a first event immediately (the hello
+# frame), even when the mission already ended — that is what makes this
+# curl safe in CI.
+curl -sN --max-time 5 "http://$ADDR/live" | grep -q -m1 "event: hello"
+
+kill "$PID" 2>/dev/null || true
+trap - EXIT
+
+"$BIN/lgvstore" ls "$STORE"
+"$BIN/lgvstore" stats "$STORE"
+"$BIN/lgvstore" show "$STORE" m1 >/dev/null
+echo "dash-smoke: OK (store at $STORE)"
