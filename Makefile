@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check fmt vet build test chaos bench reproduce trace-demo hunt fuzz-smoke dash-smoke
+.PHONY: check fmt vet build test chaos bench reproduce trace-demo hunt advhunt fuzz-smoke dash-smoke
 
 check: fmt vet build test
 
@@ -48,6 +48,19 @@ SEEDS ?= 200
 START ?= 0
 hunt:
 	go run ./cmd/scenhunt -seeds $(SEEDS) -start $(START) -matrix-every 25 \
+		-repros internal/simtest/testdata/repros
+
+# Adversarial fault-schedule search (internal/simtest): hill-climb over
+# scripted fault schedules for the one that maximizes mission energy,
+# against an equal-budget random baseline. Exits nonzero if the search
+# fails to beat random by MIN_GAIN or if the worst case doesn't replay
+# bit-identically. ADV_SEED picks the base mission + search stream.
+ADV_SEED ?= 1
+ADV_EVALS ?= 40
+MIN_GAIN ?= 0.10
+advhunt:
+	go run ./cmd/advhunt -seed $(ADV_SEED) -search-seed $(ADV_SEED) \
+		-evals $(ADV_EVALS) -min-gain $(MIN_GAIN) \
 		-repros internal/simtest/testdata/repros
 
 # 30-second fuzz smoke over every fuzz target (wire decode, grid

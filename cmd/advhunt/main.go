@@ -1,0 +1,117 @@
+// Command advhunt runs the fault-schedule adversary: a seeded
+// hill-climber over internal/faults schedules that searches for the
+// windows the adaptive offloading stack handles worst, scored by
+// end-to-end mission energy or completion time. It reports the worst
+// schedule found against an equal-budget random baseline, verifies the
+// worst schedule replays bit-identically, and can write it into the
+// repro corpus as an adversarial-replay regression scenario.
+//
+// Exit status: 0 search ok (replay identical, gain ≥ -min-gain),
+// 1 replay mismatch or gain below threshold, 2 usage or setup error.
+//
+//	advhunt -seed 1 -evals 40 -metric energy
+//	advhunt -scenario repro.json -metric time -v
+//	advhunt -min-gain 0.10 -repros internal/simtest/testdata/repros
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lgvoffload/internal/simtest"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "mission seed for the built-in base scenario")
+	scenario := flag.String("scenario", "", "JSON scenario file to attack instead of the built-in base")
+	searchSeed := flag.Int64("search-seed", 1, "rng seed for the adversarial search itself")
+	evals := flag.Int("evals", 40, "mission evaluations for the hill-climb (the random baseline gets the same)")
+	metric := flag.String("metric", "energy", "damage metric: energy (total J) or time (mission s)")
+	budget := flag.Float64("budget", 0.25, "fault budget: max total window seconds as a fraction of MaxSimTime")
+	maxWindows := flag.Int("max-windows", 4, "max fault windows per schedule")
+	minGain := flag.Float64("min-gain", 0, "fail (exit 1) unless the adversary beats the random baseline by this relative margin")
+	reproDir := flag.String("repros", "", "directory to write the worst schedule as an adversarial-replay repro (empty = don't write)")
+	jsonOut := flag.String("json", "", "write the full search result to this file")
+	verbose := flag.Bool("v", false, "log every accepted improvement")
+	flag.Parse()
+	if flag.NArg() != 0 || (*metric != "energy" && *metric != "time") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := simtest.DefaultAdversaryBase(*seed)
+	if *scenario != "" {
+		b, err := os.ReadFile(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(b, &base); err != nil {
+			fatal(fmt.Errorf("%s: %w", *scenario, err))
+		}
+	}
+
+	opts := simtest.AdversaryOpts{
+		Seed: *searchSeed, Evals: *evals, Metric: *metric,
+		BudgetFrac: *budget, MaxWindows: *maxWindows,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	res, err := simtest.FindWorstSchedule(base, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	unit := "J"
+	if *metric == "time" {
+		unit = "s"
+	}
+	fmt.Printf("advhunt: %d evals on %s\n", res.Evals, res.Base.Label())
+	fmt.Printf("  base (no faults):    %10.1f %s\n", res.BaseScore, unit)
+	fmt.Printf("  random best:         %10.1f %s  %q\n", res.RandomBestScore, unit, res.RandomBest.Faults)
+	fmt.Printf("  adversarial worst:   %10.1f %s  %q\n", res.WorstScore, unit, res.Worst.Faults)
+	fmt.Printf("  gain over random: %+.1f%%  (%d improvements, %d shrink steps)\n",
+		100*res.Gain(), res.Improvements, res.ShrinkSteps)
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *reproDir != "" && res.Worst.Adversarial {
+		r := simtest.Repro{
+			Invariant: "adversarial-replay",
+			Error: fmt.Sprintf("worst-found schedule: %s %.1f %s vs random best %.1f %s (search seed %d, %d evals)",
+				*metric, res.WorstScore, unit, res.RandomBestScore, unit, *searchSeed, *evals),
+			CampaignSeed: res.Worst.Seed,
+			ShrinkSteps:  res.ShrinkSteps,
+			Scenario:     res.Worst,
+		}
+		path, err := simtest.SaveRepro(*reproDir, r)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  repro: %s\n", path)
+	}
+
+	if !res.ReplayIdentical {
+		fmt.Println("advhunt: FAIL — worst schedule did not replay bit-identically")
+		os.Exit(1)
+	}
+	if res.Gain() < *minGain {
+		fmt.Printf("advhunt: FAIL — gain %+.1f%% below required %+.1f%%\n", 100*res.Gain(), 100**minGain)
+		os.Exit(1)
+	}
+	fmt.Println("advhunt: ok — worst schedule replays bit-identically")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advhunt:", err)
+	os.Exit(2)
+}

@@ -25,6 +25,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"lgvoffload"
@@ -47,6 +49,8 @@ func main() {
 	postmortemOut := flag.String("postmortem-out", "", "also write the post-mortem report into this directory, under a unique timestamped, mission-suffixed filename")
 	storePath := flag.String("store", "", "record the mission into this embedded mission store file (created if absent; served by -http)")
 	faultSpec := flag.String("faults", "", `fault schedule, e.g. "wap:10-20;server:30-45;burst:50-52:0.9"`)
+	waps := flag.String("waps", "", `extra access points for multi-WAP roaming, e.g. "6,3;11,5" (x,y meters; the link hands off to the strongest AP with hysteresis)`)
+	linkTrace := flag.String("linktrace", "", "replay a link-condition trace instead of the analytic model: a builtin name (office-roam | garage-deepfade | cafe-congestion) or a .lgvtrace file path")
 	flag.Parse()
 
 	var d lgvoffload.Deployment
@@ -107,6 +111,22 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Faults = &sched
+	}
+	if *waps != "" {
+		pts, err := parseWAPs(*waps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "waps:", err)
+			os.Exit(2)
+		}
+		cfg.WAPs = pts
+	}
+	if *linkTrace != "" {
+		tr, err := loadLinkTrace(*linkTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linktrace:", err)
+			os.Exit(2)
+		}
+		cfg.LinkTrace = tr
 	}
 
 	var tel *lgvoffload.Telemetry
@@ -216,6 +236,18 @@ func main() {
 	}
 	fmt.Printf("\nnetwork:   %d msgs sent, %d dropped, %d overwritten, %.1f KB uplinked, %d placement switches\n",
 		res.MsgsSent, res.MsgsDropped, res.MsgsOverwritten, res.BytesUplinked/1024, res.Switches)
+	if len(cfg.WAPs) > 0 {
+		fmt.Printf("roaming:   %d APs, %d handoffs", len(cfg.WAPs)+1, res.Handoffs)
+		for i, t := range res.HandoffTimes {
+			if i == 0 {
+				fmt.Printf(" at t=")
+			} else {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%.1f s", t)
+		}
+		fmt.Println()
+	}
 	if *faultSpec != "" {
 		fmt.Printf("faults:    %d injected, %d watchdog stops, %d failovers\n",
 			res.FaultsInjected, res.WatchdogStops, res.Failovers)
@@ -300,6 +332,50 @@ func main() {
 		fmt.Printf("\ninspect:   still serving (dashboard, metrics, timeline, trace, pprof); ^C to quit\n")
 		select {}
 	}
+}
+
+// parseWAPs parses a ";"-separated list of "x,y" access-point positions.
+func parseWAPs(spec string) ([]lgvoffload.Vec2, error) {
+	var out []lgvoffload.Vec2
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		xy := strings.Split(part, ",")
+		if len(xy) != 2 {
+			return nil, fmt.Errorf("%q: want \"x,y\"", part)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(xy[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", part, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(xy[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", part, err)
+		}
+		out = append(out, lgvoffload.Point(x, y))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no access points in %q", spec)
+	}
+	return out, nil
+}
+
+// loadLinkTrace resolves a builtin trace name, falling back to reading
+// the argument as a .lgvtrace file path.
+func loadLinkTrace(arg string) (*lgvoffload.LinkTrace, error) {
+	if tr, err := lgvoffload.BuiltinTrace(arg); err == nil {
+		return tr, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a builtin trace (%s) nor a readable file: %v",
+			arg, strings.Join(lgvoffload.BuiltinTraceNames(), " | "), err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(arg), ".lgvtrace")
+	return lgvoffload.ParseLinkTrace(name, f)
 }
 
 // writePostMortemFile renders the post-mortem into dir under a unique

@@ -116,6 +116,22 @@ type MissionConfig struct {
 	WAP     geom.Vec2
 	LinkCfg *netsim.LinkConfig // nil = default for the remote host
 
+	// WAPs lists extra access points beyond WAP; when non-empty the link
+	// roams to the strongest AP with hysteresis (netsim roam.go) and
+	// Algorithm 2's signal-direction input becomes multi-modal. Extra
+	// APs inherit the link's GoodRange/FadeRange.
+	WAPs []geom.Vec2
+
+	// LinkTrace, when non-nil, replays recorded bandwidth/latency/loss
+	// samples in place of the analytic distance-fade link model. Fault
+	// windows and handoff dips compose on top of the replayed signal.
+	LinkTrace *netsim.LinkTrace
+
+	// HandoffHoldSec freezes Algorithm 2 decisions for this long after a
+	// roaming handoff so the re-association dip and the direction-
+	// estimate reset cannot flap placement (default 2; < 0 disables).
+	HandoffHoldSec float64
+
 	// Platforms overrides the default compute platforms (nil = the
 	// paper's Pi/edge/cloud testbed). Fleet experiments use this to model
 	// a server whose per-robot share of cores shrinks with fleet size.
@@ -262,6 +278,13 @@ func (c *MissionConfig) fillDefaults() {
 	if c.FailoverHoldSec == 0 {
 		c.FailoverHoldSec = 20
 	}
+	if c.HandoffHoldSec == 0 {
+		// Longer than the re-association dip (0.5 s default) plus a few
+		// control ticks for the direction estimate to re-converge, but
+		// well under the 3 s failover trip so a dead post-handoff link
+		// still fails over on schedule.
+		c.HandoffHoldSec = 2
+	}
 	if (c.WAP == geom.Vec2{}) {
 		c.WAP = c.Start.Pos
 	}
@@ -316,6 +339,10 @@ type Result struct {
 	WatchdogStops  int // zero-velocity safety stops on stale commands
 	Failovers      int // remote→local pulls forced by consecutive misses
 	FaultsInjected int // disturbances injected by the fault schedule
+	// Roaming accounting: handoff count and the virtual time of each
+	// handoff (empty for single-WAP missions).
+	Handoffs     int
+	HandoffTimes []float64
 	// Decisions is the adaptation decision log: one entry per placement
 	// switch with the Algorithm 1/2 inputs behind it.
 	Decisions []AdaptDecision
@@ -402,6 +429,7 @@ type engine struct {
 	stallStart   float64         // when the open episode began
 	decisions    []AdaptDecision
 	lastRemoteOK bool // previous Algorithm 2 verdict, for flip detection
+	handoffSeen  int  // link handoffs already registered with safety
 
 	route   []geom.Vec2 // remaining waypoints; route[0] is the active goal
 	visited int         // waypoints reached so far
@@ -460,8 +488,14 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 	} else {
 		linkCfg = netsim.DefaultEdgeLink(cfg.WAP)
 	}
+	for _, p := range cfg.WAPs {
+		linkCfg.WAPs = append(linkCfg.WAPs, netsim.WAP{Pos: p})
+	}
+	if cfg.LinkTrace != nil {
+		linkCfg.Trace = cfg.LinkTrace
+	}
 	link := netsim.NewLink(linkCfg, rand.New(rand.NewSource(cfg.Seed+1)))
-	link.SetRobotPos(cfg.Start.Pos)
+	link.SetRobotPosAt(0, cfg.Start.Pos)
 
 	e := &engine{
 		cfg:       cfg,
@@ -495,6 +529,7 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 	}
 	e.netctl.MissLimit = missLimit
 	e.safety = NewSafetyController(cfg.WatchdogDeadline, missLimit, cfg.FailoverHoldSec)
+	e.safety.SetHandoffHold(cfg.HandoffHoldSec)
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		if err := cfg.Faults.Validate(); err != nil {
 			return nil, err
@@ -695,7 +730,7 @@ func (e *engine) run() (*Result, error) {
 		e.meter.Tick(cfg.PhysicsDt)
 		e.meter.AddMotor(step.MotorPower, cfg.PhysicsDt)
 		e.clock.Tick(cfg.PhysicsDt, math.Abs(e.w.Robot.Vel.V)+0.3*math.Abs(e.w.Robot.Vel.W))
-		e.link.SetRobotPos(e.w.Robot.Pose.Pos)
+		e.link.SetRobotPosAt(e.w.Time, e.w.Robot.Pose.Pos)
 
 		// Termination.
 		if done, reason, success := e.checkDone(); done {
@@ -746,6 +781,10 @@ func (e *engine) run() (*Result, error) {
 	res.Decisions = e.decisions
 	res.WatchdogStops = e.safety.Stops()
 	res.Failovers = e.safety.Failovers()
+	res.Handoffs = e.link.Handoffs()
+	if ht := e.link.HandoffTimes(); len(ht) > 0 {
+		res.HandoffTimes = append([]float64(nil), ht...)
+	}
 	if e.schedule != nil {
 		res.FaultsInjected = e.schedule.Injected()
 	}

@@ -692,6 +692,20 @@ func (e *engine) adapt(now float64) {
 	if now < 2*e.prof.bw.Window {
 		return
 	}
+	// Register roaming handoffs with the safety controller, then freeze
+	// adaptation while a handoff hold is active: the re-association dip
+	// and the reset direction estimate are transients that must not flap
+	// placement. Failover (noteMiss → failover) bypasses adapt entirely,
+	// so a link that dies across a handoff still pulls home on schedule.
+	if ht := e.link.HandoffTimes(); len(ht) > e.handoffSeen {
+		for _, t := range ht[e.handoffSeen:] {
+			e.safety.NoteHandoff(t)
+		}
+		e.handoffSeen = len(ht)
+	}
+	if e.safety.HandoffHoldActive(now) {
+		return
+	}
 	bw := e.prof.Bandwidth(now)
 	dir := e.prof.Direction()
 	remoteOK := e.netctl.UpdateEx(bw, dir, e.safety.Misses())

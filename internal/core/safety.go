@@ -31,6 +31,15 @@ type SafetyController struct {
 	misses    int     // consecutive missed remote VDP ticks
 	holdUntil float64 // remote execution vetoed until this time
 
+	// Roaming handoff hold-down: for handoffHold seconds after a WAP
+	// handoff the adaptation loop freezes entirely — the re-association
+	// dip and the reset direction estimate are transients, not evidence.
+	// The failover path bypasses this (a genuinely dead link must still
+	// pull home), which is safe because the handoff hold is shorter than
+	// the miss-limit trip time.
+	handoffHold  float64
+	handoffUntil float64
+
 	stops     int // watchdog-stop episodes
 	failovers int // miss-limit failovers tripped
 }
@@ -39,6 +48,14 @@ type SafetyController struct {
 // through MissionConfig.fillDefaults.
 func NewSafetyController(deadline float64, missLimit int, holdSec float64) *SafetyController {
 	return &SafetyController{deadline: deadline, missLimit: missLimit, hold: holdSec}
+}
+
+// SetHandoffHold configures the post-handoff adaptation freeze window.
+func (s *SafetyController) SetHandoffHold(holdSec float64) {
+	if holdSec < 0 {
+		holdSec = 0
+	}
+	s.handoffHold = holdSec
 }
 
 // CommandDelivered marks a fresh velocity command reaching the
@@ -107,6 +124,20 @@ func (s *SafetyController) TripFailover(now float64) {
 // HoldActive reports whether the post-failover hold-down still vetoes
 // remote execution at time now.
 func (s *SafetyController) HoldActive(now float64) bool { return now < s.holdUntil }
+
+// NoteHandoff opens the post-handoff freeze window at time now.
+func (s *SafetyController) NoteHandoff(now float64) {
+	if s.handoffHold <= 0 {
+		return
+	}
+	if until := now + s.handoffHold; until > s.handoffUntil {
+		s.handoffUntil = until
+	}
+}
+
+// HandoffHoldActive reports whether adaptation is frozen at time now by
+// a recent handoff.
+func (s *SafetyController) HandoffHoldActive(now float64) bool { return now < s.handoffUntil }
 
 // Stops returns the number of watchdog-stop episodes.
 func (s *SafetyController) Stops() int { return s.stops }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/spans"
 	"lgvoffload/internal/store"
 )
@@ -71,6 +72,9 @@ func (e *engine) recordRunEnd() {
 			})
 		}
 	}
+	// Snapshot the recorder's backpressure drop counter into telemetry so
+	// the post-mortem can flag holes in the persisted time series.
+	e.tel.SetGauge(obs.MStoreDropped, "", float64(e.rec.Dropped()))
 }
 
 // StoreSummary projects a mission Result onto the store's MissionEnd

@@ -87,14 +87,29 @@ type Config struct {
 	Windows []Window
 }
 
-// Validate rejects malformed windows.
+// Validate rejects malformed windows: negative start times, zero or
+// negative lengths, unknown kinds, and same-kind windows that overlap
+// (two overlapping outages are one longer outage — a schedule that
+// encodes them separately is almost certainly a spec typo, and the
+// injected-count accounting would double-bill the overlap).
 func (c Config) Validate() error {
 	for i, w := range c.Windows {
-		if w.T1 <= w.T0 || w.T0 < 0 {
-			return fmt.Errorf("faults: window %d [%g, %g) is degenerate", i, w.T0, w.T1)
+		if w.T0 < 0 {
+			return fmt.Errorf("faults: window %d [%g, %g) starts before t=0", i, w.T0, w.T1)
+		}
+		if w.T1 <= w.T0 {
+			return fmt.Errorf("faults: window %d [%g, %g) has zero or negative length", i, w.T0, w.T1)
 		}
 		if w.Kind < WAPOutage || w.Kind > PartitionDown {
 			return fmt.Errorf("faults: window %d has unknown kind %d", i, w.Kind)
+		}
+		for j := 0; j < i; j++ {
+			prev := c.Windows[j]
+			// Half-open intervals: [a, b) and [b, c) do not overlap.
+			if prev.Kind == w.Kind && w.T0 < prev.T1 && prev.T0 < w.T1 {
+				return fmt.Errorf("faults: %s windows %d [%g, %g) and %d [%g, %g) overlap — merge them",
+					w.Kind, j, prev.T0, prev.T1, i, w.T0, w.T1)
+			}
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"lgvoffload/internal/geom"
@@ -156,5 +157,67 @@ func TestScheduleEmitsOneFaultEventPerWindow(t *testing.T) {
 	}
 	if !s.ActiveAt(2, WAPOutage) || s.ActiveAt(7, WAPOutage) {
 		t.Error("ActiveAt window arithmetic wrong")
+	}
+}
+
+func TestValidateRejectsMalformedWindows(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string
+	}{
+		{"zero-length", "wap:10-10", "zero or negative length"},
+		{"negative-length", "wap:20-10", "zero or negative length"},
+		{"negative-start", "wap:-5-10", "" /* parse error, any message */},
+		{"same-kind-overlap", "wap:10-20;wap:15-25", "overlap"},
+		{"same-kind-contained", "server:10-40;server:20-25", "overlap"},
+		{"same-kind-identical", "burst:5-9:0.5;burst:5-9:0.7", "overlap"},
+		{"same-kind-overlap-unsorted", "corrupt:30-50;corrupt:10-35", "overlap"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpec(c.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted a malformed schedule", c.spec)
+			}
+			if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("ParseSpec(%q) error %q, want substring %q", c.spec, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsLegalSchedules(t *testing.T) {
+	cases := []string{
+		// Touching same-kind windows are legal: [10,20) and [20,30) are
+		// half-open and disjoint.
+		"wap:10-20;wap:20-30",
+		// Different kinds may overlap freely — an outage during a burst
+		// window is a meaningful compound fault.
+		"wap:10-20;burst:15-25:0.5",
+		"server:0-5",
+	}
+	for _, spec := range cases {
+		if _, err := ParseSpec(spec); err != nil {
+			t.Errorf("ParseSpec(%q) = %v, want accepted", spec, err)
+		}
+	}
+}
+
+func TestValidatePreciseMessages(t *testing.T) {
+	if err := (Config{Windows: []Window{{Kind: WAPOutage, T0: -1, T1: 5}}}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "starts before t=0") {
+		t.Errorf("negative start: %v", err)
+	}
+	if err := (Config{Windows: []Window{{Kind: Kind(99), T0: 0, T1: 5}}}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown kind: %v", err)
+	}
+	err := (Config{Windows: []Window{
+		{Kind: BurstLoss, T0: 2, T1: 8},
+		{Kind: BurstLoss, T0: 6, T1: 12},
+	}}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "burst_loss windows 0 [2, 8) and 1 [6, 12) overlap") {
+		t.Errorf("overlap message imprecise: %v", err)
 	}
 }

@@ -91,6 +91,27 @@ type LinkConfig struct {
 	InterferencePeriod float64
 	InterferenceDuty   float64
 	InterferenceFloor  float64
+
+	// WAPs lists extra access points beyond the primary WAP above; when
+	// non-empty the link roams to the strongest AP with hysteresis (see
+	// roam.go). Per-WAP zero ranges inherit GoodRange/FadeRange.
+	WAPs []WAP
+	// HandoffMargin is the hysteresis margin: a candidate AP must beat
+	// the serving AP's signal by this much before the link roams.
+	HandoffMargin float64
+	// HandoffHoldSec is the minimum time between consecutive handoffs.
+	HandoffHoldSec float64
+	// HandoffDipSec / HandoffDipFloor model the re-association gap: for
+	// HandoffDipSec after a handoff the effective signal is capped at
+	// HandoffDipFloor.
+	HandoffDipSec   float64
+	HandoffDipFloor float64
+
+	// Trace, when set, replays recorded bandwidth/latency/loss samples
+	// instead of the analytic distance-fade model (see trace.go).
+	// Impairment verdicts and the kernel-buffer model still apply on top
+	// of the replayed signal.
+	Trace *LinkTrace
 }
 
 // DefaultEdgeLink returns a 5 GHz-band link to an edge gateway in the
@@ -149,7 +170,15 @@ type Link struct {
 	robot     geom.Vec2
 	prevDist  float64
 	haveDist  bool
-	direction float64 // smoothed +1 toward WAP / -1 away
+	direction float64 // smoothed +1 toward serving WAP / -1 away
+
+	// Roaming state (roam.go). aps[0] is the primary LinkConfig.WAP;
+	// serving indexes the AP currently associated.
+	aps          []WAP
+	serving      int
+	associated   bool
+	lastHandoff  float64
+	handoffTimes []float64
 
 	// Kernel buffer state.
 	buffered  float64 // packets currently held
@@ -164,7 +193,19 @@ type Link struct {
 
 // NewLink creates a link with deterministic randomness.
 func NewLink(cfg LinkConfig, rng *rand.Rand) *Link {
-	return &Link{cfg: cfg, rng: rng}
+	if cfg.HandoffMargin == 0 {
+		cfg.HandoffMargin = DefaultHandoffMargin
+	}
+	if cfg.HandoffHoldSec == 0 {
+		cfg.HandoffHoldSec = DefaultHandoffHoldSec
+	}
+	if cfg.HandoffDipSec == 0 {
+		cfg.HandoffDipSec = DefaultHandoffDipSec
+	}
+	if cfg.HandoffDipFloor == 0 {
+		cfg.HandoffDipFloor = DefaultHandoffDipFloor
+	}
+	return &Link{cfg: cfg, rng: rng, aps: cfg.aps()}
 }
 
 // Config returns the link configuration.
@@ -178,11 +219,13 @@ func (l *Link) SetSink(s obs.Sink) { l.sink = s }
 // nil to detach. The nil (default) path costs one branch per packet.
 func (l *Link) SetImpairment(imp Impairment) { l.impair = imp }
 
-// SetRobotPos updates the robot position (called every control tick) and
-// refreshes the signal-direction estimate: positive when the robot is
-// approaching the WAP, negative when receding.
+// SetRobotPos updates the robot position and refreshes the
+// signal-direction estimate: positive when the robot is approaching the
+// serving WAP, negative when receding. It never evaluates handoffs —
+// roaming needs virtual time for hysteresis, so multi-WAP callers must
+// use SetRobotPosAt.
 func (l *Link) SetRobotPos(p geom.Vec2) {
-	d := p.Dist(l.cfg.WAP)
+	d := p.Dist(l.aps[l.serving].Pos)
 	if l.haveDist {
 		delta := l.prevDist - d // >0 means approaching
 		const alpha = 0.3
@@ -200,6 +243,29 @@ func (l *Link) SetRobotPos(p geom.Vec2) {
 	l.robot = p
 }
 
+// SetRobotPosAt is SetRobotPos with virtual time, enabling roaming: with
+// multiple access points the link first re-evaluates which AP serves it
+// (hysteresis + hold-down, roam.go), then updates the direction estimate
+// against the serving AP. The very first call associates silently to the
+// strongest AP without counting a handoff.
+func (l *Link) SetRobotPosAt(now float64, p geom.Vec2) {
+	if len(l.aps) > 1 {
+		if !l.associated {
+			best, bestSig := 0, -1.0
+			for i, ap := range l.aps {
+				if s := apSignal(ap, p.Dist(ap.Pos)); s > bestSig {
+					best, bestSig = i, s
+				}
+			}
+			l.serving = best
+		} else {
+			l.maybeHandoff(now, p)
+		}
+	}
+	l.associated = true
+	l.SetRobotPos(p)
+}
+
 // Signal returns the current signal strength in [0, 1], not counting
 // interference bursts (use SignalAt for the burst-aware value).
 func (l *Link) Signal() float64 {
@@ -209,31 +275,34 @@ func (l *Link) Signal() float64 {
 	return l.signalAt(l.prevDist)
 }
 
-// SignalAt returns the effective signal at virtual time now, including
-// any active interference burst.
+// SignalAt returns the effective signal at virtual time now: the
+// trace-replayed signal when a trace is attached, otherwise the
+// distance-fade signal capped by any active interference burst; in both
+// cases a post-handoff re-association dip caps the result.
 func (l *Link) SignalAt(now float64) float64 {
-	s := l.Signal()
-	if l.cfg.InterferencePeriod > 0 {
-		phase := math.Mod(now, l.cfg.InterferencePeriod) / l.cfg.InterferencePeriod
-		if phase < l.cfg.InterferenceDuty {
-			floor := l.cfg.InterferenceFloor
-			if floor < s {
-				s = floor
+	var s float64
+	if l.cfg.Trace != nil {
+		s = l.cfg.Trace.SignalAt(now, l.cfg.UplinkBytesPerSec)
+	} else {
+		s = l.Signal()
+		if l.cfg.InterferencePeriod > 0 {
+			phase := math.Mod(now, l.cfg.InterferencePeriod) / l.cfg.InterferencePeriod
+			if phase < l.cfg.InterferenceDuty {
+				floor := l.cfg.InterferenceFloor
+				if floor < s {
+					s = floor
+				}
 			}
 		}
+	}
+	if l.dipActive(now) && s > l.cfg.HandoffDipFloor {
+		s = l.cfg.HandoffDipFloor
 	}
 	return s
 }
 
 func (l *Link) signalAt(dist float64) float64 {
-	switch {
-	case dist <= l.cfg.GoodRange:
-		return 1
-	case dist >= l.cfg.FadeRange:
-		return 0
-	default:
-		return 1 - (dist-l.cfg.GoodRange)/(l.cfg.FadeRange-l.cfg.GoodRange)
-	}
+	return apSignal(l.aps[l.serving], dist)
 }
 
 // Direction returns the smoothed signal direction in [-1, 1]; positive
@@ -312,7 +381,14 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 	}
 
 	// Random loss grows as signal fades even before blocking starts.
+	// Under trace replay the recorded loss probability sets the floor:
+	// impairment caps or a handoff dip can only make things worse.
 	pLoss := math.Pow(1-s, 3)
+	if l.cfg.Trace != nil {
+		if rec := l.cfg.Trace.At(now).Loss; rec > pLoss {
+			pLoss = rec
+		}
+	}
 	if l.rng.Float64() < pLoss {
 		l.dropped++
 		l.stats.DroppedLoss++
@@ -333,11 +409,23 @@ func (l *Link) SendDirDetail(now float64, size int, dir Dir) (arriveAt float64, 
 		return 0, true, 0
 	}
 
-	lat := l.cfg.BaseLatSec/math.Max(s, 0.15) + l.cfg.WANLatSec + queueDelay
+	var lat float64
+	serBytesPerSec := l.cfg.UplinkBytesPerSec
+	if l.cfg.Trace != nil {
+		// Replay the recorded one-way latency and serialization rate; the
+		// kernel-buffer queue delay still stacks on top.
+		smp := l.cfg.Trace.At(now)
+		lat = smp.LatencySec + l.cfg.WANLatSec + queueDelay
+		if smp.BandwidthBps > 0 {
+			serBytesPerSec = smp.BandwidthBps
+		}
+	} else {
+		lat = l.cfg.BaseLatSec/math.Max(s, 0.15) + l.cfg.WANLatSec + queueDelay
+	}
 	if l.cfg.JitterSec > 0 {
 		lat += math.Abs(l.rng.NormFloat64()) * l.cfg.JitterSec
 	}
-	lat += float64(size) / l.cfg.UplinkBytesPerSec
+	lat += float64(size) / serBytesPerSec
 	if l.sink != nil {
 		l.sink.Observe(obs.MLinkLatencySeconds, "", lat)
 	}

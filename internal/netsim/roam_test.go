@@ -1,0 +1,435 @@
+package netsim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lgvoffload/internal/geom"
+	"lgvoffload/internal/obs"
+)
+
+// roamLink builds a two-AP link: the primary at origin and a second AP
+// at (20, 0), both with the default edge ranges (good 6, fade 12).
+func roamLink(seed int64) *Link {
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.WAPs = []WAP{{Pos: geom.V(20, 0)}}
+	return NewLink(cfg, rand.New(rand.NewSource(seed)))
+}
+
+func TestRoamFirstAssociationIsSilent(t *testing.T) {
+	l := roamLink(1)
+	// Start right next to the second AP: the link must associate to it
+	// immediately without counting a handoff.
+	l.SetRobotPosAt(0, geom.V(19, 0))
+	if l.Serving() != 1 {
+		t.Fatalf("serving = %d, want 1 (closest AP)", l.Serving())
+	}
+	if l.Handoffs() != 0 {
+		t.Fatalf("first association counted as a handoff: %d", l.Handoffs())
+	}
+	if l.Signal() != 1 {
+		t.Fatalf("signal = %v next to the serving AP, want 1", l.Signal())
+	}
+}
+
+func TestRoamHandoffOnTraversal(t *testing.T) {
+	l := roamLink(1)
+	// Drive from the primary AP toward the second, 0.5 m per 0.25 s tick.
+	now := 0.0
+	for x := 0.0; x <= 20; x += 0.5 {
+		l.SetRobotPosAt(now, geom.V(x, 0))
+		now += 0.25
+	}
+	if l.Handoffs() != 1 {
+		t.Fatalf("handoffs = %d over one traversal, want exactly 1", l.Handoffs())
+	}
+	if l.Serving() != 1 {
+		t.Fatalf("serving = %d after reaching the far AP, want 1", l.Serving())
+	}
+	// The handoff must happen past the midpoint: the hysteresis margin
+	// requires the new AP to be strictly stronger.
+	ht := l.HandoffTimes()[0]
+	// At time ht the robot was at x = ht/0.25 * 0.5... recover from the tick
+	// mapping: x = 2 * ht.
+	if x := 2 * ht; x <= 10 {
+		t.Fatalf("handoff at x=%.1f m, want past the 10 m midpoint (hysteresis)", x)
+	}
+}
+
+func TestRoamEquidistantNoPingPong(t *testing.T) {
+	l := roamLink(1)
+	// Park exactly between the APs (both signals equal): the margin must
+	// keep the link on its first association forever.
+	for i := 0; i < 100; i++ {
+		l.SetRobotPosAt(float64(i)*0.25, geom.V(10, 0))
+	}
+	if l.Handoffs() != 0 {
+		t.Fatalf("handoffs = %d while parked equidistant, want 0", l.Handoffs())
+	}
+	// Wobble ±0.2 m around the midpoint: still inside the margin.
+	for i := 0; i < 100; i++ {
+		x := 10 + 0.2*math.Sin(float64(i))
+		l.SetRobotPosAt(25+float64(i)*0.25, geom.V(x, 0))
+	}
+	if l.Handoffs() != 0 {
+		t.Fatalf("handoffs = %d while wobbling at the midpoint, want 0", l.Handoffs())
+	}
+}
+
+func TestRoamDirectionResetAfterHandoff(t *testing.T) {
+	l := roamLink(1)
+	now := 0.0
+	var preHandoff float64
+	for x := 0.0; x <= 20; x += 0.5 {
+		if l.Handoffs() == 0 {
+			preHandoff = l.Direction()
+		}
+		l.SetRobotPosAt(now, geom.V(x, 0))
+		if l.Handoffs() == 1 {
+			break
+		}
+		now += 0.25
+	}
+	if l.Handoffs() != 1 {
+		t.Fatal("no handoff happened")
+	}
+	// Before the handoff the robot was receding from the serving (first)
+	// AP; immediately after, the estimate restarts from zero.
+	if preHandoff >= 0 {
+		t.Fatalf("direction before handoff = %v, want negative (receding)", preHandoff)
+	}
+	if l.Direction() != 0 {
+		t.Fatalf("direction immediately after handoff = %v, want 0 (reset)", l.Direction())
+	}
+	// Continuing toward the new AP must converge the sign positive.
+	for x := 2 * now; x <= 20; x += 0.5 {
+		now += 0.25
+		l.SetRobotPosAt(now, geom.V(x, 0))
+	}
+	if l.Direction() <= 0 {
+		t.Fatalf("direction after approaching the new AP = %v, want positive", l.Direction())
+	}
+}
+
+func TestRoamHandoffDip(t *testing.T) {
+	l := roamLink(1)
+	now := 0.0
+	for x := 0.0; x <= 20 && l.Handoffs() == 0; x += 0.5 {
+		l.SetRobotPosAt(now, geom.V(x, 0))
+		now += 0.25
+	}
+	ht := l.HandoffTimes()[0]
+	if s := l.SignalAt(ht + 0.1); s > l.cfg.HandoffDipFloor {
+		t.Fatalf("signal %.2f during the dip, want capped at %.2f", s, l.cfg.HandoffDipFloor)
+	}
+	// Park next to the new AP so the fade signal is 1, then check the dip
+	// has lifted.
+	l.SetRobotPosAt(ht+l.cfg.HandoffDipSec+1, geom.V(20, 0))
+	if s := l.SignalAt(ht + l.cfg.HandoffDipSec + 1); s != 1 {
+		t.Fatalf("signal %.2f after the dip next to the AP, want 1", s)
+	}
+}
+
+func TestRoamHoldDown(t *testing.T) {
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.WAPs = []WAP{{Pos: geom.V(20, 0)}}
+	cfg.HandoffHoldSec = 10
+	l := NewLink(cfg, rand.New(rand.NewSource(1)))
+	// Sprint back and forth across the floor fast enough that without
+	// the hold-down every crossing would hand off.
+	now := 0.0
+	pos := func(tick int) float64 {
+		// Triangle wave 0..20..0 with period 8 s at 4 ticks/s.
+		phase := math.Mod(float64(tick)*0.25, 8) / 8
+		if phase < 0.5 {
+			return 40 * phase
+		}
+		return 40 * (1 - phase)
+	}
+	for i := 0; i < 200; i++ {
+		l.SetRobotPosAt(now, geom.V(pos(i), 0))
+		now += 0.25
+	}
+	for i := 1; i < len(l.HandoffTimes()); i++ {
+		gap := l.HandoffTimes()[i] - l.HandoffTimes()[i-1]
+		if gap < cfg.HandoffHoldSec {
+			t.Fatalf("handoffs %.2f s apart, hold-down is %.0f s", gap, cfg.HandoffHoldSec)
+		}
+	}
+	if l.Handoffs() == 0 {
+		t.Fatal("expected at least one handoff across repeated traversals")
+	}
+}
+
+func TestRoamHandoffEmitsTelemetry(t *testing.T) {
+	l := roamLink(1)
+	tel := obs.NewTelemetry(64)
+	l.SetSink(tel)
+	now := 0.0
+	for x := 0.0; x <= 20; x += 0.5 {
+		l.SetRobotPosAt(now, geom.V(x, 0))
+		now += 0.25
+	}
+	if got := tel.Reg.Counter(obs.MLinkHandoffs, "").Value(); got != 1 {
+		t.Fatalf("handoff counter = %v, want 1", got)
+	}
+	found := false
+	for _, e := range tel.Events() {
+		if e.Kind == obs.KindHandoff {
+			found = true
+			if !strings.Contains(e.Detail, "wap0 -> wap1") {
+				t.Fatalf("handoff detail = %q", e.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no handoff event on the timeline")
+	}
+}
+
+func TestRoamPerWAPRangesInherit(t *testing.T) {
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.WAPs = []WAP{
+		{Pos: geom.V(20, 0)},                              // inherits 6/12
+		{Pos: geom.V(40, 0), GoodRange: 2, FadeRange: 30}, // long-fade backbone
+	}
+	aps := cfg.aps()
+	if aps[1].GoodRange != 6 || aps[1].FadeRange != 12 {
+		t.Fatalf("inherited ranges = %v/%v, want 6/12", aps[1].GoodRange, aps[1].FadeRange)
+	}
+	if aps[2].GoodRange != 2 || aps[2].FadeRange != 30 {
+		t.Fatalf("explicit ranges = %v/%v, want 2/30", aps[2].GoodRange, aps[2].FadeRange)
+	}
+}
+
+func TestSingleWAPPathUnchangedByTime(t *testing.T) {
+	// SetRobotPosAt on a single-AP link must behave exactly like the
+	// legacy SetRobotPos: same direction estimate, same signal, no
+	// handoffs — the engine switched to the timed call unconditionally.
+	a := link(7)
+	b := link(7)
+	now := 0.0
+	for x := 0.0; x < 15; x += 0.3 {
+		a.SetRobotPos(geom.V(x, x/2))
+		b.SetRobotPosAt(now, geom.V(x, x/2))
+		now += 0.25
+	}
+	if a.Direction() != b.Direction() || a.Signal() != b.Signal() {
+		t.Fatalf("timed single-AP update diverged: dir %v vs %v, sig %v vs %v",
+			a.Direction(), b.Direction(), a.Signal(), b.Signal())
+	}
+	if b.Handoffs() != 0 {
+		t.Fatalf("single-AP link recorded %d handoffs", b.Handoffs())
+	}
+}
+
+// --- satellite: direction-estimator edge cases ---
+
+func TestDirectionAtInterferenceBoundaryTicks(t *testing.T) {
+	// Interference caps SignalAt but must never perturb the direction
+	// estimate, including at exact period boundaries.
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.InterferencePeriod = 8
+	cfg.InterferenceDuty = 0.25
+	cfg.InterferenceFloor = 0.05
+	l := NewLink(cfg, rand.New(rand.NewSource(1)))
+	clean := link(1)
+	for i := 0; i < 64; i++ {
+		now := float64(i) // hits t=8,16,... exactly
+		p := geom.V(5+0.1*float64(i), 0)
+		l.SetRobotPosAt(now, p)
+		clean.SetRobotPos(p)
+		if l.Direction() != clean.Direction() {
+			t.Fatalf("tick %d: direction %v diverged from clean link %v", i, l.Direction(), clean.Direction())
+		}
+	}
+	// At a boundary tick the burst is active (phase 0 < duty).
+	if s := l.SignalAt(16); s != 0.05 {
+		t.Fatalf("signal at boundary tick = %v, want interference floor 0.05", s)
+	}
+	// Just before the next period starts the burst is over.
+	if s, fade := l.SignalAt(7.999), l.Signal(); s != fade {
+		t.Fatalf("signal outside burst = %v, want fade value %v", s, fade)
+	}
+}
+
+func TestDirectionEquidistantBetweenWAPs(t *testing.T) {
+	// Moving along the perpendicular bisector of the two APs keeps the
+	// serving distance changing (away from both): direction goes
+	// negative, and no handoff fires since both signals stay equal.
+	l := roamLink(1)
+	now := 0.0
+	for y := 0.0; y < 8; y += 0.4 {
+		l.SetRobotPosAt(now, geom.V(10, y))
+		now += 0.25
+	}
+	if l.Handoffs() != 0 {
+		t.Fatalf("handoffs = %d on the bisector, want 0", l.Handoffs())
+	}
+	if l.Direction() >= 0 {
+		t.Fatalf("direction = %v receding along the bisector, want negative", l.Direction())
+	}
+}
+
+// --- trace replay ---
+
+func TestTraceParseRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty file"},
+		{"bad-magic", "nottrace v1\n0 1 0 0\n", "bad header"},
+		{"bad-version", "lgvtrace vX\n0 1 0 0\n", "bad version"},
+		{"future-version", "lgvtrace v2\n0 1 0 0\n", "newer than supported"},
+		{"short-row", "lgvtrace v1\n0 1 0\n", "want 4 fields"},
+		{"bad-number", "lgvtrace v1\n0 fast 0 0\n", "bad number"},
+		{"no-samples", "lgvtrace v1\n# only comments\n", "no samples"},
+		{"negative-time", "lgvtrace v1\n-1 1 0 0\n", "negative time"},
+		{"unsorted", "lgvtrace v1\n5 1 0 0\n2 1 0 0\n", "before previous"},
+		{"zero-bandwidth", "lgvtrace v1\n0 0 0 0\n", "must be positive"},
+		{"negative-latency", "lgvtrace v1\n0 1 -0.1 0\n", "negative latency"},
+		{"loss-range", "lgvtrace v1\n0 1 0 1.5\n", "outside [0, 1]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseLinkTrace(c.name, strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestTraceEncodeRoundTrip(t *testing.T) {
+	for _, name := range BuiltinTraceNames() {
+		tr, err := BuiltinTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseLinkTrace(name, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(back.Samples) != len(tr.Samples) {
+			t.Fatalf("%s: %d samples after round trip, want %d", name, len(back.Samples), len(tr.Samples))
+		}
+		for i := range tr.Samples {
+			if tr.Samples[i] != back.Samples[i] {
+				t.Fatalf("%s sample %d: %+v != %+v", name, i, tr.Samples[i], back.Samples[i])
+			}
+		}
+	}
+}
+
+func TestBuiltinTraceFilesMatch(t *testing.T) {
+	// The committed .lgvtrace files must be byte-identical to what the
+	// builtin constructors encode — they are the same trace, stored.
+	for _, name := range BuiltinTraceNames() {
+		tr, err := BuiltinTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		disk, err := os.ReadFile(filepath.Join("testdata", "traces", name+".lgvtrace"))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with Encode)", name, err)
+		}
+		if !bytes.Equal(disk, buf.Bytes()) {
+			t.Fatalf("%s: committed file differs from builtin constructor output", name)
+		}
+	}
+}
+
+func TestTraceStepHold(t *testing.T) {
+	tr := &LinkTrace{Name: "t", Samples: []TraceSample{
+		{T: 0, BandwidthBps: 1e6, LatencySec: 0.001, Loss: 0},
+		{T: 10, BandwidthBps: 5e5, LatencySec: 0.01, Loss: 0.2},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(-5); got.BandwidthBps != 1e6 {
+		t.Fatalf("before start: %+v", got)
+	}
+	if got := tr.At(9.999); got.BandwidthBps != 1e6 {
+		t.Fatalf("just before step: %+v", got)
+	}
+	if got := tr.At(10); got.BandwidthBps != 5e5 {
+		t.Fatalf("at step: %+v", got)
+	}
+	if got := tr.At(1e6); got.Loss != 0.2 {
+		t.Fatalf("past the end must hold the last sample: %+v", got)
+	}
+}
+
+func TestTraceDrivenSend(t *testing.T) {
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.JitterSec = 0
+	cfg.Trace = &LinkTrace{Name: "t", Samples: []TraceSample{
+		{T: 0, BandwidthBps: 2.5e6, LatencySec: 0.004, Loss: 0},
+		{T: 50, BandwidthBps: 2.5e4, LatencySec: 0.09, Loss: 1},
+	}}
+	l := NewLink(cfg, rand.New(rand.NewSource(1)))
+	// Healthy region: latency is the recorded value + serialization.
+	arrive, dropped, _ := l.SendDirDetail(1, 1000, DirUp)
+	if dropped {
+		t.Fatal("healthy trace region dropped a packet")
+	}
+	wantLat := 0.004 + 1000/2.5e6
+	if got := arrive - 1; math.Abs(got-wantLat) > 1e-12 {
+		t.Fatalf("latency = %v, want %v", got, wantLat)
+	}
+	// Loss=1 region: every packet dies even though the robot never moved.
+	_, dropped, _ = l.SendDirDetail(60, 1000, DirUp)
+	if !dropped {
+		t.Fatal("loss=1 trace region delivered a packet")
+	}
+	st := l.Stats()
+	if st.Sent != 2 || st.Delivered != 1 || st.DroppedLoss != 1 {
+		t.Fatalf("ledger %+v", st)
+	}
+}
+
+func TestTraceSignalDrivesBlocking(t *testing.T) {
+	// A trace bandwidth far below nominal maps to a weak signal, which
+	// must engage the kernel-buffer blocking path exactly like deep fade.
+	cfg := DefaultEdgeLink(geom.V(0, 0))
+	cfg.Trace = &LinkTrace{Name: "t", Samples: []TraceSample{
+		{T: 0, BandwidthBps: cfg.UplinkBytesPerSec * 0.2, LatencySec: 0.004, Loss: 0},
+	}}
+	l := NewLink(cfg, rand.New(rand.NewSource(1)))
+	if s := l.SignalAt(0); math.Abs(s-0.2) > 1e-12 {
+		t.Fatalf("trace signal = %v, want 0.2", s)
+	}
+	overflowed := false
+	for i := 0; i < 20; i++ {
+		_, _, q := l.SendDirDetail(0.001*float64(i), 100, DirUp)
+		if q > 0 {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatal("weak trace signal never queued in the kernel buffer")
+	}
+	if l.Stats().DroppedOverflow == 0 {
+		t.Fatal("rapid sends under weak trace signal never overflowed the buffer")
+	}
+}
+
+func TestBuiltinTraceUnknown(t *testing.T) {
+	if _, err := BuiltinTrace("nope"); err == nil || !strings.Contains(err.Error(), "unknown builtin trace") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Link traces replay recorded network conditions instead of the
+// analytic distance-fade model.
+//
+// File format (version 1), one trace per file:
+//
+//	lgvtrace v1
+//	# comment lines start with '#'
+//	# t_sec  bandwidth_Bps  latency_sec  loss_prob
+//	0.0   2500000  0.002  0.00
+//	10.0  1200000  0.008  0.02
+//	...
+//
+// Rows are whitespace-separated and must be sorted by non-decreasing
+// time. Replay holds each sample until the next row's time (step-hold);
+// past the last row the last sample holds forever, so a trace shorter
+// than the mission degrades gracefully instead of erroring.
+
+// TraceFormatVersion is the trace file format this package reads and
+// writes. Bump only with a migration path for committed traces.
+const TraceFormatVersion = 1
+
+// traceMagic is the required first token of a trace file.
+const traceMagic = "lgvtrace"
+
+// TraceSample is one row of a link trace: the recorded uplink
+// conditions from time T until the next sample.
+type TraceSample struct {
+	T            float64 // virtual time the sample takes effect, s
+	BandwidthBps float64 // achievable uplink rate, bytes/s
+	LatencySec   float64 // one-way latency at this moment, s
+	Loss         float64 // packet loss probability in [0, 1]
+}
+
+// LinkTrace is a parsed, validated trace ready for replay.
+type LinkTrace struct {
+	Name    string
+	Samples []TraceSample
+}
+
+// Validate checks the structural rules every trace must satisfy.
+func (t *LinkTrace) Validate() error {
+	if len(t.Samples) == 0 {
+		return fmt.Errorf("netsim: trace %q has no samples", t.Name)
+	}
+	prev := -math.MaxFloat64
+	for i, s := range t.Samples {
+		switch {
+		case s.T < 0:
+			return fmt.Errorf("netsim: trace %q sample %d: negative time %g", t.Name, i, s.T)
+		case s.T < prev:
+			return fmt.Errorf("netsim: trace %q sample %d: time %g before previous %g", t.Name, i, s.T, prev)
+		case s.BandwidthBps <= 0:
+			return fmt.Errorf("netsim: trace %q sample %d: bandwidth %g must be positive", t.Name, i, s.BandwidthBps)
+		case s.LatencySec < 0:
+			return fmt.Errorf("netsim: trace %q sample %d: negative latency %g", t.Name, i, s.LatencySec)
+		case s.Loss < 0 || s.Loss > 1:
+			return fmt.Errorf("netsim: trace %q sample %d: loss %g outside [0, 1]", t.Name, i, s.Loss)
+		}
+		prev = s.T
+	}
+	return nil
+}
+
+// At returns the sample in effect at virtual time now: the last sample
+// with T <= now, or the first sample for now before the trace starts.
+func (t *LinkTrace) At(now float64) TraceSample {
+	// sort.Search finds the first sample with T > now; the one before it
+	// is in effect. Traces are short (tens to hundreds of rows), but
+	// this runs per packet, so binary search keeps it cheap.
+	i := sort.Search(len(t.Samples), func(i int) bool { return t.Samples[i].T > now })
+	if i == 0 {
+		return t.Samples[0]
+	}
+	return t.Samples[i-1]
+}
+
+// SignalAt maps the replayed bandwidth to the [0, 1] signal scale the
+// rest of the link model consumes (kernel-buffer blocking, loss floor,
+// Algorithm 2's inputs): the ratio of recorded bandwidth to the link's
+// nominal uplink rate, clamped.
+func (t *LinkTrace) SignalAt(now, nominalBps float64) float64 {
+	if nominalBps <= 0 {
+		return 1
+	}
+	s := t.At(now).BandwidthBps / nominalBps
+	if s > 1 {
+		return 1
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Duration returns the time of the final sample.
+func (t *LinkTrace) Duration() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return t.Samples[len(t.Samples)-1].T
+}
+
+// ParseLinkTrace reads and validates a trace from r. The name is used
+// in error messages and stored on the trace.
+func ParseLinkTrace(name string, r io.Reader) (*LinkTrace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("netsim: trace %q: empty file", name)
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != traceMagic {
+		return nil, fmt.Errorf("netsim: trace %q: bad header %q (want %q v<version>)", name, sc.Text(), traceMagic)
+	}
+	version, err := strconv.Atoi(strings.TrimPrefix(header[1], "v"))
+	if err != nil || version < 1 {
+		return nil, fmt.Errorf("netsim: trace %q: bad version token %q", name, header[1])
+	}
+	if version > TraceFormatVersion {
+		return nil, fmt.Errorf("netsim: trace %q: format v%d newer than supported v%d", name, version, TraceFormatVersion)
+	}
+	t := &LinkTrace{Name: name}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("netsim: trace %q line %d: want 4 fields (t bandwidth latency loss), got %d", name, lineNo, len(fields))
+		}
+		var vals [4]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: trace %q line %d: bad number %q", name, lineNo, f)
+			}
+			vals[i] = v
+		}
+		t.Samples = append(t.Samples, TraceSample{T: vals[0], BandwidthBps: vals[1], LatencySec: vals[2], Loss: vals[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netsim: trace %q: %w", name, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Encode writes the trace in the canonical v1 text form. Parsing the
+// output yields an identical trace (floats render via %g, which
+// round-trips exactly through ParseFloat).
+func (t *LinkTrace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s v%d\n", traceMagic, TraceFormatVersion)
+	fmt.Fprintf(bw, "# %s\n", t.Name)
+	fmt.Fprintf(bw, "# t_sec bandwidth_Bps latency_sec loss_prob\n")
+	for _, s := range t.Samples {
+		fmt.Fprintf(bw, "%g %g %g %g\n", s.T, s.BandwidthBps, s.LatencySec, s.Loss)
+	}
+	return bw.Flush()
+}

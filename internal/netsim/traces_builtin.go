@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Builtin traces: real-world-shaped link recordings generated from
+// closed-form envelopes (no randomness — the committed files under
+// internal/simtest/testdata/traces/ must stay byte-identical to what
+// these constructors produce; a test asserts exactly that). Each is
+// 120 s at 2 s resolution against the default 2.5 MB/s uplink.
+
+// BuiltinTraceNames lists the available builtin traces, sorted.
+func BuiltinTraceNames() []string {
+	names := make([]string, 0, len(builtinTraces))
+	for name := range builtinTraces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuiltinTrace returns a fresh copy of the named builtin trace.
+func BuiltinTrace(name string) (*LinkTrace, error) {
+	mk, ok := builtinTraces[name]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown builtin trace %q (have %s)",
+			name, strings.Join(BuiltinTraceNames(), ", "))
+	}
+	return mk(), nil
+}
+
+var builtinTraces = map[string]func() *LinkTrace{
+	"office-roam":     officeRoamTrace,
+	"garage-deepfade": garageDeepFadeTrace,
+	"cafe-congestion": cafeCongestionTrace,
+}
+
+const (
+	traceNominalBps = 2.5e6 // matches DefaultEdgeLink.UplinkBytesPerSec
+	traceDur        = 120.0
+	traceStep       = 2.0
+)
+
+// synthTrace samples f(t) -> (bandwidth, latency, loss) on the fixed
+// grid, rounding each column so the encoded files stay stable and small.
+func synthTrace(name string, f func(t float64) (bw, lat, loss float64)) *LinkTrace {
+	tr := &LinkTrace{Name: name}
+	for t := 0.0; t <= traceDur; t += traceStep {
+		bw, lat, loss := f(t)
+		tr.Samples = append(tr.Samples, TraceSample{
+			T:            t,
+			BandwidthBps: math.Max(1000, math.Round(bw/1000)*1000),
+			LatencySec:   math.Max(0, math.Round(lat*1e4)/1e4),
+			Loss:         math.Min(1, math.Max(0, math.Round(loss*100)/100)),
+		})
+	}
+	return tr
+}
+
+// officeRoamTrace: a walk across an office floor between two APs —
+// strong near either AP, a pronounced trough mid-walk where both cells
+// are weak, repeated on the way back.
+func officeRoamTrace() *LinkTrace {
+	return synthTrace("office-roam", func(t float64) (float64, float64, float64) {
+		// Two traversal troughs centered at 35 s and 90 s.
+		dip := gauss(t, 35, 10) + gauss(t, 90, 10)
+		bw := traceNominalBps * (1 - 0.85*dip)
+		lat := 0.003 + 0.030*dip
+		loss := 0.25 * dip
+		return bw, lat, loss
+	})
+}
+
+// garageDeepFadeTrace: an underground garage — two long deep fades where
+// the link nearly blacks out, fast recovery between them.
+func garageDeepFadeTrace() *LinkTrace {
+	return synthTrace("garage-deepfade", func(t float64) (float64, float64, float64) {
+		fade := plateau(t, 20, 44) + plateau(t, 70, 100)
+		bw := traceNominalBps * (1 - 0.97*fade)
+		lat := 0.004 + 0.080*fade
+		loss := 0.6 * fade
+		return bw, lat, loss
+	})
+}
+
+// cafeCongestionTrace: a busy café network — healthy baseline with
+// short sharp congestion bursts every ~15 s that spike latency more
+// than they cut bandwidth.
+func cafeCongestionTrace() *LinkTrace {
+	return synthTrace("cafe-congestion", func(t float64) (float64, float64, float64) {
+		// A 4 s burst at the start of every 15 s period.
+		phase := math.Mod(t, 15)
+		burst := 0.0
+		if phase < 4 {
+			burst = 1 - phase/4
+		}
+		bw := traceNominalBps * (0.9 - 0.5*burst)
+		lat := 0.005 + 0.045*burst
+		loss := 0.10 * burst
+		return bw, lat, loss
+	})
+}
+
+// gauss is a bell around center with the given width, peaking at 1.
+func gauss(t, center, width float64) float64 {
+	d := (t - center) / width
+	return math.Exp(-d * d * 2)
+}
+
+// plateau ramps up over 4 s into [t0, t1], holds 1, and ramps out.
+func plateau(t, t0, t1 float64) float64 {
+	const ramp = 4.0
+	switch {
+	case t < t0-ramp || t > t1+ramp:
+		return 0
+	case t < t0:
+		return (t - (t0 - ramp)) / ramp
+	case t > t1:
+		return ((t1 + ramp) - t) / ramp
+	default:
+		return 1
+	}
+}

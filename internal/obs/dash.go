@@ -95,6 +95,9 @@ async function loadFleet(){
   "<div><b>"+f.missions+"</b> missions, <b>"+fmt(100*f.success_rate,0)+"%</b> success</div>"+
   "<div>VDP p50 <b>"+fmt(f.vdp_p50,3)+"</b> · p95 <b>"+fmt(f.vdp_p95,3)+"</b> · p99 <b>"+fmt(f.vdp_p99,3)+"</b> s</div>"+
   "<div>mean energy <b>"+fmt(f.mean_energy_j,0)+"</b> J · flip rate <b>"+fmt(f.mean_flip_rate,2)+"</b>/min</div>"+
+  ((f.records_dropped||0)>0
+   ?'<div class="bad">recorder dropped <b>'+f.records_dropped+'</b> records — time series have holes</div>'
+   :'<div>recorder dropped <b>0</b> records</div>')+
   spark((f.flip_rates||[]).map((_,i)=>i+1),(f.flip_rates||[]).map(p=>p.rate),280,40,"#e0c97b");
 }
 

@@ -71,6 +71,18 @@ const (
 	MLinkLatencySeconds = "link_latency_seconds"
 	// MLinkSignal gauges the last observed signal strength. No label.
 	MLinkSignal = "link_signal"
+	// MLinkHandoffs counts roaming handoffs between access points. No
+	// label.
+	MLinkHandoffs = "link_handoffs"
+	// MAdvEvals counts mission evaluations spent by the fault-schedule
+	// adversary; MAdvWorstScore gauges its best (worst-case) score so
+	// far. No label.
+	MAdvEvals      = "adv_evals"
+	MAdvWorstScore = "adv_worst_score"
+	// MStoreDropped gauges how many records the mission store's bounded
+	// recording queue discarded during the run (holes in the persisted
+	// time series). No label.
+	MStoreDropped = "store_records_dropped"
 	// MFrames counts real-socket frames received. Label: transport.
 	MFrames = "endpoint_frames"
 	// MDecodeErrors counts real-socket frames that failed to decode.

@@ -110,6 +110,11 @@ func WritePostMortem(w io.Writer, t *Telemetry, missionTime float64) error {
 		fmt.Fprintln(w, "  (no adaptation events — static deployment or stable link)")
 	}
 
+	// --- Mission store health. -----------------------------------------------
+	if d := stat(MStoreDropped, ""); d > 0 {
+		fmt.Fprintf(w, "\nmission store: recording queue dropped %.0f records — persisted time series have holes\n", d)
+	}
+
 	if ev := t.Timeline.Evicted(); ev > 0 {
 		fmt.Fprintf(w, "\n(timeline ring evicted %d older events; totals above include them)\n", ev)
 	}

@@ -35,6 +35,9 @@ const (
 	// KindReconnect marks the real-socket switcher re-establishing a
 	// worker after it was declared dead.
 	KindReconnect Kind = "reconnect"
+	// KindHandoff marks the link roaming between access points; T0..T1
+	// covers the re-association signal dip.
+	KindHandoff Kind = "handoff"
 )
 
 // Event is one structured timeline record. T0/T1 are virtual-time start

@@ -1,0 +1,112 @@
+package simtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"lgvoffload/internal/faults"
+)
+
+// tinyAdversaryBase is a fast mission for adversary plumbing tests:
+// small map, short clock, so a handful of evaluations stays well under
+// a second each.
+func tinyAdversaryBase() Scenario {
+	sc := DefaultAdversaryBase(7)
+	sc.Waypoints = nil
+	sc.MaxSimTime = 25
+	sc.TrackerSamples = 200
+	return sc
+}
+
+// TestAdversaryDeterministic: the whole search — base eval, random
+// baseline, climb, shrink, replay — is a pure function of (base, opts).
+func TestAdversaryDeterministic(t *testing.T) {
+	opts := AdversaryOpts{Seed: 3, Evals: 4, Metric: "time"}
+	a, err := FindWorstSchedule(tinyAdversaryBase(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindWorstSchedule(tinyAdversaryBase(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Worst.Faults != b.Worst.Faults || a.WorstScore != b.WorstScore ||
+		a.RandomBest.Faults != b.RandomBest.Faults || a.RandomBestScore != b.RandomBestScore ||
+		a.Evals != b.Evals {
+		t.Fatalf("search not deterministic:\n%+v\n%+v", a, b)
+	}
+	if !a.ReplayIdentical {
+		t.Fatal("worst schedule did not replay bit-identically")
+	}
+	if a.Worst.Faults != "" && !a.Worst.Adversarial {
+		t.Fatal("worst scenario not marked adversarial")
+	}
+	if a.BaseScore <= 0 {
+		t.Fatalf("base score %.2f, want > 0", a.BaseScore)
+	}
+	// The worst schedule can never score below the fault-free base on
+	// either metric: faults only add energy and time.
+	if a.WorstScore < a.BaseScore {
+		t.Fatalf("worst %.2f below base %.2f", a.WorstScore, a.BaseScore)
+	}
+}
+
+// TestAdversarySchedulesAlwaysValid: every schedule the search can
+// propose — random draws, heuristic starts, long mutation chains —
+// renders to a spec that faults.ParseSpec accepts, within budget and
+// window caps. Pure schedule manipulation, no missions.
+func TestAdversarySchedulesAlwaysValid(t *testing.T) {
+	const maxTDs, budDs, maxWindows = 900, 225, 4 // 90 s mission, 22.5 s budget
+	check := func(ws []advWindow, origin string) {
+		t.Helper()
+		spec := renderAdvSpec(ws)
+		if spec == "" {
+			return
+		}
+		if _, err := faults.ParseSpec(spec); err != nil {
+			t.Fatalf("%s produced invalid spec %q: %v", origin, spec, err)
+		}
+		if d := totalDs(ws); d > budDs {
+			t.Fatalf("%s blew the budget: %d ds > %d ds (%q)", origin, d, budDs, spec)
+		}
+		if len(ws) > maxWindows {
+			t.Fatalf("%s has %d windows, cap %d (%q)", origin, len(ws), maxWindows, spec)
+		}
+	}
+
+	for _, ws := range heuristicSchedules(maxTDs, budDs, maxWindows) {
+		check(ws, "heuristic")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		check(randomSchedule(rng, maxTDs, budDs, maxWindows), "randomSchedule")
+	}
+	ws := randomSchedule(rng, maxTDs, budDs, maxWindows)
+	for i := 0; i < 500; i++ {
+		ws = mutateSchedule(rng, ws, maxTDs, budDs, maxWindows)
+		check(ws, "mutateSchedule")
+	}
+	for _, c := range shrinkCandidates(ws) {
+		check(c, "shrinkCandidates")
+	}
+}
+
+// TestAdversaryRespectsEvalBudget: the climb and baseline each get
+// exactly Evals mission runs (plus base, shrink, and the two replay
+// runs), so equal-budget comparisons stay honest.
+func TestAdversaryRespectsEvalBudget(t *testing.T) {
+	opts := AdversaryOpts{Seed: 5, Evals: 3, Metric: "energy"}
+	res, err := FindWorstSchedule(tinyAdversaryBase(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 base + 3 random + 3 climb + 2 replay = 9, plus whatever the
+	// shrink spent.
+	min := 1 + 3 + 3 + 2
+	if res.Evals < min {
+		t.Fatalf("evals %d, want >= %d", res.Evals, min)
+	}
+	if res.Metric != "energy" {
+		t.Fatalf("metric %q", res.Metric)
+	}
+}

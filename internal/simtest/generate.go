@@ -6,6 +6,7 @@ import (
 
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/grid"
+	"lgvoffload/internal/netsim"
 	"lgvoffload/internal/world"
 )
 
@@ -170,17 +171,35 @@ func sampleDeploy(rng *rand.Rand) DeploySpec {
 }
 
 func sampleLink(rng *rand.Rand, m *grid.Map, sc Scenario) LinkSpec {
-	profile := []string{"good", "good", "fade", "fade", "deadzone", "interference"}[rng.Intn(6)]
+	profile := []string{"good", "good", "fade", "fade", "deadzone", "interference", "trace"}[rng.Intn(7)]
 	// WAP near the start keeps fade profiles interesting (signal decays
 	// as the mission progresses); an occasional far corner stresses the
 	// whole-mission weak-signal regime.
+	wMeters := float64(m.Width) * m.Resolution
+	hMeters := float64(m.Height) * m.Resolution
 	wx, wy := sc.StartX, sc.StartY
 	if rng.Float64() < 0.3 {
-		wMeters := float64(m.Width) * m.Resolution
-		hMeters := float64(m.Height) * m.Resolution
 		wx, wy = wMeters*rng.Float64(), hMeters*rng.Float64()
 	}
-	return LinkSpec{Profile: profile, WAPX: roundCm(wx), WAPY: roundCm(wy)}
+	ls := LinkSpec{Profile: profile, WAPX: roundCm(wx), WAPY: roundCm(wy)}
+	switch profile {
+	case "trace":
+		names := netsim.BuiltinTraceNames()
+		ls.Trace = names[rng.Intn(len(names))]
+	case "fade", "deadzone", "interference":
+		// Multi-WAP roaming: extra APs scattered over the map so mission
+		// traversals hand off. "good" stays single-AP — it promises full
+		// signal everywhere (HighBandwidth), which roaming dips would
+		// break — and trace replay overrides distance fade entirely.
+		if rng.Float64() < 0.35 {
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				ls.WAPs = append(ls.WAPs, [2]float64{
+					roundCm(wMeters * rng.Float64()), roundCm(hMeters * rng.Float64())})
+			}
+		}
+	}
+	return ls
 }
 
 func roundCm(v float64) float64 { return float64(int(v*100)) / 100 }
@@ -188,18 +207,41 @@ func roundCm(v float64) float64 { return float64(int(v*100)) / 100 }
 // sampleFaults renders a fault spec string with 0–3 windows across all
 // six kinds. Roughly half of all scenarios run fault-free so the
 // clean-path invariants (EC dominance, zero fault-attributed drops) get
-// steady coverage.
+// steady coverage. faults.Validate rejects same-kind overlapping
+// windows, so when a sampled window would collide with an earlier
+// window of its kind the generator rotates to the next kind — a
+// deterministic adjustment that costs no rng draws.
 func sampleFaults(rng *rand.Rand, maxSimTime float64) string {
 	if rng.Float64() < 0.45 {
 		return ""
 	}
 	kinds := []string{"wap", "server", "burst", "corrupt", "partup", "partdown"}
+	type span struct{ t0, t1 float64 }
+	used := make(map[string][]span)
+	overlaps := func(kind string, t0, t1 float64) bool {
+		for _, u := range used[kind] {
+			if t0 < u.t1 && u.t0 < t1 {
+				return true
+			}
+		}
+		return false
+	}
 	n := 1 + rng.Intn(3)
 	spec := ""
 	for i := 0; i < n; i++ {
-		kind := kinds[rng.Intn(len(kinds))]
+		ki := rng.Intn(len(kinds))
 		t0 := 3 + rng.Float64()*maxSimTime*0.5
 		dur := 2 + rng.Float64()*8
+		// Overlap on the *rendered* (0.1 s-trimmed) bounds — those are
+		// what ParseSpec validates. With ≤ 2 prior windows and 6 kinds
+		// the rotation always finds a free lane.
+		rt0 := float64(int(t0*10)) / 10
+		rt1 := float64(int((t0+dur)*10)) / 10
+		for overlaps(kinds[ki], rt0, rt1) {
+			ki = (ki + 1) % len(kinds)
+		}
+		kind := kinds[ki]
+		used[kind] = append(used[kind], span{rt0, rt1})
 		s := kind + ":" + trimFloat(t0) + "-" + trimFloat(t0+dur)
 		if (kind == "burst" || kind == "corrupt") && rng.Float64() < 0.7 {
 			s += ":" + trimFloat(0.3+rng.Float64()*0.6)

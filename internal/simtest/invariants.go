@@ -2,11 +2,14 @@ package simtest
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"lgvoffload/internal/energy"
+	"lgvoffload/internal/faults"
 	"lgvoffload/internal/spans"
 )
 
@@ -57,6 +60,11 @@ func Invariants() []Invariant {
 			Check: checkNoFlap,
 		},
 		{
+			Name:  "handoff-no-flap",
+			Desc:  "Algorithm 2 never changes placement inside the post-handoff freeze window",
+			Check: checkHandoffNoFlap,
+		},
+		{
 			Name:  "link-accounting",
 			Desc:  "every offered packet is delivered or dropped with an attributed cause",
 			Check: checkLinkAccounting,
@@ -78,6 +86,12 @@ func Invariants() []Invariant {
 			Desc:      "identical seeds yield byte-identical Results across repeated runs",
 			ExtraRuns: 1,
 			Check:     checkReplay,
+		},
+		{
+			Name:      "adversarial-replay",
+			Desc:      "an adversarially-found fault schedule survives a JSON round trip and replays bit-identically",
+			ExtraRuns: 1,
+			Check:     checkAdversarialReplay,
 		},
 		{
 			Name:      "matrix-determinism",
@@ -169,6 +183,90 @@ func checkNoFlap(o *Outcome) error {
 		}
 	}
 	return nil
+}
+
+func checkHandoffNoFlap(o *Outcome) error {
+	ht := o.Res.HandoffTimes
+	if len(ht) == 0 {
+		return ErrSkip
+	}
+	hold := o.HandoffHold
+	for _, d := range o.Res.Decisions {
+		if d.Reason == "failover" {
+			// The failover path deliberately bypasses the handoff freeze:
+			// a link that dies across a handoff must still pull home.
+			continue
+		}
+		for _, h := range ht {
+			if d.T >= h && d.T-h < hold-1e-9 {
+				return fmt.Errorf("adaptation decision (%s) at t=%.2f is %.2fs after the handoff at t=%.2f — inside the %.1fs freeze",
+					d.Reason, d.T, d.T-h, h, hold)
+			}
+		}
+	}
+	return nil
+}
+
+func checkAdversarialReplay(o *Outcome) error {
+	if !o.Scenario.Adversarial {
+		return ErrSkip
+	}
+	// The fault schedule must survive a ParseSpec → String → ParseSpec
+	// round trip: the repro corpus and cmd/advhunt exchange schedules as
+	// spec strings, so a lossy rendering would silently change the
+	// adversarial scenario.
+	if o.Scenario.Faults != "" {
+		fc, err := faults.ParseSpec(o.Scenario.Faults)
+		if err != nil {
+			return fmt.Errorf("adversarial spec does not parse: %w", err)
+		}
+		back, err := faults.ParseSpec(fc.String())
+		if err != nil {
+			return fmt.Errorf("re-rendered spec %q does not parse: %w", fc.String(), err)
+		}
+		a := append([]faults.Window(nil), fc.Windows...)
+		b := append([]faults.Window(nil), back.Windows...)
+		sortWindows(a)
+		sortWindows(b)
+		if len(a) != len(b) {
+			return fmt.Errorf("spec round trip changed window count: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			// prob() normalizes P ∈ {0, 1} equivalently; compare effective
+			// windows field by field.
+			if a[i].Kind != b[i].Kind || a[i].T0 != b[i].T0 || a[i].T1 != b[i].T1 || a[i].P != b[i].P {
+				return fmt.Errorf("spec round trip changed window %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+	// The full scenario must survive a JSON round trip and replay to the
+	// byte-identical canonical result — this is what makes an emitted
+	// worst-case schedule a usable repro.
+	data, err := json.Marshal(o.Scenario)
+	if err != nil {
+		return fmt.Errorf("scenario marshal: %w", err)
+	}
+	var sc2 Scenario
+	if err := json.Unmarshal(data, &sc2); err != nil {
+		return fmt.Errorf("scenario unmarshal: %w", err)
+	}
+	o2, err := RunScenario(sc2)
+	if err != nil {
+		return fmt.Errorf("adversarial replay errored: %w", err)
+	}
+	if !bytes.Equal(o.Canon, o2.Canon) {
+		return fmt.Errorf("adversarial replay diverged: %s", firstDiff(o.Canon, o2.Canon))
+	}
+	return nil
+}
+
+func sortWindows(ws []faults.Window) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].T0 != ws[j].T0 {
+			return ws[i].T0 < ws[j].T0
+		}
+		return ws[i].Kind < ws[j].Kind
+	})
 }
 
 func checkLinkAccounting(o *Outcome) error {

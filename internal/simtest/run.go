@@ -36,6 +36,8 @@ type Outcome struct {
 
 	// FailoverHold is the effective Algorithm 2 hold-down window, s.
 	FailoverHold float64
+	// HandoffHold is the effective post-handoff adaptation freeze, s.
+	HandoffHold float64
 
 	// StalledSamples counts motor commands emitted while the watchdog
 	// held the stream stale (these must all be zero-velocity stops);
@@ -93,6 +95,10 @@ func runScenario(sc Scenario, rec *store.Recorder) (*Outcome, error) {
 	if out.FailoverHold == 0 {
 		out.FailoverHold = 20 // engine default (fillDefaults)
 	}
+	out.HandoffHold = cfg.HandoffHoldSec
+	if out.HandoffHold == 0 {
+		out.HandoffHold = 2 // engine default (fillDefaults)
+	}
 	return out, nil
 }
 
@@ -124,6 +130,11 @@ type canonicalResult struct {
 	WatchdogStops   int     `json:"watchdog_stops"`
 	Failovers       int     `json:"failovers"`
 	FaultsInjected  int     `json:"faults_injected"`
+	Handoffs        int     `json:"handoffs,omitempty"`
+	// HandoffTimes round-trips through JSON floats exactly (Go emits
+	// shortest-representation decimals), so byte identity still implies
+	// identical handoff timing.
+	HandoffTimes []float64 `json:"handoff_times,omitempty"`
 
 	Decisions []core.AdaptDecision `json:"decisions"`
 
@@ -165,6 +176,8 @@ func Canonical(res *core.Result) []byte {
 		WatchdogStops:   res.WatchdogStops,
 		Failovers:       res.Failovers,
 		FaultsInjected:  res.FaultsInjected,
+		Handoffs:        res.Handoffs,
+		HandoffTimes:    res.HandoffTimes,
 		Decisions:       res.Decisions,
 		AvgMaxVel:       res.AvgMaxVel,
 		Explored:        res.Explored,

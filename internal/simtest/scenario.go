@@ -73,11 +73,17 @@ type DeploySpec struct {
 // LinkSpec selects a wireless environment.
 type LinkSpec struct {
 	// Profile is "good" (high bandwidth everywhere), "fade" (the default
-	// edge/cloud 6 m/12 m falloff), "deadzone" (good to 3 m only) or
-	// "interference" (fade plus a periodic signal collapse).
+	// edge/cloud 6 m/12 m falloff), "deadzone" (good to 3 m only),
+	// "interference" (fade plus a periodic signal collapse) or "trace"
+	// (replay the builtin trace named by Trace).
 	Profile string  `json:"profile"`
 	WAPX    float64 `json:"wapx"`
 	WAPY    float64 `json:"wapy"`
+	// WAPs lists extra access-point positions; when non-empty the link
+	// roams between them and the primary WAP with hysteresis handoff.
+	WAPs [][2]float64 `json:"waps,omitempty"`
+	// Trace names a netsim builtin trace for profile "trace".
+	Trace string `json:"trace,omitempty"`
 }
 
 // Scenario is one self-contained mission sample: everything needed to
@@ -102,6 +108,10 @@ type Scenario struct {
 	Link  LinkSpec `json:"link"`
 	// Faults is an internal/faults spec string ("" = no faults).
 	Faults string `json:"faults,omitempty"`
+	// Adversarial marks a scenario whose fault schedule came from the
+	// adversarial hill-climber (see adversary.go / cmd/advhunt); the
+	// adversarial-replay invariant only fires on these.
+	Adversarial bool `json:"adversarial,omitempty"`
 
 	MaxSimTime     float64 `json:"max_sim_time"`
 	VCeil          float64 `json:"v_ceil,omitempty"`
@@ -202,6 +212,10 @@ func (s Scenario) linkConfig() (*netsim.LinkConfig, error) {
 		base.InterferenceDuty = 0.25
 		base.InterferenceFloor = 0.05
 		return &base, nil
+	case "trace":
+		// The trace itself attaches via MissionConfig.LinkTrace (see
+		// Mission); the base config supplies buffer/latency parameters.
+		return &base, nil
 	}
 	return nil, fmt.Errorf("simtest: unknown link profile %q", s.Link.Profile)
 }
@@ -258,6 +272,16 @@ func (s Scenario) Mission() (core.MissionConfig, error) {
 	}
 	for _, wp := range s.Waypoints {
 		cfg.Waypoints = append(cfg.Waypoints, geom.V(wp[0], wp[1]))
+	}
+	for _, ap := range s.Link.WAPs {
+		cfg.WAPs = append(cfg.WAPs, geom.V(ap[0], ap[1]))
+	}
+	if s.Link.Profile == "trace" {
+		tr, err := netsim.BuiltinTrace(s.Link.Trace)
+		if err != nil {
+			return cfg, fmt.Errorf("simtest: %w", err)
+		}
+		cfg.LinkTrace = tr
 	}
 	if s.Faults != "" {
 		fc, err := faults.ParseSpec(s.Faults)

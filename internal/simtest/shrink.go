@@ -56,6 +56,7 @@ func reductions(sc Scenario) []Scenario {
 		c := sc
 		// Deep-copy the slices a reduction may mutate.
 		c.Waypoints = append([][2]float64(nil), sc.Waypoints...)
+		c.Link.WAPs = append([][2]float64(nil), sc.Link.WAPs...)
 		f(&c)
 		out = append(out, c)
 	}
@@ -87,6 +88,17 @@ func reductions(sc Scenario) []Scenario {
 	}
 	if len(sc.Waypoints) > 0 {
 		add(func(c *Scenario) { c.Waypoints = nil })
+	}
+	if len(sc.Link.WAPs) > 0 {
+		// Collapse roaming to the primary WAP, then try halving the AP set.
+		add(func(c *Scenario) { c.Link.WAPs = nil })
+		if len(sc.Link.WAPs) > 1 {
+			add(func(c *Scenario) { c.Link.WAPs = c.Link.WAPs[:len(c.Link.WAPs)/2] })
+		}
+	}
+	if sc.Link.Profile == "trace" {
+		// Swap trace replay for the plain analytic fade model.
+		add(func(c *Scenario) { c.Link.Profile = "fade"; c.Link.Trace = "" })
 	}
 	if sc.World.Kind == "clutter" && sc.World.Obstacles > 0 {
 		add(func(c *Scenario) { c.World.Obstacles = 0; c.World.Kind = "empty" })

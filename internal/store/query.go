@@ -233,6 +233,11 @@ type Fleet struct {
 
 	Ticks     int `json:"ticks"`
 	Decisions int `json:"decisions"`
+	// RecordsDropped sums every finished mission's Recorder drop counter:
+	// bulk records (ticks, spans, decisions) the bounded recording queue
+	// discarded under backpressure. Nonzero means the post-mortems under
+	// this store have holes in their time series.
+	RecordsDropped uint64 `json:"records_dropped"`
 
 	TotalEnergy  float64 `json:"total_energy_j"`
 	MeanEnergy   float64 `json:"mean_energy_j"`
@@ -282,6 +287,7 @@ func (s *Store) FleetStats(f Filter) (Fleet, error) {
 		end := m.End
 		fl.Ticks += end.Ticks
 		fl.Decisions += end.Decisions
+		fl.RecordsDropped += end.Dropped
 		fl.TotalEnergy += end.TotalEnergy
 		fl.MeanMission += end.TotalTime
 		rate := 0.0

@@ -338,3 +338,36 @@ func TestQuantile(t *testing.T) {
 		t.Fatalf("empty quantile=%v", q)
 	}
 }
+
+// TestFleetStatsSumsDroppedRecords: each mission's Recorder drop
+// counter lands in its MissionEnd and FleetStats sums them, so a fleet
+// view flags post-mortems with holes without reading bulk records.
+func TestFleetStatsSumsDroppedRecords(t *testing.T) {
+	s, err := Open(tmpStore(t))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for i, drops := range []uint64{3, 0, 4} {
+		rec, err := s.Begin(MissionStart{Seed: int64(i), Workload: "navigation"})
+		if err != nil {
+			t.Fatalf("Begin: %v", err)
+		}
+		rec.Tick(Tick{T: 0.2, VDP: 0.1})
+		rec.dropped.Add(drops) // simulate recording-queue backpressure
+		if err := rec.Finish(MissionEnd{Success: true, Reason: "goal", TotalTime: 5}); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	}
+	fl, err := s.FleetStats(Filter{})
+	if err != nil {
+		t.Fatalf("FleetStats: %v", err)
+	}
+	if fl.RecordsDropped != 7 {
+		t.Fatalf("RecordsDropped = %d, want 7", fl.RecordsDropped)
+	}
+	m, ok := s.Mission(fl.FlipRates[0].ID)
+	if !ok || m.End.Dropped != 3 {
+		t.Fatalf("first mission Dropped = %+v, want 3", m.End)
+	}
+}

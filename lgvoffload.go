@@ -253,8 +253,27 @@ func DeadZoneLink(wap geom.Vec2) netsim.LinkConfig {
 // optional third field is a probability).
 func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
 
+// LinkTrace is a recorded wireless-link condition trace (bandwidth,
+// latency, loss over time) replayed in place of the analytic distance
+// model; assign one to MissionConfig.LinkTrace.
+type LinkTrace = netsim.LinkTrace
+
+// Trace replay helpers.
+var (
+	// BuiltinTraceNames lists the committed link traces ("office-roam",
+	// "garage-deepfade", "cafe-congestion", ...).
+	BuiltinTraceNames = netsim.BuiltinTraceNames
+	// BuiltinTrace returns a committed link trace by name.
+	BuiltinTrace = netsim.BuiltinTrace
+	// ParseLinkTrace reads a versioned .lgvtrace file.
+	ParseLinkTrace = netsim.ParseLinkTrace
+)
+
 // Pose builds a robot pose (x, y in meters, theta in radians).
 func Pose(x, y, theta float64) geom.Pose { return geom.P(x, y, theta) }
+
+// Vec2 is a world point (meters).
+type Vec2 = geom.Vec2
 
 // Point builds a world point.
 func Point(x, y float64) geom.Vec2 { return geom.V(x, y) }
