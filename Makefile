@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check fmt vet build test chaos bench reproduce trace-demo hunt advhunt fuzz-smoke dash-smoke
+.PHONY: check fmt vet build test chaos bench bench-gate reproduce trace-demo hunt advhunt fuzz-smoke dash-smoke
 
 check: fmt vet build test
 
@@ -35,6 +35,16 @@ chaos:
 bench:
 	go test -run 'TestAlloc' -count=1 .
 	go run ./cmd/benchjson -out BENCH_PR4.json
+
+# Benchmark regression gate: re-run the sweep and fail if any benchmark
+# regressed by more than BENCH_TOL (relative ns/op or allocs/op) against
+# the committed numbers. Runs as a non-gating CI job — benchmark noise
+# on shared runners makes a hard gate flaky, but the report still lands
+# in every run's log.
+BENCH_TOL ?= 0.05
+bench-gate:
+	go test -run 'TestAlloc' -count=1 .
+	go run ./cmd/benchjson -gate BENCH_PR4.json -tol $(BENCH_TOL)
 
 reproduce:
 	go run ./cmd/reproduce -exp all

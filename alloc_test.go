@@ -14,6 +14,7 @@ import (
 	"lgvoffload/internal/costmap"
 	"lgvoffload/internal/geom"
 	"lgvoffload/internal/msg"
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/slam"
 	"lgvoffload/internal/store"
 	"lgvoffload/internal/trace"
@@ -120,5 +121,54 @@ func TestAllocStoreRecorderDisabled(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("disabled recorder allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocFlightSLODisabled: the default observability plane (nil
+// flight recorder, nil SLO engine — what every mission without -flightrec
+// or -slo runs with) must cost nothing per tick.
+func TestAllocFlightSLODisabled(t *testing.T) {
+	var fr *obs.FlightRecorder
+	var slo *obs.SLOEngine
+	frame := obs.FlightFrame{T: 1, VDP: 0.04, EnergyJ: 12}
+	sample := obs.SLOSample{T: 1, VDP: 0.04, EnergyJ: 12, Staleness: 0.2}
+	allocs := testing.AllocsPerRun(100, func() {
+		fr.Record(frame)
+		fr.Emit(obs.Event{Kind: obs.KindTick, T0: 1})
+		_ = fr.Dump("x", "", 1)
+		_ = slo.Observe(sample)
+		_ = slo.Health()
+	})
+	if allocs > 0 {
+		t.Errorf("disabled flight/SLO path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocFlightSLOEnabledSteadyState: with the recorder and the full
+// default rule set enabled and the rolling windows warm, one tick's
+// observability work (ring write + event mirror + four rule
+// evaluations) stays within the 2 allocs/tick budget. In practice it is
+// zero: the frame ring is preallocated, the SLO windows grow once, and
+// the p99 sort reuses its scratch buffer.
+func TestAllocFlightSLOEnabledSteadyState(t *testing.T) {
+	fr := obs.NewFlightRecorder(obs.FlightConfig{})
+	slo := obs.NewSLOEngine(obs.DefaultSLORules())
+	tt := 0.0
+	tick := func() {
+		tt += 0.2
+		fr.Record(obs.FlightFrame{T: tt, VDP: 0.04, EnergyJ: 10 * tt, Sent: int(tt * 5)})
+		fr.Emit(obs.Event{Kind: obs.KindTick, T0: tt, Value: tt})
+		// Healthy steady state: no rule fires, Observe returns nil.
+		if b := slo.Observe(obs.SLOSample{T: tt, VDP: 0.04, EnergyJ: 10 * tt, Staleness: 0.2}); b != nil {
+			t.Fatalf("steady-state sample raised breaches: %+v", b)
+		}
+	}
+	// Warm every rolling window past its longest rule window (30 s).
+	for i := 0; i < 200; i++ {
+		tick()
+	}
+	allocs := testing.AllocsPerRun(100, tick)
+	if allocs > 2 {
+		t.Errorf("enabled flight/SLO steady state allocates %.1f/tick, want <= 2", allocs)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/simtest"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	maxWindows := flag.Int("max-windows", 4, "max fault windows per schedule")
 	minGain := flag.Float64("min-gain", 0, "fail (exit 1) unless the adversary beats the random baseline by this relative margin")
 	reproDir := flag.String("repros", "", "directory to write the worst schedule as an adversarial-replay repro (empty = don't write)")
+	flightDir := flag.String("flight-dir", "", "re-run the worst schedule with the flight recorder attached and dump its last-seconds bundle here (empty = don't)")
 	jsonOut := flag.String("json", "", "write the full search result to this file")
 	verbose := flag.Bool("v", false, "log every accepted improvement")
 	flag.Parse()
@@ -98,6 +100,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("  repro: %s\n", path)
+	}
+	if *flightDir != "" {
+		// Black-box forensics for the worst-found schedule: replay it once
+		// more with the flight recorder attached and freeze the closing
+		// seconds, so the schedule ships with the per-tick frames (VDP,
+		// energy, safety counters, link state) that explain its damage.
+		fr := obs.NewFlightRecorder(obs.FlightConfig{Dir: *flightDir})
+		if _, err := simtest.RunScenarioObserved(res.Worst, fr, nil); err != nil {
+			fatal(err)
+		}
+		b := fr.ForceDump("advhunt", fmt.Sprintf("worst schedule, search seed %d", *searchSeed), fr.LastTime())
+		if b == nil {
+			fatal(fmt.Errorf("flight dump of worst schedule produced no bundle"))
+		}
+		if b.WriteErr != "" {
+			fatal(fmt.Errorf("flight dump: %s", b.WriteErr))
+		}
+		fmt.Printf("  flight bundle: %s (%d frames, %d events)\n", b.File, b.Frames, b.Events)
 	}
 
 	if !res.ReplayIdentical {

@@ -10,6 +10,13 @@
 //	go run ./cmd/benchjson -out BENCH_PR4.json                 # run + record current
 //	go run ./cmd/benchjson -input old.txt -baseline -label pre # import a captured run as baseline
 //	go run ./cmd/benchjson -bench 'Fig9|Fig10'                 # restrict the benchmark set
+//	go run ./cmd/benchjson -gate BENCH_PR4.json -tol 0.05      # regression gate vs committed numbers
+//
+// Gate mode (`make bench-gate`) re-runs the benchmarks and compares
+// them against the committed reference file instead of rewriting it:
+// any benchmark whose ns/op or allocs/op regresses by more than -tol
+// fails the gate (exit 1). Benchmarks that only exist on one side are
+// reported but never fail — the gate polices drift, not coverage.
 package main
 
 import (
@@ -78,6 +85,8 @@ func main() {
 		benchRe   = flag.String("bench", ".", "benchmark regexp passed to go test")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark time")
 		count     = flag.Int("count", 1, "runs per benchmark")
+		gate      = flag.String("gate", "", "compare against this committed JSON instead of writing -out; exit 1 on regression")
+		tol       = flag.Float64("tol", 0.05, "gate: allowed relative regression in ns/op and allocs/op")
 	)
 	flag.Parse()
 
@@ -102,6 +111,36 @@ func main() {
 	results := parse(raw)
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark results parsed"))
+	}
+
+	if *gate != "" {
+		b, err := os.ReadFile(*gate)
+		if err != nil {
+			fatal(err)
+		}
+		var ref File
+		if err := json.Unmarshal(b, &ref); err != nil {
+			fatal(fmt.Errorf("%s: %w", *gate, err))
+		}
+		refRun := ref.Current
+		if refRun == nil {
+			refRun = ref.Baseline
+		}
+		if refRun == nil {
+			fatal(fmt.Errorf("%s has neither current nor baseline results", *gate))
+		}
+		report, regressions := gateCompare(refRun.Results, results, *tol)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if regressions > 0 {
+			fmt.Printf("bench-gate: FAIL — %d benchmark(s) regressed beyond %.0f%% vs %s\n",
+				regressions, 100**tol, *gate)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-gate: ok — %d benchmark(s) within %.0f%% of %s\n",
+			len(results), 100**tol, *gate)
+		return
 	}
 
 	// Merge into the existing file so the pinned section survives.
@@ -131,6 +170,50 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// gateCompare checks cur against ref benchmark-by-benchmark. A
+// benchmark regresses when its ns/op or allocs/op exceeds the reference
+// by more than tol (relative); any nonzero alloc count against a
+// zero-alloc reference is always a regression, whatever tol says.
+// Benchmarks present on only one side are reported but don't count.
+func gateCompare(ref, cur []Result, tol float64) (report []string, regressions int) {
+	byName := make(map[string]Result, len(ref))
+	for _, r := range ref {
+		byName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur))
+	for _, c := range cur {
+		seen[c.Name] = true
+		r, ok := byName[c.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("  new      %-40s %12.1f ns/op (no reference)", c.Name, c.NsPerOp))
+			continue
+		}
+		bad := false
+		if r.NsPerOp > 0 && c.NsPerOp > r.NsPerOp*(1+tol) {
+			bad = true
+		}
+		switch {
+		case r.AllocsOp == 0 && c.AllocsOp > 0:
+			bad = true
+		case r.AllocsOp > 0 && float64(c.AllocsOp) > float64(r.AllocsOp)*(1+tol):
+			bad = true
+		}
+		verdict := "ok"
+		if bad {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		report = append(report, fmt.Sprintf("  %-8s %-40s %12.1f -> %12.1f ns/op  %3d -> %3d allocs/op",
+			verdict, c.Name, r.NsPerOp, c.NsPerOp, r.AllocsOp, c.AllocsOp))
+	}
+	for _, r := range ref {
+		if !seen[r.Name] {
+			report = append(report, fmt.Sprintf("  missing  %-40s (in reference, not in this run)", r.Name))
+		}
+	}
+	return report, regressions
 }
 
 func fatal(err error) {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkFig9Pipeline-8   	    1234	    987654.0 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkTickHot   	 5000000	       231.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-16 	     100	   1000000 ns/op
+PASS
+`
+	rs := parse(out)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	if rs[0].Name != "BenchmarkFig9Pipeline" || rs[0].Iters != 1234 ||
+		rs[0].NsPerOp != 987654.0 || rs[0].BPerOp != 2048 || rs[0].AllocsOp != 12 {
+		t.Errorf("first result mismatch: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkTickHot" || rs[1].AllocsOp != 0 {
+		t.Errorf("second result mismatch: %+v", rs[1])
+	}
+	if rs[2].Name != "BenchmarkNoMem" || rs[2].BPerOp != 0 {
+		t.Errorf("benchmark without -benchmem should parse with zero mem stats: %+v", rs[2])
+	}
+}
+
+func TestGateCompare(t *testing.T) {
+	ref := []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 10},
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 50, AllocsOp: 1},
+	}
+
+	t.Run("within tolerance", func(t *testing.T) {
+		cur := []Result{
+			{Name: "BenchmarkA", NsPerOp: 1040, AllocsOp: 10}, // +4% < 5%
+			{Name: "BenchmarkZeroAlloc", NsPerOp: 104, AllocsOp: 0},
+		}
+		report, regs := gateCompare(ref, cur, 0.05)
+		if regs != 0 {
+			t.Fatalf("regressions = %d, want 0; report:\n%s", regs, strings.Join(report, "\n"))
+		}
+	})
+
+	t.Run("ns regression fails", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 1100, AllocsOp: 10}} // +10%
+		_, regs := gateCompare(ref, cur, 0.05)
+		if regs != 1 {
+			t.Fatalf("regressions = %d, want 1", regs)
+		}
+	})
+
+	t.Run("alloc regression fails", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 12}} // +20%
+		_, regs := gateCompare(ref, cur, 0.05)
+		if regs != 1 {
+			t.Fatalf("regressions = %d, want 1", regs)
+		}
+	})
+
+	t.Run("zero-alloc reference is strict", func(t *testing.T) {
+		// tol cannot excuse going from 0 to any allocations.
+		cur := []Result{{Name: "BenchmarkZeroAlloc", NsPerOp: 100, AllocsOp: 1}}
+		_, regs := gateCompare(ref, cur, 10.0)
+		if regs != 1 {
+			t.Fatalf("regressions = %d, want 1", regs)
+		}
+	})
+
+	t.Run("new and missing benchmarks never fail", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkBrandNew", NsPerOp: 99999, AllocsOp: 999}}
+		report, regs := gateCompare(ref, cur, 0.05)
+		if regs != 0 {
+			t.Fatalf("regressions = %d, want 0", regs)
+		}
+		joined := strings.Join(report, "\n")
+		if !strings.Contains(joined, "new") || !strings.Contains(joined, "BenchmarkBrandNew") {
+			t.Errorf("report missing 'new' entry:\n%s", joined)
+		}
+		if !strings.Contains(joined, "missing") || !strings.Contains(joined, "BenchmarkGone") {
+			t.Errorf("report missing 'missing' entry:\n%s", joined)
+		}
+	})
+
+	t.Run("faster is never a regression", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 500, AllocsOp: 5}}
+		_, regs := gateCompare(ref, cur, 0.05)
+		if regs != 0 {
+			t.Fatalf("regressions = %d, want 0", regs)
+		}
+	})
+}

@@ -51,7 +51,45 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault schedule, e.g. "wap:10-20;server:30-45;burst:50-52:0.9"`)
 	waps := flag.String("waps", "", `extra access points for multi-WAP roaming, e.g. "6,3;11,5" (x,y meters; the link hands off to the strongest AP with hysteresis)`)
 	linkTrace := flag.String("linktrace", "", "replay a link-condition trace instead of the analytic model: a builtin name (office-roam | garage-deepfade | cafe-congestion) or a .lgvtrace file path")
+	sloSpec := flag.String("slo", "", `live SLO rules, e.g. "vdp_p99<=0.5@30s,energy_rate~3@20s" ("default" for the stock set); breaches hit the timeline, /health and the flight recorder`)
+	sloStrict := flag.Bool("slo-strict", false, "exit 3 if any SLO rule breached during the mission (CI gate; implies -slo default when -slo is unset)")
+	flightRec := flag.Bool("flightrec", false, "attach the always-on flight recorder (bundles kept in memory; see -flight-dir)")
+	flightDir := flag.String("flight-dir", "", "write flight bundles into this directory (implies -flightrec; created if absent)")
+	flightVerify := flag.String("flight-verify", "", "verify a flight bundle file and exit (0 valid / 1 invalid)")
+	promVerify := flag.String("prom-verify", "", "validate a Prometheus text-format file and exit (0 valid / 1 invalid)")
 	flag.Parse()
+
+	// Utility modes: structural verification of artifacts produced by a
+	// previous run, for CI smoke tests. No mission is run.
+	if *flightVerify != "" {
+		data, err := os.ReadFile(*flightVerify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight-verify:", err)
+			os.Exit(1)
+		}
+		info, err := lgvoffload.VerifyFlightBundle(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight-verify: %s: %v\n", *flightVerify, err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight-verify: ok: reason=%s t=%.3f frames=%d events=%d\n",
+			info.Reason, info.T, info.Frames, info.Events)
+		return
+	}
+	if *promVerify != "" {
+		data, err := os.ReadFile(*promVerify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prom-verify:", err)
+			os.Exit(1)
+		}
+		n, err := lgvoffload.ValidatePrometheusText(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prom-verify: %s: %v\n", *promVerify, err)
+			os.Exit(1)
+		}
+		fmt.Printf("prom-verify: ok: %d samples\n", n)
+		return
+	}
 
 	var d lgvoffload.Deployment
 	g := lgvoffload.GoalMCT
@@ -130,11 +168,45 @@ func main() {
 	}
 
 	var tel *lgvoffload.Telemetry
-	if *telemetry != "" || *postmortem || *postmortemOut != "" || *httpAddr != "" {
+	if *telemetry != "" || *postmortem || *postmortemOut != "" || *httpAddr != "" ||
+		*sloSpec != "" || *sloStrict || *flightRec || *flightDir != "" {
 		// A long mission at 5 Hz emits several events per tick; a roomy
 		// ring keeps the early adaptation decisions from being evicted.
+		// The SLO engine and flight recorder ride on telemetry too: the
+		// breach counter lives in its registry, and the recorder's event
+		// ring is fed by its tee.
 		tel = lgvoffload.NewTelemetry(1 << 16)
 		cfg.Telemetry = tel
+	}
+
+	// Live SLO rules: -slo-strict without -slo means the stock set.
+	spec := *sloSpec
+	if spec == "" && *sloStrict {
+		spec = "default"
+	}
+	var slo *lgvoffload.SLOEngine
+	if spec != "" {
+		rules, err := lgvoffload.ParseSLORules(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slo:", err)
+			os.Exit(2)
+		}
+		slo = lgvoffload.NewSLOEngine(rules)
+		cfg.SLO = slo
+	}
+
+	// Flight recorder: always-on black box; -flight-dir also writes each
+	// bundle to disk.
+	var fr *lgvoffload.FlightRecorder
+	if *flightRec || *flightDir != "" {
+		if *flightDir != "" {
+			if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "flight-dir:", err)
+				os.Exit(1)
+			}
+		}
+		fr = lgvoffload.NewFlightRecorder(lgvoffload.FlightConfig{Dir: *flightDir})
+		cfg.FlightRec = fr
 	}
 	var tracer *lgvoffload.Tracer
 	if *traceOut != "" || *spansOut != "" || *httpAddr != "" || *storePath != "" {
@@ -183,7 +255,7 @@ func main() {
 			os.Exit(1)
 		}
 		handler := lgvoffload.NewInspectorWith(lgvoffload.InspectorConfig{
-			Telemetry: tel, Trace: tracer, Store: st, Live: hub,
+			Telemetry: tel, Trace: tracer, Store: st, Live: hub, SLO: slo,
 		})
 		fmt.Printf("inspect:   serving http://%s/ (dashboard at /dash, live SSE at /live)\n", ln.Addr())
 		go func() {
@@ -251,6 +323,30 @@ func main() {
 	if *faultSpec != "" {
 		fmt.Printf("faults:    %d injected, %d watchdog stops, %d failovers\n",
 			res.FaultsInjected, res.WatchdogStops, res.Failovers)
+	}
+	if slo != nil {
+		breaches := slo.Breaches()
+		h := slo.Health()
+		fmt.Printf("slo:       %d rules, %d breaches, healthy=%v\n",
+			len(slo.Rules()), len(breaches), h.Healthy)
+		for _, b := range breaches {
+			fmt.Printf("  t=%7.1f  %-30s value %.4g > limit %.4g\n", b.T, b.Rule, b.Value, b.Limit)
+		}
+	}
+	if fr != nil {
+		bundles := fr.Bundles()
+		fmt.Printf("flightrec: %d frames in ring, %d bundles dumped\n", fr.FrameCount(), len(bundles))
+		for _, b := range bundles {
+			loc := "in memory"
+			if b.File != "" {
+				loc = b.File
+			}
+			if b.WriteErr != "" {
+				loc = "WRITE FAILED: " + b.WriteErr
+			}
+			fmt.Printf("  t=%7.1f  %-20s %4d frames, %4d events  %s\n",
+				b.T, b.Reason, b.Frames, b.Events, loc)
+		}
 	}
 
 	if *telemetry != "" {
@@ -324,6 +420,14 @@ func main() {
 			fmt.Printf("  %6.1f  %.3f  %.3f  %5.1f  %v\n",
 				tp.T, tp.MaxVel, tp.RealVel, tp.Bandwidth, tp.RemoteOn)
 		}
+	}
+
+	// CI gate: a breached mission is a failed mission under -slo-strict.
+	// Checked after all reporting so the breach list above still prints,
+	// and before the -http wait so CI runs terminate.
+	if *sloStrict && slo != nil && len(slo.Breaches()) > 0 {
+		fmt.Fprintf(os.Stderr, "slo-strict: %d breaches — failing\n", len(slo.Breaches()))
+		os.Exit(3)
 	}
 
 	if *httpAddr != "" {

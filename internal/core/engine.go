@@ -220,6 +220,18 @@ type MissionConfig struct {
 	// after Run returns. Nil — the default — records nothing and keeps
 	// the tick hot path allocation-free.
 	Store *store.Recorder
+
+	// FlightRec, when non-nil, continuously records per-tick flight
+	// frames into a bounded ring and freezes a JSONL bundle of the last
+	// N seconds on watchdog stops, failovers, SLO breaches and panics
+	// (see obs.FlightRecorder). Nil — the default — costs nothing.
+	FlightRec *obs.FlightRecorder
+
+	// SLO, when non-nil, judges every tick against declarative
+	// service-level rules (see obs.SLOEngine). Breaches emit timeline
+	// events, count into MSLOBreaches and trigger FlightRec dumps. Nil —
+	// the default — costs nothing.
+	SLO *obs.SLOEngine
 }
 
 func (c *MissionConfig) fillDefaults() {
@@ -423,10 +435,15 @@ type engine struct {
 
 	// Telemetry (nil when disabled; every hook on it is nil-safe).
 	tel          *obs.Telemetry
-	tr           *spans.Tracer   // causal tracing (nil when disabled; nil-safe)
-	rec          *store.Recorder // mission store recorder (nil when disabled)
-	stallOpen    bool            // a watchdog outage episode is in progress
-	stallStart   float64         // when the open episode began
+	tr           *spans.Tracer       // causal tracing (nil when disabled; nil-safe)
+	rec          *store.Recorder     // mission store recorder (nil when disabled)
+	fr           *obs.FlightRecorder // flight recorder (nil when disabled; nil-safe)
+	slo          *obs.SLOEngine      // live SLO judge (nil when disabled; nil-safe)
+	lastCompute  float64             // this tick's critical-path compute seconds
+	lastQueue    float64             // this tick's critical-path queue seconds
+	lastTranspt  float64             // this tick's critical-path transport seconds
+	stallOpen    bool                // a watchdog outage episode is in progress
+	stallStart   float64             // when the open episode began
 	decisions    []AdaptDecision
 	lastRemoteOK bool // previous Algorithm 2 verdict, for flip detection
 	handoffSeen  int  // link handoffs already registered with safety
@@ -468,6 +485,16 @@ func Run(cfg MissionConfig) (*Result, error) {
 	e, err := newEngine(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if e.fr != nil {
+		// Black-box semantics: if the mission loop panics, freeze the
+		// ticks that led up to it before the panic propagates.
+		defer func() {
+			if r := recover(); r != nil {
+				e.fr.ForceDump("panic", fmt.Sprint(r), e.w.Time)
+				panic(r)
+			}
+		}()
 	}
 	return e.run()
 }
@@ -515,6 +542,8 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 		tel:          cfg.Telemetry,
 		tr:           cfg.Tracer,
 		rec:          cfg.Store,
+		fr:           cfg.FlightRec,
+		slo:          cfg.SLO,
 		lastRemoteOK: true, // adaptive deployments start offloaded
 	}
 	if cfg.Telemetry != nil {
@@ -522,6 +551,12 @@ func newEngine(cfg MissionConfig) (*engine, error) {
 		// hot path branch-predictable and allocation-free.
 		link.SetSink(cfg.Telemetry)
 		e.tel.SetPhase(cfg.Workload.String())
+	}
+	if cfg.FlightRec != nil && cfg.Telemetry != nil {
+		// Mirror the event stream into the recorder's own bounded ring so
+		// bundles carry the events of their window even after the main
+		// timeline evicts them.
+		cfg.Telemetry.Tee(cfg.FlightRec)
 	}
 	missLimit := cfg.FailoverMisses
 	if missLimit < 0 {
@@ -695,6 +730,7 @@ func (e *engine) run() (*Result, error) {
 				e.mx.Offer(muxer.SourceSafety, geom.Twist{}, now)
 				if first {
 					e.tel.Watchdog(now, e.safety.Staleness(now))
+					e.flightDump("watchdog", "", now)
 					if !e.stallOpen {
 						e.stallOpen = true
 						e.stallStart = now

@@ -32,6 +32,10 @@ const (
 func (e *engine) controlTick(now float64) {
 	cfg := e.cfg
 
+	// Per-tick critical-path split for the flight recorder; zeroed here
+	// so ticks that exit early (dropped uplink) report an empty split.
+	e.lastCompute, e.lastQueue, e.lastTranspt = 0, 0, 0
+
 	// --- Causal trace for this tick. ---------------------------------------
 	// Both ids are 0 when tracing is off; every span call below then
 	// no-ops without allocating, mirroring the nil-Telemetry contract.
@@ -303,6 +307,14 @@ func (e *engine) controlTick(now float64) {
 	// compute/queue/transport children sum to it by construction.
 	tr.Record(spans.Span{Trace: tickTrace, ID: tickRoot, Name: "tick",
 		Host: string(HostLGV), Kind: spans.Tick, Start: now, End: tickEnd})
+
+	if delivered {
+		e.lastCompute = robotProc + remoteProc
+		if vdpRemote {
+			e.lastQueue = upQueue + downQueue
+			e.lastTranspt = (upLat - upQueue) + (downLat - downQueue)
+		}
+	}
 
 	// Surface the same decomposition through the obs registry so p50/p95
 	// per segment show up in snapshots and the post-mortem.
@@ -608,6 +620,7 @@ func (e *engine) finishTick(now float64, localWork hostsim.Work, pipelineLat flo
 
 	e.tel.TickSpan(now, e.nextControl, pipelineLat)
 	e.recordTick(now, pipelineLat)
+	e.recordFlight(now, pipelineLat)
 
 	if e.cfg.Deployment.Mode == Adaptive {
 		e.adapt(now)
@@ -679,6 +692,7 @@ func (e *engine) failover(now float64) {
 	e.recordDecision(e.decisions[len(e.decisions)-1])
 	e.tel.Failover(now, misses, from+" -> "+to)
 	e.tel.Switch(now, bw, dir, 0, false, from+" -> "+to)
+	e.flightDump("failover", from+" -> "+to, now)
 	e.tr.Add(e.tr.NewTrace(), 0, "failover", string(HostLGV), "safety",
 		spans.Mark, now, now)
 }

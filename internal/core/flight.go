@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+
+	"lgvoffload/internal/obs"
+)
+
+// This file is the engine's only coupling to the flight recorder and
+// the SLO engine. Like the mission store hooks (store.go), everything
+// here is strictly additive: it reads values the tick already computed,
+// consumes no randomness, and never feeds back into control decisions —
+// an instrumented mission is bit-identical to a bare one. The disabled
+// path (both nil) is a single branch, no allocation.
+
+// recordFlight captures one per-tick flight frame and feeds the SLO
+// judge. The frame is recorded before the judgment so a breach-triggered
+// dump always contains the breach tick itself.
+func (e *engine) recordFlight(now, pipelineLat float64) {
+	if e.fr == nil && e.slo == nil {
+		return
+	}
+	remoteOn := 0
+	for _, h := range e.placement.Host {
+		if h != HostLGV {
+			remoteOn++
+		}
+	}
+	if e.fr != nil {
+		ns := e.link.Stats()
+		e.fr.Record(obs.FlightFrame{
+			T:         now,
+			VDP:       pipelineLat,
+			EnergyJ:   e.meter.Total(),
+			Bandwidth: e.prof.Bandwidth(now),
+			Direction: e.prof.Direction(),
+			Signal:    e.link.Signal(),
+			MaxVel:    e.vmax,
+			RealVel:   math.Abs(e.w.Robot.Vel.V),
+			RemoteOn:  remoteOn,
+
+			Sent:     ns.Sent,
+			Dropped:  ns.Dropped(),
+			Misses:   e.safety.Misses(),
+			Stops:    e.safety.Stops(),
+			Failover: e.safety.Failovers(),
+			Handoffs: e.link.Handoffs(),
+			Switches: e.switches,
+
+			Compute:   e.lastCompute,
+			Queue:     e.lastQueue,
+			Transport: e.lastTranspt,
+		})
+	}
+	for _, b := range e.slo.Observe(obs.SLOSample{
+		T:         now,
+		VDP:       pipelineLat,
+		EnergyJ:   e.meter.Total(),
+		Staleness: e.safety.Staleness(now),
+		Handoffs:  e.link.Handoffs(),
+	}) {
+		e.tel.SLOBreach(now, b.Metric, b.Value, b.Limit, b.Rule)
+		e.flightDump("slo:"+b.Metric, b.Rule, now)
+	}
+}
+
+// flightDump requests a rate-limited bundle dump and counts the ones
+// that actually happen.
+func (e *engine) flightDump(reason, detail string, now float64) {
+	if e.fr == nil {
+		return
+	}
+	if b := e.fr.Dump(reason, detail, now); b != nil {
+		e.tel.Count(obs.MFlightDumps, reason, 1)
+	}
+}

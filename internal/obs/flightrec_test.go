@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{Frames: 8, WindowSec: 100})
+	for i := 0; i < 20; i++ {
+		r.Record(FlightFrame{T: float64(i)})
+	}
+	if got := r.FrameCount(); got != 8 {
+		t.Fatalf("FrameCount = %d, want 8", got)
+	}
+	if got := r.LastTime(); got != 19 {
+		t.Fatalf("LastTime = %g, want 19", got)
+	}
+	b := r.ForceDump("test", "", 19)
+	if b == nil {
+		t.Fatal("ForceDump returned nil")
+	}
+	// The ring holds the newest 8 frames: t=12..19.
+	if b.Frames != 8 {
+		t.Fatalf("bundle has %d frames, want 8", b.Frames)
+	}
+	info, err := VerifyFlightBundle(b.Data)
+	if err != nil {
+		t.Fatalf("bundle fails verification: %v", err)
+	}
+	if info.Frames != 8 || info.Reason != "test" || info.T != 19 {
+		t.Errorf("verified info %+v", info)
+	}
+}
+
+func TestFlightDumpWindow(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{Frames: 64, WindowSec: 5})
+	for i := 0; i < 50; i++ {
+		r.Record(FlightFrame{T: float64(i)})
+	}
+	b := r.Dump("w", "", 49)
+	if b == nil {
+		t.Fatal("Dump returned nil")
+	}
+	// Only the last WindowSec seconds: t in [44, 49].
+	if b.Frames != 6 {
+		t.Fatalf("bundle has %d frames, want 6 (t=44..49)", b.Frames)
+	}
+	if _, err := VerifyFlightBundle(b.Data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightDumpRateLimit(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{MaxDumps: 2, MinSpacing: 5})
+	r.Record(FlightFrame{T: 1})
+	if r.Dump("a", "", 1) == nil {
+		t.Fatal("first dump suppressed")
+	}
+	if b := r.Dump("b", "", 2); b != nil {
+		t.Fatal("dump inside MinSpacing not suppressed")
+	}
+	if r.Dump("c", "", 7) == nil {
+		t.Fatal("dump after MinSpacing suppressed")
+	}
+	if b := r.Dump("d", "", 20); b != nil {
+		t.Fatal("dump beyond MaxDumps not suppressed")
+	}
+	// ForceDump gets the reserved extra slot, then stops too.
+	if r.ForceDump("panic", "", 21) == nil {
+		t.Fatal("forced dump suppressed despite reserved slot")
+	}
+	if r.ForceDump("panic2", "", 22) != nil {
+		t.Fatal("second forced dump beyond the reserved slot")
+	}
+	if got := len(r.Bundles()); got != 3 {
+		t.Errorf("kept %d bundles, want 3", got)
+	}
+}
+
+func TestFlightDumpAtVirtualZero(t *testing.T) {
+	// lastDump==0 is a valid virtual time: a dump at t=0 must still
+	// rate-limit the next one.
+	r := NewFlightRecorder(FlightConfig{MinSpacing: 5})
+	r.Record(FlightFrame{T: 0})
+	if r.Dump("zero", "", 0) == nil {
+		t.Fatal("dump at t=0 suppressed")
+	}
+	if b := r.Dump("next", "", 1); b != nil {
+		t.Fatal("dump at t=1 should be inside MinSpacing of the t=0 dump")
+	}
+}
+
+func TestFlightDumpEventsAndFile(t *testing.T) {
+	dir := t.TempDir()
+	r := NewFlightRecorder(FlightConfig{WindowSec: 10, Dir: dir})
+	for i := 0; i < 30; i++ {
+		r.Record(FlightFrame{T: float64(i)})
+	}
+	// Feed events through the Sink face, as Telemetry.Tee would.
+	var s Sink = r
+	s.Emit(Event{Kind: KindFault, T0: 2, T1: 3})    // outside window at t=29
+	s.Emit(Event{Kind: KindSwitch, T0: 25, T1: 25}) // inside
+	s.Emit(Event{Kind: KindFault, T0: 18, T1: 22})  // straddles the cutoff: kept
+	s.Count("x", "", 1)                             // metric no-ops must not panic
+	s.SetGauge("x", "", 1)
+	s.Observe("x", "", 1)
+
+	b := r.Dump("slo:test", "detail here", 29)
+	if b == nil {
+		t.Fatal("dump failed")
+	}
+	if b.Events != 2 {
+		t.Fatalf("bundle has %d events, want 2 (one outside the window)", b.Events)
+	}
+	if b.WriteErr != "" {
+		t.Fatalf("write error: %s", b.WriteErr)
+	}
+	if b.File == "" {
+		t.Fatal("Dir set but no file written")
+	}
+	if base := filepath.Base(b.File); strings.ContainsAny(base, ": ") {
+		t.Errorf("filename %q not sanitized", base)
+	}
+	data, err := os.ReadFile(b.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, b.Data) {
+		t.Error("file content differs from in-memory bundle")
+	}
+	if _, err := VerifyFlightBundle(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(FlightFrame{T: 1})
+	r.Emit(Event{})
+	if r.Dump("x", "", 1) != nil || r.ForceDump("x", "", 1) != nil {
+		t.Error("nil recorder dumped")
+	}
+	if r.Bundles() != nil || r.FrameCount() != 0 || r.LastTime() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+func TestVerifyFlightBundleRejects(t *testing.T) {
+	valid := func() []byte {
+		r := NewFlightRecorder(FlightConfig{WindowSec: 10})
+		r.Record(FlightFrame{T: 1})
+		r.Record(FlightFrame{T: 2})
+		r.Emit(Event{Kind: KindFault, T0: 2, T1: 2})
+		return r.Dump("ok", "", 2).Data
+	}()
+	if _, err := VerifyFlightBundle(valid); err != nil {
+		t.Fatalf("valid bundle rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage header", []byte("not json\n")},
+		{"wrong version", []byte(`{"version":"lgvflight0","reason":"x","t":1,"window":10,"frames":0,"events":0}` + "\n")},
+		{"frame count mismatch", []byte(`{"version":"lgvflight1","reason":"x","t":1,"window":10,"frames":2,"events":0}` + "\n" +
+			`{"frame":{"t":1}}` + "\n")},
+		{"event count mismatch", []byte(`{"version":"lgvflight1","reason":"x","t":1,"window":10,"frames":0,"events":2}` + "\n" +
+			`{"event":{"kind":"fault","t0":1,"t1":1}}` + "\n")},
+		{"frame outside window", []byte(`{"version":"lgvflight1","reason":"x","t":100,"window":10,"frames":1,"events":0}` + "\n" +
+			`{"frame":{"t":1}}` + "\n")},
+		{"frames out of order", []byte(`{"version":"lgvflight1","reason":"x","t":10,"window":10,"frames":2,"events":0}` + "\n" +
+			`{"frame":{"t":9}}` + "\n" + `{"frame":{"t":4}}` + "\n")},
+		{"frame after events", []byte(`{"version":"lgvflight1","reason":"x","t":10,"window":10,"frames":2,"events":1}` + "\n" +
+			`{"frame":{"t":4}}` + "\n" + `{"event":{"kind":"fault"}}` + "\n" + `{"frame":{"t":5}}` + "\n")},
+		{"unknown row", []byte(`{"version":"lgvflight1","reason":"x","t":10,"window":10,"frames":0,"events":0}` + "\n" +
+			`{"neither":1}` + "\n")},
+	}
+	for _, tc := range cases {
+		if _, err := VerifyFlightBundle(tc.data); err == nil {
+			t.Errorf("%s: accepted, want rejection", tc.name)
+		}
+	}
+}
+
+func TestFlightDumpDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewFlightRecorder(FlightConfig{WindowSec: 30})
+		for i := 0; i < 100; i++ {
+			r.Record(FlightFrame{T: float64(i) * 0.2, VDP: 0.04, EnergyJ: float64(i), Sent: i})
+			if i%10 == 0 {
+				r.Emit(Event{Kind: KindTick, T0: float64(i) * 0.2, Value: float64(i)})
+			}
+		}
+		return r.Dump("det", "", 19.8).Data
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Error("identical recordings produced different bundle bytes")
+	}
+}

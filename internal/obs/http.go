@@ -61,6 +61,8 @@ type InspectorConfig struct {
 	// Live serves /live (SSE). Attach it to the running mission's
 	// telemetry with Telemetry.Tee to stream events as they happen.
 	Live *LiveHub
+	// SLO drives /health and /ready. Nil means no rules: both report OK.
+	SLO *SLOEngine
 }
 
 // NewInspector returns the live inspection endpoint with telemetry and
@@ -76,6 +78,9 @@ func NewInspector(t *Telemetry, trace TraceSource) http.Handler {
 //
 //	/              index and quick status
 //	/metrics       registry snapshot, JSON ("name{label}" keys)
+//	/metrics.prom  registry snapshot, Prometheus text exposition format
+//	/health        SLO judgment: 200 healthy / 503 while a rule is open
+//	/ready         200 once samples observed and healthy, else 503
 //	/timeline      timeline events, JSONL (?after=seq, ?limit=, default 200)
 //	/trace         Chrome trace-event JSON of the span buffer
 //	/spans         span buffer, JSONL (?after=id, ?limit=, default 1000)
@@ -95,6 +100,9 @@ func NewInspectorWith(cfg InspectorConfig) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "lgvoffload inspection endpoint")
 		fmt.Fprintln(w, "  /metrics       metrics snapshot (JSON)")
+		fmt.Fprintln(w, "  /metrics.prom  metrics snapshot (Prometheus text format)")
+		fmt.Fprintln(w, "  /health        SLO health (200/503 + JSON)")
+		fmt.Fprintln(w, "  /ready         SLO readiness (200/503 + JSON)")
 		fmt.Fprintln(w, "  /timeline      events (JSONL, ?after=seq ?limit=)")
 		fmt.Fprintln(w, "  /trace         Chrome trace-event JSON (load in Perfetto)")
 		fmt.Fprintln(w, "  /spans         span stream (JSONL, ?after=id ?limit=)")
@@ -133,6 +141,32 @@ func NewInspectorWith(cfg InspectorConfig) http.Handler {
 			return
 		}
 		t.Reg.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if t == nil {
+			return
+		}
+		t.Reg.WritePrometheus(w, "lgv")
+	})
+
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		h := cfg.SLO.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, h)
+	})
+
+	mux.HandleFunc("/ready", func(w http.ResponseWriter, r *http.Request) {
+		h := cfg.SLO.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, h)
 	})
 
 	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {

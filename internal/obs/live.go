@@ -24,6 +24,7 @@ type LiveHub struct {
 	ring    [][]byte // recent frames, oldest first
 	ringCap int
 	seq     uint64
+	dropped uint64 // frames dropped across all subscribers, ever
 	closed  bool
 }
 
@@ -91,6 +92,7 @@ func (h *LiveHub) Publish(event string, data []byte) {
 		case ch <- frame:
 		default:
 			st.dropped++
+			h.dropped++
 		}
 	}
 	h.mu.Unlock()
@@ -132,6 +134,19 @@ func (h *LiveHub) Close() {
 		}
 	}
 	h.mu.Unlock()
+}
+
+// Dropped returns the total frames discarded because a subscriber's
+// queue was full, across all subscribers since the hub was built
+// (nil-safe). Survives unsubscribes, so it is the hub-level signal that
+// some client fell behind.
+func (h *LiveHub) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
 }
 
 // Subscribers returns the current subscriber count (nil-safe).

@@ -109,6 +109,11 @@ const (
 	MCritComputeSeconds   = "critpath_compute_seconds"   // label: host
 	MCritQueueSeconds     = "critpath_queue_seconds"     // label: up|down
 	MCritTransportSeconds = "critpath_transport_seconds" // label: up|down
+	// MSLOBreaches counts SLO rule breaches. Label: rule metric.
+	MSLOBreaches = "slo_breaches"
+	// MFlightDumps counts flight-recorder bundle dumps. Label: trigger
+	// reason.
+	MFlightDumps = "flight_dumps"
 )
 
 // Telemetry bundles a registry and a timeline and implements Sink plus
@@ -123,15 +128,16 @@ type Telemetry struct {
 	mu    sync.Mutex
 	phase string
 
-	// tee holds an optional secondary Sink (a teeBox) every emitted
-	// event is forwarded to — the live SSE hub attaches here. An atomic
-	// keeps the common no-tee path at one load, no lock.
+	// tee holds the optional secondary Sinks (a teeBox) every emitted
+	// event is forwarded to — the live SSE hub and the flight recorder
+	// attach here. An atomic keeps the common no-tee path at one load,
+	// no lock; attachment is copy-on-write under mu.
 	tee atomic.Value
 }
 
-// teeBox wraps the teed Sink so atomic.Value always stores one concrete
-// type (and can represent "detached" as a box holding nil).
-type teeBox struct{ s Sink }
+// teeBox wraps the teed Sinks so atomic.Value always stores one
+// concrete type (and can represent "detached" as a box holding nil).
+type teeBox struct{ sinks []Sink }
 
 // NewTelemetry builds an enabled telemetry sink whose timeline holds at
 // most eventCap events (<= 0 means DefaultTimelineCap).
@@ -187,17 +193,28 @@ func (t *Telemetry) Observe(name, label string, v float64) {
 }
 
 // Tee forwards every subsequently emitted event to s as well as the
-// timeline (pass nil to detach). The live SSE hub attaches here so
-// running missions stream without touching the engine. Nil-safe.
+// timeline. Multiple sinks may attach (the live SSE hub and the flight
+// recorder both do); each call appends, copy-on-write, and Tee(nil)
+// detaches all. Nil-safe.
 func (t *Telemetry) Tee(s Sink) {
 	if t == nil {
 		return
 	}
-	t.tee.Store(teeBox{s: s})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s == nil {
+		t.tee.Store(teeBox{})
+		return
+	}
+	var sinks []Sink
+	if box, ok := t.tee.Load().(teeBox); ok {
+		sinks = append(sinks, box.sinks...)
+	}
+	t.tee.Store(teeBox{sinks: append(sinks, s)})
 }
 
 // Emit implements Sink: it stamps the current phase, appends to the
-// timeline and forwards to the teed sink, if any.
+// timeline and forwards to the teed sinks, if any.
 func (t *Telemetry) Emit(ev Event) {
 	if t == nil {
 		return
@@ -206,8 +223,10 @@ func (t *Telemetry) Emit(ev Event) {
 		ev.Phase = t.Phase()
 	}
 	t.Timeline.Append(ev)
-	if box, ok := t.tee.Load().(teeBox); ok && box.s != nil {
-		box.s.Emit(ev)
+	if box, ok := t.tee.Load().(teeBox); ok {
+		for _, s := range box.sinks {
+			s.Emit(ev)
+		}
 	}
 }
 
@@ -313,6 +332,18 @@ func (t *Telemetry) Failover(now float64, misses int, detail string) {
 	t.Reg.Add(MFailovers, "", 1)
 	t.Emit(Event{Kind: KindFailover, T0: now, T1: now,
 		Value: float64(misses), Detail: detail})
+}
+
+// SLOBreach records one service-level rule opening: a timeline event
+// carrying the offending value and its limit, plus the per-metric
+// breach counter.
+func (t *Telemetry) SLOBreach(now float64, metric string, value, limit float64, detail string) {
+	if t == nil {
+		return
+	}
+	t.Reg.Add(MSLOBreaches, metric, 1)
+	t.Emit(Event{Kind: KindSLOBreach, T0: now, T1: now,
+		Node: metric, Value: value, Bandwidth: limit, Detail: detail})
 }
 
 // Reconnect records a worker link re-established after an outage of

@@ -280,8 +280,12 @@ func (r *Registry) Observe(name, label string, v float64) {
 	r.Histogram(name, label).Observe(v)
 }
 
-// Snapshot returns every metric's current state, sorted by name then
-// label, for export or assertions.
+// Snapshot returns every metric's current state, sorted by name, kind,
+// then label, for export or assertions. The kind tie-break matters
+// twice: it makes the order a total one even when a name+label exists
+// as two kinds (sort.Slice is not stable, so a two-key comparator left
+// such pairs in map-iteration order and leaked nondeterminism into
+// every export), and it keeps each Prometheus metric family contiguous.
 func (r *Registry) Snapshot() []MetricPoint {
 	r.mu.Lock()
 	type entry struct {
@@ -327,6 +331,9 @@ func (r *Registry) Snapshot() []MetricPoint {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
 		}
 		return out[i].Label < out[j].Label
 	})

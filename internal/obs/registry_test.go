@@ -162,6 +162,42 @@ func TestRegistrySnapshotSortedAndJSON(t *testing.T) {
 	}
 }
 
+// TestRegistrySnapshotTotalOrder is the regression test for the
+// comparator's kind tie-break: when the same name+label exists as two
+// metric kinds, a name+label-only sort left their relative order to
+// sort.Slice's unstable whims, so repeated snapshots (and every export
+// built on them — JSONL, /metrics.prom) could flip nondeterministically.
+func TestRegistrySnapshotTotalOrder(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Same name+label across all three kinds, plus label fan-out.
+		r.Add("dup", "same", 1)
+		r.Set("dup", "same", 2)
+		r.Observe("dup", "same", 3)
+		r.Add("dup", "other", 1)
+		r.Set("alpha", "", 7)
+		return r
+	}
+	want := build().Snapshot()
+	if len(want) != 5 {
+		t.Fatalf("snapshot has %d points, want 5: %+v", len(want), want)
+	}
+	// counter < gauge < histogram lexicographically on the kind key.
+	kinds := []string{want[1].Kind, want[2].Kind, want[3].Kind}
+	if kinds[0] != "counter" || kinds[1] != "counter" || kinds[2] != "gauge" {
+		t.Errorf("dup ordering by kind = %v", kinds)
+	}
+	for i := 0; i < 50; i++ {
+		got := build().Snapshot()
+		for j := range want {
+			if got[j].Name != want[j].Name || got[j].Kind != want[j].Kind || got[j].Label != want[j].Label {
+				t.Fatalf("iteration %d: snapshot order diverged at %d: %+v vs %+v",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestRegistryCustomBounds(t *testing.T) {
 	r := NewRegistry()
 	r.SetHistogramBounds("sz", []float64{100, 1000})

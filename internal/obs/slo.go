@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SLO engine: declarative service-level rules evaluated live, every
+// tick, over rolling windows of virtual time. The paper's practicality
+// argument is that VDP stays inside a mission-level budget while Alg. 2
+// adapts; these rules make that budget (and its siblings: energy rate,
+// command staleness, handoff flapping) a first-class runtime judgment
+// instead of an offline plot.
+//
+// Rule syntax (comma-separated in -slo specs):
+//
+//	metric<=threshold@WINDOWs   budget rule: stat over the window must
+//	                            stay <= threshold
+//	metric~factor@WINDOWs       anomaly rule: stat must stay <= factor ×
+//	                            its own EWMA baseline
+//
+// Metrics: vdp_p99 (s), energy_rate (J/s), staleness (s), handoff_rate
+// (handoffs/s). Example: "vdp_p99<=0.5@30s,energy_rate~3@20s".
+
+// SLO metric names.
+const (
+	SLOVdpP99      = "vdp_p99"
+	SLOEnergyRate  = "energy_rate"
+	SLOStaleness   = "staleness"
+	SLOHandoffRate = "handoff_rate"
+)
+
+// Rule modes.
+const (
+	SLOBudget = "budget" // stat <= Threshold
+	SLOAnom   = "ewma"   // stat <= Threshold × EWMA(stat)
+)
+
+const (
+	sloDefaultWarmup = 5.0  // s of virtual time before rules arm
+	sloSustainN      = 3    // consecutive bad samples to open a breach
+	sloClearN        = 3    // consecutive good samples to close it
+	sloEWMAAlpha     = 0.05 // baseline smoothing
+	sloHistoryCap    = 256  // bounded breach history
+)
+
+// SLORule is one parsed service-level rule.
+type SLORule struct {
+	Metric    string  `json:"metric"`
+	Mode      string  `json:"mode"`      // SLOBudget | SLOAnom
+	Threshold float64 `json:"threshold"` // limit (budget) or factor (ewma)
+	Window    float64 `json:"window"`    // seconds of rolling window
+}
+
+// String reconstructs the rule in -slo spec syntax.
+func (r SLORule) String() string {
+	op := "<="
+	if r.Mode == SLOAnom {
+		op = "~"
+	}
+	return fmt.Sprintf("%s%s%s@%ss", r.Metric, op,
+		strconv.FormatFloat(r.Threshold, 'g', -1, 64),
+		strconv.FormatFloat(r.Window, 'g', -1, 64))
+}
+
+// SLOSample is the per-tick input to the engine: current virtual time
+// plus the handful of mission stats the rule metrics derive from.
+// Energy and handoffs are cumulative; the engine differentiates them
+// over each rule's window.
+type SLOSample struct {
+	T         float64 // virtual time (s)
+	VDP       float64 // this tick's end-to-end pipeline latency (s)
+	EnergyJ   float64 // cumulative robot energy (J)
+	Staleness float64 // current command staleness (s)
+	Handoffs  int     // cumulative WAP handoff count
+}
+
+// Breach records one rule transition into the breached state.
+type Breach struct {
+	T      float64 `json:"t"`
+	Rule   string  `json:"rule"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+}
+
+// HealthStatus is the inspector's /health + /ready projection.
+type HealthStatus struct {
+	Healthy  bool     `json:"healthy"`
+	Ready    bool     `json:"ready"`
+	Samples  int64    `json:"samples"`
+	Breaches int      `json:"breaches"`
+	Open     []string `json:"open,omitempty"`
+}
+
+// sloRing is a grow-once circular buffer of (t, v) pairs. Capacity
+// doubles until the window is covered, then the steady state allocates
+// nothing.
+type sloRing struct {
+	t, v []float64
+	head int // index of oldest
+	n    int
+}
+
+func (r *sloRing) push(t, v float64) {
+	if r.n == len(r.t) {
+		grown := 2 * len(r.t)
+		if grown < 64 {
+			grown = 64
+		}
+		nt := make([]float64, grown)
+		nv := make([]float64, grown)
+		for i := 0; i < r.n; i++ {
+			nt[i] = r.t[(r.head+i)%len(r.t)]
+			nv[i] = r.v[(r.head+i)%len(r.t)]
+		}
+		r.t, r.v, r.head = nt, nv, 0
+	}
+	i := (r.head + r.n) % len(r.t)
+	r.t[i], r.v[i] = t, v
+	r.n++
+}
+
+// evict drops samples older than cutoff but always keeps the newest.
+func (r *sloRing) evict(cutoff float64) {
+	for r.n > 1 && r.t[r.head] < cutoff {
+		r.head = (r.head + 1) % len(r.t)
+		r.n--
+	}
+}
+
+func (r *sloRing) oldest() (float64, float64) { return r.t[r.head], r.v[r.head] }
+
+func (r *sloRing) newest() (float64, float64) {
+	i := (r.head + r.n - 1) % len(r.t)
+	return r.t[i], r.v[i]
+}
+
+type sloRuleState struct {
+	rule SLORule
+	ring sloRing
+	ewma float64
+	seen bool // ewma initialized
+	bad  int  // consecutive violating samples
+	good int  // consecutive ok samples while open
+	open bool
+}
+
+// SLOEngine evaluates a rule set against per-tick samples. The zero
+// value is unusable; construct with NewSLOEngine. A nil *SLOEngine is a
+// valid no-op (Observe returns nil, Health reports healthy), matching
+// the rest of the obs plane.
+type SLOEngine struct {
+	mu      sync.Mutex
+	rules   []sloRuleState
+	warmup  float64
+	samples int64
+	history []Breach
+	scratch []float64 // reused p99 sort buffer
+}
+
+// NewSLOEngine builds an engine over the given rules. Rules arm after
+// sloDefaultWarmup seconds of virtual time so start-of-mission
+// transients (staleness measured from t=0, empty windows) don't fire.
+func NewSLOEngine(rules []SLORule) *SLOEngine {
+	e := &SLOEngine{warmup: sloDefaultWarmup}
+	for _, r := range rules {
+		e.rules = append(e.rules, sloRuleState{rule: r})
+	}
+	return e
+}
+
+// SetWarmup overrides the arming delay (seconds of virtual time).
+func (e *SLOEngine) SetWarmup(sec float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.warmup = sec
+	e.mu.Unlock()
+}
+
+// Rules returns a copy of the configured rules.
+func (e *SLOEngine) Rules() []SLORule {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLORule, len(e.rules))
+	for i := range e.rules {
+		out[i] = e.rules[i].rule
+	}
+	return out
+}
+
+// Observe feeds one tick sample and returns the breaches (closed→open
+// transitions) it caused, or nil — the common case — with zero
+// allocations once the windows are warm.
+func (e *SLOEngine) Observe(s SLOSample) []Breach {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.samples++
+	var out []Breach
+	for i := range e.rules {
+		st := &e.rules[i]
+		stat, ok := e.eval(st, s)
+		if !ok {
+			continue
+		}
+		limit := st.rule.Threshold
+		if st.rule.Mode == SLOAnom {
+			if !st.seen {
+				st.ewma, st.seen = stat, true
+				continue
+			}
+			limit = st.rule.Threshold * st.ewma
+			st.ewma += sloEWMAAlpha * (stat - st.ewma)
+		}
+		violating := stat > limit && s.T >= e.warmup
+		if violating {
+			st.bad++
+			st.good = 0
+			if !st.open && st.bad >= sloSustainN {
+				st.open = true
+				b := Breach{T: s.T, Rule: st.rule.String(), Metric: st.rule.Metric, Value: stat, Limit: limit}
+				out = append(out, b)
+				if len(e.history) < sloHistoryCap {
+					e.history = append(e.history, b)
+				}
+			}
+		} else {
+			st.bad = 0
+			if st.open {
+				st.good++
+				if st.good >= sloClearN {
+					st.open = false
+					st.good = 0
+				}
+			}
+		}
+	}
+	return out
+}
+
+// eval pushes the sample into the rule's window and computes its stat.
+// ok is false while the window lacks enough data for the metric.
+func (e *SLOEngine) eval(st *sloRuleState, s SLOSample) (stat float64, ok bool) {
+	r := &st.ring
+	switch st.rule.Metric {
+	case SLOVdpP99:
+		r.push(s.T, s.VDP)
+		r.evict(s.T - st.rule.Window)
+		if cap(e.scratch) < r.n {
+			e.scratch = make([]float64, 0, 2*r.n)
+		}
+		e.scratch = e.scratch[:r.n]
+		for i := 0; i < r.n; i++ {
+			e.scratch[i] = r.v[(r.head+i)%len(r.v)]
+		}
+		sort.Float64s(e.scratch)
+		// nearest-rank p99
+		idx := (99*r.n + 99) / 100
+		if idx > r.n {
+			idx = r.n
+		}
+		return e.scratch[idx-1], true
+	case SLOEnergyRate:
+		r.push(s.T, s.EnergyJ)
+		r.evict(s.T - st.rule.Window)
+		t0, v0 := r.oldest()
+		t1, v1 := r.newest()
+		if t1 <= t0 {
+			return 0, false
+		}
+		return (v1 - v0) / (t1 - t0), true
+	case SLOStaleness:
+		return s.Staleness, true
+	case SLOHandoffRate:
+		r.push(s.T, float64(s.Handoffs))
+		r.evict(s.T - st.rule.Window)
+		t0, v0 := r.oldest()
+		t1, v1 := r.newest()
+		if t1 <= t0 {
+			return 0, false
+		}
+		return (v1 - v0) / (t1 - t0), true
+	}
+	return 0, false
+}
+
+// Breaches returns the bounded breach history.
+func (e *SLOEngine) Breaches() []Breach {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Breach, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Health reports the engine's current judgment. Healthy means no rule
+// is currently open; Ready additionally requires at least one observed
+// sample (a mission that never started is unhealthy to route to). A nil
+// engine is both healthy and ready: no rules, nothing to violate.
+func (e *SLOEngine) Health() HealthStatus {
+	if e == nil {
+		return HealthStatus{Healthy: true, Ready: true}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := HealthStatus{Healthy: true, Samples: e.samples, Breaches: len(e.history)}
+	for i := range e.rules {
+		if e.rules[i].open {
+			h.Healthy = false
+			h.Open = append(h.Open, e.rules[i].rule.String())
+		}
+	}
+	h.Ready = h.Healthy && e.samples > 0
+	return h
+}
+
+// DefaultSLORules is the rule set behind `-slo default`: a VDP p99
+// budget at the paper's safe-stop deadline scale, an EWMA anomaly
+// detector on energy draw, a staleness ceiling just under the watchdog
+// zone, and a handoff flap-rate bound.
+func DefaultSLORules() []SLORule {
+	return []SLORule{
+		{Metric: SLOVdpP99, Mode: SLOBudget, Threshold: 0.5, Window: 30},
+		{Metric: SLOEnergyRate, Mode: SLOAnom, Threshold: 3.0, Window: 20},
+		{Metric: SLOStaleness, Mode: SLOBudget, Threshold: 1.0, Window: 5},
+		{Metric: SLOHandoffRate, Mode: SLOBudget, Threshold: 0.5, Window: 30},
+	}
+}
+
+// ParseSLORules parses a comma-separated -slo spec ("default" for
+// DefaultSLORules).
+func ParseSLORules(spec string) ([]SLORule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("empty SLO spec")
+	}
+	if spec == "default" {
+		return DefaultSLORules(), nil
+	}
+	var out []SLORule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseSLORule(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty SLO spec")
+	}
+	return out, nil
+}
+
+func parseSLORule(s string) (SLORule, error) {
+	var r SLORule
+	body, win, ok := strings.Cut(s, "@")
+	if !ok {
+		return r, fmt.Errorf("rule %q: missing @window", s)
+	}
+	win = strings.TrimSuffix(strings.TrimSpace(win), "s")
+	w, err := strconv.ParseFloat(win, 64)
+	if err != nil || w <= 0 {
+		return r, fmt.Errorf("rule %q: bad window %q", s, win)
+	}
+	r.Window = w
+	var metric, thr string
+	switch {
+	case strings.Contains(body, "<="):
+		r.Mode = SLOBudget
+		metric, thr, _ = strings.Cut(body, "<=")
+	case strings.Contains(body, "~"):
+		r.Mode = SLOAnom
+		metric, thr, _ = strings.Cut(body, "~")
+	default:
+		return r, fmt.Errorf("rule %q: want metric<=threshold or metric~factor", s)
+	}
+	r.Metric = strings.TrimSpace(metric)
+	switch r.Metric {
+	case SLOVdpP99, SLOEnergyRate, SLOStaleness, SLOHandoffRate:
+	default:
+		return r, fmt.Errorf("rule %q: unknown metric %q", s, r.Metric)
+	}
+	r.Threshold, err = strconv.ParseFloat(strings.TrimSpace(thr), 64)
+	if err != nil {
+		return r, fmt.Errorf("rule %q: bad threshold %q", s, thr)
+	}
+	if r.Mode == SLOAnom && r.Threshold <= 0 {
+		return r, fmt.Errorf("rule %q: EWMA factor must be > 0", s)
+	}
+	return r, nil
+}

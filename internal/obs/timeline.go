@@ -38,6 +38,10 @@ const (
 	// KindHandoff marks the link roaming between access points; T0..T1
 	// covers the re-association signal dip.
 	KindHandoff Kind = "handoff"
+	// KindSLOBreach marks a service-level rule opening: Node = rule
+	// metric, Value = offending stat, Bandwidth = the limit it crossed,
+	// Detail = the full rule spec.
+	KindSLOBreach Kind = "slo_breach"
 )
 
 // Event is one structured timeline record. T0/T1 are virtual-time start

@@ -1,0 +1,126 @@
+package simtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"lgvoffload/internal/obs"
+)
+
+// checkFlightBundle is the black-box invariant: attaching the flight
+// recorder + SLO engine must be non-invasive (the observed re-run is
+// byte-identical to the bare primary), a forced breach must freeze a
+// structurally valid bundle that contains the breach tick itself, and
+// the whole capture must be deterministic — a second observed run
+// produces the byte-identical bundle. Costs two extra full runs.
+//
+// The forced rule is energy_rate<=0@10s: idle power accrues every
+// physics step on every mission (local or offloaded), so the windowed
+// energy rate is strictly positive and the rule deterministically opens
+// a few ticks after the engine's warmup — unlike a VDP-based rule,
+// which never fires on all-local missions where pipeline latency is 0.
+const flightForcedRule = "energy_rate<=0@10s"
+
+func checkFlightBundle(o *Outcome) error {
+	rules, err := obs.ParseSLORules(flightForcedRule)
+	if err != nil {
+		return fmt.Errorf("forced rule: %w", err)
+	}
+	observed := func() (*Outcome, *obs.FlightRecorder, *obs.SLOEngine, error) {
+		// Near-zero dump spacing and a high dump cap so an early watchdog
+		// or failover dump can never rate-limit the breach dump away.
+		fr := obs.NewFlightRecorder(obs.FlightConfig{MinSpacing: 1e-9, MaxDumps: 1024})
+		slo := obs.NewSLOEngine(rules)
+		o2, err := RunScenarioObserved(o.Scenario, fr, slo)
+		return o2, fr, slo, err
+	}
+
+	o1, fr1, slo1, err := observed()
+	if err != nil {
+		return fmt.Errorf("observed re-run errored: %w", err)
+	}
+	if !bytes.Equal(o.Canon, o1.Canon) {
+		return fmt.Errorf("flight recorder/SLO perturbed the mission: %s", firstDiff(o.Canon, o1.Canon))
+	}
+
+	breaches := slo1.Breaches()
+	if len(breaches) == 0 {
+		// The rule arms after the engine warmup plus the sustain count; a
+		// mission that ends before then legitimately never breaches.
+		if o1.Res.TotalTime < 10 {
+			return ErrSkip
+		}
+		return fmt.Errorf("mission ran %.1fs but the always-breaching rule %q never opened",
+			o1.Res.TotalTime, flightForcedRule)
+	}
+	breach := breaches[0]
+
+	b1 := bundleByReason(fr1, "slo:"+obs.SLOEnergyRate)
+	if b1 == nil {
+		return fmt.Errorf("breach at t=%.3f produced no slo:%s bundle (%d bundles total)",
+			breach.T, obs.SLOEnergyRate, len(fr1.Bundles()))
+	}
+	if _, err := obs.VerifyFlightBundle(b1.Data); err != nil {
+		return fmt.Errorf("bundle fails verification: %w", err)
+	}
+	found, err := bundleHasFrameAt(b1.Data, breach.T)
+	if err != nil {
+		return fmt.Errorf("bundle parse: %w", err)
+	}
+	if !found {
+		return fmt.Errorf("bundle (reason %q, t=%.3f) is missing the breach tick t=%.3f",
+			b1.Reason, b1.T, breach.T)
+	}
+
+	// Determinism: the identical observed run must freeze the identical
+	// bytes. No wall time, no map order, no rng may leak into a bundle.
+	_, fr2, _, err := observed()
+	if err != nil {
+		return fmt.Errorf("second observed run errored: %w", err)
+	}
+	b2 := bundleByReason(fr2, "slo:"+obs.SLOEnergyRate)
+	if b2 == nil {
+		return fmt.Errorf("second run produced no slo:%s bundle", obs.SLOEnergyRate)
+	}
+	if !bytes.Equal(b1.Data, b2.Data) {
+		return fmt.Errorf("flight bundle is not deterministic: %s", firstDiff(b1.Data, b2.Data))
+	}
+	return nil
+}
+
+// bundleByReason returns the recorder's first bundle with the given
+// trigger reason, or nil.
+func bundleByReason(fr *obs.FlightRecorder, reason string) *obs.FlightBundle {
+	for _, b := range fr.Bundles() {
+		if b.Reason == reason {
+			return b
+		}
+	}
+	return nil
+}
+
+// bundleHasFrameAt reports whether the bundle's JSONL body contains a
+// frame at exactly virtual time t.
+func bundleHasFrameAt(data []byte, t float64) (bool, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		if first {
+			first = false // header line
+			continue
+		}
+		var row struct {
+			Frame *obs.FlightFrame `json:"frame"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return false, err
+		}
+		if row.Frame != nil && row.Frame.T == t {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
+}

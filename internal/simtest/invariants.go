@@ -94,6 +94,12 @@ func Invariants() []Invariant {
 			Check:     checkAdversarialReplay,
 		},
 		{
+			Name:      "flight-bundle",
+			Desc:      "a breach-triggered flight bundle is non-invasive, contains the breach tick, and replays byte-identically",
+			ExtraRuns: 2,
+			Check:     checkFlightBundle,
+		},
+		{
 			Name:      "matrix-determinism",
 			Desc:      "Results are byte-identical across kernel threads {1,2,4,8} × {block,interleaved}",
 			ExtraRuns: 8,

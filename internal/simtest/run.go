@@ -10,6 +10,7 @@ import (
 	"lgvoffload/internal/core"
 	"lgvoffload/internal/energy"
 	"lgvoffload/internal/geom"
+	"lgvoffload/internal/obs"
 	"lgvoffload/internal/spans"
 	"lgvoffload/internal/store"
 )
@@ -50,10 +51,29 @@ type Outcome struct {
 // safety command tap attached.
 func RunScenario(sc Scenario) (*Outcome, error) { return runScenario(sc, nil) }
 
+// RunScenarioObserved is RunScenario with a flight recorder and/or SLO
+// engine attached — the instrumented rerun behind the flight-bundle
+// invariant and advhunt's worst-case capture. Both may be nil.
+func RunScenarioObserved(sc Scenario, fr *obs.FlightRecorder, slo *obs.SLOEngine) (*Outcome, error) {
+	return runScenarioOpts(sc, runOpts{fr: fr, slo: slo})
+}
+
+// runOpts carries the optional observers a scenario run can attach; the
+// zero value is a bare run.
+type runOpts struct {
+	rec *store.Recorder
+	fr  *obs.FlightRecorder
+	slo *obs.SLOEngine
+}
+
 // runScenario is RunScenario with an optional mission recorder attached
 // (the store-roundtrip invariant uses it to prove recording is
 // non-invasive). The caller owns rec: Finish/Abandon it afterwards.
 func runScenario(sc Scenario, rec *store.Recorder) (*Outcome, error) {
+	return runScenarioOpts(sc, runOpts{rec: rec})
+}
+
+func runScenarioOpts(sc Scenario, opts runOpts) (*Outcome, error) {
 	cfg, err := sc.Mission()
 	if err != nil {
 		return nil, err
@@ -68,7 +88,9 @@ func runScenario(sc Scenario, rec *store.Recorder) (*Outcome, error) {
 	tracer := spans.NewTracer(int(maxT/0.2)*32 + 4096)
 	cfg.Tracer = tracer
 	cfg.RecordTrace = true
-	cfg.Store = rec
+	cfg.Store = opts.rec
+	cfg.FlightRec = opts.fr
+	cfg.SLO = opts.slo
 
 	out := &Outcome{Scenario: sc}
 	cfg.CmdTap = func(now float64, cmd geom.Twist, stalled bool) {

@@ -117,6 +117,26 @@ type (
 	// InspectorConfig configures NewInspectorWith (the dashboard-capable
 	// HTTP inspector).
 	InspectorConfig = obs.InspectorConfig
+	// FlightRecorder is the always-on mission black box: assign one to
+	// MissionConfig.FlightRec to capture per-tick frames and dump JSONL
+	// bundles on watchdog stops, failovers, SLO breaches and panics.
+	FlightRecorder = obs.FlightRecorder
+	// FlightConfig sizes a FlightRecorder (ring capacities, dump window,
+	// output directory, rate limits).
+	FlightConfig = obs.FlightConfig
+	// FlightFrame is one per-tick flight-recorder snapshot.
+	FlightFrame = obs.FlightFrame
+	// FlightBundle is one frozen flight-recorder dump.
+	FlightBundle = obs.FlightBundle
+	// SLOEngine judges missions live against declarative service-level
+	// rules; assign one to MissionConfig.SLO and InspectorConfig.SLO.
+	SLOEngine = obs.SLOEngine
+	// SLORule is one parsed service-level rule.
+	SLORule = obs.SLORule
+	// SLOBreach records one rule transition into the breached state.
+	SLOBreach = obs.Breach
+	// SLOHealth is the /health + /ready projection of an SLOEngine.
+	SLOHealth = obs.HealthStatus
 )
 
 // EnergyComponents lists the Eq. 1a components in presentation order.
@@ -214,6 +234,29 @@ func StoreSummary(res *Result) MissionSummary { return core.StoreSummary(res) }
 // NewLiveHub builds an SSE broadcast hub whose replay ring holds
 // replayCap recent frames (<= 0 means the default).
 func NewLiveHub(replayCap int) *LiveHub { return obs.NewLiveHub(replayCap) }
+
+// NewFlightRecorder preallocates a mission flight recorder; zero-value
+// config fields take the defaults (4096 frames, 1024 events, 30 s dump
+// window, 16 dumps at least 5 virtual seconds apart).
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return obs.NewFlightRecorder(cfg) }
+
+// NewSLOEngine builds a live SLO judge over the given rules.
+func NewSLOEngine(rules []SLORule) *SLOEngine { return obs.NewSLOEngine(rules) }
+
+// ParseSLORules parses a comma-separated rule spec such as
+// "vdp_p99<=0.5@30s,energy_rate~3@20s" ("default" for DefaultSLORules).
+func ParseSLORules(spec string) ([]SLORule, error) { return obs.ParseSLORules(spec) }
+
+// DefaultSLORules is the stock rule set behind `-slo default`.
+func DefaultSLORules() []SLORule { return obs.DefaultSLORules() }
+
+// VerifyFlightBundle structurally validates a flight-recorder bundle
+// (version tag, header/body agreement, frame ordering and windowing).
+func VerifyFlightBundle(data []byte) (FlightBundle, error) { return obs.VerifyFlightBundle(data) }
+
+// ValidatePrometheusText checks that data parses as Prometheus text
+// exposition format and returns the sample count.
+func ValidatePrometheusText(data []byte) (int, error) { return obs.ValidatePrometheusText(data) }
 
 // Deployment constructors.
 var (
