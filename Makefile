@@ -30,21 +30,27 @@ chaos:
 # Benchmark trajectory: enforce the steady-state allocation bounds (the
 # TestAlloc* tests are !race-tagged — the race detector's allocation
 # instrumentation would distort them), then run the full benchmark sweep
-# and record ns/op, B/op, allocs/op into BENCH_PR4.json's `current`
+# and record ns/op, B/op, allocs/op into BENCH_PR9.json's `current`
 # section (the pinned `baseline` section is preserved).
 bench:
 	go test -run 'TestAlloc' -count=1 .
-	go run ./cmd/benchjson -out BENCH_PR4.json
+	go run ./cmd/benchjson -out BENCH_PR9.json
 
 # Benchmark regression gate: re-run the sweep and fail if any benchmark
 # regressed by more than BENCH_TOL (relative ns/op or allocs/op) against
-# the committed numbers. Runs as a non-gating CI job — benchmark noise
-# on shared runners makes a hard gate flaky, but the report still lands
-# in every run's log.
-BENCH_TOL ?= 0.05
+# the committed numbers. This is a gating CI job. The default tolerance
+# is deliberately generous — the end-to-end mission benches jitter ±10%
+# run-to-run on a loaded host while real regressions (the kind this PR
+# hunted) move 2-4x — so red means regression, not weather. Tighten for
+# a quiet box (`make bench-gate BENCH_TOL=0.05`) or loosen for a very
+# noisy one (`BENCH_TOL=0.5`). BENCH_REPORT (optional) also writes the
+# comparison as JSON for the CI artifact.
+BENCH_TOL ?= 0.25
+BENCH_REPORT ?=
 bench-gate:
 	go test -run 'TestAlloc' -count=1 .
-	go run ./cmd/benchjson -gate BENCH_PR4.json -tol $(BENCH_TOL)
+	go run ./cmd/benchjson -gate BENCH_PR9.json -tol $(BENCH_TOL) \
+		$(if $(BENCH_REPORT),-report $(BENCH_REPORT))
 
 reproduce:
 	go run ./cmd/reproduce -exp all
@@ -80,6 +86,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
 	go test -run '^$$' -fuzz FuzzRoundtrip -fuzztime 10s ./internal/wire
 	go test -run '^$$' -fuzz FuzzParseText -fuzztime 10s ./internal/grid
+	go test -run '^$$' -fuzz FuzzIntegrateBeamFixed -fuzztime 10s ./internal/grid
 	go test -run '^$$' -fuzz FuzzHeaderDecode -fuzztime 30s ./internal/msg
 
 # Dashboard smoke: short mission with the mission store and HTTP

@@ -86,6 +86,7 @@ func benchSLAM(b *testing.B, particles, threads int) {
 }
 
 func BenchmarkFig9SLAM_P10_T1(b *testing.B)  { benchSLAM(b, 10, 1) }
+func BenchmarkFig9SLAM_P10_T4(b *testing.B)  { benchSLAM(b, 10, 4) }
 func BenchmarkFig9SLAM_P30_T1(b *testing.B)  { benchSLAM(b, 30, 1) }
 func BenchmarkFig9SLAM_P30_T4(b *testing.B)  { benchSLAM(b, 30, 4) }
 func BenchmarkFig9SLAM_P30_T8(b *testing.B)  { benchSLAM(b, 30, 8) }

@@ -29,6 +29,14 @@ PASS
 	}
 }
 
+func joinLines(entries []GateEntry) string {
+	var lines []string
+	for _, e := range entries {
+		lines = append(lines, e.line())
+	}
+	return strings.Join(lines, "\n")
+}
+
 func TestGateCompare(t *testing.T) {
 	ref := []Result{
 		{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 10},
@@ -41,9 +49,9 @@ func TestGateCompare(t *testing.T) {
 			{Name: "BenchmarkA", NsPerOp: 1040, AllocsOp: 10}, // +4% < 5%
 			{Name: "BenchmarkZeroAlloc", NsPerOp: 104, AllocsOp: 0},
 		}
-		report, regs := gateCompare(ref, cur, 0.05)
+		entries, regs := gateCompare(ref, cur, 0.05)
 		if regs != 0 {
-			t.Fatalf("regressions = %d, want 0; report:\n%s", regs, strings.Join(report, "\n"))
+			t.Fatalf("regressions = %d, want 0; report:\n%s", regs, joinLines(entries))
 		}
 	})
 
@@ -56,10 +64,20 @@ func TestGateCompare(t *testing.T) {
 	})
 
 	t.Run("alloc regression fails", func(t *testing.T) {
-		cur := []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 12}} // +20%
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 13}} // +30%, past slack
 		_, regs := gateCompare(ref, cur, 0.05)
 		if regs != 1 {
 			t.Fatalf("regressions = %d, want 1", regs)
+		}
+	})
+
+	t.Run("small alloc jitter is tolerated", func(t *testing.T) {
+		// +2 allocs on a small count is warm-up jitter, not a regression,
+		// even though it is +20% relative.
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 12}}
+		_, regs := gateCompare(ref, cur, 0.05)
+		if regs != 0 {
+			t.Fatalf("regressions = %d, want 0", regs)
 		}
 	})
 
@@ -74,11 +92,11 @@ func TestGateCompare(t *testing.T) {
 
 	t.Run("new and missing benchmarks never fail", func(t *testing.T) {
 		cur := []Result{{Name: "BenchmarkBrandNew", NsPerOp: 99999, AllocsOp: 999}}
-		report, regs := gateCompare(ref, cur, 0.05)
+		entries, regs := gateCompare(ref, cur, 0.05)
 		if regs != 0 {
 			t.Fatalf("regressions = %d, want 0", regs)
 		}
-		joined := strings.Join(report, "\n")
+		joined := joinLines(entries)
 		if !strings.Contains(joined, "new") || !strings.Contains(joined, "BenchmarkBrandNew") {
 			t.Errorf("report missing 'new' entry:\n%s", joined)
 		}
@@ -89,9 +107,15 @@ func TestGateCompare(t *testing.T) {
 
 	t.Run("faster is never a regression", func(t *testing.T) {
 		cur := []Result{{Name: "BenchmarkA", NsPerOp: 500, AllocsOp: 5}}
-		_, regs := gateCompare(ref, cur, 0.05)
+		entries, regs := gateCompare(ref, cur, 0.05)
 		if regs != 0 {
 			t.Fatalf("regressions = %d, want 0", regs)
+		}
+		if entries[0].Ratio != 0.5 {
+			t.Errorf("ratio = %v, want 0.5", entries[0].Ratio)
+		}
+		if entries[0].Verdict != "ok" {
+			t.Errorf("verdict = %q, want ok", entries[0].Verdict)
 		}
 	})
 }

@@ -70,6 +70,18 @@ type AMCL struct {
 	dist      []float64 // distance transform of the static map
 	particles []particle
 	maxRange  float64
+
+	// Measurement-model caches, the same treatment as the grid package's
+	// logistic LUT: the static map's per-cell log likelihood
+	// log(z_hit·N(d;0,σ) + z_rand/z_max) precomputed once per max-range
+	// value (distance transform and σ never change), so a beam probe is
+	// an array load instead of an Exp and a Log; plus the per-scan trig
+	// table and a reusable log-weight scratch.
+	lhood    []float64
+	lhoodMax float64 // max range the field was built for
+	oobLW    float64 // per-beam log likelihood outside the map
+	tab      sensor.Table
+	logws    []float64
 }
 
 // New builds the filter over a known static map.
@@ -131,6 +143,10 @@ func (a *AMCL) Update(odomDelta geom.Pose, scan *sensor.Scan) UpdateStats {
 		return st
 	}
 	a.maxRange = scan.MaxRange
+	a.tab.Fill(scan)
+	if a.lhood == nil || a.lhoodMax != scan.MaxRange {
+		a.buildLikelihoodField(scan.MaxRange)
+	}
 
 	// Motion update.
 	trans := odomDelta.Pos.Norm()
@@ -145,9 +161,12 @@ func (a *AMCL) Update(odomDelta geom.Pose, scan *sensor.Scan) UpdateStats {
 	}
 
 	// Measurement update via the likelihood field.
-	logws := make([]float64, len(a.particles))
+	if cap(a.logws) < len(a.particles) {
+		a.logws = make([]float64, len(a.particles))
+	}
+	logws := a.logws[:len(a.particles)]
 	for i := range a.particles {
-		lw, ops := a.beamLikelihood(a.particles[i].pose, scan)
+		lw, ops := a.beamLikelihood(a.particles[i].pose)
 		logws[i] = lw
 		st.BeamOps += ops
 	}
@@ -188,29 +207,49 @@ func (a *AMCL) Update(odomDelta geom.Pose, scan *sensor.Scan) UpdateStats {
 	return st
 }
 
+// buildLikelihoodField precomputes the per-cell log measurement
+// likelihood log(z_hit·N(d;0,σ) + z_rand/z_max) over the static map's
+// distance transform, plus the out-of-bounds constant. Everything in the
+// expression is fixed for a given max range, so per-beam scoring reduces
+// to an array load — the Exp and Log run once per cell here instead of
+// once per beam per particle per update.
+func (a *AMCL) buildLikelihoodField(maxRange float64) {
+	if cap(a.lhood) < len(a.dist) {
+		a.lhood = make([]float64, len(a.dist))
+	}
+	a.lhood = a.lhood[:len(a.dist)]
+	norm := 1 / (a.cfg.SigmaHit * math.Sqrt(2*math.Pi))
+	floor := a.cfg.ZRand / math.Max(maxRange, 0.1)
+	logP := func(d float64) float64 {
+		return math.Log(a.cfg.ZHit*norm*math.Exp(-d*d/(2*a.cfg.SigmaHit*a.cfg.SigmaHit)) + floor)
+	}
+	for i, d := range a.dist {
+		a.lhood[i] = logP(d)
+	}
+	a.oobLW = logP(2 * a.cfg.SigmaHit * 5) // far outside: strongly unlikely
+	a.lhoodMax = maxRange
+}
+
 // beamLikelihood scores a pose: Σ log(z_hit·N(d;0,σ) + z_rand/z_max) over
 // subsampled hit beams, where d is the likelihood-field distance at the
-// beam endpoint.
-func (a *AMCL) beamLikelihood(pose geom.Pose, scan *sensor.Scan) (float64, int) {
+// beam endpoint. Endpoints come from the per-scan trig table (one Sincos
+// for the pose heading) and the log term from the precomputed field.
+func (a *AMCL) beamLikelihood(pose geom.Pose) (float64, int) {
 	lw := 0.0
 	ops := 0
-	norm := 1 / (a.cfg.SigmaHit * math.Sqrt(2*math.Pi))
-	floor := a.cfg.ZRand / math.Max(scan.MaxRange, 0.1)
-	for i := 0; i < scan.NumBeams(); i += a.cfg.BeamSkip {
-		if !scan.IsHit(i) {
+	tab := &a.tab
+	sinT, cosT := math.Sincos(pose.Theta)
+	for i := 0; i < tab.N(); i += a.cfg.BeamSkip {
+		if !tab.Hit[i] {
 			continue
 		}
-		end := scan.Endpoint(pose, i)
-		cell := a.m.WorldToCell(end)
+		cell := a.m.WorldToCell(tab.Endpoint(pose.Pos, sinT, cosT, i))
 		ops++
-		var d float64
 		if a.m.InBounds(cell) {
-			d = a.dist[cell.Y*a.m.Width+cell.X]
+			lw += a.lhood[cell.Y*a.m.Width+cell.X]
 		} else {
-			d = 2 * a.cfg.SigmaHit * 5 // far outside: strongly unlikely
+			lw += a.oobLW
 		}
-		p := a.cfg.ZHit*norm*math.Exp(-d*d/(2*a.cfg.SigmaHit*a.cfg.SigmaHit)) + floor
-		lw += math.Log(p)
 	}
 	return lw, ops
 }

@@ -1,0 +1,217 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lgvoffload/internal/geom"
+)
+
+// TestQuantizeRoundTrip pins the fixed-point contract: any log-odds value
+// in the representable range survives a Quantize/Dequantize round trip
+// within half a quantum (the rounding bound), and quantization is exact
+// on quantum multiples.
+func TestQuantizeRoundTrip(t *testing.T) {
+	const half = 0.5 / QuantScale
+	f := func(raw int16) bool {
+		// Map the int16 onto the representable log-odds range ±quantMax/QuantScale.
+		l := float64(raw) / 32768.0 * (float64(quantMax) / QuantScale)
+		back := Dequantize(Quantize(l))
+		return math.Abs(back-l) <= half+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Quantum multiples are exact.
+	for _, q := range []int16{0, 1, -1, 4096, -4096, quantMax, -quantMax} {
+		if Quantize(Dequantize(q)) != q {
+			t.Errorf("quantum multiple %d did not round-trip", q)
+		}
+	}
+}
+
+// TestQuantizeSaturation checks values beyond the representable range
+// clamp symmetrically instead of wrapping.
+func TestQuantizeSaturation(t *testing.T) {
+	for _, tc := range []struct {
+		l    float64
+		want int16
+	}{
+		{8.0, quantMax},
+		{-8.0, -quantMax},
+		{1e18, quantMax},
+		{-1e18, -quantMax},
+		{math.Inf(1), quantMax},
+		{math.Inf(-1), -quantMax},
+		{float64(quantMax) / QuantScale, quantMax}, // exactly representable edge
+	} {
+		if got := Quantize(tc.l); got != tc.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tc.l, got, tc.want)
+		}
+	}
+}
+
+// TestLogisticTableDefinition checks the lookup tables against their
+// defining expressions, including the exact neutral entries the
+// branch-free matcher relies on.
+func TestLogisticTableDefinition(t *testing.T) {
+	if Logistic(0) != 0.5 {
+		t.Errorf("Logistic(0) = %v, want exactly 0.5", Logistic(0))
+	}
+	if Score(0) != 0.0 {
+		t.Errorf("Score(0) = %v, want exactly 0.0", Score(0))
+	}
+	for _, q := range []int16{1, -1, 100, -100, 4096, -4096, 16384, quantMax, -quantMax} {
+		want := 1 / (1 + math.Exp(-Dequantize(q)))
+		if got := Logistic(q); got != want {
+			t.Errorf("Logistic(%d) = %v, want %v", q, got, want)
+		}
+		if got, want := Score(q), 2*Logistic(q)-1; got != want {
+			t.Errorf("Score(%d) = %v, want %v", q, got, want)
+		}
+	}
+	// Monotone in q (a logistic must be).
+	prev := math.Inf(-1)
+	for q := -quantMax; q <= quantMax; q += 257 {
+		p := Logistic(int16(q))
+		if p < prev {
+			t.Fatalf("Logistic not monotone at q=%d", q)
+		}
+		prev = p
+	}
+}
+
+// floatRefGrid is a plain float64 log-odds grid implementing the same
+// beam update rule as LogOdds, used as the reference the fixed-point
+// implementation is checked against.
+type floatRefGrid struct {
+	g *LogOdds
+	l []float64
+}
+
+func (r *floatRefGrid) integrate(from, end geom.Vec2, hit bool) {
+	a := r.g.WorldToCell(from)
+	b := r.g.WorldToCell(end)
+	geom.Bresenham(a, b, func(c geom.Cell) bool {
+		if !r.g.InBounds(c) {
+			return false
+		}
+		i := c.Y*r.g.Width + c.X
+		if c == b {
+			if hit {
+				r.l[i] = math.Min(r.l[i]+r.g.LOcc, r.g.LMax)
+			}
+			return false
+		}
+		r.l[i] = math.Max(r.l[i]+r.g.LFree, r.g.LMin)
+		return true
+	})
+}
+
+// TestIntegrateBeamMatchesFloatReference integrates a realistic workload
+// of beams through both the fixed-point grid and a float64 reference and
+// bounds the divergence: per-observation quantization error is at most
+// half a quantum, and the clamp bounds keep the accumulated error well
+// under one quantum per observation.
+func TestIntegrateBeamMatchesFloatReference(t *testing.T) {
+	g := NewLogOdds(80, 80, 0.05, geom.V(0, 0))
+	ref := &floatRefGrid{g: g, l: make([]float64, g.Width*g.Height)}
+	from := geom.V(2.0, 2.0)
+	const beams = 180
+	const sweeps = 12
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < beams; i++ {
+			theta := -math.Pi + 2*math.Pi*float64(i)/beams
+			dist := 0.4 + 1.4*math.Abs(math.Sin(3*theta+float64(s)))
+			hit := i%7 != 0
+			end := from.Add(geom.V(dist, 0).Rotate(theta))
+			g.IntegrateBeamTo(from, end, hit)
+			ref.integrate(from, end, hit)
+		}
+	}
+	// Each cell saw at most sweeps*k observations; allow one quantum of
+	// drift per observation plus the clamp-boundary rounding.
+	tol := float64(sweeps*beams) / QuantScale
+	worst := 0.0
+	for y := 0; y < g.Height; y++ {
+		for x := 0; x < g.Width; x++ {
+			c := geom.Cell{X: x, Y: y}
+			d := math.Abs(g.At(c) - ref.l[y*g.Width+x])
+			if d > worst {
+				worst = d
+			}
+			if d > tol {
+				t.Fatalf("cell (%d,%d): fixed=%v ref=%v diff=%v > tol %v",
+					x, y, g.At(c), ref.l[y*g.Width+x], d, tol)
+			}
+			// Touched must agree exactly: a cell the reference saw is
+			// non-zero in fixed point too (increments are ≥ many quanta).
+			if (ref.l[y*g.Width+x] != 0) != g.Touched(c) {
+				t.Fatalf("cell (%d,%d): touched mismatch (ref=%v fixed q=%d)",
+					x, y, ref.l[y*g.Width+x], g.AtQ(c))
+			}
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("worst divergence %v exceeds 0.01 log-odds", worst)
+	}
+}
+
+// TestIntegrateBeamClampSaturation drives cells against both clamp
+// bounds, including bounds beyond the representable fixed-point range,
+// which must saturate at the int16 limits instead of wrapping.
+func TestIntegrateBeamClampSaturation(t *testing.T) {
+	g := NewLogOdds(20, 20, 0.1, geom.V(0, 0))
+	from := geom.V(0.15, 1.05)
+	for i := 0; i < 500; i++ {
+		g.IntegrateBeam(from, 0, 1.0, true)
+	}
+	endCell := g.WorldToCell(from.Add(geom.V(1, 0)))
+	if got := g.At(endCell); got != Dequantize(Quantize(g.LMax)) {
+		t.Errorf("occupied clamp: At = %v, want %v", got, Dequantize(Quantize(g.LMax)))
+	}
+	midCell := g.WorldToCell(from.Add(geom.V(0.5, 0)))
+	if got := g.At(midCell); got != Dequantize(Quantize(g.LMin)) {
+		t.Errorf("free clamp: At = %v, want %v", got, Dequantize(Quantize(g.LMin)))
+	}
+
+	// Bounds past the representable range saturate at ±quantMax quanta.
+	g2 := NewLogOdds(20, 20, 0.1, geom.V(0, 0))
+	g2.LMax, g2.LMin = 100, -100
+	for i := 0; i < 50000; i++ {
+		g2.IntegrateBeam(from, 0, 1.0, true)
+	}
+	if q := g2.AtQ(endCell); q != quantMax {
+		t.Errorf("unbounded occupied accumulation: q = %d, want %d", q, quantMax)
+	}
+	if q := g2.AtQ(midCell); q != -quantMax {
+		t.Errorf("unbounded free accumulation: q = %d, want %d", q, -quantMax)
+	}
+}
+
+// TestIntegrateBeamToMatchesIntegrateBeam pins that the endpoint-form
+// entry point is exactly the polar-form one (same cells, same counts).
+func TestIntegrateBeamToMatchesIntegrateBeam(t *testing.T) {
+	ga := NewLogOdds(60, 60, 0.05, geom.V(0, 0))
+	gb := NewLogOdds(60, 60, 0.05, geom.V(0, 0))
+	from := geom.V(1.5, 1.5)
+	for i := 0; i < 90; i++ {
+		theta := -math.Pi + 2*math.Pi*float64(i)/90
+		dist := 0.3 + float64(i%11)*0.1
+		hit := i%5 != 0
+		na := ga.IntegrateBeam(from, theta, dist, hit)
+		nb := gb.IntegrateBeamTo(from, from.Add(geom.V(dist, 0).Rotate(theta)), hit)
+		if na != nb {
+			t.Fatalf("beam %d: cell counts differ (%d vs %d)", i, na, nb)
+		}
+	}
+	for y := 0; y < ga.Height; y++ {
+		for x := 0; x < ga.Width; x++ {
+			c := geom.Cell{X: x, Y: y}
+			if ga.AtQ(c) != gb.AtQ(c) {
+				t.Fatalf("cell (%d,%d) differs", x, y)
+			}
+		}
+	}
+}

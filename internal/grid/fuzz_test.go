@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"testing"
 
 	"lgvoffload/internal/geom"
@@ -23,6 +24,49 @@ func FuzzParseText(f *testing.F) {
 		}
 		if len(m.Cells) != m.Width*m.Height {
 			t.Fatal("cell slice size mismatch")
+		}
+	})
+}
+
+// FuzzIntegrateBeamFixed throws arbitrary beams at the fixed-point
+// log-odds grid. Whatever the beam, the walk must not panic, every cell
+// must stay inside the clamp bounds, and the result must agree with a
+// float64 reference implementation of the same update rule to within the
+// quantization error of a single observation.
+func FuzzIntegrateBeamFixed(f *testing.F) {
+	f.Add(0.55, 2.55, 0.0, 2.0, true)
+	f.Add(0.55, 2.55, math.Pi/3, 3.5, false)
+	f.Add(-1.0, -1.0, -2.5, 10.0, true)     // starts out of bounds
+	f.Add(3.15, 3.15, 2.0, 0.0, true)       // zero-length beam
+	f.Add(1.0, 1.0, 0.7853981, 500.0, true) // exits the map
+	f.Add(2.0, 2.0, math.Pi, 1e-9, false)
+	f.Fuzz(func(t *testing.T, fx, fy, theta, dist float64, hit bool) {
+		for _, v := range []float64{fx, fy, theta, dist} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return
+			}
+		}
+		g := NewLogOdds(64, 64, 0.1, geom.V(0, 0))
+		ref := &floatRefGrid{g: g, l: make([]float64, g.Width*g.Height)}
+		from := geom.V(fx, fy)
+		end := from.Add(geom.V(dist, 0).Rotate(theta))
+		n := g.IntegrateBeamTo(from, end, hit)
+		ref.integrate(from, end, hit)
+		if n < 0 {
+			t.Fatalf("negative cell count %d", n)
+		}
+		lo, hi := Quantize(math.Min(g.LMin, 0)), Quantize(math.Max(g.LMax, 0))
+		for y := 0; y < g.Height; y++ {
+			for x := 0; x < g.Width; x++ {
+				c := geom.Cell{X: x, Y: y}
+				q := g.AtQ(c)
+				if q < lo || q > hi {
+					t.Fatalf("cell (%d,%d) q=%d outside clamp [%d,%d]", x, y, q, lo, hi)
+				}
+				if d := math.Abs(Dequantize(q) - ref.l[y*g.Width+x]); d > 1.0/QuantScale {
+					t.Fatalf("cell (%d,%d) diverged from float reference by %v", x, y, d)
+				}
+			}
 		}
 	})
 }

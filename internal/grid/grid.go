@@ -157,9 +157,10 @@ func (m *Map) KnownFraction() float64 {
 // ---------------------------------------------------------------------------
 // Log-odds probabilistic grid (SLAM mapping layer).
 
-// Tile geometry for the copy-on-write storage below. 32×32 cells × 8 B
-// = 8 KB per tile: small enough that a scan's dirty set is a handful of
-// tiles, big enough that the tile table stays tiny.
+// Tile geometry for the copy-on-write storage below. 32×32 cells × 2 B
+// = 2 KB per tile: small enough that a scan's dirty set is a handful of
+// tiles (and a whole tile spans just 32 cache lines), big enough that
+// the tile table stays tiny.
 const (
 	tileShift = 5
 	tileDim   = 1 << tileShift
@@ -169,15 +170,85 @@ const (
 	TileCells = tileDim * tileDim
 )
 
-// tile is one reference-counted block of log-odds values. The refcount
-// is atomic because tiles shared between particles are copy-on-written
-// from the parallel section of the SLAM update: a writer that observes
-// ref > 1 copies the tile and release-decrements, so an in-place write
-// (ref == 1) can only happen after every other owner has already
-// detached.
+// Fixed-point log-odds representation. Cells store log odds as int16
+// quanta of 1/4096: the representable range (±7.99) comfortably covers
+// the default ±4 clamp, the quantization error (≤ 1/8192 log-odds,
+// ~3e-5 in probability) is far below the per-observation increments,
+// and integer accumulate-and-clamp replaces the float64 add plus
+// math.Min/math.Max pair on the beam-integration hot path.
+const (
+	// QuantShift is the fixed-point fractional bit count.
+	QuantShift = 12
+	// QuantScale converts log-odds to quanta: q = round(l * QuantScale).
+	QuantScale = 1 << QuantShift
+	// quantMax saturates quantization so ±Inf or huge parameter values
+	// stay representable (and symmetric) rather than wrapping.
+	quantMax = 32767
+)
+
+// Quantize converts a log-odds value to its int16 fixed-point
+// representation, saturating at the representable range.
+func Quantize(l float64) int16 {
+	q := math.Round(l * QuantScale)
+	if q > quantMax {
+		q = quantMax
+	} else if q < -quantMax {
+		q = -quantMax
+	}
+	return int16(q)
+}
+
+// Dequantize converts a fixed-point log-odds value back to float64.
+func Dequantize(q int16) float64 { return float64(q) * (1.0 / QuantScale) }
+
+// The logistic lookup tables: one entry per representable fixed-point
+// log-odds value. logisticTab[q+lutOff] = 1/(1+exp(-q/QuantScale)) is
+// THE occupancy-probability definition — every probe path (Prob, ToMap,
+// the SLAM matcher) reads it instead of re-deriving math.Exp, so the
+// occupancy semantics cannot drift between call sites. scoreTab holds
+// the matcher's 2p-1 form; its zero entry is exactly 0.0, which makes
+// the "untouched cell is neutral" rule branch-free.
+const lutOff = 32768
+
+var (
+	lutOnce     sync.Once
+	logisticTab [2 * lutOff]float64
+	scoreTab    [2 * lutOff]float64
+)
+
+func initLUT() {
+	lutOnce.Do(func() {
+		for i := range logisticTab {
+			p := 1 / (1 + math.Exp(-Dequantize(int16(i-lutOff))))
+			logisticTab[i] = p
+			scoreTab[i] = 2*p - 1
+		}
+	})
+}
+
+// Logistic returns the occupancy probability for a fixed-point log-odds
+// value via the shared lookup table: 1/(1+exp(-Dequantize(q))).
+func Logistic(q int16) float64 {
+	initLUT()
+	return logisticTab[int(q)+lutOff]
+}
+
+// Score returns the scan-matcher cell score 2·Logistic(q)−1: +1 for
+// certainly occupied, −1 for certainly free, exactly 0 for untouched.
+func Score(q int16) float64 {
+	initLUT()
+	return scoreTab[int(q)+lutOff]
+}
+
+// tile is one reference-counted block of fixed-point log-odds values.
+// The refcount is atomic because tiles shared between particles are
+// copy-on-written from the parallel section of the SLAM update: a
+// writer that observes ref > 1 copies the tile and release-decrements,
+// so an in-place write (ref == 1) can only happen after every other
+// owner has already detached.
 type tile struct {
 	ref atomic.Int32
-	l   [TileCells]float64
+	l   [TileCells]int16
 }
 
 // tilePool recycles tiles across COW copies and released grids, so the
@@ -226,6 +297,7 @@ type LogOdds struct {
 // the steady-state update path never hits the allocator: writes into an
 // exclusively-owned grid are pure stores, and only COW detaches copy.
 func NewLogOdds(w, h int, res float64, origin geom.Vec2) *LogOdds {
+	initLUT()
 	tw := (w + tileMask) >> tileShift
 	th := (h + tileMask) >> tileShift
 	g := &LogOdds{
@@ -247,9 +319,14 @@ func (g *LogOdds) tileIndex(c geom.Cell) (ti, inner int) {
 		(c.Y&tileMask)<<tileShift | c.X&tileMask
 }
 
-// At returns the raw log-odds value of a cell (0 when untouched or out
-// of bounds).
-func (g *LogOdds) At(c geom.Cell) float64 {
+// At returns the log-odds value of a cell (0 when untouched or out of
+// bounds), dequantized from the fixed-point storage.
+func (g *LogOdds) At(c geom.Cell) float64 { return Dequantize(g.AtQ(c)) }
+
+// AtQ returns the raw fixed-point log-odds of a cell (0 when untouched
+// or out of bounds). This is the probe the scan-matching hot path uses:
+// the value indexes the shared logistic/score lookup tables directly.
+func (g *LogOdds) AtQ(c geom.Cell) int16 {
 	if !g.InBounds(c) {
 		return 0
 	}
@@ -379,35 +456,59 @@ func (g *LogOdds) CellToWorld(c geom.Cell) geom.Vec2 {
 }
 
 // Prob returns the occupancy probability of a cell (0.5 when untouched or
-// out of bounds).
+// out of bounds), via the shared logistic lookup table.
 func (g *LogOdds) Prob(c geom.Cell) float64 {
-	return 1 / (1 + math.Exp(-g.At(c)))
+	return Logistic(g.AtQ(c))
 }
 
 // Touched reports whether the cell has received any observation.
 func (g *LogOdds) Touched(c geom.Cell) bool {
-	return g.At(c) != 0
+	return g.AtQ(c) != 0
 }
 
 // IntegrateBeam updates the grid along one laser beam: cells between the
 // sensor and the endpoint are observed free; the endpoint cell is observed
 // occupied when the beam actually hit something (hit=true).
 // The number of cells updated is returned so callers can account work.
-// Only tiles actually written are allocated or copy-on-written, so a beam
-// through already-exclusive tiles costs no allocation.
 func (g *LogOdds) IntegrateBeam(from geom.Vec2, theta, dist float64, hit bool) int {
-	end := from.Add(geom.V(dist, 0).Rotate(theta))
+	return g.IntegrateBeamTo(from, from.Add(geom.V(dist, 0).Rotate(theta)), hit)
+}
+
+// IntegrateBeamTo is IntegrateBeam with the world-frame endpoint already
+// computed — the SLAM/AMCL hot paths derive endpoints from per-scan trig
+// tables instead of a Sincos per beam, and hand them in directly.
+// Only tiles actually written are allocated or copy-on-written, so a beam
+// through already-exclusive tiles costs no allocation. The traversal is
+// the standard Bresenham walk (same cell sequence as geom.Bresenham),
+// inlined so the per-cell work is an integer accumulate-and-clamp with
+// no callback dispatch.
+func (g *LogOdds) IntegrateBeamTo(from, end geom.Vec2, hit bool) int {
 	a := g.WorldToCell(from)
 	b := g.WorldToCell(end)
+	// Per-beam quantization of the update parameters keeps the exported
+	// float64 fields authoritative (callers may tune them at any time) at
+	// the cost of four rounds per beam — noise next to the walk itself.
+	locc, lfree := int32(Quantize(g.LOcc)), int32(Quantize(g.LFree))
+	lmin, lmax := int32(Quantize(g.LMin)), int32(Quantize(g.LMax))
 	n := 0
 	// Bresenham walks cross tile borders every ≤32 steps; cache the last
 	// writable tile so the common in-tile step is compare-and-store with
 	// no table lookup (and no tile-row multiply).
 	curTx, curTy := -1, -1
 	var cur *tile
-	geom.Bresenham(a, b, func(c geom.Cell) bool {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	sx, sy := 1, 1
+	if dx < 0 {
+		dx, sx = -dx, -1
+	}
+	if dy < 0 {
+		dy, sy = -dy, -1
+	}
+	errv := dx - dy
+	c := a
+	for {
 		if !g.InBounds(c) {
-			return false
+			return n
 		}
 		tx, ty := c.X>>tileShift, c.Y>>tileShift
 		inner := (c.Y&tileMask)<<tileShift | c.X&tileMask
@@ -416,21 +517,40 @@ func (g *LogOdds) IntegrateBeam(from geom.Vec2, theta, dist float64, hit bool) i
 				if tx != curTx || ty != curTy {
 					cur, curTx, curTy = g.writable(ty*g.tilesW+tx), tx, ty
 				}
-				cur.l[inner] = math.Min(cur.l[inner]+g.LOcc, g.LMax)
+				v := int32(cur.l[inner]) + locc
+				if v > lmax {
+					v = lmax
+				} else if v < -quantMax {
+					v = -quantMax
+				}
+				cur.l[inner] = int16(v)
 			}
 			// A max-range miss leaves the endpoint untouched: the beam
 			// only proves freeness up to (not at) max range.
 			n++
-			return false
+			return n
 		}
 		if tx != curTx || ty != curTy {
 			cur, curTx, curTy = g.writable(ty*g.tilesW+tx), tx, ty
 		}
-		cur.l[inner] = math.Max(cur.l[inner]+g.LFree, g.LMin)
+		v := int32(cur.l[inner]) + lfree
+		if v < lmin {
+			v = lmin
+		} else if v > quantMax {
+			v = quantMax
+		}
+		cur.l[inner] = int16(v)
 		n++
-		return true
-	})
-	return n
+		e2 := 2 * errv
+		if e2 > -dy {
+			errv -= dy
+			c.X += sx
+		}
+		if e2 < dx {
+			errv += dx
+			c.Y += sy
+		}
+	}
 }
 
 // ToMap thresholds the log-odds grid into a ternary map: prob > occThresh
@@ -447,11 +567,11 @@ func (g *LogOdds) ToMap(freeThresh, occThresh float64) *Map {
 			xmax := min((tx+1)<<tileShift, g.Width)
 			for y := ty << tileShift; y < ymax; y++ {
 				for x := tx << tileShift; x < xmax; x++ {
-					l := t.l[(y&tileMask)<<tileShift|x&tileMask]
-					if l == 0 {
+					q := t.l[(y&tileMask)<<tileShift|x&tileMask]
+					if q == 0 {
 						continue
 					}
-					p := 1 / (1 + math.Exp(-l))
+					p := Logistic(q)
 					c := geom.Cell{X: x, Y: y}
 					switch {
 					case p > occThresh:

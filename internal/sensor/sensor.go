@@ -50,6 +50,76 @@ func (s *Scan) Clone() *Scan {
 	return &c
 }
 
+// Table caches per-scan trigonometry for the scan-consuming kernels
+// (SLAM scan matching/integration, AMCL's likelihood field). The
+// bearing unit vectors depend only on the scan geometry (AngleMin,
+// AngleInc, beam count) and survive across scans from the same laser;
+// the robot-frame endpoints and hit flags are refilled per scan. With a
+// filled table, a world-frame beam endpoint is two FMAs against the
+// pose's cached heading sin/cos instead of a math.Sincos per beam per
+// candidate pose — the arithmetic that used to dominate hill-climbing
+// scan matching.
+//
+// A Table is plain scratch: fill it serially once per tick, then read
+// it freely from parallel workers.
+type Table struct {
+	angleMin, angleInc float64
+	nGeom              int
+
+	Sin, Cos []float64 // unit bearing vectors, robot frame
+	LX, LY   []float64 // beam endpoints in the robot frame (r_i · unit_i)
+	Hit      []bool    // IsHit per beam
+	n        int
+}
+
+// N returns the number of beams in the filled table.
+func (t *Table) N() int { return t.n }
+
+// Fill (re)builds the table for one scan, reusing prior capacity so the
+// steady state allocates nothing. Bearing trig is recomputed only when
+// the scan geometry changes.
+func (t *Table) Fill(s *Scan) {
+	n := s.NumBeams()
+	if t.nGeom != n || t.angleMin != s.AngleMin || t.angleInc != s.AngleInc {
+		t.angleMin, t.angleInc, t.nGeom = s.AngleMin, s.AngleInc, n
+		t.Sin = growFloats(t.Sin, n)
+		t.Cos = growFloats(t.Cos, n)
+		for i := 0; i < n; i++ {
+			t.Sin[i], t.Cos[i] = math.Sincos(s.Bearing(i))
+		}
+	}
+	t.LX = growFloats(t.LX, n)
+	t.LY = growFloats(t.LY, n)
+	if cap(t.Hit) < n {
+		t.Hit = make([]bool, n)
+	}
+	t.Hit = t.Hit[:n]
+	t.n = n
+	hitBelow := s.MaxRange - 1e-6
+	for i, r := range s.Ranges {
+		t.LX[i] = r * t.Cos[i]
+		t.LY[i] = r * t.Sin[i]
+		t.Hit[i] = r < hitBelow
+	}
+}
+
+// Endpoint returns the world-frame endpoint of beam i for a pose at pos
+// whose heading sine/cosine the caller has already computed — the same
+// rigid transform as Pose.Apply, with the trig hoisted out of the loop.
+func (t *Table) Endpoint(pos geom.Vec2, sinT, cosT float64, i int) geom.Vec2 {
+	return geom.Vec2{
+		X: pos.X + (cosT*t.LX[i] - sinT*t.LY[i]),
+		Y: pos.Y + (sinT*t.LX[i] + cosT*t.LY[i]),
+	}
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Laser models the LDS-01: 360 beams over a full circle, 3.5 m range,
 // with additive Gaussian range noise and optional fault injection.
 type Laser struct {

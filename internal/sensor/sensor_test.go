@@ -221,3 +221,74 @@ func TestOutlierInjection(t *testing.T) {
 		t.Errorf("outliers changed %d beams, want ≈ 108", diff)
 	}
 }
+
+func TestTableEndpointMatchesScan(t *testing.T) {
+	l := NewLDS01(0.01, rand.New(rand.NewSource(7)))
+	s := l.Sense(room(), geom.P(2, 2, 0.4), 0)
+	var tab Table
+	tab.Fill(s)
+	if tab.N() != s.NumBeams() {
+		t.Fatalf("table N = %d, want %d", tab.N(), s.NumBeams())
+	}
+	for _, pose := range []geom.Pose{
+		geom.P(2, 2, 0.4), geom.P(0.3, 3.7, -2.9), geom.P(-1, 5, math.Pi),
+	} {
+		sinT, cosT := math.Sincos(pose.Theta)
+		for i := 0; i < tab.N(); i++ {
+			want := s.Endpoint(pose, i)
+			got := tab.Endpoint(pose.Pos, sinT, cosT, i)
+			if got.Dist(want) > 1e-12 {
+				t.Fatalf("beam %d pose %v: table endpoint %v, scan endpoint %v",
+					i, pose, got, want)
+			}
+			if tab.Hit[i] != s.IsHit(i) {
+				t.Fatalf("beam %d: hit flag mismatch", i)
+			}
+		}
+	}
+}
+
+func TestTableFillReusesStorage(t *testing.T) {
+	l := NewLDS01(0.02, rand.New(rand.NewSource(8)))
+	s1 := l.Sense(room(), geom.P(2, 2, 0), 0)
+	s2 := l.Sense(room(), geom.P(2.1, 2, 0.1), 0.1)
+	var tab Table
+	tab.Fill(s1)
+	sinPtr, lxPtr := &tab.Sin[0], &tab.LX[0]
+	allocs := testing.AllocsPerRun(50, func() { tab.Fill(s2) })
+	if allocs != 0 {
+		t.Errorf("steady-state Fill allocates %v per run, want 0", allocs)
+	}
+	if &tab.Sin[0] != sinPtr || &tab.LX[0] != lxPtr {
+		t.Error("Fill with same geometry reallocated its slices")
+	}
+	// LX/LY reflect the most recent scan.
+	for i := range s2.Ranges {
+		if got := math.Hypot(tab.LX[i], tab.LY[i]); math.Abs(got-s2.Ranges[i]) > 1e-9 {
+			t.Fatalf("beam %d local endpoint norm %v, want range %v", i, got, s2.Ranges[i])
+		}
+	}
+}
+
+func TestTableFillTracksGeometryChange(t *testing.T) {
+	var tab Table
+	a := &Scan{AngleMin: -math.Pi, AngleInc: math.Pi / 2, MaxRange: 5,
+		Ranges: []float64{1, 2, 3, 4}}
+	tab.Fill(a)
+	// Same beam count, different angular geometry: trig must be rebuilt.
+	b := &Scan{AngleMin: 0, AngleInc: math.Pi / 4, MaxRange: 5,
+		Ranges: []float64{1, 2, 3, 4}}
+	tab.Fill(b)
+	for i := 0; i < tab.N(); i++ {
+		s, c := math.Sincos(b.Bearing(i))
+		if tab.Sin[i] != s || tab.Cos[i] != c {
+			t.Fatalf("beam %d trig stale after geometry change", i)
+		}
+	}
+	// Shrinking beam count must be tracked too.
+	c := &Scan{AngleMin: 0, AngleInc: math.Pi / 4, MaxRange: 5, Ranges: []float64{2}}
+	tab.Fill(c)
+	if tab.N() != 1 {
+		t.Fatalf("table N = %d after shrink, want 1", tab.N())
+	}
+}

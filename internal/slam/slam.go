@@ -100,12 +100,21 @@ type SLAM struct {
 	runFn   func(w int)
 	results []UpdateStats
 	ws      []float64   // normalize scratch
+	linW    []float64   // linear normalized weights (exp(LogWeight), kept in sync)
 	rsW     []float64   // resample weights scratch
 	rsUsed  []bool      // resample first-use marks
 	rsNext  []*Particle // resample ping-pong particle buffer
 	rsFree  []*Particle // released shells reused for duplicates
-	cur     struct {    // per-update parameters read by pool workers
-		scan       *sensor.Scan
+
+	// Scan-match scratch: the per-scan trig table (filled serially once
+	// per update, read by all workers) and per-particle staging for the
+	// span-batched base-score pass. Workers write only their own
+	// particles' slots, so the slices are shared race-free.
+	tab    sensor.Table
+	baseSc []float64 // base match score per particle
+	pSin   []float64 // sin/cos of each particle's heading, cached per tick
+	pCos   []float64
+	cur    struct { // per-update parameters read by pool workers
 		m, threads int
 		part       Partition
 		first      bool
@@ -126,6 +135,13 @@ func New(cfg Config, rng *rand.Rand) *SLAM {
 			Map: grid.NewLogOdds(cfg.MapW, cfg.MapH, cfg.Resolution, cfg.Origin),
 		})
 	}
+	s.linW = make([]float64, cfg.NumParticles)
+	for i := range s.linW {
+		s.linW[i] = 1 // exp(LogWeight) with all log weights zero
+	}
+	s.baseSc = make([]float64, cfg.NumParticles)
+	s.pSin = make([]float64, cfg.NumParticles)
+	s.pCos = make([]float64, cfg.NumParticles)
 	s.pl = pool.Shared()
 	s.runFn = func(w int) { s.results[w] = s.processSpan(w) }
 	// Pre-seed the duplicate shells: every resample drops exactly as many
@@ -196,17 +212,18 @@ func (s *SLAM) update(odomDelta geom.Pose, scan *sensor.Scan, threads int, part 
 	}
 
 	// 2+5. Scan match and integrate, parallel over particles (Fig. 6),
-	// on the persistent pool. Parameters travel through s.cur and per-
-	// worker results land in s.results, so the steady state reuses one
-	// pre-built closure and allocates nothing.
+	// on the persistent pool. The per-scan trig table is filled serially
+	// here, then read by every worker; parameters travel through s.cur
+	// and per-worker results land in s.results, so the steady state
+	// reuses one pre-built closure and allocates nothing.
+	s.tab.Fill(scan)
 	if cap(s.results) < threads {
 		s.results = make([]UpdateStats, threads)
 	}
 	s.results = s.results[:threads]
-	s.cur.scan, s.cur.m, s.cur.threads, s.cur.part = scan, m, threads, part
+	s.cur.m, s.cur.threads, s.cur.part = m, threads, part
 	s.cur.first = !s.started
 	s.pl.Run(threads, s.runFn)
-	s.cur.scan = nil
 	for _, r := range s.results {
 		st.MatchOps += r.MatchOps
 		st.IntegrateOps += r.IntegrateOps
@@ -230,47 +247,109 @@ func (s *SLAM) update(odomDelta geom.Pose, scan *sensor.Scan, threads int, part 
 
 // processSpan runs scan matching and map integration for worker w's
 // particle span. Work is assigned positionally via Partition.Bounds, so
-// results are independent of goroutine scheduling. COW tile copies
-// triggered by integration are drained into CopyOps per particle.
+// results are independent of goroutine scheduling. The base score of
+// every particle in the span is computed in a single traversal of the
+// scan (the multi-particle batch), then each particle hill-climbs from
+// it; COW isolation makes the match-then-integrate reordering safe —
+// reads of one particle's map are never affected by writes to another's.
+// COW tile copies triggered by integration are drained into CopyOps per
+// particle.
 func (s *SLAM) processSpan(w int) UpdateStats {
 	var r UpdateStats
 	start, end, step := s.cur.part.Bounds(s.cur.m, s.cur.threads, w)
-	for i := start; i < end; i += step {
-		pt := s.particles[i]
-		if !s.cur.first {
-			score, ops := s.scanMatch(pt, s.cur.scan)
+	if !s.cur.first {
+		r.MatchOps += s.matchScoreSpan(start, end, step)
+		for i := start; i < end; i += step {
+			pt := s.particles[i]
+			score, ops := s.hillClimb(pt, s.baseSc[i])
 			r.MatchOps += ops
 			pt.LogWeight += s.cfg.LikelihoodK * score
 		}
-		r.IntegrateOps += s.integrate(pt, s.cur.scan)
+	}
+	for i := start; i < end; i += step {
+		pt := s.particles[i]
+		r.IntegrateOps += s.integrate(pt)
 		r.CopyOps += pt.Map.TakeCopied()
 	}
 	return r
 }
 
-// scanMatch hill-climbs the particle pose to maximize the match score of
-// the (subsampled) scan against the particle's own map. Returns the final
-// score and the number of beam probes performed.
-func (s *SLAM) scanMatch(pt *Particle, scan *sensor.Scan) (score float64, ops int) {
-	best, n := s.matchScore(pt.Map, pt.Pose, scan)
-	ops += n
+// matchScoreSpan computes the at-pose match score of every particle in
+// the span against one traversal of the scan, staging results in
+// s.baseSc (and each particle's heading trig in s.pSin/s.pCos). Scores
+// accumulate in beam order per particle, so the result is bit-equal to
+// scoring each particle independently. Returns beam probes performed.
+func (s *SLAM) matchScoreSpan(start, end, step int) int {
+	tab := &s.tab
+	for i := start; i < end; i += step {
+		s.pSin[i], s.pCos[i] = math.Sincos(s.particles[i].Pose.Theta)
+		s.baseSc[i] = 0
+	}
+	ops := 0
+	for b := 0; b < tab.N(); b += s.cfg.BeamSkip {
+		if !tab.Hit[b] {
+			continue
+		}
+		lx, ly := tab.LX[b], tab.LY[b]
+		for i := start; i < end; i += step {
+			pt := s.particles[i]
+			m := pt.Map
+			ep := geom.Vec2{
+				X: pt.Pose.Pos.X + (s.pCos[i]*lx - s.pSin[i]*ly),
+				Y: pt.Pose.Pos.Y + (s.pSin[i]*lx + s.pCos[i]*ly),
+			}
+			cell := m.WorldToCell(ep)
+			ops++
+			if !m.InBounds(cell) {
+				s.baseSc[i] -= 0.1
+				continue
+			}
+			// grid.Score is the shared logistic LUT in 2p−1 form: +1 for
+			// certain occupied, −1 for certain free, exactly 0 for
+			// untouched — the "unexplored is neutral" rule without a
+			// branch.
+			s.baseSc[i] += grid.Score(m.AtQ(cell))
+		}
+	}
+	return ops
+}
+
+// hillClimb refines the particle pose to maximize the match score of the
+// (subsampled) scan against the particle's own map, starting from the
+// already-computed at-pose score. Each round scores all six candidate
+// moves in one traversal of the scan and takes the best (steepest
+// ascent); when no move improves, the step sizes halve. Returns the
+// final score and the number of beam probes performed.
+func (s *SLAM) hillClimb(pt *Particle, base float64) (score float64, ops int) {
+	best := base
 	step := s.cfg.SearchStep
 	astep := s.cfg.AngularStep
+	var cands [6]geom.Pose
+	var sin6, cos6, scores [6]float64
 	for it := 0; it < s.cfg.MatchIters; it++ {
+		p := pt.Pose
+		sinT, cosT := math.Sincos(p.Theta)
+		thp := geom.NormalizeAngle(p.Theta + astep)
+		thm := geom.NormalizeAngle(p.Theta - astep)
+		cands = [6]geom.Pose{
+			{Pos: geom.V(p.Pos.X+step, p.Pos.Y), Theta: p.Theta},
+			{Pos: geom.V(p.Pos.X-step, p.Pos.Y), Theta: p.Theta},
+			{Pos: geom.V(p.Pos.X, p.Pos.Y+step), Theta: p.Theta},
+			{Pos: geom.V(p.Pos.X, p.Pos.Y-step), Theta: p.Theta},
+			{Pos: p.Pos, Theta: thp},
+			{Pos: p.Pos, Theta: thm},
+		}
+		sin6[0], cos6[0] = sinT, cosT
+		sin6[1], cos6[1] = sinT, cosT
+		sin6[2], cos6[2] = sinT, cosT
+		sin6[3], cos6[3] = sinT, cosT
+		sin6[4], cos6[4] = math.Sincos(thp)
+		sin6[5], cos6[5] = math.Sincos(thm)
+		ops += s.matchScoreBatch(pt.Map, &cands, &sin6, &cos6, &scores)
 		improved := false
-		for _, d := range [6]geom.Pose{
-			{Pos: geom.V(step, 0)}, {Pos: geom.V(-step, 0)},
-			{Pos: geom.V(0, step)}, {Pos: geom.V(0, -step)},
-			{Theta: astep}, {Theta: -astep},
-		} {
-			cand := geom.Pose{
-				Pos:   pt.Pose.Pos.Add(d.Pos),
-				Theta: geom.NormalizeAngle(pt.Pose.Theta + d.Theta),
-			}
-			sc, n := s.matchScore(pt.Map, cand, scan)
-			ops += n
-			if sc > best {
-				best, pt.Pose, improved = sc, cand, true
+		for k := range cands {
+			if scores[k] > best {
+				best, pt.Pose, improved = scores[k], cands[k], true
 			}
 		}
 		if !improved {
@@ -281,45 +360,58 @@ func (s *SLAM) scanMatch(pt *Particle, scan *sensor.Scan) (score float64, ops in
 	return best, ops
 }
 
-// matchScore evaluates how well the scan, taken from pose, agrees with
-// the map: hit endpoints landing on occupied cells score +1 weighted by
-// occupancy; endpoints in free space score negatively.
-func (s *SLAM) matchScore(m *grid.LogOdds, pose geom.Pose, scan *sensor.Scan) (float64, int) {
-	score := 0.0
-	ops := 0
-	for i := 0; i < scan.NumBeams(); i += s.cfg.BeamSkip {
-		if !scan.IsHit(i) {
-			continue
-		}
-		end := scan.Endpoint(pose, i)
-		cell := m.WorldToCell(end)
-		ops++
-		if !m.InBounds(cell) {
-			score -= 0.1
-			continue
-		}
-		l := m.At(cell)
-		if l == 0 {
-			continue // unexplored: neutral
-		}
-		p := 1 / (1 + math.Exp(-l))
-		score += 2*p - 1 // +1 for certain occupied, -1 for certain free
+// matchScoreBatch scores all six candidate poses of one particle against
+// a single traversal of the scan: per hit beam, the shared robot-frame
+// endpoint is rotated by each candidate's cached heading trig and probed
+// against the map through the fixed-point score LUT. Per-candidate
+// accumulation stays in beam order, so each score is bit-equal to an
+// independent pass.
+func (s *SLAM) matchScoreBatch(m *grid.LogOdds, cands *[6]geom.Pose, sin6, cos6 *[6]float64, out *[6]float64) int {
+	tab := &s.tab
+	for k := range out {
+		out[k] = 0
 	}
-	return score, ops
-}
-
-// integrate folds the scan into the particle's map, returning cells
-// touched.
-func (s *SLAM) integrate(pt *Particle, scan *sensor.Scan) int {
 	ops := 0
-	for i := 0; i < scan.NumBeams(); i++ {
-		theta := pt.Pose.Theta + scan.Bearing(i)
-		ops += pt.Map.IntegrateBeam(pt.Pose.Pos, theta, scan.Ranges[i], scan.IsHit(i))
+	for b := 0; b < tab.N(); b += s.cfg.BeamSkip {
+		if !tab.Hit[b] {
+			continue
+		}
+		lx, ly := tab.LX[b], tab.LY[b]
+		for k := 0; k < 6; k++ {
+			end := geom.Vec2{
+				X: cands[k].Pos.X + (cos6[k]*lx - sin6[k]*ly),
+				Y: cands[k].Pos.Y + (sin6[k]*lx + cos6[k]*ly),
+			}
+			cell := m.WorldToCell(end)
+			if !m.InBounds(cell) {
+				out[k] -= 0.1
+				continue
+			}
+			out[k] += grid.Score(m.AtQ(cell))
+		}
+		ops += 6
 	}
 	return ops
 }
 
-// normalize rescales log weights and computes Neff. Returns ops.
+// integrate folds the scan into the particle's map via the per-scan trig
+// table (one Sincos for the particle heading, two FMAs per beam),
+// returning cells touched.
+func (s *SLAM) integrate(pt *Particle) int {
+	tab := &s.tab
+	sinT, cosT := math.Sincos(pt.Pose.Theta)
+	pos := pt.Pose.Pos
+	ops := 0
+	for i := 0; i < tab.N(); i++ {
+		ops += pt.Map.IntegrateBeamTo(pos, tab.Endpoint(pos, sinT, cosT, i), tab.Hit[i])
+	}
+	return ops
+}
+
+// normalize rescales log weights and computes Neff. The linear
+// normalized weights are staged in s.linW, so the resampling and
+// pose-mean paths reuse them instead of re-deriving math.Exp from the
+// stored log weights. Returns ops.
 func (s *SLAM) normalize() int {
 	maxLW := math.Inf(-1)
 	for _, pt := range s.particles {
@@ -338,10 +430,11 @@ func (s *SLAM) normalize() int {
 	}
 	neffDen := 0.0
 	for i, pt := range s.particles {
-		w := ws[i] / sum
+		w := math.Max(ws[i]/sum, 1e-300) // floor keeps resample totals nonzero
 		neffDen += w * w
+		s.linW[i] = w
 		// Store normalized log weight to avoid drift.
-		pt.LogWeight = math.Log(math.Max(w, 1e-300))
+		pt.LogWeight = math.Log(w)
 	}
 	if neffDen > 0 {
 		s.neff = 1 / neffDen
@@ -363,8 +456,10 @@ func (s *SLAM) resample() int {
 	}
 	weights, used := s.rsW[:m], s.rsUsed[:m]
 	total := 0.0
-	for i, pt := range s.particles {
-		weights[i] = math.Exp(pt.LogWeight)
+	for i := range s.particles {
+		// The linear weights were already computed by normalize; reuse
+		// them instead of exponentiating the stored log weights again.
+		weights[i] = s.linW[i]
 		total += weights[i]
 		used[i] = false
 	}
@@ -404,8 +499,9 @@ func (s *SLAM) resample() int {
 			next = append(next, src)
 		}
 	}
-	for _, pt := range next {
+	for i, pt := range next {
 		pt.LogWeight = 0
+		s.linW[i] = 1
 	}
 	// Dropped particles (never selected) release their maps — tiles they
 	// owned exclusively return to the free list for upcoming COW copies —
@@ -443,11 +539,12 @@ func (s *SLAM) bestIndex() int {
 func (s *SLAM) BestPose() geom.Pose { return s.particles[s.bestIndex()].Pose }
 
 // MeanPose returns the weighted mean pose (linear part; circular mean for
-// heading).
+// heading). Weights come from the linear slice maintained by
+// normalize/resample — no math.Exp per particle.
 func (s *SLAM) MeanPose() geom.Pose {
 	var x, y, sinSum, cosSum, wsum float64
-	for _, pt := range s.particles {
-		w := math.Exp(pt.LogWeight)
+	for i, pt := range s.particles {
+		w := s.linW[i]
 		x += w * pt.Pose.Pos.X
 		y += w * pt.Pose.Pos.Y
 		sinSum += w * math.Sin(pt.Pose.Theta)

@@ -203,3 +203,66 @@ func TestDegenerateConfigs(t *testing.T) {
 	s.Update(geom.Pose{}, laser.Sense(m, geom.P(3, 3, 0), 0))
 	s.Update(geom.P(0.01, 0, 0), laser.Sense(m, geom.P(3.01, 3, 0), 0.1))
 }
+
+// refMatchScore scores one pose against one map independently, in beam
+// order — the unbatched reference the batched paths must equal bit for
+// bit (same accumulation order, same probe expression).
+func refMatchScore(s *SLAM, m *grid.LogOdds, pose geom.Pose) float64 {
+	tab := &s.tab
+	sinT, cosT := math.Sincos(pose.Theta)
+	sc := 0.0
+	for b := 0; b < tab.N(); b += s.cfg.BeamSkip {
+		if !tab.Hit[b] {
+			continue
+		}
+		cell := m.WorldToCell(tab.Endpoint(pose.Pos, sinT, cosT, b))
+		if !m.InBounds(cell) {
+			sc -= 0.1
+			continue
+		}
+		sc += grid.Score(m.AtQ(cell))
+	}
+	return sc
+}
+
+// TestBatchedScoringBitEqualToIndependent pins the batching contract:
+// scoring many particles (or many candidate poses of one particle)
+// against a single traversal of the scan yields exactly the score an
+// independent per-pose pass produces.
+func TestBatchedScoringBitEqualToIndependent(t *testing.T) {
+	s, _ := driveAndMap(t, smallCfg(), 1, Block, 31)
+	m := world.EmptyRoomMap(6, 6, 0.05)
+	laser := sensor.NewLaser(90, 3.5, 0.01, rand.New(rand.NewSource(32)))
+	scan := laser.Sense(m, s.BestPose(), 0)
+	s.tab.Fill(scan)
+
+	// Span batch: all particles in one traversal.
+	s.matchScoreSpan(0, len(s.particles), 1)
+	for i, pt := range s.particles {
+		if want := refMatchScore(s, pt.Map, pt.Pose); s.baseSc[i] != want {
+			t.Errorf("particle %d: span score %v != independent %v", i, s.baseSc[i], want)
+		}
+	}
+
+	// Candidate batch: six poses of one particle in one traversal.
+	pt := s.particles[0]
+	p := pt.Pose
+	cands := [6]geom.Pose{
+		{Pos: geom.V(p.Pos.X+0.05, p.Pos.Y), Theta: p.Theta},
+		{Pos: geom.V(p.Pos.X-0.05, p.Pos.Y), Theta: p.Theta},
+		{Pos: geom.V(p.Pos.X, p.Pos.Y+0.05), Theta: p.Theta},
+		{Pos: geom.V(p.Pos.X, p.Pos.Y-0.05), Theta: p.Theta},
+		{Pos: p.Pos, Theta: geom.NormalizeAngle(p.Theta + 0.03)},
+		{Pos: p.Pos, Theta: geom.NormalizeAngle(p.Theta - 0.03)},
+	}
+	var sin6, cos6, scores [6]float64
+	for k := range cands {
+		sin6[k], cos6[k] = math.Sincos(cands[k].Theta)
+	}
+	s.matchScoreBatch(pt.Map, &cands, &sin6, &cos6, &scores)
+	for k := range cands {
+		if want := refMatchScore(s, pt.Map, cands[k]); scores[k] != want {
+			t.Errorf("candidate %d: batch score %v != independent %v", k, scores[k], want)
+		}
+	}
+}
