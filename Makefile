@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): everything must pass before a change lands.
-.PHONY: check fmt vet build test chaos bench bench-gate reproduce trace-demo hunt advhunt fuzz-smoke dash-smoke
+.PHONY: check fmt vet build test chaos bench bench-gate reproduce trace-demo hunt advhunt fuzz-smoke dash-smoke serve-smoke
 
 check: fmt vet build test
 
@@ -94,6 +94,12 @@ fuzz-smoke:
 # /dash, the first /live SSE event) and read back with cmd/lgvstore.
 dash-smoke:
 	sh scripts/dash_smoke.sh
+
+# Control-plane smoke: start `lgvsim -serve`, admit missions over the
+# HTTP API with curl, poll them to success, SIGTERM-drain the daemon
+# and read the flushed store back with cmd/lgvstore.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # End-to-end tracing proof: run a short traced mission, then validate the
 # exported Chrome JSON (well-formed, monotonic timestamps, every parent

@@ -57,6 +57,11 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "write flight bundles into this directory (implies -flightrec; created if absent)")
 	flightVerify := flag.String("flight-verify", "", "verify a flight bundle file and exit (0 valid / 1 invalid)")
 	promVerify := flag.String("prom-verify", "", "validate a Prometheus text-format file and exit (0 valid / 1 invalid)")
+	serveMode := flag.Bool("serve", false, "run as the mission control plane: admit scenario specs over HTTP (POST /missions on -http, default :8080), multiplex them through a bounded scheduler, record into -store; SIGINT/SIGTERM drains")
+	serveMaxRunning := flag.Int("serve-max-running", 4, "serve: missions stepped concurrently (the run ring)")
+	serveMaxQueued := flag.Int("serve-max-queued", 1024, "serve: bounded admission queue; POST /missions returns 503 when full")
+	serveQueueTimeout := flag.Duration("serve-queue-timeout", 0, "serve: evict missions queued longer than this (0 = never)")
+	serveDrainTimeout := flag.Duration("serve-drain-timeout", time.Minute, "serve: how long a shutdown drain waits before force-canceling")
 	flag.Parse()
 
 	// Utility modes: structural verification of artifacts produced by a
@@ -88,6 +93,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("prom-verify: ok: %d samples\n", n)
+		return
+	}
+	if *serveMode {
+		runServe(*httpAddr, *storePath, serveFlags{
+			maxRunning:   *serveMaxRunning,
+			maxQueued:    *serveMaxQueued,
+			queueTimeout: *serveQueueTimeout,
+			drainTimeout: *serveDrainTimeout,
+		})
 		return
 	}
 

@@ -1,0 +1,145 @@
+package main
+
+// lgvsim -serve: the mission control plane. Instead of running one
+// flag-configured mission, the process becomes a daemon that admits
+// scenario specs over HTTP (POST /missions), multiplexes them through
+// the internal/serve scheduler with a bounded run ring and admission
+// queue, records every mission into the shared -store log, and serves
+// the usual inspection endpoint (dashboard, /metrics, /live SSE)
+// underneath the mission API. SIGINT/SIGTERM triggers a draining
+// shutdown: admissions stop, queued and running missions finish (or
+// are force-canceled at the drain timeout), and the store is flushed.
+//
+//	lgvsim -serve -http :8080 -store fleet.lgvstore
+//	curl -d @scenario.json http://localhost:8080/missions
+//	curl http://localhost:8080/missions/j1
+//	curl http://localhost:8080/healthz
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lgvoffload/internal/obs"
+	"lgvoffload/internal/serve"
+	"lgvoffload/internal/simtest"
+	"lgvoffload/internal/store"
+)
+
+type serveFlags struct {
+	maxRunning   int
+	maxQueued    int
+	queueTimeout time.Duration
+	drainTimeout time.Duration
+}
+
+func runServe(httpAddr, storePath string, sf serveFlags) {
+	if httpAddr == "" {
+		httpAddr = ":8080"
+	}
+
+	var st *store.Store
+	if storePath != "" {
+		var err error
+		st, err = store.Open(storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "store:", err)
+			os.Exit(1)
+		}
+	}
+
+	tel := obs.NewTelemetry(1 << 16)
+	hub := obs.NewLiveHub(0)
+	tel.Tee(hub)
+
+	sched := serve.New(serve.Config{
+		Build:        simtest.BuildScenarioMission,
+		MaxRunning:   sf.maxRunning,
+		MaxQueued:    sf.maxQueued,
+		QueueTimeout: sf.queueTimeout,
+		Store:        st,
+		Telemetry:    tel,
+		Live:         hub,
+	})
+	inspector := obs.NewInspectorWith(obs.InspectorConfig{
+		Telemetry: tel, Store: st, Live: hub,
+	})
+	handler := sched.Handler(inspector)
+
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "http:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: handler}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+
+	fmt.Printf("serve:     mission control plane on http://%s/ (POST /missions, GET /healthz, dashboard at /dash)\n", ln.Addr())
+	fmt.Printf("serve:     max-running=%d max-queued=%d", sf.maxRunning, sf.maxQueued)
+	if sf.queueTimeout > 0 {
+		fmt.Printf(" queue-timeout=%s", sf.queueTimeout)
+	}
+	if storePath != "" {
+		fmt.Printf(" store=%s", storePath)
+	}
+	fmt.Println()
+
+	// Periodic deadline sweep so queued-but-expired missions are shed
+	// even when no admission or completion triggers a dispatch.
+	sweepDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sched.SweepExpired()
+			case <-sweepDone:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("serve:     %s — draining (up to %s; signal again to abort)\n", s, sf.drainTimeout)
+	case err := <-httpErr:
+		fmt.Fprintln(os.Stderr, "http:", err)
+		os.Exit(1)
+	}
+	close(sweepDone)
+
+	// A second signal during the drain aborts it hard.
+	done := make(chan error, 1)
+	go func() { done <- sched.Shutdown(true, sf.drainTimeout) }()
+	var drainErr error
+	select {
+	case drainErr = <-done:
+	case <-sig:
+		fmt.Println("serve:     second signal — canceling running missions")
+		sched.CancelAll("operator abort")
+		drainErr = <-done
+	}
+	srv.Close()
+
+	stats := sched.Stats()
+	fmt.Printf("serve:     drained: admitted=%d done=%d failed=%d canceled=%d evicted=%d rejected=%d\n",
+		stats.Admitted, stats.Done, stats.Failed, stats.Canceled, stats.Evicted, stats.Rejected)
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "store:", err)
+			os.Exit(1)
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "serve:", drainErr)
+		os.Exit(1)
+	}
+}

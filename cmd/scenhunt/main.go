@@ -27,6 +27,7 @@ func main() {
 	seeds := flag.Int("seeds", 200, "number of campaign seeds to hunt")
 	start := flag.Int64("start", 0, "first campaign seed")
 	matrixEvery := flag.Int("matrix-every", 25, "run the thread×partition determinism matrix every Nth seed (0 = never)")
+	schedEvery := flag.Int("sched-every", 0, "run the sched-fair control-plane invariant every Nth seed (0 = never)")
 	reproDir := flag.String("repros", "", "directory for shrunk violation repros (empty = don't write)")
 	shrinkBudget := flag.Int("shrink-budget", 48, "max mission runs spent minimizing each violation")
 	workers := flag.Int("workers", runtime.NumCPU(), "campaign shards evaluated concurrently")
@@ -38,7 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	stats := hunt(*seeds, *start, *matrixEvery, *reproDir, *shrinkBudget, *workers, *verbose)
+	stats := hunt(*seeds, *start, *matrixEvery, *schedEvery, *reproDir, *shrinkBudget, *workers, *verbose)
 
 	fmt.Printf("scenhunt: %d seeds, %d mission runs\n", stats.Seeds, stats.Runs)
 	names := make([]string, 0, len(stats.Checked))
@@ -80,7 +81,7 @@ func main() {
 
 // hunt shards the seed range across workers; each shard is its own
 // deterministic Campaign, and the aggregate is order-independent.
-func hunt(seeds int, start int64, matrixEvery int, reproDir string, shrinkBudget, workers int, verbose bool) *simtest.CampaignStats {
+func hunt(seeds int, start int64, matrixEvery, schedEvery int, reproDir string, shrinkBudget, workers int, verbose bool) *simtest.CampaignStats {
 	if workers < 1 {
 		workers = 1
 	}
@@ -91,7 +92,8 @@ func hunt(seeds int, start int64, matrixEvery int, reproDir string, shrinkBudget
 	if workers <= 1 {
 		opts := simtest.CampaignOpts{
 			Seeds: seeds, StartSeed: start, MatrixEvery: matrixEvery,
-			ReproDir: reproDir, ShrinkBudget: shrinkBudget,
+			SchedEvery: schedEvery,
+			ReproDir:   reproDir, ShrinkBudget: shrinkBudget,
 		}
 		if verbose {
 			opts.Logf = logf
@@ -116,7 +118,8 @@ func hunt(seeds int, start int64, matrixEvery int, reproDir string, shrinkBudget
 			defer wg.Done()
 			opts := simtest.CampaignOpts{
 				Seeds: hi - lo, StartSeed: start + int64(lo), MatrixEvery: matrixEvery,
-				ReproDir: reproDir, ShrinkBudget: shrinkBudget,
+				SchedEvery: schedEvery,
+				ReproDir:   reproDir, ShrinkBudget: shrinkBudget,
 			}
 			if verbose {
 				opts.Logf = logf

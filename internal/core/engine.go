@@ -476,27 +476,27 @@ type pendingCmd struct {
 
 type time64 = float64
 
-// Run executes a mission to completion and returns its result.
+// Run executes a mission to completion and returns its result. It is
+// NewMission stepped to the end: the step-driven entry point and Run
+// produce byte-identical results for the same config.
 func Run(cfg MissionConfig) (*Result, error) {
-	cfg.fillDefaults()
-	if cfg.Map == nil {
-		return nil, fmt.Errorf("core: mission needs a map")
-	}
-	e, err := newEngine(cfg)
+	m, err := NewMission(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if e.fr != nil {
+	if m.e.fr != nil {
 		// Black-box semantics: if the mission loop panics, freeze the
 		// ticks that led up to it before the panic propagates.
 		defer func() {
 			if r := recover(); r != nil {
-				e.fr.ForceDump("panic", fmt.Sprint(r), e.w.Time)
+				m.e.fr.ForceDump("panic", fmt.Sprint(r), m.e.w.Time)
 				panic(r)
 			}
 		}()
 	}
-	return e.run()
+	for !m.Step() {
+	}
+	return m.Result(), nil
 }
 
 func newEngine(cfg MissionConfig) (*engine, error) {
@@ -704,137 +704,6 @@ func muxSources(cfg MissionConfig) []muxer.Source {
 		}
 	}
 	return srcs
-}
-
-// run is the main virtual-time loop.
-func (e *engine) run() (*Result, error) {
-	cfg := e.cfg
-	res := &Result{Config: cfg, Energy: make(map[energy.Component]float64), Cycles: e.counter}
-
-	var nextProbe float64
-	for e.w.Time < cfg.MaxSimTime {
-		now := e.w.Time
-
-		// Deliver matured remote velocity commands.
-		e.deliverPending(now)
-
-		// Command-staleness watchdog: hold a zero-velocity safety stop
-		// while no fresh VDP output reaches the multiplexer. The deadline
-		// stretches with the profiled makespan so a slow-but-alive local
-		// pipeline is not mistaken for a dead link.
-		stalledNow := false
-		if cfg.WatchdogDeadline >= 0 {
-			deadline := math.Max(cfg.WatchdogDeadline, 3*e.prof.VDP(e.placement).Total())
-			if stalled, first := e.safety.CheckStall(now, deadline); stalled {
-				stalledNow = true
-				e.mx.Offer(muxer.SourceSafety, geom.Twist{}, now)
-				if first {
-					e.tel.Watchdog(now, e.safety.Staleness(now))
-					e.flightDump("watchdog", "", now)
-					if !e.stallOpen {
-						e.stallOpen = true
-						e.stallStart = now
-					}
-				}
-			}
-		}
-
-		// Fixed-rate heartbeat for Algorithm 2, independent of the
-		// pipeline's pacing.
-		if now >= nextProbe {
-			e.sendProbe(now)
-			nextProbe = now + cfg.ControlPeriod
-		}
-
-		// Control pipeline tick.
-		if now >= e.nextControl && now >= e.pauseUntil {
-			e.controlTick(now)
-		}
-
-		// Motor command from the multiplexer.
-		cmd, ok := e.mx.Select(now)
-		if !ok {
-			cmd = geom.Twist{}
-		}
-		if cfg.CmdTap != nil {
-			cfg.CmdTap(now, cmd, stalledNow)
-		}
-		e.w.SetCommand(cmd)
-
-		// Physics step + meters.
-		step := e.w.Step(cfg.PhysicsDt)
-		e.meter.Tick(cfg.PhysicsDt)
-		e.meter.AddMotor(step.MotorPower, cfg.PhysicsDt)
-		e.clock.Tick(cfg.PhysicsDt, math.Abs(e.w.Robot.Vel.V)+0.3*math.Abs(e.w.Robot.Vel.W))
-		e.link.SetRobotPosAt(e.w.Time, e.w.Robot.Pose.Pos)
-
-		// Termination.
-		if done, reason, success := e.checkDone(); done {
-			res.Success = success
-			res.Reason = reason
-			break
-		}
-	}
-	if res.Reason == "" {
-		res.Reason = "timeout"
-	}
-
-	// Close out episode spans and stamp the injected fault windows so a
-	// chaos trace shows each outage inline with the tick trees.
-	if e.stallOpen {
-		e.tr.Add(e.tr.NewTrace(), 0, "watchdog_stall", string(HostLGV), "safety",
-			spans.Mark, e.stallStart, e.w.Time)
-		e.stallOpen = false
-	}
-	if e.tr != nil && cfg.Faults != nil {
-		for _, fw := range cfg.Faults.Windows {
-			if fw.T0 > e.w.Time {
-				continue
-			}
-			e.tr.Add(e.tr.NewTrace(), 0, "fault:"+fw.Kind.String(), "", "faults",
-				spans.Mark, fw.T0, math.Min(fw.T1, e.w.Time))
-		}
-	}
-	e.recordRunEnd()
-
-	// Aggregate.
-	res.TotalTime = e.clock.Total()
-	res.MovingTime = e.clock.Moving()
-	res.StandbyTime = e.clock.Standby()
-	res.Distance = e.w.Distance()
-	for _, row := range e.meter.Breakdown() {
-		res.Energy[row.Component] = row.Joules
-	}
-	res.TotalEnergy = e.meter.Total()
-	res.CoreSeconds = e.coreSeconds
-	res.ThreadAdjustments = e.threadAdj
-	res.Net = e.link.Stats()
-	res.MsgsSent = e.msgsSent
-	res.MsgsDropped = e.msgsDropped
-	res.MsgsOverwritten = e.mx.Overwritten()
-	res.BytesUplinked = e.bytesUp
-	res.Switches = e.switches
-	res.Decisions = e.decisions
-	res.WatchdogStops = e.safety.Stops()
-	res.Failovers = e.safety.Failovers()
-	res.Handoffs = e.link.Handoffs()
-	if ht := e.link.HandoffTimes(); len(ht) > 0 {
-		res.HandoffTimes = append([]float64(nil), ht...)
-	}
-	if e.schedule != nil {
-		res.FaultsInjected = e.schedule.Injected()
-	}
-	if e.vmaxCount > 0 {
-		res.AvgMaxVel = e.vmaxSum / float64(e.vmaxCount)
-	}
-	if cfg.Workload == ExplorationNoMap {
-		res.Explored = explore.Progress(e.slm.Map(), cfg.Map)
-	}
-	if cfg.Workload == CoverageWithMap {
-		res.Covered = e.coveredFraction()
-	}
-	res.Trace = e.trace
-	return res, nil
 }
 
 // coveredFraction evaluates the cleaning-progress metric over the

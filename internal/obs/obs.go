@@ -114,6 +114,25 @@ const (
 	// MFlightDumps counts flight-recorder bundle dumps. Label: trigger
 	// reason.
 	MFlightDumps = "flight_dumps"
+
+	// MServeAdmitted counts missions admitted by the serve scheduler.
+	MServeAdmitted = "serve_admitted"
+	// MServeRejected counts admissions refused. Label: reason
+	// (full/closed).
+	MServeRejected = "serve_rejected"
+	// MServeEvicted counts missions evicted over-deadline. Label: where
+	// (queue/deadline).
+	MServeEvicted = "serve_evicted"
+	// MServeFinished counts missions reaching a terminal state. Label:
+	// outcome (success/failure/canceled/evicted/failed).
+	MServeFinished = "serve_finished"
+	// MServeQueued gauges the current admission-queue depth.
+	MServeQueued = "serve_queued"
+	// MServeRunning gauges currently running (incl. materializing)
+	// missions.
+	MServeRunning = "serve_running"
+	// MServeAdmitWaitSeconds observes admit→dispatch queue latency.
+	MServeAdmitWaitSeconds = "serve_admit_wait_seconds"
 )
 
 // Telemetry bundles a registry and a timeline and implements Sink plus

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxSpecBytes bounds a POST /missions body; scenario specs are small
+// JSON documents.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the control-plane HTTP API layered in front of next
+// (normally the obs inspector mux). Routes owned by the scheduler:
+//
+//	POST   /missions              admit a mission from a scenario spec
+//	                              (201 created, 400 malformed spec,
+//	                              503 queue full / shutting down)
+//	GET    /missions/{id}         scheduler status for a live or recent
+//	                              mission; unknown IDs fall through to
+//	                              next (the store-backed view)
+//	GET    /missions/{id}/result  finished mission summary (409 while
+//	                              unfinished or if it never ran,
+//	                              404 unknown)
+//	DELETE /missions/{id}         cancel (200/202, 404 unknown,
+//	                              409 already finished)
+//	GET    /healthz               scheduler stats snapshot
+//
+// Everything else — including GET /missions listings — is served by
+// next; with next nil, unmatched paths 404.
+//
+// POST accepts an optional ?deadline_ms=N query: the mission is evicted
+// (queued) or canceled (running) once that many milliseconds pass.
+func (s *Scheduler) Handler(next http.Handler) http.Handler {
+	if next == nil {
+		next = http.NotFoundHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/healthz":
+			if r.Method != http.MethodGet {
+				apiError(w, http.StatusMethodNotAllowed, "GET only")
+				return
+			}
+			s.SweepExpired()
+			apiJSON(w, http.StatusOK, s.Stats())
+		case r.URL.Path == "/missions" && r.Method == http.MethodPost:
+			s.handleCreate(w, r)
+		case strings.HasPrefix(r.URL.Path, "/missions/"):
+			rest := strings.TrimPrefix(r.URL.Path, "/missions/")
+			if id, ok := strings.CutSuffix(rest, "/result"); ok && !strings.Contains(id, "/") && id != "" {
+				s.handleResult(w, r, id)
+				return
+			}
+			if strings.Contains(rest, "/") || rest == "" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			switch r.Method {
+			case http.MethodGet:
+				st, err := s.Status(rest)
+				if errors.Is(err, ErrUnknown) {
+					// Not a scheduler mission; maybe a store one ("m<N>").
+					next.ServeHTTP(w, r)
+					return
+				}
+				apiJSON(w, http.StatusOK, st)
+			case http.MethodDelete:
+				s.handleCancel(w, r, rest)
+			default:
+				apiError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+			}
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+func (s *Scheduler) handleCreate(w http.ResponseWriter, r *http.Request) {
+	spec, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	if len(spec) > maxSpecBytes {
+		apiError(w, http.StatusRequestEntityTooLarge, "scenario spec too large")
+		return
+	}
+	var deadline time.Time
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			apiError(w, http.StatusBadRequest, "bad deadline_ms")
+			return
+		}
+		deadline = s.now().Add(time.Duration(ms) * time.Millisecond)
+	}
+	id, err := s.Submit(spec, deadline)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		apiError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		apiError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, _ := s.Status(id)
+	apiJSON(w, http.StatusCreated, st)
+}
+
+func (s *Scheduler) handleResult(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		apiError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st, err := s.Status(id)
+	if errors.Is(err, ErrUnknown) {
+		apiError(w, http.StatusNotFound, "unknown mission "+id)
+		return
+	}
+	if !st.State.Terminal() {
+		apiError(w, http.StatusConflict, "mission "+id+" has not finished")
+		return
+	}
+	if st.Summary == nil {
+		apiError(w, http.StatusConflict, "mission "+id+" never ran ("+string(st.State)+")")
+		return
+	}
+	apiJSON(w, http.StatusOK, st)
+}
+
+func (s *Scheduler) handleCancel(w http.ResponseWriter, r *http.Request, id string) {
+	state, err := s.Cancel(id, r.URL.Query().Get("reason"))
+	switch {
+	case errors.Is(err, ErrUnknown):
+		apiError(w, http.StatusNotFound, "unknown mission "+id)
+	case errors.Is(err, ErrFinished):
+		apiError(w, http.StatusConflict, "mission "+id+" already finished ("+string(state)+")")
+	default:
+		code := http.StatusOK
+		if state == StateCanceling {
+			// Running missions stop at their next slice boundary.
+			code = http.StatusAccepted
+		}
+		apiJSON(w, code, map[string]any{"id": id, "state": state})
+	}
+}
+
+func apiJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func apiError(w http.ResponseWriter, code int, msg string) {
+	apiJSON(w, code, map[string]string{"error": msg})
+}

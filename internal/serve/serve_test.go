@@ -1,0 +1,262 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lgvoffload/internal/obs"
+	"lgvoffload/internal/serve"
+	"lgvoffload/internal/simtest"
+	"lgvoffload/internal/store"
+)
+
+// tinySpec is the cheapest reliable mission we have: a 0.4 m hop in a
+// 3×3 m room (~3 virtual seconds). The soak test runs 1000 of these.
+func tinySpec(seed int64) []byte {
+	return []byte(fmt.Sprintf(`{
+		"mission_seed": %d,
+		"workload": "navigation",
+		"world": {"kind": "empty", "w": 3, "h": 3, "res": 0.1},
+		"start_x": 1, "start_y": 1,
+		"goal_x": 1.4, "goal_y": 1.2,
+		"deploy": {"mode": "local", "threads": 1},
+		"fleet": 1,
+		"link": {"profile": "good", "wapx": 1, "wapy": 1},
+		"max_sim_time": 5,
+		"tracker_samples": 100
+	}`, seed))
+}
+
+// TestSchedulerStoreIntegration: missions dispatched by the daemon
+// record through per-mission Recorders into one shared log; after a
+// draining shutdown the store holds every mission, finished, with ticks
+// and no drops, under the scheduler-assigned IDs.
+func TestSchedulerStoreIntegration(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "missions.lgv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := obs.NewTelemetry(256)
+	live := obs.NewLiveHub(16)
+	s := serve.New(serve.Config{
+		Build:      simtest.BuildScenarioMission,
+		MaxRunning: 2,
+		Store:      st,
+		Telemetry:  tel,
+		Live:       live,
+	})
+
+	const n = 5
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := s.Submit(tinySpec(int64(i)), time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Shutdown(true, 120*time.Second); err != nil {
+		t.Fatalf("drain shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := store.Open(filepath.Join(dir, "missions.lgv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	rows := ro.List(store.Filter{})
+	if len(rows) != n {
+		t.Fatalf("store holds %d missions, want %d", len(rows), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range rows {
+		if !m.Finished() {
+			t.Errorf("mission %s not finished in store", m.Start.ID)
+			continue
+		}
+		seen[m.Start.ID] = true
+		if m.End.Ticks == 0 {
+			t.Errorf("mission %s recorded no ticks", m.Start.ID)
+		}
+		if m.End.Dropped != 0 {
+			t.Errorf("mission %s dropped %d records", m.Start.ID, m.End.Dropped)
+		}
+		if len(m.Start.Scenario) == 0 {
+			t.Errorf("mission %s lost its scenario spec", m.Start.ID)
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("mission %s missing from store (got %v)", id, seen)
+		}
+	}
+
+	// Scheduler metrics reached the registry.
+	counts := map[string]float64{}
+	for _, p := range tel.Snapshot() {
+		counts[p.Name] += p.Value
+	}
+	if counts[obs.MServeAdmitted] != n {
+		t.Errorf("%s = %g, want %d", obs.MServeAdmitted, counts[obs.MServeAdmitted], n)
+	}
+	if counts[obs.MServeFinished] != n {
+		t.Errorf("%s = %g, want %d", obs.MServeFinished, counts[obs.MServeFinished], n)
+	}
+}
+
+// TestSchedulerShutdownDrain: a draining shutdown finishes queued-free
+// running missions naturally and rejects new admissions.
+func TestSchedulerShutdownDrain(t *testing.T) {
+	s := serve.New(serve.Config{Build: simtest.BuildScenarioMission, MaxRunning: 3})
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		id, err := s.Submit(tinySpec(int64(10+i)), time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Shutdown(true, 120*time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range ids {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != serve.StateDone {
+			t.Errorf("mission %s ended %s (%s), want done after drain", id, st.State, st.Reason)
+		}
+	}
+	if _, err := s.Submit(tinySpec(99), time.Time{}); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("submit after shutdown: %v, want ErrClosed", err)
+	}
+}
+
+// TestSchedulerShutdownNoDrain: an immediate shutdown cancels running
+// missions and evicts queued ones.
+func TestSchedulerShutdownNoDrain(t *testing.T) {
+	s := serve.New(serve.Config{Build: simtest.BuildScenarioMission, MaxRunning: 1, SliceSteps: 32})
+	running, err := s.Submit(longSpec(1), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(tinySpec(2), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the first mission actually start stepping.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, _ := s.Status(running)
+		if st.State == serve.StateRunning && st.T > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mission %s never started (state %s)", running, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Shutdown(false, 60*time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st, _ := s.Status(running); st.State != serve.StateCanceled || st.Reason != "shutdown" {
+		t.Errorf("running mission: %s (%q), want canceled/shutdown", st.State, st.Reason)
+	}
+	if st, _ := s.Status(queued); st.State != serve.StateEvicted {
+		t.Errorf("queued mission: %s, want evicted", st.State)
+	}
+}
+
+// TestSchedulerDeadlines: a queued mission past its deadline is evicted
+// without running; a running mission crossing its deadline is evicted
+// at the next slice boundary with a partial result.
+func TestSchedulerDeadlines(t *testing.T) {
+	s := serve.New(serve.Config{Build: simtest.BuildScenarioMission, MaxRunning: 1, SliceSteps: 32})
+	defer s.Shutdown(false, 60*time.Second)
+
+	running, err := s.Submit(longSpec(1), time.Now().Add(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(tinySpec(2), time.Now().Add(-time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.SweepExpired(); n != 1 {
+		t.Errorf("SweepExpired evicted %d, want 1", n)
+	}
+	if st, _ := s.Status(queued); st.State != serve.StateEvicted {
+		t.Errorf("expired queued mission: %s, want evicted", st.State)
+	}
+	if state, err := s.Wait(running); err != nil || state != serve.StateEvicted {
+		t.Errorf("over-deadline running mission: %s (%v), want evicted", state, err)
+	}
+	if st, _ := s.Status(running); st.Reason != "deadline exceeded" || st.Summary == nil {
+		t.Errorf("evicted mission status: %+v", st)
+	}
+}
+
+// TestSchedulerQueueTimeout: missions stuck in the queue longer than
+// QueueTimeout are shed.
+func TestSchedulerQueueTimeout(t *testing.T) {
+	s := serve.New(serve.Config{
+		Build:        simtest.BuildScenarioMission,
+		MaxRunning:   1,
+		SliceSteps:   32,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	defer s.Shutdown(false, 60*time.Second)
+	if _, err := s.Submit(longSpec(1), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(tinySpec(2), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	s.SweepExpired()
+	st, _ := s.Status(queued)
+	if st.State != serve.StateEvicted || st.Reason != "queue timeout" {
+		t.Errorf("queue-timeout mission: %s (%q), want evicted/queue timeout", st.State, st.Reason)
+	}
+}
+
+// TestSchedulerRetention: full Results are bounded by RetainResults;
+// evicted ones keep their summary but return ErrGone.
+func TestSchedulerRetention(t *testing.T) {
+	s := serve.New(serve.Config{Build: simtest.BuildScenarioMission, MaxRunning: 1, RetainResults: 2})
+	defer s.Shutdown(false, 60*time.Second)
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		id, err := s.Submit(tinySpec(int64(20+i)), time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := s.Result(ids[0]); !errors.Is(err, serve.ErrGone) {
+		t.Errorf("oldest result: %v, want ErrGone", err)
+	}
+	if st, _ := s.Status(ids[0]); st.Summary == nil {
+		t.Error("retention dropped the summary too")
+	}
+	for _, id := range ids[1:] {
+		if _, err := s.Result(id); err != nil {
+			t.Errorf("result %s: %v", id, err)
+		}
+	}
+	if _, err := s.Result(ids[1]); err != nil {
+		t.Errorf("retained result: %v", err)
+	}
+}

@@ -9,6 +9,9 @@ type CampaignOpts struct {
 	// MatrixEvery runs the kernel thread×partition determinism sweep on
 	// every Nth scenario (0 = never; it costs 8 extra runs each).
 	MatrixEvery int
+	// SchedEvery runs the sched-fair control-plane invariant on every
+	// Nth scenario (0 = never; it costs several extra runs each).
+	SchedEvery int
 	// ReproDir, when non-empty, receives a shrunk JSON repro for every
 	// violation.
 	ReproDir string
@@ -61,8 +64,11 @@ func Campaign(opts CampaignOpts) *CampaignStats {
 	for i := 0; i < opts.Seeds; i++ {
 		seed := opts.StartSeed + int64(i)
 		sc := Generate(seed)
-		matrix := opts.MatrixEvery > 0 && i%opts.MatrixEvery == 0
-		rep, err := evaluateWith(sc, library, matrix)
+		eo := Options{
+			Matrix: opts.MatrixEvery > 0 && i%opts.MatrixEvery == 0,
+			Sched:  opts.SchedEvery > 0 && i%opts.SchedEvery == 0,
+		}
+		rep, err := evaluateWith(sc, library, eo)
 		stats.Seeds++
 		if err != nil {
 			stats.Errors = append(stats.Errors, fmt.Sprintf("seed %d (%s): %v", seed, sc.Label(), err))
@@ -114,14 +120,17 @@ func Campaign(opts CampaignOpts) *CampaignStats {
 }
 
 // evaluateWith is Evaluate generalized over an invariant library.
-func evaluateWith(sc Scenario, library []Invariant, matrix bool) (*Report, error) {
+func evaluateWith(sc Scenario, library []Invariant, opts Options) (*Report, error) {
 	o, err := RunScenario(sc)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Scenario: sc, Runs: 1}
 	for _, inv := range library {
-		if inv.Name == "matrix-determinism" && !matrix {
+		if inv.Name == "matrix-determinism" && !opts.Matrix {
+			continue
+		}
+		if inv.Name == "sched-fair" && !opts.Sched {
 			continue
 		}
 		err := inv.Check(o)

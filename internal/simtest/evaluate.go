@@ -7,6 +7,10 @@ type Options struct {
 	// Matrix enables the 8-configuration kernel thread×partition
 	// determinism sweep (8 extra mission runs per scenario).
 	Matrix bool
+	// Sched enables the sched-fair control-plane invariant (runs the
+	// scenario plus two seed variants through a concurrent scheduler and
+	// again solo — several extra mission runs per scenario).
+	Sched bool
 }
 
 // Violation is one failed invariant on one scenario.
@@ -31,7 +35,7 @@ type Report struct {
 // (e.g. a sampled pose that is unreachable for setup reasons) returns
 // an error, which campaigns count separately from violations.
 func Evaluate(sc Scenario, opts Options) (*Report, error) {
-	return evaluateWith(sc, Invariants(), opts.Matrix)
+	return evaluateWith(sc, Invariants(), opts)
 }
 
 func isSkip(err error) bool { return errors.Is(err, ErrSkip) }

@@ -105,6 +105,12 @@ func Invariants() []Invariant {
 			ExtraRuns: 8,
 			Check:     checkMatrix,
 		},
+		{
+			Name:      "sched-fair",
+			Desc:      "the serve scheduler starves no mission and multiplexed results are byte-identical to solo runs",
+			ExtraRuns: 5,
+			Check:     checkSchedFair,
+		},
 	}
 }
 

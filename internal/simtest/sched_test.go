@@ -1,0 +1,54 @@
+package simtest
+
+import "testing"
+
+// TestSchedFairInvariant is the control-plane acceptance check: K
+// missions multiplexed through internal/serve with max-running < K
+// dispatch FIFO, starve nobody, and produce results byte-identical to
+// solo RunScenario runs. It evaluates only the sched-fair invariant
+// (the full library already runs in
+// TestInvariantsOnRepresentativeScenarios, where Options{} skips this
+// one by design).
+func TestSchedFairInvariant(t *testing.T) {
+	sc := smallNav(DeploySpec{Mode: "adaptive", Remote: "edge", Goal: "ec", Threads: 2}, "fade", "")
+	sc.MaxSimTime = 30
+	sc.TrackerSamples = 100
+
+	inv, ok := InvariantByName("sched-fair")
+	if !ok {
+		t.Fatal("sched-fair invariant not registered")
+	}
+	rep, err := evaluateWith(sc, []Invariant{inv}, Options{Sched: true})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s: %s", v.Invariant, v.Error)
+	}
+	ran := false
+	for _, name := range rep.Checked {
+		if name == "sched-fair" {
+			ran = true
+		}
+	}
+	if !ran {
+		t.Fatalf("sched-fair did not run (checked %v, skipped %v)", rep.Checked, rep.Skipped)
+	}
+}
+
+// TestSchedFairGating asserts the default Evaluate path skips the
+// expensive sched-fair invariant unless Options.Sched is set, mirroring
+// matrix-determinism's gating.
+func TestSchedFairGating(t *testing.T) {
+	sc := smallNav(DeploySpec{Mode: "local", Threads: 1}, "good", "")
+	sc.MaxSimTime = 20
+	rep, err := evaluateWith(sc, Invariants(), Options{})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	for _, name := range append(append([]string{}, rep.Checked...), rep.Skipped...) {
+		if name == "sched-fair" {
+			t.Fatalf("sched-fair ran without Options.Sched (checked %v)", rep.Checked)
+		}
+	}
+}

@@ -273,7 +273,6 @@ func (s *Store) FleetStats(f Filter) (Fleet, error) {
 	fl.Missions = len(all)
 	want := make(map[uint64]bool, len(all))
 	for _, m := range all {
-		want[m.Index] = true
 		switch m.Outcome() {
 		case "unfinished":
 			fl.Unfinished++
@@ -283,6 +282,10 @@ func (s *Store) FleetStats(f Filter) (Fleet, error) {
 		default:
 			fl.Failures++
 		}
+		// Only finished missions feed the pooled VDP scan below: an
+		// unfinished (still-writing or crashed) mission's partial ticks
+		// would skew the fleet quantiles with data no summary vouches for.
+		want[m.Index] = true
 		fl.Finished++
 		end := m.End
 		fl.Ticks += end.Ticks

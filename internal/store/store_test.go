@@ -371,3 +371,134 @@ func TestFleetStatsSumsDroppedRecords(t *testing.T) {
 		t.Fatalf("first mission Dropped = %+v, want 3", m.End)
 	}
 }
+
+// TestStoreInterleavedWriters is the multi-writer layout test: N
+// recorders begun in order write round-robin-interleaved records into
+// one shared log and finish in REVERSE order, with one writer
+// abandoned mid-mission (a crashed daemon executor). Listing,
+// per-mission readback isolation, fleet aggregation, recovery after
+// reopen, and Compact must all hold on that interleaved layout. The
+// unfinished mission writes wild VDP outliers, so the quantile checks
+// fail if fleet pooling ever ingests ticks no summary vouches for.
+func TestStoreInterleavedWriters(t *testing.T) {
+	path := tmpStore(t)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n, ticks = 4, 50
+	recs := make([]*Recorder, n)
+	ids := make([]string, n)
+	for i := range recs {
+		rec, err := s.Begin(MissionStart{Seed: int64(i), Workload: "navigation"})
+		if err != nil {
+			t.Fatalf("Begin %d: %v", i, err)
+		}
+		recs[i], ids[i] = rec, rec.ID()
+	}
+	// One tick per mission per round: maximal interleaving. Mission i's
+	// VDP signature is 0.1*(i+1); the doomed mission 0 writes 100s.
+	for k := 0; k < ticks; k++ {
+		for i, rec := range recs {
+			vdp := 0.1 * float64(i+1)
+			if i == 0 {
+				vdp = 100
+			}
+			rec.Tick(Tick{T: float64(k), VDP: vdp, EnergyJ: float64(k)})
+		}
+	}
+	for i := n - 1; i >= 1; i-- { // reverse completion order
+		err := recs[i].Finish(MissionEnd{Success: i%2 == 1, Reason: "goal",
+			TotalTime: 10, TotalEnergy: float64(i), Energy: map[string]float64{}})
+		if err != nil {
+			t.Fatalf("Finish %d: %v", i, err)
+		}
+	}
+	recs[0].Abandon() // ticks hit the log, no summary ever does
+
+	check := func(st *Store, stage string) {
+		t.Helper()
+		byID := map[string]MissionInfo{}
+		for _, m := range st.List(Filter{}) {
+			byID[m.Start.ID] = m
+		}
+		if len(byID) != n {
+			t.Fatalf("%s: %d missions listed, want %d", stage, len(byID), n)
+		}
+		if m := byID[ids[0]]; m.Finished() {
+			t.Errorf("%s: abandoned mission %s reads as finished", stage, ids[0])
+		}
+		for i := 1; i < n; i++ {
+			m := byID[ids[i]]
+			if !m.Finished() {
+				t.Fatalf("%s: mission %s unfinished", stage, ids[i])
+			}
+			if m.End.Ticks != ticks {
+				t.Errorf("%s: mission %s has %d ticks, want %d", stage, ids[i], m.End.Ticks, ticks)
+			}
+			md, err := st.ReadMission(ids[i])
+			if err != nil {
+				t.Fatalf("%s: ReadMission %s: %v", stage, ids[i], err)
+			}
+			want := 0.1 * float64(i+1)
+			for _, tk := range md.Ticks {
+				if tk.VDP != want {
+					t.Fatalf("%s: mission %s readback polluted: VDP %v, want %v",
+						stage, ids[i], tk.VDP, want)
+				}
+			}
+		}
+		fl, err := st.FleetStats(Filter{})
+		if err != nil {
+			t.Fatalf("%s: FleetStats: %v", stage, err)
+		}
+		if fl.Missions != n || fl.Finished != n-1 || fl.Unfinished != 1 {
+			t.Errorf("%s: fleet counts %+v, want %d/%d/1", stage, fl, n, n-1)
+		}
+		if fl.Successes != 2 || fl.Failures != 1 {
+			t.Errorf("%s: successes=%d failures=%d, want 2/1", stage, fl.Successes, fl.Failures)
+		}
+		if fl.Ticks != (n-1)*ticks {
+			t.Errorf("%s: fleet ticks %d, want %d (finished only)", stage, fl.Ticks, (n-1)*ticks)
+		}
+		// The abandoned mission's 100s must not leak into the pooled
+		// quantiles: every finished tick is <= 0.4.
+		if fl.VDPP99 > 0.4+1e-9 || fl.VDPMean > 0.4 {
+			t.Errorf("%s: pooled VDP polluted by unfinished ticks: p99=%v mean=%v",
+				stage, fl.VDPP99, fl.VDPMean)
+		}
+	}
+	check(s, "live")
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ro, err := Open(path) // recovery rebuilds the index from the log
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ro.Close()
+	check(ro, "reopened")
+
+	dst := filepath.Join(filepath.Dir(path), "compacted.lgvstore")
+	kept, err := ro.Compact(dst, Filter{})
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if kept != n-1 {
+		t.Fatalf("Compact kept %d, want %d", kept, n-1)
+	}
+	cs, err := Open(dst)
+	if err != nil {
+		t.Fatalf("open compacted: %v", err)
+	}
+	defer cs.Close()
+	for _, m := range cs.List(Filter{}) {
+		if !m.Finished() {
+			t.Errorf("compacted store kept unfinished mission %s", m.Start.ID)
+		}
+	}
+	if got := len(cs.List(Filter{})); got != n-1 {
+		t.Errorf("compacted store holds %d missions, want %d", got, n-1)
+	}
+}

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Mission-control-plane smoke: start `lgvsim -serve` with a store
+# attached, drive the HTTP mission API from the outside — admit three
+# missions via curl, poll them to completion, check the scheduler
+# stats on /healthz and the error contract (400 on garbage, 404 on an
+# unknown id) — then shut the daemon down with SIGTERM and verify the
+# drain flushed every mission, finished, into the store by reading it
+# back with cmd/lgvstore. Exercises exactly what a user gets from
+# `lgvsim -serve -http ... -store ...`.
+set -eu
+
+ADDR="${SERVE_ADDR:-127.0.0.1:8331}"
+STORE="${SERVE_STORE:-/tmp/lgv-serve.lgvstore}"
+BIN="${SERVE_BIN:-/tmp/lgv-serve-bin}"
+N=3
+
+rm -f "$STORE"
+mkdir -p "$BIN"
+go build -o "$BIN/lgvsim" ./cmd/lgvsim
+go build -o "$BIN/lgvstore" ./cmd/lgvstore
+
+"$BIN/lgvsim" -serve -http "$ADDR" -store "$STORE" \
+    -serve-max-running 2 >"$BIN/serve.log" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.2
+done
+[ "$ok" = 1 ] || { echo "serve-smoke: daemon never came up"; cat "$BIN/serve.log"; exit 1; }
+curl -sf "http://$ADDR/healthz" | grep -q '"accepting": *true'
+
+# Admit N missions (max-running is 2, so the third queues briefly).
+spec() {
+    cat <<EOF
+{"mission_seed": $1, "workload": "navigation",
+ "world": {"kind": "empty", "w": 5, "h": 4, "res": 0.1},
+ "start_x": 1, "start_y": 1, "goal_x": 1.8, "goal_y": 1.3,
+ "deploy": {"mode": "local", "threads": 1}, "fleet": 1,
+ "link": {"profile": "good", "wapx": 1, "wapy": 1},
+ "max_sim_time": 20, "tracker_samples": 200}
+EOF
+}
+i=1
+while [ "$i" -le "$N" ]; do
+    spec "$i" | curl -sf -XPOST --data-binary @- "http://$ADDR/missions" \
+        | grep -q "\"id\": *\"j$i\"" \
+        || { echo "serve-smoke: admit j$i failed"; cat "$BIN/serve.log"; exit 1; }
+    i=$((i + 1))
+done
+
+# The error contract: garbage is a 400 with an error doc, an unknown
+# mission a 404, and neither kills the daemon.
+code=$(curl -s -o /dev/null -w '%{http_code}' -XPOST -d 'not json' "http://$ADDR/missions")
+[ "$code" = 400 ] || { echo "serve-smoke: garbage spec gave $code, want 400"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/missions/zzz")
+[ "$code" = 404 ] || { echo "serve-smoke: unknown id gave $code, want 404"; exit 1; }
+
+# Poll every mission to a successful finish and fetch its full result.
+i=1
+while [ "$i" -le "$N" ]; do
+    ok=0
+    for _ in $(seq 1 150); do
+        if curl -sf "http://$ADDR/missions/j$i" | grep -q '"state": *"done"'; then ok=1; break; fi
+        sleep 0.2
+    done
+    [ "$ok" = 1 ] || { echo "serve-smoke: j$i never finished"; cat "$BIN/serve.log"; exit 1; }
+    curl -sf "http://$ADDR/missions/j$i/result" | grep -q '"success": *true' \
+        || { echo "serve-smoke: j$i did not succeed"; exit 1; }
+    i=$((i + 1))
+done
+
+# Scheduler stats surfaced on /healthz, and the inspection surface
+# still serves underneath the mission API.
+curl -sf "http://$ADDR/healthz" | grep -q "\"admitted\": *$N"
+curl -sf "http://$ADDR/healthz" | grep -q "\"done\": *$N"
+curl -sf "http://$ADDR/dash" | grep -qi '<html'
+curl -sf "http://$ADDR/metrics" | grep -q 'serve_admitted'
+
+# Graceful drain: SIGTERM must flush the store and exit cleanly.
+kill -TERM "$PID"
+ok=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$PID" 2>/dev/null; then ok=1; break; fi
+    sleep 0.2
+done
+[ "$ok" = 1 ] || { echo "serve-smoke: daemon ignored SIGTERM"; cat "$BIN/serve.log"; exit 1; }
+wait "$PID" 2>/dev/null || { echo "serve-smoke: daemon exited nonzero"; cat "$BIN/serve.log"; exit 1; }
+trap - EXIT
+grep -q 'drained: admitted=3 done=3' "$BIN/serve.log" \
+    || { echo "serve-smoke: drain summary missing"; cat "$BIN/serve.log"; exit 1; }
+
+# The store must hold all N missions, finished, under scheduler IDs.
+[ "$("$BIN/lgvstore" ls "$STORE" | grep -c ' success ')" = "$N" ] \
+    || { echo "serve-smoke: store missing missions"; "$BIN/lgvstore" ls "$STORE"; exit 1; }
+"$BIN/lgvstore" stats "$STORE" | grep -q "$N missions: $N success, 0 failure, 0 unfinished"
+"$BIN/lgvstore" show "$STORE" j1 >/dev/null
+echo "serve-smoke: OK (store at $STORE)"
